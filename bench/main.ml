@@ -1,0 +1,224 @@
+(** The benchmark harness.
+
+    Running [dune exec bench/main.exe] regenerates every table and figure of
+    the paper's evaluation (Tables 3–7, Figures 5–7, plus Figure 3 from
+    §4.1), then runs the ablation studies called out in DESIGN.md, then a
+    set of Bechamel micro-benchmarks of the computational kernels behind
+    each table. The protocol scale is selected with EMC_SCALE=quick|full
+    (see {!Emc_core.Scale}); quick is the default and completes in minutes.
+
+    Pass [--bechamel-only] to skip the experiments, or [--no-bechamel] to
+    skip the micro-benchmarks. *)
+
+open Emc_core
+open Emc_regress
+open Emc_workloads
+
+let t_start = Unix.gettimeofday ()
+
+let hr title =
+  Printf.printf "\n%s  [t=%.0fs]\n%s\n%!" title (Unix.gettimeofday () -. t_start)
+    (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                            *)
+
+let ablation_doe (ctx : Experiments.ctx) =
+  Printf.printf "== Ablation: D-optimal design vs random vs LHS (gzip, RBF models) ==\n%!";
+  let w = Registry.find "gzip" in
+  let d = Experiments.prepare ctx w in
+  let n = ctx.scale.Scale.train_n in
+  let rng = Emc_util.Rng.split ctx.rng in
+  let space = Params.space_all in
+  let designs =
+    [ ("d-optimal", d.Experiments.train);
+      ("random",
+       Modeling.build_dataset ctx.measure w ~variant:Workload.Train
+         (Emc_doe.Doe.random_design rng space n));
+      ("lhs",
+       Modeling.build_dataset ctx.measure w ~variant:Workload.Train
+         (Emc_doe.Doe.lhs rng space n)) ]
+  in
+  List.iter
+    (fun (name, train) ->
+      let m = Modeling.fit Modeling.Rbf train in
+      let lin = Modeling.fit Modeling.Linear train in
+      Printf.printf "  %-10s logdet=%8.2f  rbf-mape=%6.2f%%  linear-mape=%6.2f%%\n%!" name
+        (Emc_doe.Doe.log_det_information train.Dataset.x)
+        (Metrics.mape m.Model.predict d.Experiments.test)
+        (Metrics.mape lin.Model.predict d.Experiments.test))
+    designs;
+  Printf.printf "\n"
+
+let ablation_rbf (ctx : Experiments.ctx) =
+  Printf.printf "== Ablation: RBF kernel choice (test MAPE %%) ==\n";
+  Printf.printf "  %-14s %14s %14s %14s\n" "bench" "multiquadric" "gaussian" "inv-multiquad";
+  List.iter
+    (fun w ->
+      let d = Experiments.prepare ctx w in
+      let err k =
+        let m = Rbf.fit ~kernel:k d.Experiments.train in
+        Metrics.mape m.Model.predict d.Experiments.test
+      in
+      Printf.printf "  %-14s %14.2f %14.2f %14.2f\n%!" (Experiments.short_name w)
+        (err Rbf.Multiquadric) (err Rbf.Gaussian) (err Rbf.InverseMultiquadric))
+    Registry.all;
+  Printf.printf "\n"
+
+let ablation_smarts (ctx : Experiments.ctx) =
+  Printf.printf "== Ablation: SMARTS sampling vs full detailed simulation ==\n";
+  List.iter
+    (fun name ->
+      let w = Registry.find name in
+      let flags = Emc_opt.Flags.o2 in
+      let march = Emc_sim.Config.typical in
+      let prog = Measure.compile ctx.measure w flags ~issue_width:march.issue_width in
+      let arrays = w.Workload.arrays ~scale:ctx.scale.Scale.workload_scale ~variant:Workload.Train in
+      let setup = Measure.setup_func arrays in
+      let time f =
+        let t0 = Unix.gettimeofday () in
+        let r = f () in
+        (r, Unix.gettimeofday () -. t0)
+      in
+      let full, tf = time (fun () -> Emc_sim.Smarts.run_full march prog ~setup) in
+      let smp, ts = time (fun () -> Emc_sim.Smarts.run_sampled march prog ~setup) in
+      Printf.printf
+        "  %-10s full=%12.0fcy (%5.2fs)  sampled=%12.0fcy (%5.2fs, %d units, ci=%.3f) err=%+.2f%%\n%!"
+        name full.Emc_sim.Smarts.cycles tf smp.Emc_sim.Smarts.cycles ts
+        smp.Emc_sim.Smarts.sampled_units smp.Emc_sim.Smarts.ci_rel
+        (100.0 *. (smp.Emc_sim.Smarts.cycles -. full.Emc_sim.Smarts.cycles)
+         /. full.Emc_sim.Smarts.cycles))
+    [ "gzip"; "mcf"; "mesa" ];
+  Printf.printf "\n"
+
+let ablation_search (ctx : Experiments.ctx) =
+  Printf.printf "== Ablation: GA vs random search vs hill climbing (predicted cycles, typical) ==\n";
+  Printf.printf "  %-14s %14s %14s %14s\n" "bench" "GA" "random(2.4k)" "hill-climb";
+  List.iter
+    (fun w ->
+      let d = Experiments.prepare ctx w in
+      let m = Experiments.rbf_model d in
+      let march = Emc_sim.Config.typical in
+      let rng () = Emc_util.Rng.split ctx.rng in
+      let ga = Searcher.search ~params:ctx.scale.Scale.ga ~rng:(rng ()) ~model:m ~march () in
+      let rs = Searcher.search_random ~rng:(rng ()) ~model:m ~march ~evals:2400 () in
+      let hc = Searcher.search_hill_climb ~rng:(rng ()) ~model:m ~march ~restarts:3 () in
+      Printf.printf "  %-14s %14.0f %14.0f %14.0f\n%!" (Experiments.short_name w)
+        ga.Searcher.predicted_cycles rs.Searcher.predicted_cycles hc.Searcher.predicted_cycles)
+    Registry.all;
+  Printf.printf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one per table/figure kernel               *)
+
+let bechamel_suite (ctx : Experiments.ctx) =
+  hr "Bechamel micro-benchmarks (kernels behind each table/figure)";
+  let d = Experiments.prepare ctx (Registry.find "gzip") in
+  let train = d.Experiments.train and test = d.Experiments.test in
+  let rbf = Experiments.rbf_model d in
+  let march = Emc_sim.Config.typical in
+  let march_coded = Searcher.coded_march march in
+  let rng = Emc_util.Rng.create 17 in
+  let space = Params.space_all in
+  let candidates = Emc_doe.Doe.lhs rng space 200 in
+  let prog =
+    Measure.compile ctx.measure (Registry.find "gzip") Emc_opt.Flags.o2 ~issue_width:4
+  in
+  let arrays =
+    (Registry.find "gzip").Workload.arrays ~scale:0.05 ~variant:Workload.Train
+  in
+  let open Bechamel in
+  let tests =
+    [
+      (* Table 3 kernels: fitting each model family *)
+      Test.make ~name:"table3/fit-linear"
+        (Staged.stage (fun () -> ignore (Modeling.fit Modeling.Linear train)));
+      Test.make ~name:"table3/fit-rbf"
+        (Staged.stage (fun () -> ignore (Modeling.fit Modeling.Rbf train)));
+      (* Table 4 kernel: effect extraction *)
+      Test.make ~name:"table4/effects"
+        (Staged.stage (fun () ->
+             ignore
+               (Effects.top_effects rbf.Model.predict ~dims:Params.n_all
+                  ~names:(Params.names Params.all_specs))));
+      (* Figure 5/6 kernel: model evaluation over a test design *)
+      Test.make ~name:"fig5-6/predict-test-set"
+        (Staged.stage (fun () -> ignore (Metrics.mape rbf.Model.predict test)));
+      (* Table 6 / Figure 7 kernel: GA fitness evaluations *)
+      Test.make ~name:"table6/ga-fitness-x100"
+        (Staged.stage (fun () ->
+             for _ = 1 to 100 do
+               ignore
+                 (rbf.Model.predict
+                    (Array.append (Emc_doe.Doe.random_point rng Params.space_compiler) march_coded))
+             done));
+      (* §3 kernel: D-optimal exchange *)
+      Test.make ~name:"doe/d-optimal-n40"
+        (Staged.stage (fun () ->
+             ignore (Emc_doe.Doe.d_optimal ~sweeps:1 rng space ~n:40 ~candidates)));
+      (* measurement kernels: compilation and simulation *)
+      Test.make ~name:"measure/compile-O3"
+        (Staged.stage (fun () ->
+             let ir = Emc_lang.Minic.compile_exn (Registry.find "gzip").Workload.source in
+             let opt = Emc_opt.Pipeline.optimize ~issue_width:4 Emc_opt.Flags.o3 ir in
+             ignore
+               (Emc_codegen.Codegen.emit_program ~omit_frame_pointer:true opt)));
+      Test.make ~name:"measure/simulate-50k-instrs"
+        (Staged.stage (fun () ->
+             let ooo = Emc_sim.Ooo.create march prog in
+             Emc_core.Measure.setup_func arrays (Emc_sim.Ooo.func ooo);
+             Emc_sim.Ooo.run_detailed ooo ~instrs:50_000));
+    ]
+  in
+  let test = Test.make_grouped ~name:"emc" ~fmt:"%s %s" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "  %-34s %16s\n" "kernel" "ns/run";
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some (est :: _) -> Printf.printf "  %-34s %16.0f\n" name est
+      | _ -> Printf.printf "  %-34s %16s\n" name "n/a")
+    (List.sort compare rows);
+  Printf.printf "%!"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let t0 = Unix.gettimeofday () in
+  let ctx = Experiments.create () in
+  Printf.printf
+    "EMC reproduction harness — scale=%s (train=%d, test=%d, workload-scale=%.2f)\n%!"
+    ctx.scale.Scale.name ctx.scale.Scale.train_n ctx.scale.Scale.test_n
+    ctx.scale.Scale.workload_scale;
+  if not bechamel_only then begin
+    hr "Parameter space";
+    Experiments.print_parameters ();
+    Experiments.print_table5 ();
+    hr "Model accuracy (Tables 3-4, Figures 5-6)";
+    ignore (Experiments.table3 ctx);
+    ignore (Experiments.fig5 ctx);
+    ignore (Experiments.fig6 ctx);
+    ignore (Experiments.table4 ctx);
+    hr "Figure 3 (art: unroll x I-cache)";
+    ignore (Experiments.fig3 ctx);
+    hr "Model-based search (Table 6, Figure 7, Table 7)";
+    let t6 = Experiments.table6 ctx in
+    ignore (Experiments.fig7 ctx t6);
+    ignore (Experiments.table7 ctx t6);
+    hr "Ablations";
+    ablation_doe ctx;
+    ablation_rbf ctx;
+    ablation_smarts ctx;
+    ablation_search ctx
+  end;
+  if not no_bechamel then bechamel_suite ctx;
+  Printf.printf "\nTotal: %d simulator runs, %d compilations, %.1fs wall clock.\n"
+    ctx.measure.Measure.simulations ctx.measure.Measure.compiles
+    (Unix.gettimeofday () -. t0)

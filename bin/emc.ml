@@ -1,0 +1,240 @@
+(** [emc] — command-line front end for the reproduction.
+
+    Subcommands mirror the stages of the paper's methodology: [compile]
+    (inspect the compiler's output for a workload), [simulate] (one
+    measurement), [design] (generate a D-optimal experiment design), [model]
+    (build and evaluate empirical models), [search] (model-based search for
+    platform-specific settings, §6.3), and [experiment] (regenerate a
+    specific table/figure). *)
+
+open Cmdliner
+open Emc_core
+open Emc_workloads
+
+(* ---------------- shared arguments ---------------- *)
+
+let workload_arg =
+  let doc = "Workload: one of " ^ String.concat ", " Registry.names ^ " (short names ok)." in
+  Arg.(value & opt string "164.gzip" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let config_arg =
+  let doc = "Microarchitecture: constrained, typical or aggressive (Table 5)." in
+  Arg.(value & opt string "typical" & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let opt_level_arg =
+  let doc = "Optimization level: O0, O1, O2 or O3." in
+  Arg.(value & opt string "O2" & info [ "O"; "opt" ] ~docv:"LEVEL" ~doc)
+
+let scale_arg =
+  let doc = "Protocol scale: tiny, quick, medium or full." in
+  Arg.(value & opt string "quick" & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let parse_config = function
+  | "constrained" -> Emc_sim.Config.constrained
+  | "typical" -> Emc_sim.Config.typical
+  | "aggressive" -> Emc_sim.Config.aggressive
+  | s -> failwith ("unknown config: " ^ s)
+
+let parse_flags = function
+  | "O0" -> Emc_opt.Flags.o0
+  | "O1" -> Emc_opt.Flags.o1
+  | "O2" -> Emc_opt.Flags.o2
+  | "O3" -> Emc_opt.Flags.o3
+  | s -> failwith ("unknown optimization level: " ^ s)
+
+let parse_scale = function
+  | "tiny" -> Scale.tiny
+  | "quick" -> Scale.quick
+  | "medium" -> Scale.medium
+  | "full" | "paper" -> Scale.full
+  | s -> failwith ("unknown scale: " ^ s)
+
+(* ---------------- params ---------------- *)
+
+let params_cmd =
+  let run () =
+    Experiments.print_parameters ();
+    Experiments.print_table5 ()
+  in
+  Cmd.v (Cmd.info "params" ~doc:"Print the modeled parameter space (Tables 1, 2 and 5).")
+    Term.(const run $ const ())
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the optimized IR.")
+  in
+  let dump_asm =
+    Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the generated machine code.")
+  in
+  let run wname level dump_ir dump_asm =
+    let w = Registry.find wname in
+    let flags = parse_flags level in
+    let ir = Emc_lang.Minic.compile_exn w.Workload.source in
+    let before = Emc_ir.Ir.instr_count ir in
+    let opt = Emc_opt.Pipeline.optimize ~issue_width:4 flags ir in
+    let after = Emc_ir.Ir.instr_count opt in
+    let prog =
+      Emc_codegen.Codegen.emit_program ~omit_frame_pointer:flags.omit_frame_pointer opt
+    in
+    Printf.printf "%s at %s: IR %d -> %d instrs; machine code %d instrs (%d bytes)\n" w.name
+      level before after
+      (Array.length prog.Emc_isa.Isa.insts)
+      (4 * Array.length prog.Emc_isa.Isa.insts);
+    if dump_ir then print_string (Emc_ir.Ir.to_string opt);
+    if dump_asm then
+      Array.iteri
+        (fun i inst -> Format.printf "%5d: %a@." i Emc_isa.Isa.pp_inst inst)
+        prog.Emc_isa.Isa.insts
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a workload and report/dump the result.")
+    Term.(const run $ workload_arg $ opt_level_arg $ dump_ir $ dump_asm)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let full_detail =
+    Arg.(value & flag & info [ "full" ] ~doc:"Fully detailed simulation (no SMARTS sampling).")
+  in
+  let run wname level cname scale full_detail =
+    let w = Registry.find wname in
+    let flags = parse_flags level in
+    let march = parse_config cname in
+    let scale = parse_scale scale in
+    let m = Measure.create { scale with smarts = (if full_detail then None else scale.smarts) } in
+    let t0 = Unix.gettimeofday () in
+    let cycles = Measure.cycles m w ~variant:Workload.Train flags march in
+    Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall)\n" w.name level cname cycles
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Compile and simulate one workload/flags/microarch combination.")
+    Term.(const run $ workload_arg $ opt_level_arg $ config_arg $ scale_arg $ full_detail)
+
+(* ---------------- design ---------------- *)
+
+let design_cmd =
+  let n_arg = Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Design size.") in
+  let run n seed =
+    let rng = Emc_util.Rng.create seed in
+    let space = Params.space_all in
+    let design = Emc_doe.Doe.generate rng space ~n in
+    let rand = Emc_doe.Doe.random_design rng space n in
+    Printf.printf "D-optimal design, n=%d, log det(X'X) = %.3f (random baseline %.3f)\n" n
+      (Emc_doe.Doe.log_det_information design)
+      (Emc_doe.Doe.log_det_information rand);
+    Array.iteri
+      (fun i p ->
+        if i < 5 then begin
+          let raw = Params.decode Params.all_specs p in
+          let flags, march = Params.split_raw raw in
+          Printf.printf "  point %d: %s | %s\n" i (Emc_opt.Flags.to_string flags)
+            (Emc_sim.Config.to_string march)
+        end)
+      design;
+    if n > 5 then Printf.printf "  ... (%d more)\n" (n - 5)
+  in
+  Cmd.v (Cmd.info "design" ~doc:"Generate a D-optimal experiment design (paper, section 3).")
+    Term.(const run $ n_arg $ seed_arg)
+
+(* ---------------- model ---------------- *)
+
+let technique_arg =
+  let doc = "Model family: linear, mars or rbf." in
+  Arg.(value & opt string "rbf" & info [ "t"; "technique" ] ~docv:"TECH" ~doc)
+
+let parse_technique = function
+  | "linear" -> Modeling.Linear
+  | "mars" -> Modeling.Mars
+  | "rbf" -> Modeling.Rbf
+  | s -> failwith ("unknown technique: " ^ s)
+
+let model_cmd =
+  let run wname tname scale seed =
+    let w = Registry.find wname in
+    let scale = parse_scale scale in
+    let ctx = Experiments.create ~seed ~scale () in
+    let d = Experiments.prepare ctx w in
+    let technique = parse_technique tname in
+    let m = Experiments.model_of d technique in
+    Printf.printf "%s / %s: test MAPE = %.2f%% (%d params)\n" w.name
+      (Modeling.technique_name technique)
+      (Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test)
+      m.Emc_regress.Model.n_params;
+    let names = Params.names Params.all_specs in
+    let effects =
+      Emc_regress.Effects.top_effects m.Emc_regress.Model.predict ~dims:Params.n_all ~names
+    in
+    Printf.printf "strongest effects:\n";
+    List.iteri (fun i (n, e) -> if i < 10 then Printf.printf "  %-40s %+.4g\n" n e) effects
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Build an empirical model for a workload and report its accuracy.")
+    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg)
+
+(* ---------------- search ---------------- *)
+
+let search_cmd =
+  let validate =
+    Arg.(value & flag & info [ "validate" ] ~doc:"Also measure the prescribed settings.")
+  in
+  let run wname cname scale seed validate =
+    let w = Registry.find wname in
+    let march = parse_config cname in
+    let scale = parse_scale scale in
+    let ctx = Experiments.create ~seed ~scale () in
+    let d = Experiments.prepare ctx w in
+    let m = Experiments.rbf_model d in
+    let r = Searcher.search ~params:scale.Scale.ga ~rng:(Emc_util.Rng.create (seed + 1)) ~model:m ~march () in
+    Printf.printf "%s on %s:\n  prescribed: %s\n  predicted cycles: %.0f\n" w.name cname
+      (Emc_opt.Flags.to_string r.Searcher.flags)
+      r.Searcher.predicted_cycles;
+    if validate then begin
+      let o2 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
+      let best = Measure.cycles ctx.measure w ~variant:Workload.Train r.Searcher.flags march in
+      Printf.printf "  measured: O2=%.0f prescribed=%.0f actual speedup=%+.2f%%\n" o2 best
+        ((o2 /. best -. 1.0) *. 100.0)
+    end
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
+    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ validate)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let which_arg =
+    Arg.(value & pos 0 string "table3"
+         & info [] ~docv:"EXP" ~doc:"One of: table3 table4 table5 table6 table7 fig3 fig5 fig6 fig7.")
+  in
+  let run which scale seed =
+    let scale = parse_scale scale in
+    let ctx = Experiments.create ~seed ~scale () in
+    match which with
+    | "table3" -> ignore (Experiments.table3 ctx)
+    | "table4" -> ignore (Experiments.table4 ctx)
+    | "table5" -> Experiments.print_table5 ()
+    | "table6" -> ignore (Experiments.table6 ctx)
+    | "table7" -> ignore (Experiments.table7 ctx (Experiments.table6 ctx))
+    | "fig3" -> ignore (Experiments.fig3 ctx)
+    | "fig5" -> ignore (Experiments.fig5 ctx)
+    | "fig6" -> ignore (Experiments.fig6 ctx)
+    | "fig7" -> ignore (Experiments.fig7 ctx (Experiments.table6 ctx))
+    | s -> failwith ("unknown experiment: " ^ s)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure from the paper.")
+    Term.(const run $ which_arg $ scale_arg $ seed_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info = Cmd.info "emc" ~version:"1.0.0"
+      ~doc:"Microarchitecture-sensitive empirical models for compiler optimizations (CGO'07 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group ~default info
+    [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; search_cmd; experiment_cmd ]))

@@ -1,0 +1,41 @@
+(** Autotune: the paper's §6.3 scenario end to end.
+
+    "It is conceivable that an empirical model (developed offline for all
+    platforms) can be packaged with a program's compilation system. When the
+    program is installed on a specific platform, the empirical model could
+    be parametrized with the platform's configuration and used to search for
+    the optimal optimization flags and heuristic settings."
+
+    This example builds the model for one program, freezes the
+    microarchitecture to each of the paper's three target platforms, runs
+    the genetic-algorithm search over the 14 compiler parameters, and
+    validates the prescribed settings against real simulation, reporting
+    speedup over -O2 (the paper's Figure 7).
+
+    Run with: [dune exec examples/autotune.exe [workload]] *)
+
+open Emc_core
+open Emc_workloads
+
+let () =
+  let wname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "vortex" in
+  let workload = Registry.find wname in
+  let ctx = Experiments.create ~scale:Scale.tiny () in
+  Printf.printf "building empirical model for %s...\n%!" workload.name;
+  let d = Experiments.prepare ctx workload in
+  let model = Experiments.rbf_model d in
+  List.iter
+    (fun (cname, march) ->
+      let r =
+        Searcher.search ~params:ctx.scale.Scale.ga ~rng:(Emc_util.Rng.split ctx.rng)
+          ~model ~march ()
+      in
+      let o2 = Measure.cycles ctx.measure workload ~variant:Workload.Train Emc_opt.Flags.o2 march in
+      let o3 = Measure.cycles ctx.measure workload ~variant:Workload.Train Emc_opt.Flags.o3 march in
+      let best = Measure.cycles ctx.measure workload ~variant:Workload.Train r.Searcher.flags march in
+      Printf.printf "\n%s (%s)\n" cname (Emc_sim.Config.to_string march);
+      Printf.printf "  prescribed: %s\n" (Emc_opt.Flags.to_string r.Searcher.flags);
+      Printf.printf "  -O2 %.0f cy | -O3 %+.2f%% | prescribed %+.2f%% over -O2\n%!" o2
+        ((o2 /. o3 -. 1.0) *. 100.0)
+        ((o2 /. best -. 1.0) *. 100.0))
+    Experiments.configs

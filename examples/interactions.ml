@@ -1,0 +1,56 @@
+(** Interactions: the interpretive use of the models (paper §6.2, Table 4).
+
+    MARS models can be read as a sum of named terms; the paper reports, for
+    each program, the coefficients of the significant parameters and
+    two-factor interactions — "the coefficient value is one-half the change
+    in execution time caused by changing the variable(s) from their low to
+    high value". This example builds the MARS model for a memory-bound
+    program and prints those effects, separating microarchitectural
+    parameters, compiler parameters, and cross interactions — the compiler ×
+    hardware interactions are the paper's motivating object of study.
+
+    Run with: [dune exec examples/interactions.exe [workload]] *)
+
+open Emc_core
+open Emc_workloads
+open Emc_regress
+
+let () =
+  let wname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mcf" in
+  let workload = Registry.find wname in
+  let ctx = Experiments.create ~scale:Scale.tiny () in
+  Printf.printf "building MARS model for %s...\n%!" workload.name;
+  let d = Experiments.prepare ctx workload in
+  let mars = Experiments.model_of d Modeling.Mars in
+  let dims = Params.n_all in
+  let names = Params.names Params.all_specs in
+  Printf.printf "\nMARS basis functions (%d terms):\n" (List.length mars.Model.terms);
+  List.iter (fun (n, c) -> Printf.printf "  %+12.4g * %s\n" c n) mars.Model.terms;
+
+  let is_compiler name =
+    Array.exists (fun s -> s.Params.name = name) Params.compiler_specs
+  in
+  let mains = Effects.main_effects mars.Model.predict ~dims in
+  let inters = Effects.interaction_effects mars.Model.predict ~dims in
+  let const = Effects.constant mars.Model.predict ~dims in
+  Printf.printf "\nconstant (center of the space): %.4g cycles\n" const;
+  Printf.printf "\nmain effects (cycles, low -> high / 2):\n";
+  Array.iteri
+    (fun i e ->
+      if Float.abs e > Float.abs const *. 0.001 then
+        Printf.printf "  %-24s %+12.4g   [%s]\n" names.(i) e
+          (if is_compiler names.(i) then "compiler" else "microarch"))
+    mains;
+  Printf.printf "\ntwo-factor interactions above threshold:\n";
+  List.iter
+    (fun (i, j, e) ->
+      if Float.abs e > Float.abs const *. 0.002 then begin
+        let kind =
+          match (is_compiler names.(i), is_compiler names.(j)) with
+          | true, true -> "compiler x compiler"
+          | false, false -> "microarch x microarch"
+          | _ -> "compiler x MICROARCH  <- the paper's focus"
+        in
+        Printf.printf "  %-20s * %-20s %+12.4g   [%s]\n" names.(i) names.(j) e kind
+      end)
+    inters

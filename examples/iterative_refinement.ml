@@ -1,0 +1,40 @@
+(** Iterative refinement: the paper's Figure-1 loop run explicitly.
+
+    "Repeat steps 3 and 4 until a model with desired accuracy is obtained
+    ... empirical models with a desired level of accuracy can be built
+    simply by collecting more data." D-optimal designs are extensible, so
+    each round augments the previous design rather than starting over.
+
+    This example grows a training design in fixed steps until the RBF
+    model's error on an independent test design drops below a target (or a
+    budget is hit) and prints the error trajectory — the programmatic form
+    of the learning curves in Figure 5.
+
+    Run with: [dune exec examples/iterative_refinement.exe [workload]] *)
+
+open Emc_core
+open Emc_workloads
+
+let () =
+  let wname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "bzip2" in
+  let w = Registry.find wname in
+  let scale = { Scale.tiny with workload_scale = 0.1 } in
+  let measure = Measure.create scale in
+  let rng = Emc_util.Rng.create 31 in
+  (* independent test design, measured once *)
+  let test_pts = Emc_doe.Doe.lhs rng Params.space_all 16 in
+  let test = Modeling.build_dataset measure w ~variant:Workload.Train test_pts in
+  Printf.printf "refining an RBF model for %s until error <= 8%% (or 96 points)...\n%!" w.name;
+  let model, trajectory =
+    Modeling.iterate ~step:24 ~target_error:8.0 ~max_n:96 ~rng ~measure ~workload:w
+      ~variant:Workload.Train ~technique:Modeling.Rbf ~test ()
+  in
+  List.iter
+    (fun (n, err) -> Printf.printf "  n=%3d  test MAPE = %5.2f%%\n" n err)
+    trajectory;
+  let final_n, final_err = List.nth trajectory (List.length trajectory - 1) in
+  Printf.printf "\nstopped at n=%d with %.2f%% error (%d simulations incl. the test design)\n"
+    final_n final_err measure.Measure.simulations;
+  (* the refined model in use: predict -O3 on the typical machine *)
+  let coded = Params.code Params.all_specs (Params.raw_of Emc_opt.Flags.o3 Emc_sim.Config.typical) in
+  Printf.printf "model(-O3, typical) = %.0f predicted cycles\n" (model.Emc_regress.Model.predict coded)

@@ -1,0 +1,52 @@
+(** Power model: the paper's §2.2 remark made concrete — "models can also be
+    built for other metrics such as power consumption or code size".
+
+    The same Figure-1 pipeline (D-optimal design → measure → fit → validate)
+    is run three times against three different responses of the very same
+    simulations: execution time, an abstract Wattch-style energy estimate,
+    and static code size. Because the measurement layer memoizes all three
+    responses per simulation, the two extra models come almost for free.
+    The example then contrasts what each model considers the most influential
+    parameter — performance and power do not agree.
+
+    Run with: [dune exec examples/power_model.exe [workload]] *)
+
+open Emc_core
+open Emc_workloads
+open Emc_regress
+
+let () =
+  let wname = if Array.length Sys.argv > 1 then Sys.argv.(1) else "art" in
+  let w = Registry.find wname in
+  let scale = { Scale.tiny with workload_scale = 0.1 } in
+  let measure = Measure.create scale in
+  let rng = Emc_util.Rng.create 21 in
+  let space = Params.space_all in
+  let train_pts = Emc_doe.Doe.generate rng space ~n:scale.Scale.train_n in
+  let test_pts = Emc_doe.Doe.lhs rng space scale.Scale.test_n in
+  let build response =
+    let measure_at pts =
+      Dataset.create (Array.map Array.copy pts)
+        (Array.map
+           (fun p -> Measure.respond_coded ~response measure w ~variant:Workload.Train p)
+           pts)
+    in
+    let train = measure_at train_pts in
+    let test = measure_at test_pts in
+    let model = Modeling.fit Modeling.Rbf train in
+    (model, Metrics.mape model.Model.predict test)
+  in
+  Printf.printf "building cycles / energy / code-size models for %s (%d+%d points)...\n%!"
+    w.name scale.Scale.train_n scale.Scale.test_n;
+  let names = Params.names Params.all_specs in
+  List.iter
+    (fun response ->
+      let model, err = build response in
+      let effects = Effects.top_effects model.Model.predict ~dims:Params.n_all ~names in
+      Printf.printf "\n%-10s: test MAPE %.2f%%; strongest effects:\n"
+        (Measure.response_name response) err;
+      List.iteri (fun i (n, e) -> if i < 5 then Printf.printf "   %-36s %+.4g\n" n e) effects)
+    [ Measure.Cycles; Measure.Energy; Measure.CodeSize ];
+  Printf.printf
+    "\n(%d simulations total — each one produced all three responses)\n"
+    measure.Measure.simulations

@@ -1,0 +1,56 @@
+(** Quickstart: build an empirical performance model for one program and use
+    it to predict execution time at configurations it has never seen.
+
+    This walks the paper's Figure-1 loop explicitly — the same thing
+    [Emc_core.Experiments.prepare] automates:
+
+    1. pick predictor variables (the 25 parameters of Tables 1 & 2),
+    2. select design points with a D-optimal design,
+    3. measure the response (cycles) at each point by compiling the program
+       and simulating it,
+    4. fit a model (RBF network here),
+    5. check its error on an independent test design.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+open Emc_core
+open Emc_workloads
+
+let () =
+  let rng = Emc_util.Rng.create 1 in
+  (* gzip at a small input scale so this demo runs in ~a minute *)
+  let workload = Registry.find "gzip" in
+  let measure = Measure.create { Scale.tiny with workload_scale = 0.1 } in
+
+  (* Step 2: a 48-point D-optimal training design over the coded space.
+     Each point assigns values to all 14 compiler + 11 microarch params. *)
+  let space = Params.space_all in
+  let train_points = Emc_doe.Doe.generate rng space ~n:48 in
+  Printf.printf "design of %d points, log det(X'X) = %.2f\n%!"
+    (Array.length train_points)
+    (Emc_doe.Doe.log_det_information train_points);
+
+  (* Step 3: measure cycles at each design point (compile + simulate). *)
+  let t0 = Unix.gettimeofday () in
+  let train = Modeling.build_dataset measure workload ~variant:Workload.Train train_points in
+  Printf.printf "measured %d configurations in %.1fs\n%!" (Array.length train_points)
+    (Unix.gettimeofday () -. t0);
+
+  (* Step 4: fit an RBF network (the paper's most accurate family). *)
+  let model = Modeling.fit Modeling.Rbf train in
+
+  (* Step 5: evaluate on an independent 16-point test design. *)
+  let test_points = Emc_doe.Doe.lhs rng space 16 in
+  let test = Modeling.build_dataset measure workload ~variant:Workload.Train test_points in
+  Printf.printf "test MAPE: %.2f%%\n\n" (Emc_regress.Metrics.mape model.predict test);
+
+  (* The model now predicts performance at arbitrary configurations at
+     essentially zero cost. Compare a prediction against a real simulation: *)
+  let flags = { Emc_opt.Flags.o2 with inline_functions = true } in
+  let march = Emc_sim.Config.typical in
+  let coded = Params.code Params.all_specs (Params.raw_of flags march) in
+  let predicted = model.predict coded in
+  let actual = Measure.cycles measure workload ~variant:Workload.Train flags march in
+  Printf.printf "O2+inlining on the typical machine:\n";
+  Printf.printf "  predicted %.0f cycles, measured %.0f cycles (%.1f%% off)\n" predicted actual
+    (100.0 *. Float.abs (predicted -. actual) /. actual)

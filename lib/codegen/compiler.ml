@@ -1,0 +1,17 @@
+(** One-call compiler driver: IR optimization pipeline (Table-1 flags), code
+    generation, and post-register-allocation scheduling (the second half of
+    -fschedule-insns2), parameterized by the machine description implied by
+    the target's issue width — the paper's "one gcc build per functional-unit
+    configuration". *)
+
+let compile ?(issue_width = 4) (flags : Emc_opt.Flags.t) (ir : Emc_ir.Ir.program) :
+    Emc_isa.Isa.program =
+  let opt = Emc_opt.Pipeline.optimize ~issue_width flags ir in
+  let prog = Codegen.emit_program ~omit_frame_pointer:flags.omit_frame_pointer opt in
+  if flags.schedule_insns2 then
+    Postsched.run (Emc_isa.Isa.machine_for_width issue_width) prog
+  else prog
+
+(** Compile MiniC source text directly. *)
+let compile_source ?issue_width flags src =
+  compile ?issue_width flags (Emc_lang.Minic.compile_exn src)

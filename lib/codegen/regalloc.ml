@@ -1,0 +1,179 @@
+open Emc_ir
+open Emc_isa
+
+(** Linear-scan register allocation over the linearized function.
+
+    Virtual registers get either a physical register or a stack slot.
+    Values live across a call must take callee-saved registers (argument and
+    result moves clobber the caller-saved file); others prefer caller-saved.
+    When both pools are dry the interval with the furthest end point is
+    spilled. Reserved registers (scratch, SP, RA, return regs and — unless
+    -fomit-frame-pointer — the frame pointer) never enter the pools. *)
+
+type loc = Preg of int | Slot of int
+
+type t = {
+  loc_of : loc array;  (** indexed by vreg *)
+  n_slots : int;
+  used_callee_saved : int list;  (** physical registers needing save/restore *)
+}
+
+type interval = {
+  vreg : int;
+  start : int;
+  stop : int;
+  crosses_call : bool;
+  is_fp : bool;
+  mutable assigned : loc;
+}
+
+(* Build live intervals from block-level liveness plus instruction positions. *)
+let intervals (f : Ir.func) =
+  let live = Liveness.compute f in
+  let starts = Hashtbl.create 64 and stops = Hashtbl.create 64 in
+  let extend v p =
+    (match Hashtbl.find_opt starts v with
+    | Some s when s <= p -> ()
+    | _ -> Hashtbl.replace starts v p);
+    match Hashtbl.find_opt stops v with
+    | Some s when s >= p -> ()
+    | _ -> Hashtbl.replace stops v p
+  in
+  (* Instructions occupy even positions; block-entry liveness extends ranges
+     to the odd position just before the block's first instruction (and
+     parameters to -1). This keeps interval starts that merely mean "live
+     here already" strictly before any call at the block's first slot, so
+     the crosses-a-call test below can use strict comparison without missing
+     parameters or loop-carried values. *)
+  let call_positions = ref [] in
+  let pos = ref 0 in
+  List.iter (fun p -> extend p (-1)) f.Ir.params;
+  List.iter
+    (fun l ->
+      let b = f.blocks.(l) in
+      let bstart = (2 * !pos) - 1 in
+      Liveness.IntSet.iter (fun v -> extend v bstart) live.live_in.(l);
+      List.iter
+        (fun i ->
+          (match i with Ir.Call _ -> call_positions := (2 * !pos) :: !call_positions | _ -> ());
+          List.iter (fun v -> extend v (2 * !pos)) (Ir.uses_of i);
+          (match Ir.def_of i with Some d -> extend d (2 * !pos) | None -> ());
+          incr pos)
+        b.instrs;
+      List.iter (fun v -> extend v (2 * !pos)) (Ir.term_uses b.term);
+      incr pos;
+      let bend = (2 * (!pos - 1)) + 1 in
+      Liveness.IntSet.iter (fun v -> extend v bend) live.live_out.(l);
+      (* values live into the block were live from its start *)
+      Liveness.IntSet.iter (fun v -> extend v bstart) live.live_out.(l))
+    f.layout;
+  let calls = List.sort compare !call_positions in
+  let ivs = ref [] in
+  Hashtbl.iter
+    (fun v s ->
+      let e = Hashtbl.find stops v in
+      let crosses = List.exists (fun c -> s < c && c < e) calls in
+      ivs :=
+        { vreg = v; start = s; stop = e; crosses_call = crosses;
+          is_fp = Ir.reg_type f v = Ir.F64; assigned = Slot (-1) }
+        :: !ivs)
+    starts;
+  List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg)) !ivs
+
+let allocate ~omit_frame_pointer (f : Ir.func) : t =
+  let ivs = intervals f in
+  let int_callee =
+    if omit_frame_pointer then Isa.int_callee_saved @ [ Isa.r_fp ] else Isa.int_callee_saved
+  in
+  (* caller pools exclude scratch/abi-reserved regs (already excluded by the
+     Isa pool definitions: r1..r15 / f1..f15) *)
+  let free_int_caller = ref Isa.int_caller_saved in
+  let free_int_callee = ref int_callee in
+  let free_fp_caller = ref Isa.fp_caller_saved in
+  let free_fp_callee = ref Isa.fp_callee_saved in
+  let used_callee = ref [] in
+  let next_slot = ref 0 in
+  let active : interval list ref = ref [] in
+  let release r is_fp =
+    if is_fp then
+      if List.mem r Isa.fp_callee_saved then free_fp_callee := r :: !free_fp_callee
+      else free_fp_caller := r :: !free_fp_caller
+    else if List.mem r int_callee then free_int_callee := r :: !free_int_callee
+    else free_int_caller := r :: !free_int_caller
+  in
+  let take_from pool =
+    match !pool with
+    | [] -> None
+    | r :: rest ->
+        pool := rest;
+        Some r
+  in
+  let alloc_reg iv =
+    let primary, secondary =
+      match (iv.is_fp, iv.crosses_call) with
+      | false, true -> (free_int_callee, None)
+      | false, false -> (free_int_caller, Some free_int_callee)
+      | true, true -> (free_fp_callee, None)
+      | true, false -> (free_fp_caller, Some free_fp_callee)
+    in
+    match take_from primary with
+    | Some r -> Some r
+    | None -> ( match secondary with Some s -> take_from s | None -> None)
+  in
+  let spill_slot () =
+    let s = !next_slot in
+    incr next_slot;
+    Slot s
+  in
+  List.iter
+    (fun iv ->
+      (* expire *)
+      active :=
+        List.filter
+          (fun a ->
+            if a.stop < iv.start then begin
+              (match a.assigned with Preg r -> release r a.is_fp | Slot _ -> ());
+              false
+            end
+            else true)
+          !active;
+      match alloc_reg iv with
+      | Some r ->
+          iv.assigned <- Preg r;
+          if List.mem r int_callee || List.mem r Isa.fp_callee_saved then
+            if not (List.mem r !used_callee) then used_callee := r :: !used_callee;
+          active := iv :: !active
+      | None ->
+          (* steal from the active interval (same class & call-compatibility)
+             with the furthest end, if it outlives us *)
+          let compatible a =
+            a.is_fp = iv.is_fp
+            && (match a.assigned with Preg r ->
+                  (* a register works for us if we don't cross calls, or it
+                     is callee-saved *)
+                  (not iv.crosses_call)
+                  || List.mem r int_callee
+                  || List.mem r Isa.fp_callee_saved
+               | Slot _ -> false)
+          in
+          let victim =
+            List.fold_left
+              (fun acc a ->
+                if compatible a then
+                  match acc with
+                  | Some v when v.stop >= a.stop -> acc
+                  | _ -> Some a
+                else acc)
+              None !active
+          in
+          (match victim with
+          | Some v when v.stop > iv.stop ->
+              let r = match v.assigned with Preg r -> r | Slot _ -> assert false in
+              v.assigned <- spill_slot ();
+              iv.assigned <- Preg r;
+              active := iv :: List.filter (fun a -> a != v) !active
+          | _ -> iv.assigned <- spill_slot ()))
+    ivs;
+  let loc_of = Array.make f.Ir.next_reg (Slot (-1)) in
+  List.iter (fun iv -> loc_of.(iv.vreg) <- iv.assigned) ivs;
+  { loc_of; n_slots = !next_slot; used_callee_saved = List.sort compare !used_callee }

@@ -1,0 +1,62 @@
+(** The measurement substrate of the paper's Figure-1 loop: compile the
+    workload at a design point's compiler settings (with the machine
+    description matching its issue width, as the paper did by building one
+    gcc per functional-unit configuration), simulate it on the design
+    point's microarchitecture, and return the response. Binaries and results
+    are memoized — designs repeat corner points and searches revisit
+    configurations. *)
+
+type t = {
+  scale : Scale.t;
+  binaries : (string, Emc_isa.Isa.program) Hashtbl.t;
+  results : (string, float) Hashtbl.t;
+  mutable simulations : int;  (** simulator runs actually executed *)
+  mutable compiles : int;  (** distinct binaries built *)
+}
+
+val create : Scale.t -> t
+
+val compile :
+  t -> Emc_workloads.Workload.t -> Emc_opt.Flags.t -> issue_width:int -> Emc_isa.Isa.program
+(** Memoized compilation of a workload at given flags/machine width. *)
+
+val setup_func : (string * Emc_workloads.Workload.data) list -> Emc_sim.Func.t -> unit
+(** Write a workload's input arrays into a functional simulator's memory. *)
+
+(** Which system response to model: the paper's evaluation uses execution
+    time; §2.2 notes power and code size fit the same machinery. One
+    simulation produces all three (they are memoized together). *)
+type response = Cycles | Energy | CodeSize
+
+val response_name : response -> string
+
+val respond :
+  ?response:response ->
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  Emc_opt.Flags.t ->
+  Emc_sim.Config.t ->
+  float
+
+val cycles :
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  Emc_opt.Flags.t ->
+  Emc_sim.Config.t ->
+  float
+(** [respond ~response:Cycles]. *)
+
+val cycles_coded :
+  t -> Emc_workloads.Workload.t -> variant:Emc_workloads.Workload.variant -> float array -> float
+(** Measure at a coded 25-dimensional design point (decoded and snapped to
+    the parameter grid first). *)
+
+val respond_coded :
+  ?response:response ->
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  float array ->
+  float

@@ -1,0 +1,41 @@
+(** Empirical model construction — the iterative process of the paper's
+    Figure 1: select design points, measure the response at each, fit a
+    model, estimate its error on independent data, and iterate with an
+    augmented design until the accuracy target or budget is reached. *)
+
+type technique = Linear | Mars | Rbf
+
+val technique_name : technique -> string
+
+val all_techniques : technique list
+(** The paper's three families, in Table-3 column order. *)
+
+val fit : ?names:string array -> technique -> Emc_regress.Dataset.t -> Emc_regress.Model.t
+(** Fit one family. Predictions are clamped to a widened envelope of the
+    training responses: identical behaviour on/near the data, bounded
+    output in the extrapolation regions at the edge of the design space
+    (where the paper reports its own models lose accuracy). *)
+
+val build_dataset :
+  Measure.t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  float array array ->
+  Emc_regress.Dataset.t
+(** Measure the response at every point of a coded design. *)
+
+val iterate :
+  ?step:int ->
+  ?target_error:float ->
+  ?max_n:int ->
+  rng:Emc_util.Rng.t ->
+  measure:Measure.t ->
+  workload:Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  technique:technique ->
+  test:Emc_regress.Dataset.t ->
+  unit ->
+  Emc_regress.Model.t * (int * float) list
+(** The Figure-1 loop: grow the training design by [step] D-optimal points
+    per round until the test MAPE reaches [target_error] or [max_n] points;
+    returns the final model and the (size, error) trajectory. *)

@@ -1,0 +1,155 @@
+open Emc_util
+
+(** The modeled parameter space: the paper's Table 1 (14 compiler flags and
+    heuristics) followed by Table 2 (11 microarchitectural parameters) — 25
+    predictor variables in all. Power-of-two parameters are log2-transformed
+    before the affine map onto the coded [-1,1] range (the "*" rows of
+    Table 2); everything is snapped back onto its admissible levels when
+    decoding. *)
+
+type spec = {
+  name : string;
+  levels : float array;  (** admissible raw values, ascending *)
+  log2 : bool;  (** log-transform before coding *)
+}
+
+let flag name = { name; levels = [| 0.0; 1.0 |]; log2 = false }
+
+let steps lo hi n =
+  Array.init n (fun i -> lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)))
+
+let pow2s lo n = Array.init n (fun i -> lo *. (2.0 ** float_of_int i))
+
+(* Table 1 *)
+let compiler_specs =
+  [|
+    flag "inline-functions";          (* 1 *)
+    flag "unroll-loops";              (* 2 *)
+    flag "schedule-insns2";           (* 3 *)
+    flag "loop-optimize";             (* 4 *)
+    flag "gcse";                      (* 5 *)
+    flag "strength-reduce";           (* 6 *)
+    flag "omit-frame-pointer";        (* 7 *)
+    flag "reorder-blocks";            (* 8 *)
+    flag "prefetch-loop-arrays";      (* 9 *)
+    { name = "max-inline-insns"; levels = steps 50.0 150.0 11; log2 = false };   (* 10 *)
+    { name = "inline-unit-growth"; levels = steps 25.0 75.0 11; log2 = false };  (* 11 *)
+    { name = "inline-call-cost"; levels = steps 12.0 20.0 9; log2 = false };     (* 12 *)
+    { name = "max-unroll-times"; levels = steps 4.0 12.0 9; log2 = false };      (* 13 *)
+    { name = "max-unrolled-insns"; levels = steps 100.0 300.0 21; log2 = false };(* 14 *)
+  |]
+
+(* Table 2 *)
+let march_specs =
+  [|
+    { name = "issue-width"; levels = [| 2.0; 4.0 |]; log2 = true };              (* 15 *)
+    { name = "bpred-size"; levels = pow2s 512.0 5; log2 = true };                (* 16 *)
+    { name = "ruu-size"; levels = pow2s 16.0 4; log2 = true };                   (* 17 *)
+    { name = "il1-size"; levels = pow2s 8.0 5; log2 = true };                    (* 18, KB *)
+    { name = "dl1-size"; levels = pow2s 8.0 5; log2 = true };                    (* 19, KB *)
+    { name = "dl1-assoc"; levels = [| 1.0; 2.0 |]; log2 = false };               (* 20 *)
+    { name = "dl1-latency"; levels = steps 1.0 3.0 3; log2 = false };            (* 21 *)
+    { name = "ul2-size"; levels = pow2s 256.0 6; log2 = true };                  (* 22, KB *)
+    { name = "ul2-assoc"; levels = pow2s 1.0 4; log2 = true };                   (* 23 *)
+    { name = "ul2-latency"; levels = steps 6.0 16.0 11; log2 = false };          (* 24 *)
+    { name = "memory-latency"; levels = steps 50.0 150.0 21; log2 = false };     (* 25 *)
+  |]
+
+let all_specs = Array.append compiler_specs march_specs
+
+let n_compiler = Array.length compiler_specs
+let n_march = Array.length march_specs
+let n_all = n_compiler + n_march
+
+let names specs = Array.map (fun s -> s.name) specs
+
+(* ---------------- coding ---------------- *)
+
+let transform s v = if s.log2 then Transform.log2 v else v
+
+let code_one s v =
+  let lo = transform s s.levels.(0) and hi = transform s s.levels.(Array.length s.levels - 1) in
+  if hi = lo then 0.0 else Transform.to_unit ~lo ~hi (transform s v)
+
+let decode_one s u =
+  let lo = transform s s.levels.(0) and hi = transform s s.levels.(Array.length s.levels - 1) in
+  let raw = Transform.of_unit ~lo ~hi u in
+  let raw = if s.log2 then 2.0 ** raw else raw in
+  Transform.round_to_levels ~levels:s.levels raw
+
+let code specs raw = Array.mapi (fun i v -> code_one specs.(i) v) raw
+let decode specs coded = Array.mapi (fun i u -> decode_one specs.(i) u) coded
+
+(** Coded admissible levels per dimension — the DoE/GA grid. *)
+let coded_levels specs = Array.map (fun s -> Array.map (code_one s) s.levels) specs
+
+let space_all = { Emc_doe.Doe.names = names all_specs; levels = coded_levels all_specs }
+let space_compiler = { Emc_doe.Doe.names = names compiler_specs; levels = coded_levels compiler_specs }
+
+(* ---------------- conversions ---------------- *)
+
+let to_flags (raw : float array) : Emc_opt.Flags.t =
+  let b i = raw.(i) >= 0.5 in
+  let v i = int_of_float (Float.round raw.(i)) in
+  {
+    Emc_opt.Flags.inline_functions = b 0;
+    unroll_loops = b 1;
+    schedule_insns2 = b 2;
+    loop_optimize = b 3;
+    gcse = b 4;
+    strength_reduce = b 5;
+    omit_frame_pointer = b 6;
+    reorder_blocks = b 7;
+    prefetch_loop_arrays = b 8;
+    max_inline_insns_auto = v 9;
+    inline_unit_growth = v 10;
+    inline_call_cost = v 11;
+    max_unroll_times = v 12;
+    max_unrolled_insns = v 13;
+  }
+
+let of_flags (f : Emc_opt.Flags.t) : float array =
+  let b v = if v then 1.0 else 0.0 in
+  [|
+    b f.inline_functions; b f.unroll_loops; b f.schedule_insns2; b f.loop_optimize; b f.gcse;
+    b f.strength_reduce; b f.omit_frame_pointer; b f.reorder_blocks; b f.prefetch_loop_arrays;
+    float_of_int f.max_inline_insns_auto; float_of_int f.inline_unit_growth;
+    float_of_int f.inline_call_cost; float_of_int f.max_unroll_times;
+    float_of_int f.max_unrolled_insns;
+  |]
+
+let to_march (raw : float array) : Emc_sim.Config.t =
+  let v i = int_of_float (Float.round raw.(n_compiler + i)) in
+  {
+    Emc_sim.Config.issue_width = v 0;
+    bpred_size = v 1;
+    ruu_size = v 2;
+    icache_kb = v 3;
+    dcache_kb = v 4;
+    dcache_assoc = v 5;
+    dcache_lat = v 6;
+    l2_kb = v 7;
+    l2_assoc = v 8;
+    l2_lat = v 9;
+    mem_lat = v 10;
+  }
+
+let of_march (c : Emc_sim.Config.t) : float array =
+  [|
+    float_of_int c.issue_width; float_of_int c.bpred_size; float_of_int c.ruu_size;
+    float_of_int c.icache_kb; float_of_int c.dcache_kb; float_of_int c.dcache_assoc;
+    float_of_int c.dcache_lat; float_of_int c.l2_kb; float_of_int c.l2_assoc;
+    float_of_int c.l2_lat; float_of_int c.mem_lat;
+  |]
+
+(** Raw 25-vector from a flags/march pair. *)
+let raw_of (flags : Emc_opt.Flags.t) (march : Emc_sim.Config.t) =
+  Array.append (of_flags flags) (of_march march)
+
+(** Split a raw 25-vector back into flags and march. *)
+let split_raw (raw : float array) = (to_flags raw, to_march raw)
+
+(** Snap a coded point onto admissible levels and return (flags, march). *)
+let configs_of_coded (coded : float array) =
+  let raw = decode all_specs coded in
+  split_raw raw

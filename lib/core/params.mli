@@ -1,0 +1,71 @@
+(** The modeled parameter space: the paper's Table 1 (14 compiler flags and
+    heuristics) followed by Table 2 (11 microarchitectural parameters) — 25
+    predictor variables. Power-of-two parameters are log2-transformed before
+    the affine map onto the coded [-1,1] range (Table 2's "*" rows), and
+    decoding snaps back onto the admissible levels. *)
+
+type spec = {
+  name : string;
+  levels : float array;  (** admissible raw values, ascending *)
+  log2 : bool;  (** log-transform before coding *)
+}
+
+val compiler_specs : spec array
+(** Table 1, in order: the 9 binary flags then the 5 numeric heuristics. *)
+
+val march_specs : spec array
+(** Table 2, in order (#15–#25). *)
+
+val all_specs : spec array
+(** [compiler_specs] followed by [march_specs]. *)
+
+val n_compiler : int
+(** 14 *)
+
+val n_march : int
+(** 11 *)
+
+val n_all : int
+(** 25 *)
+
+val names : spec array -> string array
+
+(** {2 Coding} *)
+
+val code_one : spec -> float -> float
+(** Raw value to coded [-1,1]. *)
+
+val decode_one : spec -> float -> float
+(** Coded value back to the nearest admissible raw level. *)
+
+val code : spec array -> float array -> float array
+val decode : spec array -> float array -> float array
+
+val coded_levels : spec array -> float array array
+(** The coded grid per dimension — what DoE and the GA enumerate. *)
+
+val space_all : Emc_doe.Doe.space
+(** All 25 dimensions (model building). *)
+
+val space_compiler : Emc_doe.Doe.space
+(** The 14 compiler dimensions (model-based search with march frozen). *)
+
+(** {2 Conversions to concrete configurations} *)
+
+val to_flags : float array -> Emc_opt.Flags.t
+(** First 14 raw values to a compiler configuration. *)
+
+val of_flags : Emc_opt.Flags.t -> float array
+
+val to_march : float array -> Emc_sim.Config.t
+(** Raw 25-vector's microarchitectural half to a simulator configuration. *)
+
+val of_march : Emc_sim.Config.t -> float array
+
+val raw_of : Emc_opt.Flags.t -> Emc_sim.Config.t -> float array
+(** Full raw 25-vector from a flags/march pair. *)
+
+val split_raw : float array -> Emc_opt.Flags.t * Emc_sim.Config.t
+
+val configs_of_coded : float array -> Emc_opt.Flags.t * Emc_sim.Config.t
+(** Decode (snapping to levels) and split a coded design point. *)

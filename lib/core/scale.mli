@@ -1,0 +1,26 @@
+(** Experiment protocol scales. The full paper protocol (400-point training
+    designs, 100-point test designs, full-size inputs) costs hours of
+    simulation; [quick] exercises identical code paths in minutes and is the
+    default; [tiny] is a seconds-scale smoke test whose models are too
+    starved to be accurate. Selected via EMC_SCALE=tiny|quick|medium|full. *)
+
+type t = {
+  name : string;
+  train_n : int;  (** training design size (paper: 400) *)
+  test_n : int;  (** independent test design size (paper: 100) *)
+  workload_scale : float;  (** input size multiplier *)
+  smarts : Emc_sim.Smarts.params option;  (** [None] = fully detailed simulation *)
+  fig5_sizes : int list;  (** training sizes for the Figure-5 learning curves *)
+  fig5_reps : int;  (** repetitions per size for the error variance *)
+  ga : Emc_search.Ga.params;
+  doe_sweeps : int;  (** Fedorov exchange passes *)
+  doe_cand_factor : int;  (** LHS candidates per design point *)
+}
+
+val quick : t
+val full : t
+val medium : t
+val tiny : t
+
+val of_env : unit -> t
+(** Reads EMC_SCALE; defaults to {!quick}, warns on unknown values. *)

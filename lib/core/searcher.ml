@@ -1,0 +1,50 @@
+(** Model-based search for platform-specific optimization settings (paper
+    §6.3): freeze the 11 microarchitectural parameters at the target
+    platform's configuration, then run a genetic algorithm over the 14
+    compiler parameters using the empirical model as a zero-cost fitness
+    oracle. Returns the prescribed flags plus the model's predicted
+    cycles. *)
+
+type result = {
+  flags : Emc_opt.Flags.t;
+  raw : float array;  (** prescribed raw compiler parameter values *)
+  predicted_cycles : float;
+}
+
+let coded_march (march : Emc_sim.Config.t) =
+  let raw = Array.append (Array.make Params.n_compiler 0.0) (Params.of_march march) in
+  let coded = Params.code Params.all_specs raw in
+  Array.sub coded Params.n_compiler Params.n_march
+
+(* Model predictions are unconstrained regressions: far from the training
+   data they can go non-physical (<= 0 cycles). The search must not reward
+   such points — treat them as maximally unfit rather than optimal. *)
+let guarded predict x =
+  let p = predict x in
+  if Float.is_nan p || p <= 0.0 then Float.max_float else p
+
+let search ?(params = Emc_search.Ga.default_params) ~rng ~(model : Emc_regress.Model.t)
+    ~(march : Emc_sim.Config.t) () =
+  let march_coded = coded_march march in
+  let problem = { Emc_search.Ga.levels = Params.space_compiler.Emc_doe.Doe.levels } in
+  let fitness genes = guarded model.Emc_regress.Model.predict (Array.append genes march_coded) in
+  let best, fit = Emc_search.Ga.optimize ~params rng problem ~fitness in
+  let raw = Params.decode Params.compiler_specs best in
+  { flags = Params.to_flags raw; raw; predicted_cycles = fit }
+
+(** Ablation baselines over the same search space. *)
+let search_random ~rng ~model ~march ~evals () =
+  let march_coded = coded_march march in
+  let problem = { Emc_search.Ga.levels = Params.space_compiler.Emc_doe.Doe.levels } in
+  let fitness genes = guarded model.Emc_regress.Model.predict (Array.append genes march_coded) in
+  let best, fit = Emc_search.Ga.random_search rng problem ~fitness ~evals in
+  let raw = Params.decode Params.compiler_specs best in
+  { flags = Params.to_flags raw; raw; predicted_cycles = fit }
+
+let search_hill_climb ~rng ~model ~march ~restarts () =
+  let march_coded = coded_march march in
+  let problem = { Emc_search.Ga.levels = Params.space_compiler.Emc_doe.Doe.levels } in
+  let fitness genes = guarded model.Emc_regress.Model.predict (Array.append genes march_coded) in
+  let best, fit = Emc_search.Ga.hill_climb rng problem ~fitness ~restarts in
+  let raw = Params.decode Params.compiler_specs best in
+  { flags = Params.to_flags raw; raw; predicted_cycles = fit }

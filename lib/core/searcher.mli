@@ -1,0 +1,49 @@
+(** Model-based search for platform-specific optimization settings (paper
+    §6.3): freeze the 11 microarchitectural parameters at the target
+    platform's configuration and search the 14 compiler parameters using
+    the empirical model as a zero-cost fitness oracle.
+
+    "When the program is installed on a specific platform, the empirical
+    model could be parametrized with the platform's configuration and used
+    to search for the optimal optimization flags and heuristic settings." *)
+
+type result = {
+  flags : Emc_opt.Flags.t;  (** the prescribed settings *)
+  raw : float array;  (** the same, as raw compiler parameter values *)
+  predicted_cycles : float;  (** the model's prediction at the best point *)
+}
+
+val coded_march : Emc_sim.Config.t -> float array
+(** The frozen microarchitectural half of the coded design point. *)
+
+val guarded : (float array -> float) -> float array -> float
+(** Fitness wrapper: non-physical model outputs (NaN or <= 0 cycles, which
+    unconstrained regressions can produce far from their training data) are
+    treated as maximally unfit instead of optimal. *)
+
+val search :
+  ?params:Emc_search.Ga.params ->
+  rng:Emc_util.Rng.t ->
+  model:Emc_regress.Model.t ->
+  march:Emc_sim.Config.t ->
+  unit ->
+  result
+(** The paper's genetic-algorithm search. *)
+
+val search_random :
+  rng:Emc_util.Rng.t ->
+  model:Emc_regress.Model.t ->
+  march:Emc_sim.Config.t ->
+  evals:int ->
+  unit ->
+  result
+(** Random-search baseline (ablation). *)
+
+val search_hill_climb :
+  rng:Emc_util.Rng.t ->
+  model:Emc_regress.Model.t ->
+  march:Emc_sim.Config.t ->
+  restarts:int ->
+  unit ->
+  result
+(** Hill-climbing baseline (ablation). *)

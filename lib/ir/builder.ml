@@ -1,0 +1,115 @@
+(** Imperative construction helpers for IR functions.
+
+    Used by the frontend lowering, by the inliner, and extensively by tests
+    that need hand-built CFGs. *)
+
+type t = {
+  func : Ir.func;
+  mutable cur : Ir.block;
+  mutable sealed : bool;  (** true once the current block's terminator is set *)
+}
+
+let create_func ~name ~param_tys ~ret_ty =
+  let reg_ty = Hashtbl.create 64 in
+  let params = List.mapi (fun i ty -> Hashtbl.replace reg_ty i ty; i) param_tys in
+  let entry = { Ir.id = Ir.entry_label; instrs = []; term = Ir.Ret None } in
+  let func =
+    {
+      Ir.fname = name;
+      params;
+      ret_ty;
+      blocks = [| entry |];
+      layout = [ Ir.entry_label ];
+      next_reg = List.length param_tys;
+      reg_ty;
+    }
+  in
+  { func; cur = entry; sealed = false }
+
+let fresh b ty = Ir.fresh_reg b.func ty
+
+let new_block b =
+  let blk = Ir.fresh_block b.func in
+  b.func.layout <- b.func.layout @ [ blk.id ];
+  blk
+
+(** Switch emission to [blk]. *)
+let position_at b blk =
+  b.cur <- blk;
+  b.sealed <- false
+
+let emit b instr =
+  if b.sealed then invalid_arg "Builder.emit: block already terminated";
+  b.cur.instrs <- b.cur.instrs @ [ instr ]
+
+let terminate b term =
+  if not b.sealed then begin
+    b.cur.term <- term;
+    b.sealed <- true
+  end
+
+(* Convenience wrappers returning the destination register. *)
+
+let iconst b v =
+  let d = fresh b Ir.I64 in
+  emit b (Ir.Iconst (d, v));
+  d
+
+let fconst b v =
+  let d = fresh b Ir.F64 in
+  emit b (Ir.Fconst (d, v));
+  d
+
+let ibin b op x y =
+  let d = fresh b Ir.I64 in
+  emit b (Ir.Ibin (op, d, x, y));
+  d
+
+let fbin b op x y =
+  let d = fresh b Ir.F64 in
+  emit b (Ir.Fbin (op, d, x, y));
+  d
+
+let icmp b op x y =
+  let d = fresh b Ir.I64 in
+  emit b (Ir.Icmp (op, d, x, y));
+  d
+
+let fcmp b op x y =
+  let d = fresh b Ir.I64 in
+  emit b (Ir.Fcmp (op, d, x, y));
+  d
+
+let load b ty addr =
+  let d = fresh b ty in
+  emit b (Ir.Load (ty, d, addr));
+  d
+
+let store b ty addr v = emit b (Ir.Store (ty, addr, v))
+
+let call b ~ret name args =
+  match ret with
+  | None ->
+      emit b (Ir.Call (None, name, args));
+      None
+  | Some ty ->
+      let d = fresh b ty in
+      emit b (Ir.Call (Some d, name, args));
+      Some d
+
+let itof b x =
+  let d = fresh b Ir.F64 in
+  emit b (Ir.ItoF (d, x));
+  d
+
+let ftoi b x =
+  let d = fresh b Ir.I64 in
+  emit b (Ir.FtoI (d, x));
+  d
+
+let mov b ty x =
+  let d = fresh b ty in
+  emit b (Ir.Mov (ty, d, x));
+  d
+
+let finish b = b.func

@@ -1,0 +1,56 @@
+(** Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t = {
+  idom : int array;  (** immediate dominator per label; entry maps to itself;
+                         unreachable blocks map to -1 *)
+  rpo_index : int array;
+}
+
+let compute (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let rpo = Ir.reverse_postorder f in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i l -> rpo_index.(l) <- i) rpo;
+  let preds = Ir.predecessors f in
+  let idom = Array.make n (-1) in
+  idom.(Ir.entry_label) <- Ir.entry_label;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> Ir.entry_label then begin
+          let processed = List.filter (fun p -> idom.(p) <> -1) preds.(l) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left (fun acc p -> intersect acc p) first rest in
+              if idom.(l) <> new_idom then begin
+                idom.(l) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(** [dominates t a b] holds when block [a] dominates block [b]. *)
+let dominates t a b =
+  if b >= Array.length t.idom || t.idom.(b) = -1 then false
+  else
+    let rec walk x = if x = a then true else if x = t.idom.(x) then false else walk t.idom.(x) in
+    walk b
+
+(** Children lists of the dominator tree, indexed by label. *)
+let children t =
+  let n = Array.length t.idom in
+  let kids = Array.make n [] in
+  for l = n - 1 downto 0 do
+    if t.idom.(l) <> -1 && t.idom.(l) <> l then kids.(t.idom.(l)) <- l :: kids.(t.idom.(l))
+  done;
+  kids

@@ -1,0 +1,265 @@
+(** Intermediate representation: a conventional three-address-code CFG.
+
+    Virtual registers are typed ([I64] or [F64]); memory is addressed through
+    explicit address arithmetic (base + 8*index computed with ordinary ALU
+    instructions), which gives GCSE, strength reduction and prefetching real
+    work to do — exactly the trade-offs the paper's Table-1 parameters probe.
+
+    Blocks are identified by dense integer labels. A function additionally
+    carries a [layout] (the code-placement order used by the block-reordering
+    pass and by code generation for fall-through decisions). *)
+
+type ty = I64 | F64
+
+type vreg = int
+(** Virtual register id. The register's type lives in the owning function. *)
+
+type label = int
+
+type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sra
+type fbinop = FAdd | FSub | FMul | FDiv
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand = Reg of vreg | Imm of int
+
+type instr =
+  | Iconst of vreg * int
+  | Fconst of vreg * float
+  | Ibin of binop * vreg * operand * operand
+  | Fbin of fbinop * vreg * vreg * vreg
+  | Icmp of cmpop * vreg * operand * operand
+  | Fcmp of cmpop * vreg * vreg * vreg
+  | Load of ty * vreg * vreg  (** [Load (ty, dst, addr)] *)
+  | Store of ty * vreg * vreg  (** [Store (ty, addr, src)] *)
+  | Prefetch of vreg
+  | Call of vreg option * string * vreg list
+  | ItoF of vreg * vreg
+  | FtoI of vreg * vreg
+  | Mov of ty * vreg * vreg
+
+type term =
+  | Ret of vreg option
+  | Br of label
+  | CondBr of vreg * label * label  (** branch to first label when nonzero *)
+
+type block = { id : label; mutable instrs : instr list; mutable term : term }
+
+type func = {
+  fname : string;
+  params : vreg list;
+  ret_ty : ty option;
+  mutable blocks : block array;  (** indexed by label *)
+  mutable layout : label list;  (** code placement order; head is the entry *)
+  mutable next_reg : int;
+  reg_ty : (vreg, ty) Hashtbl.t;
+}
+
+type global = { gname : string; gty : ty; gsize : int }
+
+type program = { funcs : (string * func) list; globals : global list }
+
+(* ------------------------------------------------------------------ *)
+
+let entry_label = 0
+
+let fresh_reg f ty =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  Hashtbl.replace f.reg_ty r ty;
+  r
+
+let reg_type f r =
+  match Hashtbl.find_opt f.reg_ty r with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Ir.reg_type: unknown vreg v%d in %s" r f.fname)
+
+let block f l = f.blocks.(l)
+
+let fresh_block f =
+  let id = Array.length f.blocks in
+  let b = { id; instrs = []; term = Ret None } in
+  f.blocks <- Array.append f.blocks [| b |];
+  b
+
+let find_func p name = List.assoc_opt name p.funcs
+
+let find_global p name = List.find_opt (fun g -> g.gname = name) p.globals
+
+(* ------------------------------------------------------------------ *)
+(* Def/use information *)
+
+let def_of = function
+  | Iconst (d, _)
+  | Fconst (d, _)
+  | Ibin (_, d, _, _)
+  | Fbin (_, d, _, _)
+  | Icmp (_, d, _, _)
+  | Fcmp (_, d, _, _)
+  | Load (_, d, _)
+  | ItoF (d, _)
+  | FtoI (d, _)
+  | Mov (_, d, _) ->
+      Some d
+  | Call (d, _, _) -> d
+  | Store _ | Prefetch _ -> None
+
+let uses_of instr =
+  let op acc = function Reg r -> r :: acc | Imm _ -> acc in
+  match instr with
+  | Iconst _ | Fconst _ -> []
+  | Ibin (_, _, a, b) | Icmp (_, _, a, b) -> op (op [] b) a
+  | Fbin (_, _, a, b) | Fcmp (_, _, a, b) -> [ a; b ]
+  | Load (_, _, a) -> [ a ]
+  | Store (_, a, s) -> [ a; s ]
+  | Prefetch a -> [ a ]
+  | Call (_, _, args) -> args
+  | ItoF (_, s) | FtoI (_, s) | Mov (_, _, s) -> [ s ]
+
+let term_uses = function Ret (Some r) -> [ r ] | Ret None | Br _ -> [] | CondBr (c, _, _) -> [ c ]
+
+let successors = function Ret _ -> [] | Br l -> [ l ] | CondBr (_, a, b) -> [ a; b ]
+
+(* [has_side_effect] is true for instructions that cannot be freely removed,
+   duplicated or reordered past each other. *)
+let has_side_effect = function
+  | Store _ | Call _ | Prefetch _ -> true
+  | _ -> false
+
+(* Pure instructions are candidates for CSE / hoisting. Integer division is
+   only pure when the divisor is a non-zero immediate (otherwise hoisting
+   could introduce a trap that the original program guarded against). *)
+let is_pure = function
+  | Ibin ((Div | Rem), _, _, Imm 0) -> false
+  | Ibin ((Div | Rem), _, _, Imm _) -> true
+  | Ibin ((Div | Rem), _, _, Reg _) -> false
+  | Iconst _ | Fconst _ | Ibin _ | Fbin _ | Icmp _ | Fcmp _ | ItoF _ | FtoI _ | Mov _ -> true
+  | Load _ | Store _ | Prefetch _ | Call _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* CFG helpers *)
+
+let predecessors f =
+  let preds = Array.make (Array.length f.blocks) [] in
+  Array.iter
+    (fun b -> List.iter (fun s -> preds.(s) <- b.id :: preds.(s)) (successors b.term))
+    f.blocks;
+  Array.map List.rev preds
+
+(* Blocks reachable from the entry, in reverse postorder. *)
+let reverse_postorder f =
+  let n = Array.length f.blocks in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs l =
+    if not visited.(l) then begin
+      visited.(l) <- true;
+      List.iter dfs (successors f.blocks.(l).term);
+      order := l :: !order
+    end
+  in
+  dfs entry_label;
+  !order
+
+let instr_count_fn f =
+  Array.fold_left (fun acc b -> acc + List.length b.instrs + 1) 0 f.blocks
+
+let instr_count p = List.fold_left (fun acc (_, f) -> acc + instr_count_fn f) 0 p.funcs
+
+(* Remove blocks not reachable from entry and compact labels; rebuilds the
+   layout preserving relative order of surviving blocks. *)
+let remove_unreachable f =
+  let rpo = reverse_postorder f in
+  let reachable = Array.make (Array.length f.blocks) false in
+  List.iter (fun l -> reachable.(l) <- true) rpo;
+  if Array.for_all Fun.id reachable then ()
+  else begin
+    let remap = Array.make (Array.length f.blocks) (-1) in
+    let next = ref 0 in
+    (* entry keeps label 0: allocate ids in old-label order *)
+    Array.iteri
+      (fun l r ->
+        if r then begin
+          remap.(l) <- !next;
+          incr next
+        end)
+      reachable;
+    let rename_term = function
+      | Ret r -> Ret r
+      | Br l -> Br remap.(l)
+      | CondBr (c, a, b) -> CondBr (c, remap.(a), remap.(b))
+    in
+    let nblocks = Array.make !next { id = 0; instrs = []; term = Ret None } in
+    Array.iter
+      (fun b ->
+        if reachable.(b.id) then
+          nblocks.(remap.(b.id)) <- { b with id = remap.(b.id); term = rename_term b.term })
+      f.blocks;
+    f.blocks <- nblocks;
+    f.layout <- List.filter_map (fun l -> if reachable.(l) then Some remap.(l) else None) f.layout
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing *)
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr" | Sra -> "sra"
+
+let string_of_fbinop = function FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+
+let string_of_cmpop = function
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+
+let string_of_ty = function I64 -> "i64" | F64 -> "f64"
+
+let pp_operand fmt = function
+  | Reg r -> Format.fprintf fmt "v%d" r
+  | Imm i -> Format.fprintf fmt "%d" i
+
+let pp_instr fmt = function
+  | Iconst (d, i) -> Format.fprintf fmt "v%d = iconst %d" d i
+  | Fconst (d, x) -> Format.fprintf fmt "v%d = fconst %g" d x
+  | Ibin (op, d, a, b) ->
+      Format.fprintf fmt "v%d = %s %a, %a" d (string_of_binop op) pp_operand a pp_operand b
+  | Fbin (op, d, a, b) -> Format.fprintf fmt "v%d = %s v%d, v%d" d (string_of_fbinop op) a b
+  | Icmp (op, d, a, b) ->
+      Format.fprintf fmt "v%d = icmp.%s %a, %a" d (string_of_cmpop op) pp_operand a pp_operand b
+  | Fcmp (op, d, a, b) -> Format.fprintf fmt "v%d = fcmp.%s v%d, v%d" d (string_of_cmpop op) a b
+  | Load (ty, d, a) -> Format.fprintf fmt "v%d = load.%s [v%d]" d (string_of_ty ty) a
+  | Store (ty, a, s) -> Format.fprintf fmt "store.%s [v%d], v%d" (string_of_ty ty) a s
+  | Prefetch a -> Format.fprintf fmt "prefetch [v%d]" a
+  | Call (None, f, args) ->
+      Format.fprintf fmt "call %s(%s)" f (String.concat ", " (List.map (Printf.sprintf "v%d") args))
+  | Call (Some d, f, args) ->
+      Format.fprintf fmt "v%d = call %s(%s)" d f
+        (String.concat ", " (List.map (Printf.sprintf "v%d") args))
+  | ItoF (d, s) -> Format.fprintf fmt "v%d = itof v%d" d s
+  | FtoI (d, s) -> Format.fprintf fmt "v%d = ftoi v%d" d s
+  | Mov (ty, d, s) -> Format.fprintf fmt "v%d = mov.%s v%d" d (string_of_ty ty) s
+
+let pp_term fmt = function
+  | Ret None -> Format.fprintf fmt "ret"
+  | Ret (Some r) -> Format.fprintf fmt "ret v%d" r
+  | Br l -> Format.fprintf fmt "br L%d" l
+  | CondBr (c, a, b) -> Format.fprintf fmt "condbr v%d, L%d, L%d" c a b
+
+let pp_func fmt f =
+  Format.fprintf fmt "fn %s(%s)%s {@\n" f.fname
+    (String.concat ", " (List.map (Printf.sprintf "v%d") f.params))
+    (match f.ret_ty with None -> "" | Some t -> " -> " ^ string_of_ty t);
+  List.iter
+    (fun l ->
+      let b = f.blocks.(l) in
+      Format.fprintf fmt "L%d:@\n" b.id;
+      List.iter (fun i -> Format.fprintf fmt "  %a@\n" pp_instr i) b.instrs;
+      Format.fprintf fmt "  %a@\n" pp_term b.term)
+    f.layout;
+  Format.fprintf fmt "}@\n"
+
+let pp_program fmt p =
+  List.iter (fun g ->
+      Format.fprintf fmt "%s %s[%d]@\n" (string_of_ty g.gty) g.gname g.gsize)
+    p.globals;
+  List.iter (fun (_, f) -> pp_func fmt f) p.funcs
+
+let to_string p = Format.asprintf "%a" pp_program p

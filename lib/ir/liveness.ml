@@ -1,0 +1,69 @@
+(** Classic backward liveness dataflow over the CFG.
+
+    [live_out.(l)] is the set of virtual registers live on exit from block
+    [l]; [live_in.(l)] on entry. *)
+
+module IntSet = Set.Make (Int)
+
+type t = { live_in : IntSet.t array; live_out : IntSet.t array }
+
+let block_use_def (b : Ir.block) =
+  (* use = upward-exposed uses, def = registers defined in the block *)
+  let use = ref IntSet.empty and def = ref IntSet.empty in
+  List.iter
+    (fun i ->
+      List.iter (fun r -> if not (IntSet.mem r !def) then use := IntSet.add r !use) (Ir.uses_of i);
+      match Ir.def_of i with Some d -> def := IntSet.add d !def | None -> ())
+    b.instrs;
+  List.iter
+    (fun r -> if not (IntSet.mem r !def) then use := IntSet.add r !use)
+    (Ir.term_uses b.term);
+  (!use, !def)
+
+let compute (f : Ir.func) =
+  let n = Array.length f.blocks in
+  let use = Array.make n IntSet.empty and def = Array.make n IntSet.empty in
+  Array.iter
+    (fun b ->
+      let u, d = block_use_def b in
+      use.(b.id) <- u;
+      def.(b.id) <- d)
+    f.blocks;
+  let live_in = Array.make n IntSet.empty and live_out = Array.make n IntSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse of reverse-postorder for fast convergence *)
+    List.iter
+      (fun l ->
+        let b = f.blocks.(l) in
+        let out =
+          List.fold_left
+            (fun acc s -> IntSet.union acc live_in.(s))
+            IntSet.empty (Ir.successors b.term)
+        in
+        let inn = IntSet.union use.(l) (IntSet.diff out def.(l)) in
+        if not (IntSet.equal out live_out.(l)) || not (IntSet.equal inn live_in.(l)) then begin
+          live_out.(l) <- out;
+          live_in.(l) <- inn;
+          changed := true
+        end)
+      (List.rev (Ir.reverse_postorder f))
+  done;
+  { live_in; live_out }
+
+(** Per-instruction live sets for a single block, walking backwards from
+    [live_out]. Returns the set live {e after} each instruction, in
+    instruction order. *)
+let per_instr_live_after (b : Ir.block) live_out =
+  let n = List.length b.instrs in
+  let after = Array.make n IntSet.empty in
+  let live = ref (List.fold_left (fun acc r -> IntSet.add r acc) live_out (Ir.term_uses b.term)) in
+  List.iteri
+    (fun rev_i instr ->
+      let i = n - 1 - rev_i in
+      after.(i) <- !live;
+      (match Ir.def_of instr with Some d -> live := IntSet.remove d !live | None -> ());
+      List.iter (fun r -> live := IntSet.add r !live) (Ir.uses_of instr))
+    (List.rev b.instrs);
+  after

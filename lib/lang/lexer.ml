@@ -1,0 +1,97 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW of string  (** fn let if else while for return int float out *)
+  | PUNCT of string  (** operators and separators *)
+  | EOF
+
+type loc_token = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords = [ "fn"; "let"; "if"; "else"; "while"; "for"; "return"; "int"; "float"; "out" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize (src : string) : loc_token list =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let toks = ref [] in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance k =
+    for _ = 1 to k do
+      if !i < n && src.[!i] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col;
+      incr i
+    done
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let push tok p = toks := { tok; pos = p } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      if
+        !i < n && src.[!i] = '.'
+        && match peek 1 with Some d -> is_digit d | None -> false
+      then begin
+        advance 1;
+        while !i < n && is_digit src.[!i] do
+          advance 1
+        done;
+        (* optional exponent *)
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          advance 1;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then advance 1;
+          while !i < n && is_digit src.[!i] do
+            advance 1
+          done
+        end;
+        push (FLOAT (float_of_string (String.sub src start (!i - start)))) p
+      end
+      else push (INT (int_of_string (String.sub src start (!i - start)))) p
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        advance 1
+      done;
+      let s = String.sub src start (!i - start) in
+      if List.mem s keywords then push (KW s) p else push (IDENT s) p
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "->" | "==" | "!=" | "<=" | ">=" | "&&" | "||" | "<<" | ">>" ->
+          push (PUNCT two) p;
+          advance 2
+      | _ -> (
+          match c with
+          | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '!' | '=' | '(' | ')'
+          | '{' | '}' | '[' | ']' | ';' | ',' | ':' ->
+              push (PUNCT (String.make 1 c)) p;
+              advance 1
+          | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, p)))
+    end
+  done;
+  push EOF (pos ());
+  List.rev !toks

@@ -1,0 +1,262 @@
+open Emc_ir
+(** Lowering from the MiniC AST to the IR.
+
+    Salient choices:
+    - each mutable source variable gets one virtual register (the IR is not
+      SSA; later passes cope with multiple definitions conservatively);
+    - array accesses lower to explicit address arithmetic
+      ([shl idx, 3] then [add, base-immediate]) so that GCSE, strength
+      reduction and prefetching can manipulate addresses;
+    - [for] bounds are evaluated once, in the preheader, and steps are
+      immediate constants — producing exactly the canonical counted-loop
+      shape {!Emc_ir.Loops.counted_loop} recognizes;
+    - [&&]/[||] lower to short-circuit control flow (extra branches, which is
+      what a branch predictor sees from real compilers). *)
+
+type env = { mutable scopes : (string * Ir.vreg) list list }
+
+let lookup env name =
+  let rec find = function
+    | [] -> invalid_arg ("Lower: unbound variable " ^ name)
+    | sc :: rest -> ( match List.assoc_opt name sc with Some v -> Some v | None -> find rest)
+  in
+  match find env.scopes with Some v -> v | None -> assert false
+
+let declare env name v =
+  match env.scopes with
+  | sc :: rest -> env.scopes <- ((name, v) :: sc) :: rest
+  | [] -> assert false
+
+let lower_program (ast : Ast.program) : Ir.program =
+  let globals =
+    List.map
+      (fun (g : Ast.global) ->
+        {
+          Ir.gname = g.g_name;
+          gty = (match g.g_ty with Ast.Tint -> Ir.I64 | Ast.Tfloat -> Ir.F64);
+          gsize = g.g_size;
+        })
+      ast.globals
+  in
+  let layout = Memlayout.compute { Ir.funcs = []; globals } in
+  let global_ty name =
+    (List.find (fun (g : Ir.global) -> g.gname = name) globals).Ir.gty
+  in
+  let fsigs =
+    List.map
+      (fun (f : Ast.func) ->
+        ( f.fn_name,
+          (List.map snd f.fn_params, f.fn_ret) ))
+      ast.funcs
+  in
+  let lower_func (f : Ast.func) =
+    let ir_ty = function Ast.Tint -> Ir.I64 | Ast.Tfloat -> Ir.F64 in
+    let b =
+      Builder.create_func ~name:f.fn_name
+        ~param_tys:(List.map (fun (_, t) -> ir_ty t) f.fn_params)
+        ~ret_ty:(Option.map ir_ty f.fn_ret)
+    in
+    let env = { scopes = [ [] ] } in
+    List.iteri (fun i (n, _) -> declare env n i) f.fn_params;
+    let rec lower_expr (e : Ast.expr) : Ir.vreg =
+      match e.desc with
+      | Ast.Int v -> Builder.iconst b v
+      | Ast.Float v -> Builder.fconst b v
+      | Ast.Var n -> lookup env n
+      | Ast.Index (arr, idx) ->
+          let addr = lower_address arr idx in
+          Builder.load b (global_ty arr) addr
+      | Ast.CastInt e' ->
+          let v = lower_expr e' in
+          if Ir.reg_type b.Builder.func v = Ir.F64 then Builder.ftoi b v else v
+      | Ast.CastFloat e' ->
+          let v = lower_expr e' in
+          if Ir.reg_type b.Builder.func v = Ir.I64 then Builder.itof b v else v
+      | Ast.Un (Ast.Neg, e') ->
+          let v = lower_expr e' in
+          if Ir.reg_type b.Builder.func v = Ir.I64 then
+            Builder.ibin b Ir.Sub (Ir.Imm 0) (Ir.Reg v)
+          else
+            let z = Builder.fconst b 0.0 in
+            Builder.fbin b Ir.FSub z v
+      | Ast.Un (Ast.Not, e') ->
+          let v = lower_expr e' in
+          Builder.icmp b Ir.Eq (Ir.Reg v) (Ir.Imm 0)
+      | Ast.CallE (name, args) ->
+          let argv = List.map lower_expr args in
+          let ret =
+            match List.assoc_opt name fsigs with
+            | Some (_, Some t) -> Some (ir_ty t)
+            | _ -> None
+          in
+          (match Builder.call b ~ret name argv with
+          | Some d -> d
+          | None -> invalid_arg "Lower: void call in expression position")
+      | Ast.Bin (Ast.LAnd, a, c) -> lower_shortcircuit ~is_and:true a c
+      | Ast.Bin (Ast.LOr, a, c) -> lower_shortcircuit ~is_and:false a c
+      | Ast.Bin (op, a, c) -> (
+          let va = lower_expr a in
+          let vc = lower_expr c in
+          let fty = Ir.reg_type b.Builder.func va in
+          let int_op o = Builder.ibin b o (Ir.Reg va) (Ir.Reg vc) in
+          let f_op o = Builder.fbin b o va vc in
+          let int_cmp o = Builder.icmp b o (Ir.Reg va) (Ir.Reg vc) in
+          let f_cmp o = Builder.fcmp b o va vc in
+          match (op, fty) with
+          | Ast.Add, Ir.I64 -> int_op Ir.Add
+          | Ast.Sub, Ir.I64 -> int_op Ir.Sub
+          | Ast.Mul, Ir.I64 -> int_op Ir.Mul
+          | Ast.Div, Ir.I64 -> int_op Ir.Div
+          | Ast.Add, Ir.F64 -> f_op Ir.FAdd
+          | Ast.Sub, Ir.F64 -> f_op Ir.FSub
+          | Ast.Mul, Ir.F64 -> f_op Ir.FMul
+          | Ast.Div, Ir.F64 -> f_op Ir.FDiv
+          | Ast.Rem, _ -> int_op Ir.Rem
+          | Ast.BAnd, _ -> int_op Ir.And
+          | Ast.BOr, _ -> int_op Ir.Or
+          | Ast.BXor, _ -> int_op Ir.Xor
+          | Ast.Shl, _ -> int_op Ir.Shl
+          | Ast.Shr, _ -> int_op Ir.Shr
+          | Ast.Eq, Ir.I64 -> int_cmp Ir.Eq
+          | Ast.Ne, Ir.I64 -> int_cmp Ir.Ne
+          | Ast.Lt, Ir.I64 -> int_cmp Ir.Lt
+          | Ast.Le, Ir.I64 -> int_cmp Ir.Le
+          | Ast.Gt, Ir.I64 -> int_cmp Ir.Gt
+          | Ast.Ge, Ir.I64 -> int_cmp Ir.Ge
+          | Ast.Eq, Ir.F64 -> f_cmp Ir.Eq
+          | Ast.Ne, Ir.F64 -> f_cmp Ir.Ne
+          | Ast.Lt, Ir.F64 -> f_cmp Ir.Lt
+          | Ast.Le, Ir.F64 -> f_cmp Ir.Le
+          | Ast.Gt, Ir.F64 -> f_cmp Ir.Gt
+          | Ast.Ge, Ir.F64 -> f_cmp Ir.Ge
+          | (Ast.LAnd | Ast.LOr), _ -> assert false)
+    and lower_address arr idx =
+      let vi = lower_expr idx in
+      let scaled = Builder.ibin b Ir.Shl (Ir.Reg vi) (Ir.Imm 3) in
+      Builder.ibin b Ir.Add (Ir.Reg scaled) (Ir.Imm (Memlayout.base layout arr))
+    and lower_shortcircuit ~is_and a c =
+      let res = Builder.fresh b Ir.I64 in
+      let va = lower_expr a in
+      let rhs_blk = Builder.new_block b in
+      let short_blk = Builder.new_block b in
+      let end_blk = Builder.new_block b in
+      if is_and then Builder.terminate b (Ir.CondBr (va, rhs_blk.Ir.id, short_blk.Ir.id))
+      else Builder.terminate b (Ir.CondBr (va, short_blk.Ir.id, rhs_blk.Ir.id));
+      Builder.position_at b rhs_blk;
+      let vc = lower_expr c in
+      let t = Builder.icmp b Ir.Ne (Ir.Reg vc) (Ir.Imm 0) in
+      Builder.emit b (Ir.Mov (Ir.I64, res, t));
+      Builder.terminate b (Ir.Br end_blk.Ir.id);
+      Builder.position_at b short_blk;
+      Builder.emit b (Ir.Iconst (res, if is_and then 0 else 1));
+      Builder.terminate b (Ir.Br end_blk.Ir.id);
+      Builder.position_at b end_blk;
+      res
+    in
+    let rec lower_stmts stmts = List.iter lower_stmt stmts
+    and lower_stmt (s : Ast.stmt) =
+      if b.Builder.sealed then () (* unreachable code after return *)
+      else
+        match s.sdesc with
+        | Ast.Let (name, _, e) ->
+            let v = lower_expr e in
+            let ty = Ir.reg_type b.Builder.func v in
+            let slot = Builder.fresh b ty in
+            Builder.emit b (Ir.Mov (ty, slot, v));
+            declare env name slot
+        | Ast.Assign (name, e) ->
+            let v = lower_expr e in
+            let slot = lookup env name in
+            let ty = Ir.reg_type b.Builder.func slot in
+            Builder.emit b (Ir.Mov (ty, slot, v))
+        | Ast.AssignIdx (arr, idx, e) ->
+            let v = lower_expr e in
+            let addr = lower_address arr idx in
+            Builder.store b (global_ty arr) addr v
+        | Ast.Out e ->
+            let v = lower_expr e in
+            Builder.emit b (Ir.Call (None, "__out", [ v ]))
+        | Ast.Return None -> Builder.terminate b (Ir.Ret None)
+        | Ast.Return (Some e) ->
+            let v = lower_expr e in
+            Builder.terminate b (Ir.Ret (Some v))
+        | Ast.ExprStmt e -> (
+            match e.desc with
+            | Ast.CallE (name, args) ->
+                let argv = List.map lower_expr args in
+                ignore (Builder.call b ~ret:None name argv)
+            | _ -> ignore (lower_expr e))
+        | Ast.If (c, thn, els) ->
+            let vc = lower_expr c in
+            let then_blk = Builder.new_block b in
+            let else_blk = Builder.new_block b in
+            let join_blk = Builder.new_block b in
+            Builder.terminate b (Ir.CondBr (vc, then_blk.Ir.id, else_blk.Ir.id));
+            Builder.position_at b then_blk;
+            env.scopes <- [] :: env.scopes;
+            lower_stmts thn;
+            env.scopes <- List.tl env.scopes;
+            Builder.terminate b (Ir.Br join_blk.Ir.id);
+            Builder.position_at b else_blk;
+            env.scopes <- [] :: env.scopes;
+            lower_stmts els;
+            env.scopes <- List.tl env.scopes;
+            Builder.terminate b (Ir.Br join_blk.Ir.id);
+            Builder.position_at b join_blk
+        | Ast.While (c, body) ->
+            let header = Builder.new_block b in
+            Builder.terminate b (Ir.Br header.Ir.id);
+            Builder.position_at b header;
+            let vc = lower_expr c in
+            let body_blk = Builder.new_block b in
+            let exit_blk = Builder.new_block b in
+            Builder.terminate b (Ir.CondBr (vc, body_blk.Ir.id, exit_blk.Ir.id));
+            Builder.position_at b body_blk;
+            env.scopes <- [] :: env.scopes;
+            lower_stmts body;
+            env.scopes <- List.tl env.scopes;
+            Builder.terminate b (Ir.Br header.Ir.id);
+            Builder.position_at b exit_blk
+        | Ast.For (ivname, init, cmp, bound, step, body) ->
+            let step_v =
+              match Typecheck.const_eval step with Some v -> v | None -> assert false
+            in
+            let vinit = lower_expr init in
+            let iv = Builder.fresh b Ir.I64 in
+            Builder.emit b (Ir.Mov (Ir.I64, iv, vinit));
+            (* bound evaluated once, in the preheader *)
+            let bound_operand =
+              match bound.Ast.desc with
+              | Ast.Int v -> Ir.Imm v
+              | _ -> Ir.Reg (lower_expr bound)
+            in
+            let header = Builder.new_block b in
+            Builder.terminate b (Ir.Br header.Ir.id);
+            Builder.position_at b header;
+            let cmpop = match cmp with Ast.Lt -> Ir.Lt | Ast.Le -> Ir.Le | _ -> assert false in
+            let vc = Builder.icmp b cmpop (Ir.Reg iv) bound_operand in
+            let body_blk = Builder.new_block b in
+            let exit_blk = Builder.new_block b in
+            Builder.terminate b (Ir.CondBr (vc, body_blk.Ir.id, exit_blk.Ir.id));
+            Builder.position_at b body_blk;
+            env.scopes <- [ (ivname, iv) ] :: env.scopes;
+            lower_stmts body;
+            env.scopes <- List.tl env.scopes;
+            (* latch: iv <- iv + step; br header *)
+            if not b.Builder.sealed then begin
+              let latch = Builder.new_block b in
+              Builder.terminate b (Ir.Br latch.Ir.id);
+              Builder.position_at b latch;
+              Builder.emit b (Ir.Ibin (Ir.Add, iv, Ir.Reg iv, Ir.Imm step_v));
+              Builder.terminate b (Ir.Br header.Ir.id)
+            end;
+            Builder.position_at b exit_blk
+    in
+    lower_stmts f.fn_body;
+    Builder.terminate b (Ir.Ret None);
+    let func = Builder.finish b in
+    Ir.remove_unreachable func;
+    func
+  in
+  let funcs = List.map (fun f -> (f.Ast.fn_name, lower_func f)) ast.funcs in
+  { Ir.funcs; globals }

@@ -1,0 +1,25 @@
+open Emc_ir
+(** Frontend facade: MiniC source text to verified IR. *)
+
+type error = { msg : string; line : int; col : int }
+
+let pp_error fmt e = Format.fprintf fmt "%d:%d: %s" e.line e.col e.msg
+
+let compile (src : string) : (Ir.program, error) result =
+  try
+    let ast = Parser.parse_program src in
+    Typecheck.check_program ast;
+    let ir = Lower.lower_program ast in
+    Verify.check_program ir;
+    Ok ir
+  with
+  | Lexer.Error (msg, pos) -> Error { msg = "lexical error: " ^ msg; line = pos.line; col = pos.col }
+  | Parser.Error (msg, pos) -> Error { msg = "parse error: " ^ msg; line = pos.line; col = pos.col }
+  | Typecheck.Error (msg, pos) ->
+      Error { msg = "type error: " ^ msg; line = pos.line; col = pos.col }
+  | Failure msg -> Error { msg; line = 0; col = 0 }
+
+let compile_exn src =
+  match compile src with
+  | Ok ir -> ir
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,19 @@
+(** Frontend facade: MiniC source text to verified IR.
+
+    MiniC is the small C-like language the benchmark workloads are written
+    in: [int] (64-bit) and [float] (double) scalars, fixed-size global
+    arrays, functions with up to six by-value parameters, [if]/[while] and a
+    canonical counted [for] loop, short-circuit [&&]/[||], explicit
+    [int()]/[float()] casts, and an [out(e)] intrinsic that appends to the
+    program's observable output (the checksum trace differential tests
+    compare across compiler configurations). *)
+
+type error = { msg : string; line : int; col : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val compile : string -> (Emc_ir.Ir.program, error) result
+(** Lex, parse, typecheck, lower and verify. *)
+
+val compile_exn : string -> Emc_ir.Ir.program
+(** Like {!compile}; raises [Failure] with a rendered message. *)

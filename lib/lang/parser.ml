@@ -1,0 +1,294 @@
+(** Recursive-descent parser for MiniC.
+
+    Precedence (loosest to tightest):
+    [||] < [&&] < [|] < [^] < [&] < [== !=] < [< <= > >=] < [<< >>]
+    < [+ -] < [* / %] < unary [- !] < primary. *)
+
+exception Error of string * Ast.pos
+
+type state = { mutable toks : Lexer.loc_token list }
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+
+let next st =
+  let t = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  t
+
+let err st msg = raise (Error (msg, (peek st).pos))
+
+let expect_punct st s =
+  match next st with
+  | { tok = Lexer.PUNCT p; _ } when p = s -> ()
+  | { pos; _ } -> raise (Error (Printf.sprintf "expected %S" s, pos))
+
+let expect_kw st s =
+  match next st with
+  | { tok = Lexer.KW k; _ } when k = s -> ()
+  | { pos; _ } -> raise (Error (Printf.sprintf "expected keyword %S" s, pos))
+
+let expect_ident st =
+  match next st with
+  | { tok = Lexer.IDENT s; _ } -> s
+  | { pos; _ } -> raise (Error ("expected identifier", pos))
+
+let accept_punct st s =
+  match (peek st).tok with
+  | Lexer.PUNCT p when p = s ->
+      ignore (next st);
+      true
+  | _ -> false
+
+let parse_ty st =
+  match next st with
+  | { tok = Lexer.KW "int"; _ } -> Ast.Tint
+  | { tok = Lexer.KW "float"; _ } -> Ast.Tfloat
+  | { pos; _ } -> raise (Error ("expected type", pos))
+
+(* binary operator table: (token, ast op) per precedence level *)
+let levels : (string * Ast.binop) list list =
+  [
+    [ ("||", Ast.LOr) ];
+    [ ("&&", Ast.LAnd) ];
+    [ ("|", Ast.BOr) ];
+    [ ("^", Ast.BXor) ];
+    [ ("&", Ast.BAnd) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<", Ast.Lt); ("<=", Ast.Le); (">", Ast.Gt); (">=", Ast.Ge) ];
+    [ ("<<", Ast.Shl); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem) ];
+  ]
+
+let rec parse_expr st = parse_level st levels
+
+and parse_level st = function
+  | [] -> parse_unary st
+  | ops :: rest ->
+      let lhs = ref (parse_level st rest) in
+      let continue = ref true in
+      while !continue do
+        match (peek st).tok with
+        | Lexer.PUNCT p when List.mem_assoc p ops ->
+            let pos = (peek st).pos in
+            ignore (next st);
+            let rhs = parse_level st rest in
+            lhs := { Ast.desc = Ast.Bin (List.assoc p ops, !lhs, rhs); pos }
+        | _ -> continue := false
+      done;
+      !lhs
+
+and parse_unary st =
+  let t = peek st in
+  match t.tok with
+  | Lexer.PUNCT "-" ->
+      ignore (next st);
+      let e = parse_unary st in
+      { Ast.desc = Ast.Un (Ast.Neg, e); pos = t.pos }
+  | Lexer.PUNCT "!" ->
+      ignore (next st);
+      let e = parse_unary st in
+      { Ast.desc = Ast.Un (Ast.Not, e); pos = t.pos }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let t = next st in
+  match t.tok with
+  | Lexer.INT v -> { Ast.desc = Ast.Int v; pos = t.pos }
+  | Lexer.FLOAT v -> { Ast.desc = Ast.Float v; pos = t.pos }
+  | Lexer.PUNCT "(" ->
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Lexer.KW "int" ->
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      { Ast.desc = Ast.CastInt e; pos = t.pos }
+  | Lexer.KW "float" ->
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      { Ast.desc = Ast.CastFloat e; pos = t.pos }
+  | Lexer.IDENT name -> (
+      match (peek st).tok with
+      | Lexer.PUNCT "(" ->
+          ignore (next st);
+          let args = parse_args st in
+          { Ast.desc = Ast.CallE (name, args); pos = t.pos }
+      | Lexer.PUNCT "[" ->
+          ignore (next st);
+          let idx = parse_expr st in
+          expect_punct st "]";
+          { Ast.desc = Ast.Index (name, idx); pos = t.pos }
+      | _ -> { Ast.desc = Ast.Var name; pos = t.pos })
+  | _ -> raise (Error ("expected expression", t.pos))
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept_punct st "," then loop (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    loop []
+
+let rec parse_block st =
+  expect_punct st "{";
+  let rec loop acc =
+    if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmt st : Ast.stmt =
+  let t = peek st in
+  let mk sdesc = { Ast.sdesc; spos = t.pos } in
+  match t.tok with
+  | Lexer.KW "let" ->
+      ignore (next st);
+      let name = expect_ident st in
+      let ty = if accept_punct st ":" then Some (parse_ty st) else None in
+      expect_punct st "=";
+      let e = parse_expr st in
+      expect_punct st ";";
+      mk (Ast.Let (name, ty, e))
+  | Lexer.KW "out" ->
+      ignore (next st);
+      expect_punct st "(";
+      let e = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      mk (Ast.Out e)
+  | Lexer.KW "return" ->
+      ignore (next st);
+      if accept_punct st ";" then mk (Ast.Return None)
+      else
+        let e = parse_expr st in
+        expect_punct st ";";
+        mk (Ast.Return (Some e))
+  | Lexer.KW "if" ->
+      ignore (next st);
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let thn = parse_block st in
+      let els =
+        match (peek st).tok with
+        | Lexer.KW "else" -> (
+            ignore (next st);
+            match (peek st).tok with
+            | Lexer.KW "if" -> [ parse_stmt st ]
+            | _ -> parse_block st)
+        | _ -> []
+      in
+      mk (Ast.If (c, thn, els))
+  | Lexer.KW "while" ->
+      ignore (next st);
+      expect_punct st "(";
+      let c = parse_expr st in
+      expect_punct st ")";
+      let body = parse_block st in
+      mk (Ast.While (c, body))
+  | Lexer.KW "for" ->
+      ignore (next st);
+      expect_punct st "(";
+      let iv = expect_ident st in
+      expect_punct st "=";
+      let init = parse_expr st in
+      expect_punct st ";";
+      let iv2 = expect_ident st in
+      if iv2 <> iv then err st "for: test must compare the loop variable";
+      let cmp =
+        match (next st).tok with
+        | Lexer.PUNCT "<" -> Ast.Lt
+        | Lexer.PUNCT "<=" -> Ast.Le
+        | _ -> err st "for: comparison must be < or <="
+      in
+      let bound = parse_expr st in
+      expect_punct st ";";
+      let iv3 = expect_ident st in
+      if iv3 <> iv then err st "for: step must update the loop variable";
+      expect_punct st "=";
+      let iv4 = expect_ident st in
+      if iv4 <> iv then err st "for: step must be i = i + <step>";
+      expect_punct st "+";
+      let step = parse_expr st in
+      expect_punct st ")";
+      let body = parse_block st in
+      mk (Ast.For (iv, init, cmp, bound, step, body))
+  | Lexer.IDENT name -> (
+      ignore (next st);
+      match (peek st).tok with
+      | Lexer.PUNCT "=" ->
+          ignore (next st);
+          let e = parse_expr st in
+          expect_punct st ";";
+          mk (Ast.Assign (name, e))
+      | Lexer.PUNCT "[" ->
+          ignore (next st);
+          let idx = parse_expr st in
+          expect_punct st "]";
+          if accept_punct st "=" then begin
+            let e = parse_expr st in
+            expect_punct st ";";
+            mk (Ast.AssignIdx (name, idx, e))
+          end
+          else err st "array expression cannot stand alone as a statement"
+      | Lexer.PUNCT "(" ->
+          ignore (next st);
+          let args = parse_args st in
+          expect_punct st ";";
+          mk (Ast.ExprStmt { Ast.desc = Ast.CallE (name, args); pos = t.pos })
+      | _ -> err st "expected statement")
+  | _ -> raise (Error ("expected statement", t.pos))
+
+let parse_decl st (globals, funcs) =
+  let t = peek st in
+  match t.tok with
+  | Lexer.KW ("int" | "float") ->
+      let g_ty = parse_ty st in
+      let g_name = expect_ident st in
+      expect_punct st "[";
+      let size =
+        match next st with
+        | { tok = Lexer.INT v; _ } -> v
+        | { pos; _ } -> raise (Error ("expected array size", pos))
+      in
+      expect_punct st "]";
+      expect_punct st ";";
+      ({ Ast.g_name; g_ty; g_size = size; g_pos = t.pos } :: globals, funcs)
+  | Lexer.KW "fn" ->
+      ignore (next st);
+      let fn_name = expect_ident st in
+      expect_punct st "(";
+      let params =
+        if accept_punct st ")" then []
+        else
+          let rec loop acc =
+            let pname = expect_ident st in
+            expect_punct st ":";
+            let pty = parse_ty st in
+            if accept_punct st "," then loop ((pname, pty) :: acc)
+            else begin
+              expect_punct st ")";
+              List.rev ((pname, pty) :: acc)
+            end
+          in
+          loop []
+      in
+      let fn_ret = if accept_punct st "->" then Some (parse_ty st) else None in
+      let fn_body = parse_block st in
+      (globals, { Ast.fn_name; fn_params = params; fn_ret; fn_body; fn_pos = t.pos } :: funcs)
+  | _ -> raise (Error ("expected declaration (global array or fn)", t.pos))
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src } in
+  let rec loop acc =
+    match (peek st).tok with Lexer.EOF -> acc | _ -> loop (parse_decl st acc)
+  in
+  let globals, funcs = loop ([], []) in
+  { Ast.globals = List.rev globals; funcs = List.rev funcs }

@@ -1,0 +1,197 @@
+(** Type checking for MiniC.
+
+    Rules:
+    - no implicit conversions; [int(e)] / [float(e)] convert explicitly;
+    - [% << >> & | ^ && ||] require [int] operands;
+    - comparisons require both operands of the same type and yield [int];
+    - conditions ([if]/[while]/[for]) are [int] (non-zero means true);
+    - [for] steps must be positive compile-time constants (this is what makes
+      the loop recognizable as a canonical counted loop downstream);
+    - a non-void function must return on all paths (checked syntactically:
+      the body, or both arms of a trailing [if], end in [return]). *)
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Printf.ksprintf (fun s -> raise (Error (s, pos))) fmt
+
+type env = {
+  globals : (string * Ast.ty) list;
+  funcs : (string * (Ast.ty list * Ast.ty option)) list;
+  mutable scopes : (string * Ast.ty) list list;
+}
+
+let lookup_var env pos name =
+  let rec find = function
+    | [] -> None
+    | scope :: rest -> ( match List.assoc_opt name scope with Some t -> Some t | None -> find rest)
+  in
+  match find env.scopes with
+  | Some t -> t
+  | None -> err pos "unknown variable %s" name
+
+let declare env pos name ty =
+  match env.scopes with
+  | scope :: rest ->
+      if List.mem_assoc name scope then err pos "variable %s redeclared in the same scope" name;
+      env.scopes <- ((name, ty) :: scope) :: rest
+  | [] -> assert false
+
+let push_scope env = env.scopes <- [] :: env.scopes
+let pop_scope env = env.scopes <- List.tl env.scopes
+
+(* Compile-time constant evaluation, used for [for] steps. *)
+let rec const_eval (e : Ast.expr) : int option =
+  match e.desc with
+  | Ast.Int v -> Some v
+  | Ast.Un (Ast.Neg, e) -> Option.map (fun v -> -v) (const_eval e)
+  | Ast.Bin (op, a, b) -> (
+      match (const_eval a, const_eval b) with
+      | Some x, Some y -> (
+          match op with
+          | Ast.Add -> Some (x + y)
+          | Ast.Sub -> Some (x - y)
+          | Ast.Mul -> Some (x * y)
+          | Ast.Div -> if y = 0 then None else Some (x / y)
+          | Ast.Shl -> Some (x lsl (y land 63))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let rec check_expr env (e : Ast.expr) : Ast.ty =
+  match e.desc with
+  | Ast.Int _ -> Ast.Tint
+  | Ast.Float _ -> Ast.Tfloat
+  | Ast.Var name -> lookup_var env e.pos name
+  | Ast.Index (name, idx) -> (
+      if check_expr env idx <> Ast.Tint then err e.pos "array index must be int";
+      match List.assoc_opt name env.globals with
+      | Some t -> t
+      | None -> err e.pos "unknown array %s" name)
+  | Ast.CastInt e' ->
+      ignore (check_expr env e');
+      Ast.Tint
+  | Ast.CastFloat e' ->
+      ignore (check_expr env e');
+      Ast.Tfloat
+  | Ast.Un (Ast.Neg, e') -> check_expr env e'
+  | Ast.Un (Ast.Not, e') ->
+      if check_expr env e' <> Ast.Tint then err e.pos "! requires int operand";
+      Ast.Tint
+  | Ast.CallE (name, args) -> (
+      match List.assoc_opt name env.funcs with
+      | None -> err e.pos "unknown function %s" name
+      | Some (ptys, ret) ->
+          if List.length ptys <> List.length args then err e.pos "call %s: arity mismatch" name;
+          List.iter2
+            (fun pty a ->
+              if check_expr env a <> pty then err a.Ast.pos "call %s: argument type mismatch" name)
+            ptys args;
+          (match ret with
+          | Some t -> t
+          | None -> err e.pos "void function %s used as a value" name))
+  | Ast.Bin (op, a, b) -> (
+      let ta = check_expr env a and tb = check_expr env b in
+      match op with
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+          if ta <> tb then err e.pos "operand types differ";
+          ta
+      | Ast.Rem | Ast.BAnd | Ast.BOr | Ast.BXor | Ast.Shl | Ast.Shr | Ast.LAnd | Ast.LOr ->
+          if ta <> Ast.Tint || tb <> Ast.Tint then err e.pos "operator requires int operands";
+          Ast.Tint
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+          if ta <> tb then err e.pos "comparison of different types";
+          Ast.Tint)
+
+let rec check_stmt env ~ret (s : Ast.stmt) =
+  match s.sdesc with
+  | Ast.Let (name, ty_ann, e) ->
+      let t = check_expr env e in
+      (match ty_ann with
+      | Some t' when t' <> t -> err s.spos "let %s: annotation does not match initializer" name
+      | _ -> ());
+      declare env s.spos name t
+  | Ast.Assign (name, e) ->
+      let tv = lookup_var env s.spos name in
+      if check_expr env e <> tv then err s.spos "assignment to %s: type mismatch" name
+  | Ast.AssignIdx (name, idx, e) -> (
+      if check_expr env idx <> Ast.Tint then err s.spos "array index must be int";
+      match List.assoc_opt name env.globals with
+      | None -> err s.spos "unknown array %s" name
+      | Some t -> if check_expr env e <> t then err s.spos "store to %s: type mismatch" name)
+  | Ast.If (c, thn, els) ->
+      if check_expr env c <> Ast.Tint then err s.spos "condition must be int";
+      push_scope env;
+      List.iter (check_stmt env ~ret) thn;
+      pop_scope env;
+      push_scope env;
+      List.iter (check_stmt env ~ret) els;
+      pop_scope env
+  | Ast.While (c, body) ->
+      if check_expr env c <> Ast.Tint then err s.spos "condition must be int";
+      push_scope env;
+      List.iter (check_stmt env ~ret) body;
+      pop_scope env
+  | Ast.For (iv, init, _cmp, bound, step, body) ->
+      if check_expr env init <> Ast.Tint then err s.spos "for: init must be int";
+      (match const_eval step with
+      | Some v when v > 0 -> ()
+      | Some _ -> err s.spos "for: step must be positive"
+      | None -> err s.spos "for: step must be a compile-time constant");
+      push_scope env;
+      declare env s.spos iv Ast.Tint;
+      if check_expr env bound <> Ast.Tint then err s.spos "for: bound must be int";
+      push_scope env;
+      List.iter (check_stmt env ~ret) body;
+      pop_scope env;
+      pop_scope env
+  | Ast.Return None -> if ret <> None then err s.spos "missing return value"
+  | Ast.Return (Some e) -> (
+      match ret with
+      | None -> err s.spos "void function returns a value"
+      | Some t -> if check_expr env e <> t then err s.spos "return type mismatch")
+  | Ast.ExprStmt ({ desc = Ast.CallE _; _ } as e) -> (
+      match e.desc with
+      | Ast.CallE (name, args) -> (
+          match List.assoc_opt name env.funcs with
+          | None -> err s.spos "unknown function %s" name
+          | Some (ptys, _) ->
+              if List.length ptys <> List.length args then err s.spos "call %s: arity mismatch" name;
+              List.iter2
+                (fun pty a ->
+                  if check_expr env a <> pty then err a.Ast.pos "argument type mismatch")
+                ptys args)
+      | _ -> assert false)
+  | Ast.ExprStmt e -> ignore (check_expr env e)
+  | Ast.Out e -> ignore (check_expr env e)
+
+(* Syntactic all-paths-return check. *)
+let rec returns (stmts : Ast.stmt list) =
+  match List.rev stmts with
+  | [] -> false
+  | last :: _ -> (
+      match last.sdesc with
+      | Ast.Return _ -> true
+      | Ast.If (_, thn, els) -> returns thn && returns els
+      | _ -> false)
+
+let check_program (p : Ast.program) =
+  let globals = List.map (fun (g : Ast.global) -> (g.g_name, g.g_ty)) p.globals in
+  List.iter
+    (fun (g : Ast.global) ->
+      if g.g_size <= 0 then err g.g_pos "array %s must have positive size" g.g_name)
+    p.globals;
+  let funcs =
+    List.map (fun (f : Ast.func) -> (f.fn_name, (List.map snd f.fn_params, f.fn_ret))) p.funcs
+  in
+  List.iter
+    (fun (f : Ast.func) ->
+      if List.length f.fn_params > 6 then err f.fn_pos "at most 6 parameters supported";
+      let env = { globals; funcs; scopes = [ [] ] } in
+      List.iter (fun (n, t) -> declare env f.fn_pos n t) f.fn_params;
+      List.iter (check_stmt env ~ret:f.fn_ret) f.fn_body;
+      if f.fn_ret <> None && not (returns f.fn_body) then
+        err f.fn_pos "function %s may not return a value on all paths" f.fn_name)
+    p.funcs;
+  match List.find_opt (fun (f : Ast.func) -> f.fn_name = "main") p.funcs with
+  | None -> failwith "typecheck: program has no main function"
+  | Some f -> if f.fn_params <> [] then err f.fn_pos "main takes no parameters"

@@ -1,0 +1,78 @@
+open Emc_ir
+
+(** Shared def-site analysis.
+
+    The IR is not SSA, so transformation passes restrict themselves to
+    registers with a {e single static definition} (all compiler-generated
+    temporaries are; only source-level mutable variables are not). *)
+
+type t = {
+  def_count : int array;  (** definitions per vreg; parameters count as one *)
+  def_instr : Ir.instr option array;  (** the unique defining instruction, when single-def *)
+  def_block : int array;  (** block of the unique def; -1 otherwise *)
+  use_count : int array;
+}
+
+let compute (f : Ir.func) =
+  let n = f.Ir.next_reg in
+  let def_count = Array.make n 0 in
+  let def_instr = Array.make n None in
+  let def_block = Array.make n (-1) in
+  let use_count = Array.make n 0 in
+  List.iter (fun p -> def_count.(p) <- 1) f.Ir.params;
+  Array.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun i ->
+          (match Ir.def_of i with
+          | Some d ->
+              def_count.(d) <- def_count.(d) + 1;
+              def_instr.(d) <- Some i;
+              def_block.(d) <- b.id
+          | None -> ());
+          List.iter (fun u -> use_count.(u) <- use_count.(u) + 1) (Ir.uses_of i))
+        b.instrs;
+      List.iter (fun u -> use_count.(u) <- use_count.(u) + 1) (Ir.term_uses b.term))
+    f.blocks;
+  (* params are not single-def *instructions* *)
+  List.iter (fun p -> def_instr.(p) <- None) f.Ir.params;
+  for r = 0 to n - 1 do
+    if def_count.(r) <> 1 then begin
+      def_instr.(r) <- None;
+      def_block.(r) <- -1
+    end
+  done;
+  { def_count; def_instr; def_block; use_count }
+
+let single_def t r = r < Array.length t.def_count && t.def_count.(r) = 1
+
+(** Rewrite every register use in the function with [subst] (definitions are
+    left untouched). *)
+let substitute_uses (f : Ir.func) (subst : Ir.vreg -> Ir.vreg) =
+  let s r = subst r in
+  let op = function Ir.Reg r -> Ir.Reg (s r) | Ir.Imm i -> Ir.Imm i in
+  let instr = function
+    | Ir.Iconst _ as i -> i
+    | Ir.Fconst _ as i -> i
+    | Ir.Ibin (o, d, a, b) -> Ir.Ibin (o, d, op a, op b)
+    | Ir.Fbin (o, d, a, b) -> Ir.Fbin (o, d, s a, s b)
+    | Ir.Icmp (o, d, a, b) -> Ir.Icmp (o, d, op a, op b)
+    | Ir.Fcmp (o, d, a, b) -> Ir.Fcmp (o, d, s a, s b)
+    | Ir.Load (t, d, a) -> Ir.Load (t, d, s a)
+    | Ir.Store (t, a, v) -> Ir.Store (t, s a, s v)
+    | Ir.Prefetch a -> Ir.Prefetch (s a)
+    | Ir.Call (d, n, args) -> Ir.Call (d, n, List.map s args)
+    | Ir.ItoF (d, x) -> Ir.ItoF (d, s x)
+    | Ir.FtoI (d, x) -> Ir.FtoI (d, s x)
+    | Ir.Mov (t, d, x) -> Ir.Mov (t, d, s x)
+  in
+  let term = function
+    | Ir.Ret r -> Ir.Ret (Option.map s r)
+    | Ir.Br l -> Ir.Br l
+    | Ir.CondBr (c, a, b) -> Ir.CondBr (s c, a, b)
+  in
+  Array.iter
+    (fun (b : Ir.block) ->
+      b.instrs <- List.map instr b.instrs;
+      b.term <- term b.term)
+    f.blocks

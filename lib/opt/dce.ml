@@ -1,0 +1,41 @@
+open Emc_ir
+
+(** Dead code elimination.
+
+    Removes pure instructions (and loads — there is no trap model for reads)
+    whose destination register is never used, iterating to a fixpoint so that
+    whole dead chains disappear. Runs unconditionally as cleanup after the
+    flag-gated passes, as gcc does at any -O level. *)
+
+let removable instr =
+  match instr with
+  | Ir.Load _ -> true
+  | _ -> Ir.is_pure instr
+
+let run_func (f : Ir.func) =
+  let changed = ref true in
+  let any = ref false in
+  while !changed do
+    changed := false;
+    let a = Analysis.compute f in
+    Array.iter
+      (fun (b : Ir.block) ->
+        let keep =
+          List.filter
+            (fun i ->
+              match Ir.def_of i with
+              | Some d when removable i && a.Analysis.use_count.(d) = 0 ->
+                  changed := true;
+                  any := true;
+                  false
+              | _ -> true)
+            b.instrs
+        in
+        b.instrs <- keep)
+      f.blocks
+  done;
+  !any
+
+let run (p : Ir.program) =
+  List.iter (fun (_, f) -> ignore (run_func f)) p.funcs;
+  p

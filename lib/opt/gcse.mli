@@ -1,0 +1,11 @@
+(** -fgcse: global common subexpression elimination with constant/copy
+    propagation and constant folding (gcc: "Perform GCSE pass, also perform
+    constant and copy propagation").
+
+    Global reasoning is restricted to single-static-definition registers
+    (every compiler temporary); a block-local value-numbering pass handles
+    multiply-defined source variables and redundant loads, with versions
+    bumped at kills; constant-condition branches are folded. *)
+
+val run_func : Emc_ir.Ir.func -> unit
+val run : Emc_ir.Ir.program -> Emc_ir.Ir.program

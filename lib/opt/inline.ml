@@ -1,0 +1,193 @@
+open Emc_ir
+
+(** -finline-functions, governed by max-inline-insns-auto,
+    inline-unit-growth and inline-call-cost (Table 1 #10–#12).
+
+    A direct, non-recursive call site is inlined when:
+    - the callee's IR size is at most [max_inline_insns_auto];
+    - the site looks beneficial: the callee is small relative to the call
+      overhead, [callee_size <= inline_call_cost * amortization] (gcc's
+      inline-call-cost is "the cost of a call relative to a simple
+      computation, used to identify beneficial call sites" — a higher cost
+      makes more sites look worthwhile);
+    - the compilation unit has not grown beyond
+      [1 + inline_unit_growth/100] times its original size.
+
+    Inlining copies the callee's blocks into the caller with all virtual
+    registers renamed, rewrites returns into moves + jumps to the
+    continuation block, and passes arguments by move. *)
+
+let amortization = 8
+
+let callgraph (p : Ir.program) =
+  List.map
+    (fun (name, f) ->
+      let callees = ref [] in
+      Array.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              match i with
+              | Ir.Call (_, g, _) when g <> "__out" -> callees := g :: !callees
+              | _ -> ())
+            b.instrs)
+        f.Ir.blocks;
+      (name, List.sort_uniq compare !callees))
+    p.funcs
+
+(* functions on a call-graph cycle (incl. self recursion) *)
+let recursive_set (p : Ir.program) =
+  let cg = callgraph p in
+  let reaches_self start =
+    let visited = Hashtbl.create 8 in
+    let rec dfs n =
+      match List.assoc_opt n cg with
+      | None -> false
+      | Some callees ->
+          List.exists
+            (fun c ->
+              c = start
+              ||
+              if Hashtbl.mem visited c then false
+              else begin
+                Hashtbl.replace visited c ();
+                dfs c
+              end)
+            callees
+    in
+    dfs start
+  in
+  List.filter_map (fun (n, _) -> if reaches_self n then Some n else None) cg
+
+(* Inline one call site: in caller [f], block [bl], the [idx]-th instruction
+   (which must be a Call). *)
+let inline_site (f : Ir.func) (callee : Ir.func) ~bl ~idx =
+  let b = f.blocks.(bl) in
+  let before = List.filteri (fun i _ -> i < idx) b.instrs in
+  let call_instr = List.nth b.instrs idx in
+  let after = List.filteri (fun i _ -> i > idx) b.instrs in
+  let dst, args =
+    match call_instr with
+    | Ir.Call (d, _, args) -> (d, args)
+    | _ -> invalid_arg "inline_site: not a call"
+  in
+  (* continuation block receives the instructions after the call *)
+  let cont = Ir.fresh_block f in
+  cont.instrs <- after;
+  cont.term <- b.term;
+  (* rename map for callee registers *)
+  let reg_map = Hashtbl.create 32 in
+  let map_reg r =
+    match Hashtbl.find_opt reg_map r with
+    | Some r' -> r'
+    | None ->
+        let r' = Ir.fresh_reg f (Ir.reg_type callee r) in
+        Hashtbl.replace reg_map r r';
+        r'
+  in
+  (* clone callee blocks *)
+  let blk_map = Hashtbl.create 8 in
+  Array.iter
+    (fun (cb : Ir.block) -> Hashtbl.replace blk_map cb.Ir.id (Ir.fresh_block f).Ir.id)
+    callee.blocks;
+  let map_blk l = Hashtbl.find blk_map l in
+  let map_op = function Ir.Reg r -> Ir.Reg (map_reg r) | Ir.Imm i -> Ir.Imm i in
+  let map_instr = function
+    | Ir.Iconst (d, v) -> Ir.Iconst (map_reg d, v)
+    | Ir.Fconst (d, v) -> Ir.Fconst (map_reg d, v)
+    | Ir.Ibin (o, d, x, y) -> Ir.Ibin (o, map_reg d, map_op x, map_op y)
+    | Ir.Fbin (o, d, x, y) -> Ir.Fbin (o, map_reg d, map_reg x, map_reg y)
+    | Ir.Icmp (o, d, x, y) -> Ir.Icmp (o, map_reg d, map_op x, map_op y)
+    | Ir.Fcmp (o, d, x, y) -> Ir.Fcmp (o, map_reg d, map_reg x, map_reg y)
+    | Ir.Load (t, d, a) -> Ir.Load (t, map_reg d, map_reg a)
+    | Ir.Store (t, a, v) -> Ir.Store (t, map_reg a, map_reg v)
+    | Ir.Prefetch a -> Ir.Prefetch (map_reg a)
+    | Ir.Call (d, n, args) -> Ir.Call (Option.map map_reg d, n, List.map map_reg args)
+    | Ir.ItoF (d, s) -> Ir.ItoF (map_reg d, map_reg s)
+    | Ir.FtoI (d, s) -> Ir.FtoI (map_reg d, map_reg s)
+    | Ir.Mov (t, d, s) -> Ir.Mov (t, map_reg d, map_reg s)
+  in
+  Array.iter
+    (fun (cb : Ir.block) ->
+      let nb = f.blocks.(map_blk cb.Ir.id) in
+      nb.instrs <- List.map map_instr cb.instrs;
+      nb.term <-
+        (match cb.term with
+        | Ir.Br l -> Ir.Br (map_blk l)
+        | Ir.CondBr (c, x, y) -> Ir.CondBr (map_reg c, map_blk x, map_blk y)
+        | Ir.Ret _ -> Ir.Br cont.id))
+    callee.blocks;
+  (* second pass to append return-value moves (needs final instr lists) *)
+  Array.iter
+    (fun (cb : Ir.block) ->
+      match (cb.Ir.term, dst) with
+      | Ir.Ret (Some r), Some d ->
+          let nb = f.blocks.(map_blk cb.Ir.id) in
+          let ty = Ir.reg_type callee r in
+          nb.instrs <- nb.instrs @ [ Ir.Mov (ty, d, map_reg r) ]
+      | _ -> ())
+    callee.blocks;
+  (* the call block: argument moves, then jump to the callee entry *)
+  let arg_moves =
+    List.map2
+      (fun p a -> Ir.Mov (Ir.reg_type callee p, map_reg p, a))
+      callee.params args
+  in
+  b.instrs <- before @ arg_moves;
+  b.term <- Ir.Br (map_blk Ir.entry_label);
+  (* layout: callee blocks then continuation, right after the call block *)
+  let new_labels =
+    List.map (fun l -> map_blk l) callee.layout @ [ cont.id ]
+  in
+  let rec insert = function
+    | [] -> new_labels
+    | l :: rest when l = bl -> l :: (new_labels @ rest)
+    | l :: rest -> l :: insert rest
+  in
+  f.layout <- insert f.layout
+
+exception Growth_exhausted
+
+let run ~(max_inline_insns_auto : int) ~(inline_unit_growth : int) ~(inline_call_cost : int)
+    (p : Ir.program) =
+  let orig_size = Ir.instr_count p in
+  let budget = orig_size * (100 + inline_unit_growth) / 100 in
+  let recursive = recursive_set p in
+  let beneficial size = size <= max_inline_insns_auto && size <= inline_call_cost * amortization in
+  (* iterate: find next inlinable site, apply, until none or budget exhausted *)
+  let continue_ = ref true in
+  (try
+     while !continue_ do
+       continue_ := false;
+       List.iter
+         (fun (_, f) ->
+           Array.iter
+             (fun (b : Ir.block) ->
+               match
+                 List.find_index
+                   (fun i ->
+                     match i with
+                     | Ir.Call (_, g, _) when g <> "__out" && not (List.mem g recursive) -> (
+                         match Ir.find_func p g with
+                         | Some callee -> beneficial (Ir.instr_count_fn callee)
+                         | None -> false)
+                     | _ -> false)
+                   b.instrs
+               with
+               | Some idx when not !continue_ ->
+                   let callee =
+                     match List.nth b.instrs idx with
+                     | Ir.Call (_, g, _) -> Option.get (Ir.find_func p g)
+                     | _ -> assert false
+                   in
+                   if Ir.instr_count p + Ir.instr_count_fn callee > budget then
+                     raise Growth_exhausted;
+                   inline_site f callee ~bl:b.id ~idx;
+                   continue_ := true
+               | _ -> ())
+             f.Ir.blocks)
+         p.funcs
+     done
+   with Growth_exhausted -> ());
+  List.iter (fun (_, f) -> Ir.remove_unreachable f) p.funcs;
+  p

@@ -1,0 +1,12 @@
+(** -finline-functions, governed by max-inline-insns-auto,
+    inline-unit-growth and inline-call-cost (Table 1 #10–#12). Direct,
+    non-recursive call sites are inlined while the callee fits the size
+    threshold, looks beneficial relative to the call cost, and the unit
+    growth cap is not exceeded. *)
+
+val run :
+  max_inline_insns_auto:int ->
+  inline_unit_growth:int ->
+  inline_call_cost:int ->
+  Emc_ir.Ir.program ->
+  Emc_ir.Ir.program

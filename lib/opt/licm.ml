@@ -1,0 +1,108 @@
+open Emc_ir
+
+(** -floop-optimize: loop-invariant code motion (gcc's "simple loop
+    optimizations such as moving constant expressions, simplify test
+    conditions").
+
+    An instruction is hoisted to the loop preheader when it is pure (no side
+    effects and cannot trap — see {!Emc_ir.Ir.is_pure}), its destination has a
+    single static definition (the move cannot clobber another definition),
+    and none of its register operands is defined anywhere inside the loop. *)
+
+module IntSet = Set.Make (Int)
+
+(** Ensure [loop] has a dedicated preheader block whose only successor is the
+    header and that receives all loop entries from outside; returns its
+    label. May mutate the CFG (creating one block and redirecting edges). *)
+let ensure_preheader (f : Ir.func) (loop : Loops.t) =
+  let outside = Loops.preheader_candidates f loop in
+  match outside with
+  | [ p ] when Ir.successors f.blocks.(p).term = [ loop.header ] -> p
+  | _ ->
+      let ph = Ir.fresh_block f in
+      ph.term <- Ir.Br loop.header;
+      let redirect t =
+        match t with
+        | Ir.Br l when l = loop.header -> Ir.Br ph.id
+        | Ir.CondBr (c, a, b) ->
+            let a = if a = loop.header then ph.id else a in
+            let b = if b = loop.header then ph.id else b in
+            Ir.CondBr (c, a, b)
+        | t -> t
+      in
+      List.iter (fun p -> f.blocks.(p).term <- redirect f.blocks.(p).term) outside;
+      (* place the preheader just before the header in the layout *)
+      let rec insert = function
+        | [] -> [ ph.id ]
+        | l :: rest when l = loop.header -> ph.id :: l :: rest
+        | l :: rest -> l :: insert rest
+      in
+      f.layout <- insert f.layout;
+      ph.id
+
+let defined_in_loop (f : Ir.func) (loop : Loops.t) =
+  let defs = ref IntSet.empty in
+  IntSet.iter
+    (fun l ->
+      List.iter
+        (fun i -> match Ir.def_of i with Some d -> defs := IntSet.add d !defs | None -> ())
+        f.blocks.(l).instrs)
+    loop.body;
+  !defs
+
+let hoist_loop (f : Ir.func) (loop : Loops.t) =
+  let ph = ensure_preheader f loop in
+  let changed = ref true in
+  let any = ref false in
+  while !changed do
+    changed := false;
+    let a = Analysis.compute f in
+    let loop_defs = defined_in_loop f loop in
+    let invariant_operand r = not (IntSet.mem r loop_defs) in
+    let hoisted = ref [] in
+    IntSet.iter
+      (fun l ->
+        let b = f.blocks.(l) in
+        let keep =
+          List.filter
+            (fun instr ->
+              let can_hoist =
+                Ir.is_pure instr
+                && (match Ir.def_of instr with
+                   | Some d -> Analysis.single_def a d
+                   | None -> false)
+                && List.for_all invariant_operand (Ir.uses_of instr)
+              in
+              if can_hoist then begin
+                hoisted := instr :: !hoisted;
+                changed := true;
+                any := true;
+                false
+              end
+              else true)
+            b.instrs
+        in
+        b.instrs <- keep)
+      loop.body;
+    let phb = f.blocks.(ph) in
+    phb.instrs <- phb.instrs @ List.rev !hoisted
+  done;
+  !any
+
+let run_func (f : Ir.func) =
+  (* innermost loops first so invariants bubble outward across iterations *)
+  let loops = List.sort (fun a b -> compare b.Loops.depth a.Loops.depth) (Loops.find f) in
+  List.iter
+    (fun loop ->
+      (* CFG may have changed (preheaders added); re-find to stay safe *)
+      let loops_now = Loops.find f in
+      match
+        List.find_opt (fun l -> l.Loops.header = loop.Loops.header) loops_now
+      with
+      | Some l -> ignore (hoist_loop f l)
+      | None -> ())
+    loops
+
+let run (p : Ir.program) =
+  List.iter (fun (_, f) -> run_func f) p.funcs;
+  p

@@ -1,0 +1,10 @@
+(** -floop-optimize: loop-invariant code motion. Pure, non-trapping
+    instructions whose operands have no definition inside the loop are
+    hoisted to a (created if necessary) preheader. *)
+
+val ensure_preheader : Emc_ir.Ir.func -> Emc_ir.Loops.t -> Emc_ir.Ir.label
+(** Guarantee a dedicated preheader block whose only successor is the loop
+    header; returns its label. Shared with strength reduction. *)
+
+val run_func : Emc_ir.Ir.func -> unit
+val run : Emc_ir.Ir.program -> Emc_ir.Ir.program

@@ -1,0 +1,37 @@
+open Emc_ir
+
+(** The pass manager: applies the Table-1 optimizations in a fixed phase
+    order (the paper studies flag settings, not phase ordering):
+
+    inline → gcse → loop-optimize (LICM) → prefetch → strength-reduce →
+    unroll → gcse-cleanup → schedule → reorder-blocks → DCE.
+
+    Dead-code elimination always runs (gcc performs it at every -O level);
+    -fomit-frame-pointer is consumed by the code generator, not here.
+    [issue_width] parameterizes the scheduler's resource model — the paper
+    compiled one gcc per functional-unit configuration; we thread the
+    machine description instead. *)
+
+let optimize ?(issue_width = 4) (flags : Flags.t) (p : Ir.program) : Ir.program =
+  let p = if flags.inline_functions then
+      Inline.run ~max_inline_insns_auto:flags.max_inline_insns_auto
+        ~inline_unit_growth:flags.inline_unit_growth ~inline_call_cost:flags.inline_call_cost p
+    else p
+  in
+  let p = if flags.gcse then Gcse.run p else p in
+  let p = if flags.loop_optimize then Licm.run p else p in
+  let p = if flags.prefetch_loop_arrays then Prefetch.run p else p in
+  let p = if flags.strength_reduce then Strength.run p else p in
+  let p =
+    if flags.unroll_loops then
+      Unroll.run ~max_unroll_times:flags.max_unroll_times
+        ~max_unrolled_insns:flags.max_unrolled_insns p
+    else p
+  in
+  (* light cleanup after the loop transforms *)
+  let p = if flags.gcse && flags.unroll_loops then Gcse.run p else p in
+  let p = if flags.schedule_insns2 then Sched.run ~issue_width p else p in
+  let p = Dce.run p in
+  let p = if flags.reorder_blocks then Reorder.run p else p in
+  List.iter (fun (_, f) -> Ir.remove_unreachable f) p.funcs;
+  p

@@ -1,0 +1,8 @@
+(** The pass manager: applies the Table-1 optimizations in a fixed phase
+    order (inline → gcse → LICM → prefetch → strength-reduce → unroll →
+    gcse cleanup → schedule → DCE → reorder-blocks); the paper studies flag
+    settings, not phase ordering. [issue_width] parameterizes the
+    scheduler's machine model — the paper built one gcc per functional-unit
+    configuration. -fomit-frame-pointer is consumed by the code generator. *)
+
+val optimize : ?issue_width:int -> Flags.t -> Emc_ir.Ir.program -> Emc_ir.Ir.program

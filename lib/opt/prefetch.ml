@@ -1,0 +1,84 @@
+open Emc_ir
+
+(** -fprefetch-loop-arrays: software prefetching for array accesses in
+    counted loops ("generate prefetch instructions in loops that access
+    large arrays").
+
+    For every load in a canonical counted loop whose address follows the
+    canonical pattern [s = shl iv, 3; a = add s, base] — i.e. a sequential
+    walk over a global array — and whose target array is large (at least
+    {!min_array_elems} elements), a [prefetch] for the address
+    [prefetch_distance] iterations ahead is inserted right after the address
+    computation.
+
+    Costs are real: each prefetch consumes fetch/decode bandwidth and a
+    load/store-unit slot in the simulator, and its fills can pollute the
+    cache — the negative interactions §1 of the paper worries about. *)
+
+module IntSet = Set.Make (Int)
+
+let prefetch_distance = 16
+let min_array_elems = 256
+let max_prefetches_per_loop = 4
+
+let run_counted (p : Ir.program) (layout : Memlayout.t) (f : Ir.func) (c : Loops.counted) =
+  let a = Analysis.compute f in
+  (* single-def regs holding shl iv, 3 in this loop *)
+  let stride_base : (Ir.vreg, unit) Hashtbl.t = Hashtbl.create 8 in
+  IntSet.iter
+    (fun l ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Ir.Ibin (Ir.Shl, d, Ir.Reg s, Ir.Imm 3) when s = c.iv && Analysis.single_def a d ->
+              Hashtbl.replace stride_base d ()
+          | _ -> ())
+        f.blocks.(l).instrs)
+    c.loop.body;
+  let array_of_base base =
+    List.find_opt
+      (fun (g : Ir.global) ->
+        let b0 = Memlayout.base layout g.gname in
+        base >= b0 && base < b0 + (g.gsize * 8))
+      p.globals
+  in
+  let inserted = ref 0 in
+  IntSet.iter
+    (fun l ->
+      let b = f.blocks.(l) in
+      let out = ref [] in
+      List.iter
+        (fun instr ->
+          out := instr :: !out;
+          match instr with
+          | Ir.Ibin (Ir.Add, d, Ir.Reg s, Ir.Imm base)
+            when Hashtbl.mem stride_base s
+                 && Analysis.single_def a d
+                 && !inserted < max_prefetches_per_loop -> (
+              match array_of_base base with
+              | Some g when g.gsize >= min_array_elems ->
+                  (* prefetch [d + distance * step * 8] *)
+                  let pa = Ir.fresh_reg f Ir.I64 in
+                  out :=
+                    Ir.Prefetch pa
+                    :: Ir.Ibin (Ir.Add, pa, Ir.Reg d, Ir.Imm (prefetch_distance * c.step * 8))
+                    :: !out;
+                  incr inserted
+              | _ -> ())
+          | _ -> ())
+        b.instrs;
+      b.instrs <- List.rev !out)
+    c.loop.body
+
+let run (p : Ir.program) =
+  let layout = Memlayout.compute p in
+  List.iter
+    (fun (_, f) ->
+      List.iter
+        (fun loop ->
+          match Loops.counted_loop f loop with
+          | Some c -> run_counted p layout f c
+          | None -> ())
+        (Loops.find f))
+    p.funcs;
+  p

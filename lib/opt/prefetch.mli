@@ -1,0 +1,6 @@
+(** -fprefetch-loop-arrays: inserts software prefetches for sequential
+    array walks in counted loops over large global arrays, a fixed number of
+    iterations ahead. Costs fetch bandwidth and a load/store-unit slot and
+    can pollute the cache — the paper's "negative interactions". *)
+
+val run : Emc_ir.Ir.program -> Emc_ir.Ir.program

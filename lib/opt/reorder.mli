@@ -1,0 +1,8 @@
+(** -freorder-blocks: Pettis–Hansen-style code placement over statically
+    estimated edge weights (loop back edges 0.9, in-loop edges favored) to
+    reduce taken branches and improve I-cache locality. Only the layout
+    changes; the code generator turns fall-through edges into not-taken
+    branches. *)
+
+val run_func : Emc_ir.Ir.func -> unit
+val run : Emc_ir.Ir.program -> Emc_ir.Ir.program

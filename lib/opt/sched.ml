@@ -1,0 +1,125 @@
+open Emc_ir
+
+(** -fschedule-insns2: local list scheduling.
+
+    Within each basic block a dependence DAG is built (true register
+    dependences with producer latencies; memory and call ordering edges;
+    write-after-read and write-after-write edges for multiply-defined
+    registers) and instructions are re-emitted greedily by critical-path
+    priority under an issue-width resource constraint.
+
+    Latencies mirror the target ISA: integer multiply 3, divide 12, FP
+    add 2, FP multiply 4, FP divide 12, loads 2 (assumed L1 hit), everything
+    else 1. The second (post-register-allocation) scheduling half of gcc's
+    -fschedule-insns2 happens in {!Emc_codegen} on machine code. *)
+
+let latency = function
+  | Ir.Ibin (Ir.Mul, _, _, _) -> 3
+  | Ir.Ibin ((Ir.Div | Ir.Rem), _, _, _) -> 12
+  | Ir.Fbin ((Ir.FAdd | Ir.FSub), _, _, _) -> 2
+  | Ir.Fbin (Ir.FMul, _, _, _) -> 4
+  | Ir.Fbin (Ir.FDiv, _, _, _) -> 12
+  | Ir.Fcmp _ -> 2
+  | Ir.Load _ -> 2
+  | _ -> 1
+
+let is_mem = function Ir.Load _ | Ir.Store _ | Ir.Prefetch _ | Ir.Call _ -> true | _ -> false
+
+let schedule_block ~issue_width (b : Ir.block) =
+  let instrs = Array.of_list b.instrs in
+  let n = Array.length instrs in
+  if n > 1 && n < 400 then begin
+    (* build dependence edges i -> j (j depends on i) with latencies *)
+    let succs = Array.make n [] in
+    let npreds = Array.make n 0 in
+    let add_edge i j lat =
+      succs.(i) <- (j, lat) :: succs.(i);
+      npreds.(j) <- npreds.(j) + 1
+    in
+    let last_def = Hashtbl.create 16 in
+    let last_uses = Hashtbl.create 16 in
+    let last_mem = ref (-1) in
+    let last_store_or_call = ref (-1) in
+    for j = 0 to n - 1 do
+      let i_j = instrs.(j) in
+      List.iter
+        (fun u ->
+          (match Hashtbl.find_opt last_def u with
+          | Some i -> add_edge i j (latency instrs.(i))
+          | None -> ());
+          Hashtbl.replace last_uses u
+            (j :: (Option.value ~default:[] (Hashtbl.find_opt last_uses u))))
+        (Ir.uses_of i_j);
+      (match Ir.def_of i_j with
+      | Some d ->
+          (* WAW and WAR edges keep multi-def registers in order *)
+          (match Hashtbl.find_opt last_def d with Some i -> add_edge i j 1 | None -> ());
+          List.iter
+            (fun u -> if u <> j then add_edge u j 0)
+            (Option.value ~default:[] (Hashtbl.find_opt last_uses d));
+          Hashtbl.replace last_def d j;
+          Hashtbl.replace last_uses d []
+      | None -> ());
+      if is_mem i_j then begin
+        (* loads may reorder among themselves; stores/calls are barriers *)
+        (match i_j with
+        | Ir.Store _ | Ir.Call _ ->
+            if !last_mem >= 0 && !last_mem <> j then add_edge !last_mem j 1;
+            (* conservatively order after every earlier memory op *)
+            for k = 0 to j - 1 do
+              if is_mem instrs.(k) && k <> !last_mem then add_edge k j 0
+            done;
+            last_store_or_call := j
+        | _ -> if !last_store_or_call >= 0 then add_edge !last_store_or_call j 1);
+        last_mem := j
+      end
+    done;
+    (* critical-path priority *)
+    let prio = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      prio.(i) <-
+        List.fold_left (fun acc (j, lat) -> max acc (lat + prio.(j))) (latency instrs.(i)) succs.(i)
+    done;
+    (* greedy list scheduling *)
+    let ready_at = Array.make n 0 in
+    let scheduled = Array.make n false in
+    let order = ref [] in
+    let emitted = ref 0 in
+    let cycle = ref 0 in
+    let npreds_left = Array.copy npreds in
+    while !emitted < n do
+      let issued = ref 0 in
+      let progress = ref true in
+      while !issued < issue_width && !progress do
+        progress := false;
+        (* pick the ready instruction with the highest priority *)
+        let best = ref (-1) in
+        for i = 0 to n - 1 do
+          if (not scheduled.(i)) && npreds_left.(i) = 0 && ready_at.(i) <= !cycle then
+            if !best = -1 || prio.(i) > prio.(!best) then best := i
+        done;
+        if !best >= 0 then begin
+          let i = !best in
+          scheduled.(i) <- true;
+          order := i :: !order;
+          incr emitted;
+          incr issued;
+          progress := true;
+          List.iter
+            (fun (j, lat) ->
+              npreds_left.(j) <- npreds_left.(j) - 1;
+              ready_at.(j) <- max ready_at.(j) (!cycle + lat))
+            succs.(i)
+        end
+      done;
+      incr cycle
+    done;
+    b.instrs <- List.rev_map (fun i -> instrs.(i)) !order
+  end
+
+let run_func ~issue_width (f : Ir.func) =
+  Array.iter (schedule_block ~issue_width) f.Ir.blocks
+
+let run ~issue_width (p : Ir.program) =
+  List.iter (fun (_, f) -> run_func ~issue_width f) p.funcs;
+  p

@@ -1,0 +1,7 @@
+(** The pre-register-allocation half of -fschedule-insns2: per-block list
+    scheduling by critical-path priority over a dependence DAG (true
+    register dependences with producer latencies; WAW/WAR edges for
+    multiply-defined registers; stores and calls as memory barriers), under
+    an issue-width resource bound. *)
+
+val run : issue_width:int -> Emc_ir.Ir.program -> Emc_ir.Ir.program

@@ -1,0 +1,149 @@
+open Emc_ir
+
+(** -fstrength-reduce: induction-variable strength reduction on canonical
+    counted loops.
+
+    Two patterns are reduced, both keyed on the loop's induction variable
+    [iv]:
+    - the canonical address pair [s = shl iv, k; a = add s, base] becomes a
+      derived induction variable [j = (iv << k) + base] initialized in the
+      preheader and bumped by [step * 2^k] in the latch — two ALU ops per
+      iteration become one move, and the [shl] usually dies;
+    - a standalone [d = mul iv, m] becomes a derived variable bumped by
+      [step * m] — a 3-cycle multiply becomes a move.
+
+    Derived variables are multiply-defined (preheader + latch), which is fine
+    in this non-SSA IR; downstream passes treat them conservatively. *)
+
+module IntSet = Set.Make (Int)
+
+let run_counted (f : Ir.func) (c : Loops.counted) =
+  let a = Analysis.compute f in
+  (* resolve an operand to a compile-time constant, looking through
+     single-def Iconst registers (constants are only folded into immediates
+     when -fgcse runs, and strength reduction must not depend on it) *)
+  let imm_of = function
+    | Ir.Imm k -> Some k
+    | Ir.Reg r -> (
+        match a.Analysis.def_instr.(r) with
+        | Some (Ir.Iconst (_, k)) -> Some k
+        | _ -> None)
+  in
+  let loop = c.loop in
+  let ph = Licm.ensure_preheader f loop in
+  let is_iv_incr = function
+    | Ir.Ibin (Ir.Add, d, Ir.Reg s, Ir.Imm _) -> d = c.iv && s = c.iv
+    | _ -> false
+  in
+  (* phase 1: single-def registers holding [shl iv, k] inside the loop *)
+  let shl_of : (Ir.vreg, int) Hashtbl.t = Hashtbl.create 8 in
+  IntSet.iter
+    (fun l ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Ir.Ibin (Ir.Shl, d, Ir.Reg s, Ir.Imm k)
+            when s = c.iv && Analysis.single_def a d && k >= 0 && k < 32 ->
+              Hashtbl.replace shl_of d k
+          | _ -> ())
+        f.blocks.(l).instrs)
+    loop.body;
+  (* phase 2: rewrite consumers, creating one derived IV per (k, base) or m *)
+  let derived : (string, Ir.vreg) Hashtbl.t = Hashtbl.create 8 in
+  let new_ph_instrs = ref [] and new_latch_incrs = ref [] in
+  let changed = ref false in
+  let derive key mk_init incr =
+    match Hashtbl.find_opt derived key with
+    | Some j -> j
+    | None ->
+        let j = Ir.fresh_reg f Ir.I64 in
+        Hashtbl.replace derived key j;
+        new_ph_instrs := !new_ph_instrs @ mk_init j;
+        new_latch_incrs := !new_latch_incrs @ [ Ir.Ibin (Ir.Add, j, Ir.Reg j, Ir.Imm incr) ];
+        j
+  in
+  let reduce_in_block l =
+    let b = f.blocks.(l) in
+    let before_incr = ref true in
+    b.instrs <-
+      List.map
+        (fun instr ->
+          if l = c.loop.latch && is_iv_incr instr then begin
+            before_incr := false;
+            instr
+          end
+          else if l <> c.loop.latch || !before_incr then
+            match instr with
+            (* a = add (shl iv << k), base  — the canonical array address *)
+            | Ir.Ibin (Ir.Add, d, Ir.Reg s, Ir.Imm base)
+            | Ir.Ibin (Ir.Add, d, Ir.Imm base, Ir.Reg s)
+              when Hashtbl.mem shl_of s && Analysis.single_def a d ->
+                let k = Hashtbl.find shl_of s in
+                let j =
+                  derive
+                    (Printf.sprintf "addr:%d:%d" k base)
+                    (fun j ->
+                      let t = Ir.fresh_reg f Ir.I64 in
+                      [
+                        Ir.Ibin (Ir.Shl, t, Ir.Reg c.iv, Ir.Imm k);
+                        Ir.Ibin (Ir.Add, j, Ir.Reg t, Ir.Imm base);
+                      ])
+                    (c.step lsl k)
+                in
+                changed := true;
+                Ir.Mov (Ir.I64, d, j)
+            (* d = mul iv, m (the multiplier may be an Imm or a single-def
+               constant register) *)
+            | Ir.Ibin (Ir.Mul, d, Ir.Reg s, mop) when s = c.iv && Analysis.single_def a d
+                                                      && imm_of mop <> None ->
+                let m = Option.get (imm_of mop) in
+                let j =
+                  derive
+                    (Printf.sprintf "mul:%d" m)
+                    (fun j -> [ Ir.Ibin (Ir.Mul, j, Ir.Reg c.iv, Ir.Imm m) ])
+                    (c.step * m)
+                in
+                changed := true;
+                Ir.Mov (Ir.I64, d, j)
+            | Ir.Ibin (Ir.Mul, d, mop, Ir.Reg s) when s = c.iv && Analysis.single_def a d
+                                                      && imm_of mop <> None ->
+                let m = Option.get (imm_of mop) in
+                let j =
+                  derive
+                    (Printf.sprintf "mul:%d" m)
+                    (fun j -> [ Ir.Ibin (Ir.Mul, j, Ir.Reg c.iv, Ir.Imm m) ])
+                    (c.step * m)
+                in
+                changed := true;
+                Ir.Mov (Ir.I64, d, j)
+            | _ -> instr
+          else instr)
+        b.instrs
+  in
+  IntSet.iter reduce_in_block loop.body;
+  if !changed then begin
+    let phb = f.blocks.(ph) in
+    phb.instrs <- phb.instrs @ !new_ph_instrs;
+    let latch = f.blocks.(c.loop.latch) in
+    latch.instrs <- latch.instrs @ !new_latch_incrs;
+    (* dead shl instructions are cleaned up by the always-on DCE *)
+    ignore (Dce.run_func f)
+  end;
+  !changed
+
+let run_func (f : Ir.func) =
+  let loops = Loops.find f in
+  List.iter
+    (fun loop ->
+      (* refresh: earlier reductions may have changed the CFG *)
+      match List.find_opt (fun l -> l.Loops.header = loop.Loops.header) (Loops.find f) with
+      | Some l -> (
+          match Loops.counted_loop f l with
+          | Some c -> ignore (run_counted f c)
+          | None -> ())
+      | None -> ())
+    loops
+
+let run (p : Ir.program) =
+  List.iter (fun (_, f) -> run_func f) p.funcs;
+  p

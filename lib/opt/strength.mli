@@ -1,0 +1,8 @@
+(** -fstrength-reduce: induction-variable strength reduction on canonical
+    counted loops. The canonical array-address pair [shl iv, k; add, base]
+    becomes a derived induction variable bumped in the latch (two ALU ops →
+    one move per iteration), and [mul iv, const] becomes an add-stepped
+    variable (3-cycle multiply → move). *)
+
+val run_func : Emc_ir.Ir.func -> unit
+val run : Emc_ir.Ir.program -> Emc_ir.Ir.program

@@ -1,0 +1,122 @@
+open Emc_ir
+
+(** -funroll-loops, governed by the max-unroll-times and max-unrolled-insns
+    heuristics (Table 1 #13/#14).
+
+    Only canonical counted innermost loops are unrolled. Given a factor [u],
+    the transformed code is:
+
+    {v
+    preheader:  ... -> guard
+    guard:      t = iv + (u-1)*step ; c = t cmp bound ; condbr c, copy1, header
+    copy1..u:   clones of the body blocks (each ends with the cloned latch
+                iv += step); the last copy branches back to guard
+    header:     the ORIGINAL loop, kept verbatim as the remainder loop
+    v}
+
+    The IR is not SSA and execution is sequential, so body clones reuse the
+    original virtual registers unchanged — loop-carried scalars (accumulators,
+    derived induction variables from strength reduction) remain correct by
+    construction. The cost of unrolling is real: code size grows by roughly
+    [u * body], which pressures the I-cache exactly as the paper's Figure 3
+    explores, and the guard adds one add+compare per unrolled group. *)
+
+module IntSet = Set.Make (Int)
+
+let body_size (f : Ir.func) (loop : Loops.t) =
+  IntSet.fold (fun l acc -> acc + List.length f.blocks.(l).instrs + 1) loop.body 0
+
+let is_innermost loops (loop : Loops.t) =
+  not
+    (List.exists
+       (fun (l' : Loops.t) ->
+         l'.header <> loop.header && IntSet.mem l'.header loop.body)
+       loops)
+
+(* Clone the loop body (all blocks except the header) [u] times. *)
+let unroll_counted (f : Ir.func) (c : Loops.counted) ~factor =
+  let loop = c.loop in
+  let body_labels = IntSet.elements (IntSet.remove loop.header loop.body) in
+  (* the guard block *)
+  let guard = Ir.fresh_block f in
+  (* redirect outside entries from header to guard *)
+  let outside = Loops.preheader_candidates f loop in
+  List.iter
+    (fun p ->
+      let b = f.blocks.(p) in
+      b.term <-
+        (match b.term with
+        | Ir.Br l when l = loop.header -> Ir.Br guard.id
+        | Ir.CondBr (cnd, x, y) ->
+            Ir.CondBr
+              ( cnd,
+                (if x = loop.header then guard.id else x),
+                if y = loop.header then guard.id else y )
+        | t -> t))
+    outside;
+  (* clone copies *)
+  let copies =
+    Array.init factor (fun _ ->
+        let map = Hashtbl.create 8 in
+        List.iter (fun l -> Hashtbl.replace map l (Ir.fresh_block f).Ir.id) body_labels;
+        map)
+  in
+  let remap map l = match Hashtbl.find_opt map l with Some l' -> l' | None -> l in
+  Array.iteri
+    (fun ci map ->
+      List.iter
+        (fun l ->
+          let src = f.blocks.(l) in
+          let dst = f.blocks.(Hashtbl.find map l) in
+          dst.instrs <- src.instrs;
+          dst.term <-
+            (match src.term with
+            | Ir.Br t when t = loop.header ->
+                (* cloned latch: chain to the next copy, or back to the guard *)
+                if ci + 1 < factor then Ir.Br (remap copies.(ci + 1) c.body_entry)
+                else Ir.Br guard.id
+            | Ir.Br t -> Ir.Br (remap map t)
+            | Ir.CondBr (cnd, a, b) -> Ir.CondBr (cnd, remap map a, remap map b)
+            | Ir.Ret r -> Ir.Ret r))
+        body_labels)
+    copies;
+  (* guard: t = iv + (factor-1)*step; cond = t cmp bound; -> copy1 | header *)
+  let t = Ir.fresh_reg f Ir.I64 in
+  let cond = Ir.fresh_reg f Ir.I64 in
+  guard.instrs <-
+    [
+      Ir.Ibin (Ir.Add, t, Ir.Reg c.iv, Ir.Imm ((factor - 1) * c.step));
+      Ir.Icmp (c.cmp, cond, Ir.Reg t, c.bound);
+    ];
+  guard.term <- Ir.CondBr (cond, remap copies.(0) c.body_entry, loop.header);
+  (* layout: guard, copies in order, then the original (remainder) loop *)
+  let copy_labels =
+    List.concat_map
+      (fun map -> List.map (fun l -> Hashtbl.find map l) body_labels)
+      (Array.to_list copies)
+  in
+  let rec insert = function
+    | [] -> [ guard.id ] @ copy_labels
+    | l :: rest when l = loop.header -> (guard.id :: copy_labels) @ (l :: rest)
+    | l :: rest -> l :: insert rest
+  in
+  f.layout <- insert f.layout
+
+let run_func ~(max_unroll_times : int) ~(max_unrolled_insns : int) (f : Ir.func) =
+  let loops = Loops.find f in
+  List.iter
+    (fun loop ->
+      match List.find_opt (fun l -> l.Loops.header = loop.Loops.header) (Loops.find f) with
+      | None -> ()
+      | Some l ->
+          if is_innermost loops loop then
+            match Loops.counted_loop f l with
+            | Some c when body_size f l <= max_unrolled_insns && max_unroll_times >= 2 ->
+                unroll_counted f c ~factor:max_unroll_times
+            | _ -> ())
+    loops;
+  Ir.remove_unreachable f
+
+let run ~max_unroll_times ~max_unrolled_insns (p : Ir.program) =
+  List.iter (fun (_, f) -> run_func ~max_unroll_times ~max_unrolled_insns f) p.funcs;
+  p

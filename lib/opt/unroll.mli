@@ -1,0 +1,8 @@
+(** -funroll-loops, governed by max-unroll-times and max-unrolled-insns
+    (Table 1 #13/#14). Canonical counted innermost loops whose body fits the
+    size budget are unrolled by the full factor behind a group guard, with
+    the original loop kept as the remainder. Code size grows by roughly
+    factor × body — the I-cache pressure the paper's Figure 3 explores. *)
+
+val run :
+  max_unroll_times:int -> max_unrolled_insns:int -> Emc_ir.Ir.program -> Emc_ir.Ir.program

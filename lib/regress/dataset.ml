@@ -1,0 +1,42 @@
+open Emc_util
+
+(** Training/test data: design points in coded [-1,1] space with measured
+    responses (execution time in cycles). *)
+
+type t = { x : float array array; y : float array }
+
+let size d = Array.length d.y
+
+let create x y =
+  if Array.length x <> Array.length y then invalid_arg "Dataset.create: length mismatch";
+  if Array.length x = 0 then invalid_arg "Dataset.create: empty dataset";
+  { x; y }
+
+let dims d = Array.length d.x.(0)
+
+let append a b =
+  { x = Array.append a.x b.x; y = Array.append a.y b.y }
+
+let sub d idx =
+  { x = Array.map (fun i -> d.x.(i)) idx; y = Array.map (fun i -> d.y.(i)) idx }
+
+(** Random subset of [n] points (without replacement). *)
+let sample rng d n =
+  let n = min n (size d) in
+  sub d (Rng.sample_without_replacement rng n (size d))
+
+(** Split into two disjoint parts of sizes [n] and [size-n], randomly. *)
+let split rng d n =
+  let idx = Array.init (size d) Fun.id in
+  Rng.shuffle rng idx;
+  (sub d (Array.sub idx 0 n), sub d (Array.sub idx n (size d - n)))
+
+(** Normalize responses to mean 0 / scale 1; returns the transformed dataset
+    plus the inverse transform (models train better on standardized targets,
+    predictions are mapped back). *)
+let standardize d =
+  let mu = Stats.mean d.y in
+  let sd = Stats.sample_stddev d.y in
+  let sd = if sd < 1e-12 then 1.0 else sd in
+  let y' = Array.map (fun v -> (v -. mu) /. sd) d.y in
+  ({ d with y = y' }, fun v -> (v *. sd) +. mu)

@@ -1,0 +1,27 @@
+(** Training/test data for the empirical models: design points in the coded
+    [-1,1] space paired with measured responses (cycles, energy or code
+    size). *)
+
+type t = { x : float array array; y : float array }
+
+val create : float array array -> float array -> t
+(** Raises [Invalid_argument] on a length mismatch or an empty set. *)
+
+val size : t -> int
+val dims : t -> int
+val append : t -> t -> t
+
+val sub : t -> int array -> t
+(** Select rows by index. *)
+
+val sample : Emc_util.Rng.t -> t -> int -> t
+(** Random subset without replacement (used for the Figure-5 learning
+    curves); clamps to the dataset size. *)
+
+val split : Emc_util.Rng.t -> t -> int -> t * t
+(** Random disjoint split into sizes [n] and [size - n]. *)
+
+val standardize : t -> t * (float -> float)
+(** Responses shifted/scaled to mean 0, sd 1; the returned function maps
+    model outputs back to the original units. Models train on the
+    standardized target and wrap their predictor with the inverse. *)

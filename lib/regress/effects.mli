@@ -1,0 +1,29 @@
+(** Model interpretation in the paper's Table-4 form: "the coefficient of a
+    variable/interaction is one-half the change in the response caused by
+    changing the variable(s) from their low to high value", evaluated at the
+    center of the coded space. Model-agnostic — works for linear, MARS and
+    RBF predictors alike, so their effect listings are directly
+    comparable. *)
+
+val constant : (float array -> float) -> dims:int -> float
+(** Prediction at the center of the space (all variables at coded 0). *)
+
+val main_effect : (float array -> float) -> dims:int -> int -> float
+(** [(f(+e_i) − f(−e_i)) / 2] with all other variables at 0. *)
+
+val interaction_effect : (float array -> float) -> dims:int -> int -> int -> float
+(** [(f(++) − f(+−) − f(−+) + f(−−)) / 4] for variables [i] and [j]. *)
+
+val main_effects : (float array -> float) -> dims:int -> float array
+
+val interaction_effects : (float array -> float) -> dims:int -> (int * int * float) list
+(** All pairs [(i, j, effect)] with [i < j]. *)
+
+val top_effects :
+  ?threshold:float ->
+  (float array -> float) ->
+  dims:int ->
+  names:string array ->
+  (string * float) list
+(** Main effects and two-factor interactions merged, labeled, filtered by
+    absolute magnitude and sorted strongest-first — a Table-4 column. *)

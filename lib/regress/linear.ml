@@ -1,0 +1,82 @@
+open Emc_linalg
+
+(** Linear regression with two-factor interactions (paper §4.1, Equation 2):
+
+    [y = β0 + Σ βi xi + Σ Σ βij xi xj]
+
+    fitted by least squares (Householder QR). With 25 predictors this is
+    1 + 25 + 325 = 351 columns; the paper's 400-point designs keep it
+    overdetermined. Pure main-effects models are available with
+    [~interactions:false]. *)
+
+let n_features ~interactions k = if interactions then 1 + k + (k * (k + 1) / 2) else 1 + k
+
+let expand ~interactions x =
+  let k = Array.length x in
+  let out = Array.make (n_features ~interactions k) 1.0 in
+  Array.blit x 0 out 1 k;
+  if interactions then begin
+    let idx = ref (1 + k) in
+    for i = 0 to k - 1 do
+      for j = i to k - 1 do
+        out.(!idx) <- x.(i) *. x.(j);
+        incr idx
+      done
+    done
+  end;
+  out
+
+let feature_names ~interactions names =
+  let k = Array.length names in
+  let out = Array.make (n_features ~interactions k) "const" in
+  Array.blit names 0 out 1 k;
+  if interactions then begin
+    let idx = ref (1 + k) in
+    for i = 0 to k - 1 do
+      for j = i to k - 1 do
+        out.(!idx) <- (if i = j then names.(i) ^ "^2" else names.(i) ^ " * " ^ names.(j));
+        incr idx
+      done
+    done
+  end;
+  out
+
+(* Tiny Tikhonov ridge: with the paper's 400-point designs the penalty is
+   negligible, but it keeps the 351-column interaction model well-posed on
+   the smaller designs of the quick protocol instead of exploding. *)
+let ridge = 1e-4
+
+let fit ?(interactions = true) ?(names = [||]) (d : Dataset.t) : Model.t =
+  let k = Dataset.dims d in
+  let names = if Array.length names = k then names else Array.init k (Printf.sprintf "x%d") in
+  let d_std, unstd_y = Dataset.standardize d in
+  let rows = Array.map (expand ~interactions) d_std.Dataset.x in
+  let xmat = Mat.of_rows rows in
+  let beta =
+    let g = Mat.gram xmat in
+    let p = Mat.rows g in
+    for i = 0 to p - 1 do
+      Mat.set g i i (Mat.get g i i +. (ridge *. float_of_int (Dataset.size d)))
+    done;
+    let rhs = Mat.mul_vec (Mat.transpose xmat) d_std.Dataset.y in
+    try Mat.solve_spd g rhs with Failure _ -> Mat.lstsq xmat d_std.Dataset.y
+  in
+  let fnames = feature_names ~interactions names in
+  let sd = unstd_y 1.0 -. unstd_y 0.0 in
+  let terms =
+    Array.to_list
+      (Array.mapi
+         (fun i b -> (fnames.(i), if i = 0 then unstd_y b else b *. sd))
+         beta)
+  in
+  {
+    Model.technique = "linear";
+    predict =
+      (fun x ->
+        let f = expand ~interactions x in
+        let acc = ref 0.0 in
+        Array.iteri (fun i v -> acc := !acc +. (v *. beta.(i))) f;
+        unstd_y !acc);
+    n_params = Array.length beta;
+    terms = List.filter (fun (_, b) -> Float.abs b > 1e-12) terms;
+  }

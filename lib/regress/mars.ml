@@ -1,0 +1,178 @@
+open Emc_linalg
+
+(** Multivariate Adaptive Regression Splines (Friedman '91; paper §4.2).
+
+    Basis functions are products of hinge functions
+    [max(0, ±(x_d − t))], up to degree [max_degree] (2, matching the paper's
+    two-factor-interaction scope). The forward pass greedily adds the
+    reflected pair that most reduces training SSE, considering every current
+    basis as a parent, every unused dimension, and knots at distinct data
+    values; the backward pass prunes terms by GCV (the criterion polspline
+    uses, §5 of the paper) and the best-GCV subset is refit and returned. *)
+
+type factor = { dim : int; knot : float; positive : bool }
+
+type basis = factor list (* empty = intercept *)
+
+let eval_basis (b : basis) x =
+  List.fold_left
+    (fun acc f ->
+      let v = if f.positive then x.(f.dim) -. f.knot else f.knot -. x.(f.dim) in
+      if v <= 0.0 then 0.0 else acc *. v)
+    1.0 b
+
+let basis_name names (b : basis) =
+  match b with
+  | [] -> "const"
+  | fs ->
+      String.concat " * "
+        (List.map
+           (fun f ->
+             let n = names.(f.dim) in
+             if f.positive then Printf.sprintf "h(%s-%.2f)" n f.knot
+             else Printf.sprintf "h(%.2f-%s)" f.knot n)
+           fs)
+
+let ridge = 1e-9
+
+(* Solve least squares given columns; returns (weights, sse). *)
+let solve_sse (cols : float array array) (y : float array) =
+  let m = Array.length cols in
+  let n = Array.length y in
+  let g = Mat.init m m (fun i j ->
+      let acc = ref 0.0 in
+      for r = 0 to n - 1 do
+        acc := !acc +. (cols.(i).(r) *. cols.(j).(r))
+      done;
+      !acc)
+  in
+  for i = 0 to m - 1 do
+    Mat.set g i i (Mat.get g i i +. ridge)
+  done;
+  let rhs =
+    Array.init m (fun i ->
+        let acc = ref 0.0 in
+        for r = 0 to n - 1 do
+          acc := !acc +. (cols.(i).(r) *. y.(r))
+        done;
+        !acc)
+  in
+  match (try Some (Mat.solve_spd g rhs) with Failure _ -> None) with
+  | None -> (Array.make m 0.0, infinity)
+  | Some w ->
+      let sse = ref 0.0 in
+      for r = 0 to n - 1 do
+        let p = ref 0.0 in
+        for i = 0 to m - 1 do
+          p := !p +. (w.(i) *. cols.(i).(r))
+        done;
+        let e = !p -. y.(r) in
+        sse := !sse +. (e *. e)
+      done;
+      (w, !sse)
+
+let effective_params m = float_of_int m +. (3.0 *. float_of_int (m - 1))
+
+let knot_candidates ?(max_knots = 5) (d : Dataset.t) dim =
+  let vals = List.sort_uniq compare (Array.to_list (Array.map (fun x -> x.(dim)) d.Dataset.x)) in
+  (* drop the maximum (its positive hinge column would be all zero) *)
+  let vals = match List.rev vals with [] | [ _ ] -> [] | _ :: rest -> List.rev rest in
+  let m = List.length vals in
+  if m <= max_knots then vals
+  else
+    let stride = float_of_int m /. float_of_int max_knots in
+    List.filteri (fun i _ -> int_of_float (Float.rem (float_of_int i) stride) = 0) vals
+    |> fun l -> if List.length l > max_knots then List.filteri (fun i _ -> i < max_knots) l else l
+
+let fit ?(max_terms = 23) ?(max_degree = 2) ?(names = [||]) (d : Dataset.t) : Model.t =
+  let d_std, unstd = Dataset.standardize d in
+  let n = Dataset.size d_std in
+  let k = Dataset.dims d_std in
+  let names = if Array.length names = k then names else Array.init k (Printf.sprintf "x%d") in
+  let y = d_std.Dataset.y in
+  let col_of b = Array.map (eval_basis b) d_std.Dataset.x in
+  let bases = ref [ ([] : basis) ] in
+  let cols = ref [ col_of [] ] in
+  let knots = Array.init k (fun dim -> knot_candidates d_std dim) in
+  (* ---------- forward pass ---------- *)
+  let current_sse = ref (snd (solve_sse (Array.of_list !cols) y)) in
+  let continue_ = ref true in
+  while !continue_ && List.length !bases + 2 <= max_terms do
+    let best = ref None in
+    List.iteri
+      (fun pi parent ->
+        if List.length parent < max_degree then
+          let parent_col = List.nth !cols pi in
+          for dim = 0 to k - 1 do
+            if not (List.exists (fun f -> f.dim = dim) parent) then
+              List.iter
+                (fun knot ->
+                  let c1 = Array.mapi (fun r pv ->
+                      let v = d_std.Dataset.x.(r).(dim) -. knot in
+                      if v > 0.0 then pv *. v else 0.0) parent_col
+                  in
+                  let c2 = Array.mapi (fun r pv ->
+                      let v = knot -. d_std.Dataset.x.(r).(dim) in
+                      if v > 0.0 then pv *. v else 0.0) parent_col
+                  in
+                  let ext = Array.of_list (!cols @ [ c1; c2 ]) in
+                  let _, sse = solve_sse ext y in
+                  match !best with
+                  | Some (s, _, _, _, _) when s <= sse -> ()
+                  | _ -> best := Some (sse, parent, dim, knot, (c1, c2)))
+                knots.(dim)
+          done)
+      !bases;
+    match !best with
+    | Some (sse, parent, dim, knot, (c1, c2)) when sse < !current_sse *. 0.999 ->
+        bases := !bases @ [ { dim; knot; positive = true } :: parent;
+                            { dim; knot; positive = false } :: parent ];
+        cols := !cols @ [ c1; c2 ];
+        current_sse := sse
+    | _ -> continue_ := false
+  done;
+  (* ---------- backward pass ---------- *)
+  let eval_subset subset =
+    let cs = Array.of_list (List.filteri (fun i _ -> List.mem i subset) !cols) in
+    let _, sse = solve_sse cs y in
+    Metrics.gcv ~samples:n ~effective_params:(effective_params (Array.length cs)) ~sse
+  in
+  let all_idx = List.init (List.length !bases) Fun.id in
+  let best_subset = ref all_idx in
+  let best_gcv = ref (eval_subset all_idx) in
+  let cur = ref all_idx in
+  while List.length !cur > 1 do
+    (* try removing each non-intercept index; keep the best resulting GCV *)
+    let cands =
+      List.filter_map
+        (fun drop -> if drop = 0 then None else Some (drop, eval_subset (List.filter (( <> ) drop) !cur)))
+        !cur
+    in
+    match cands with
+    | [] -> cur := [ 0 ]
+    | _ ->
+        let drop, g = List.fold_left (fun (bd, bg) (d', g') -> if g' < bg then (d', g') else (bd, bg))
+            (fst (List.hd cands), snd (List.hd cands)) (List.tl cands)
+        in
+        cur := List.filter (( <> ) drop) !cur;
+        if g < !best_gcv then begin
+          best_gcv := g;
+          best_subset := !cur
+        end
+  done;
+  (* ---------- final refit ---------- *)
+  let final_bases = List.filteri (fun i _ -> List.mem i !best_subset) !bases in
+  let final_cols = Array.of_list (List.filteri (fun i _ -> List.mem i !best_subset) !cols) in
+  let w, _ = solve_sse final_cols y in
+  let final_bases = Array.of_list final_bases in
+  {
+    Model.technique = "mars";
+    predict =
+      (fun x ->
+        let acc = ref 0.0 in
+        Array.iteri (fun i b -> acc := !acc +. (w.(i) *. eval_basis b x)) final_bases;
+        unstd !acc);
+    n_params = Array.length w;
+    terms =
+      Array.to_list (Array.mapi (fun i b -> (basis_name names b, w.(i))) final_bases);
+  }

@@ -1,0 +1,11 @@
+(** Multivariate Adaptive Regression Splines (Friedman '91; paper §4.2).
+
+    Basis functions are products of hinge functions [max(0, ±(x_d − t))] up
+    to degree 2 (the paper's two-factor scope). The forward pass greedily
+    adds the reflected hinge pair that most reduces training SSE over every
+    (parent basis, unused dimension, data knot) candidate; the backward pass
+    prunes terms by GCV and refits the best subset. The result is both
+    accurate and interpretable: [terms] lists every surviving basis function
+    with its coefficient, which is what the paper's Table 4 reads off. *)
+
+val fit : ?max_terms:int -> ?max_degree:int -> ?names:string array -> Dataset.t -> Model.t

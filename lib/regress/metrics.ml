@@ -1,0 +1,46 @@
+(** Model quality metrics (paper §4.4 and §6.1). *)
+
+(** Mean absolute percentage error of predictions vs actuals. *)
+let mape predict (d : Dataset.t) =
+  let n = Dataset.size d in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let p = predict d.Dataset.x.(i) in
+    acc := !acc +. (Float.abs (p -. d.Dataset.y.(i)) /. Float.abs d.Dataset.y.(i))
+  done;
+  100.0 *. !acc /. float_of_int n
+
+let rmse predict (d : Dataset.t) =
+  let n = Dataset.size d in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let e = predict d.Dataset.x.(i) -. d.Dataset.y.(i) in
+    acc := !acc +. (e *. e)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let sse predict (d : Dataset.t) =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let e = predict x -. d.Dataset.y.(i) in
+      acc := !acc +. (e *. e))
+    d.Dataset.x;
+  !acc
+
+(** Bayesian information criterion as used in the paper (Equation 9):
+    [BIC = (p + (ln p - 1) γ) / (p (p - γ)) × SSE] with [p] samples and [γ]
+    model parameters. Lower is better; γ >= p yields [infinity]. *)
+let bic ~samples ~params ~sse:e =
+  let p = float_of_int samples and g = float_of_int params in
+  if g >= p then infinity else (p +. ((log p -. 1.0) *. g)) /. (p *. (p -. g)) *. e
+
+(** Generalized cross validation (Friedman '91): [SSE/n / (1 - C/n)^2] where
+    the effective parameter count [c] includes the knot-selection penalty. *)
+let gcv ~samples ~effective_params ~sse:e =
+  let n = float_of_int samples in
+  let c = effective_params in
+  if c >= n then infinity
+  else
+    let denom = 1.0 -. (c /. n) in
+    e /. n /. (denom *. denom)

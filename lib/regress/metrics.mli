@@ -1,0 +1,18 @@
+(** Model-quality metrics (paper §4.4 and §6.1). *)
+
+val mape : (float array -> float) -> Dataset.t -> float
+(** Mean absolute percentage error — the paper's Table-3 metric. *)
+
+val rmse : (float array -> float) -> Dataset.t -> float
+
+val sse : (float array -> float) -> Dataset.t -> float
+(** Sum of squared errors (Equation 4). *)
+
+val bic : samples:int -> params:int -> sse:float -> float
+(** Bayesian information criterion, exactly the paper's Equation 9:
+    [(p + (ln p − 1)γ) / (p(p − γ)) × SSE]. [infinity] when [params >=
+    samples]. Lower is better. *)
+
+val gcv : samples:int -> effective_params:float -> sse:float -> float
+(** Generalized cross-validation (Friedman '91), used by the MARS backward
+    pass: [SSE/n / (1 − C/n)²]. *)

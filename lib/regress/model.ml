@@ -1,0 +1,10 @@
+(** Common model interface: every technique yields a predictor plus an
+    interpretable term listing (coefficients for linear/MARS; centers for
+    RBF networks). *)
+
+type t = {
+  technique : string;
+  predict : float array -> float;
+  n_params : int;  (** for BIC-style complexity accounting *)
+  terms : (string * float) list;  (** human-readable term/coefficient pairs *)
+}

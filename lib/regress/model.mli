@@ -1,0 +1,11 @@
+(** Common interface for fitted empirical models. *)
+
+type t = {
+  technique : string;  (** "linear", "mars", "rbf-rt(<kernel>)", ... *)
+  predict : float array -> float;  (** response at a coded design point *)
+  n_params : int;  (** fitted parameter count, for BIC-style accounting *)
+  terms : (string * float) list;
+      (** interpretable term/coefficient pairs — populated for linear and
+          MARS models (the paper's Table-4 reading), informational for RBF
+          networks *)
+}

@@ -1,0 +1,24 @@
+(** Radial basis function networks with regression-tree center selection
+    (paper §4.3; Orr et al., the paper's reference [12]).
+
+    A regression tree partitions the design space into regions of roughly
+    uniform response; the training point nearest each leaf centroid becomes
+    an RBF center with a radius set by the leaf's spatial spread; output
+    weights are ridge-regularized least squares; the network size is chosen
+    by BIC (§4.4). The paper's printed "multiquad" kernel formula is
+    imaginary for distant inputs — an evident typo for the standard
+    multiquadric √(d²/r² + 1), which is the default here (it was the paper's
+    most accurate kernel). *)
+
+type kernel = Gaussian | Multiquadric | InverseMultiquadric
+
+val kernel_name : kernel -> string
+
+val eval_kernel : kernel -> r:float -> float -> float
+(** [eval_kernel k ~r d2] evaluates the kernel at squared distance [d2] with
+    radius [r]; all kernels are 1 at the center. *)
+
+val default_size_grid : int -> int list
+(** Candidate center counts tried by BIC for a given training-set size. *)
+
+val fit : ?kernel:kernel -> ?size_grid:int list -> Dataset.t -> Model.t

@@ -1,0 +1,133 @@
+open Emc_util
+
+(** Genetic algorithm over coded design points (paper §6.3).
+
+    Genomes are vectors of per-gene levels; fitness is {e minimized} (the
+    model's predicted execution time). Tournament selection, uniform
+    crossover, per-gene mutation to a random admissible level, elitism.
+    The paper's GA "terminates when the optimal design point is reached or
+    the number of generations exceeds a threshold" — we run a fixed number
+    of generations with early exit on prolonged stagnation. *)
+
+type problem = { levels : float array array  (** admissible coded values per gene *) }
+
+type params = {
+  pop_size : int;
+  generations : int;
+  elite : int;
+  tournament : int;
+  crossover_p : float;
+  mutation_p : float;
+  stagnation_limit : int;
+}
+
+let default_params =
+  { pop_size = 60; generations = 60; elite = 2; tournament = 3; crossover_p = 0.9;
+    mutation_p = 0.08; stagnation_limit = 15 }
+
+let random_genome rng (p : problem) = Array.map (fun ls -> Rng.choice rng ls) p.levels
+
+let optimize ?(params = default_params) rng (p : problem) ~fitness =
+  let k = Array.length p.levels in
+  let pop = Array.init params.pop_size (fun _ -> random_genome rng p) in
+  let fit = Array.map fitness pop in
+  let order () =
+    let idx = Array.init params.pop_size Fun.id in
+    Array.sort (fun a b -> compare fit.(a) fit.(b)) idx;
+    idx
+  in
+  let best = ref (Array.copy pop.(0)) and best_f = ref fit.(0) in
+  let update_best () =
+    Array.iteri
+      (fun i f ->
+        if f < !best_f then begin
+          best_f := f;
+          best := Array.copy pop.(i)
+        end)
+      fit
+  in
+  update_best ();
+  let stagnant = ref 0 in
+  let gen = ref 0 in
+  while !gen < params.generations && !stagnant < params.stagnation_limit do
+    incr gen;
+    let prev_best = !best_f in
+    let idx = order () in
+    let tournament () =
+      let w = ref (Rng.int rng params.pop_size) in
+      for _ = 2 to params.tournament do
+        let c = Rng.int rng params.pop_size in
+        if fit.(c) < fit.(!w) then w := c
+      done;
+      pop.(!w)
+    in
+    let next = Array.make params.pop_size [||] in
+    (* elitism *)
+    for e = 0 to params.elite - 1 do
+      next.(e) <- Array.copy pop.(idx.(e))
+    done;
+    for i = params.elite to params.pop_size - 1 do
+      let a = tournament () and b = tournament () in
+      let child =
+        if Rng.float rng 1.0 < params.crossover_p then
+          Array.init k (fun g -> if Rng.bool rng then a.(g) else b.(g))
+        else Array.copy a
+      in
+      Array.iteri
+        (fun g _ -> if Rng.float rng 1.0 < params.mutation_p then child.(g) <- Rng.choice rng p.levels.(g))
+        child;
+      next.(i) <- child
+    done;
+    Array.blit next 0 pop 0 params.pop_size;
+    Array.iteri (fun i g -> fit.(i) <- fitness g) pop;
+    update_best ();
+    if !best_f < prev_best -. 1e-12 then stagnant := 0 else incr stagnant
+  done;
+  (!best, !best_f)
+
+(** Pure random search baseline (same budget accounting as the GA). *)
+let random_search rng (p : problem) ~fitness ~evals =
+  let best = ref (random_genome rng p) in
+  let best_f = ref (fitness !best) in
+  for _ = 2 to evals do
+    let g = random_genome rng p in
+    let f = fitness g in
+    if f < !best_f then begin
+      best_f := f;
+      best := g
+    end
+  done;
+  (!best, !best_f)
+
+(** First-improvement hill climbing over per-gene level moves. *)
+let hill_climb rng (p : problem) ~fitness ~restarts =
+  let k = Array.length p.levels in
+  let best = ref (random_genome rng p) and best_f = ref infinity in
+  for _ = 1 to restarts do
+    let cur = ref (random_genome rng p) in
+    let cur_f = ref (fitness !cur) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      for g = 0 to k - 1 do
+        Array.iter
+          (fun lv ->
+            if lv <> !cur.(g) then begin
+              let cand = Array.copy !cur in
+              cand.(g) <- lv;
+              let f = fitness cand in
+              if f < !cur_f then begin
+                cur := cand;
+                cur_f := f;
+                improved := true
+              end
+            end)
+          p.levels.(g)
+      done
+    done;
+    if !cur_f < !best_f then begin
+      best := !cur;
+      best_f := !cur_f
+    end
+  done;
+  (!best, !best_f)

@@ -1,0 +1,31 @@
+(** Combined branch predictor (paper parameter #16): a bimodal table and a
+    gshare-style 2-level table of equal size, arbitrated by a chooser of
+    2-bit counters. Calls and returns are treated as perfectly predicted
+    (idealized BTB and return-address stack); only conditional-branch
+    direction mispredictions cost pipeline cycles. *)
+
+type t = {
+  size : int;
+  bimodal : Bytes.t;
+  pht : Bytes.t;
+  chooser : Bytes.t;
+  hist_mask : int;
+  mutable ghr : int;
+  mutable lookups : int;  (** conditional branches seen *)
+  mutable mispredicts : int;
+}
+
+val create : size:int -> t
+(** [size] is the entry count of {e each} component table and must be a
+    positive power of two (512–8192 in the paper's design space). *)
+
+val predict : t -> int -> bool
+(** Predicted direction for the branch at the given pc, without updating any
+    state. *)
+
+val update : t -> int -> bool -> bool
+(** [update t pc taken] trains all component tables and the global history
+    with the actual outcome, updates statistics, and returns whether the
+    prediction made before training was correct. *)
+
+val mispredict_rate : t -> float

@@ -1,0 +1,30 @@
+(** Abstract energy model (Wattch-style event counting) — the "power
+    consumption" response the paper's §2.2 mentions as an alternative
+    modeling target. Energy is accumulated in abstract units from event
+    counts the simulator already collects; absolute values are meaningless,
+    only relative comparisons across configurations matter. *)
+
+type coefficients = {
+  fu_energy : float array;  (** per-instruction energy by {!Emc_isa.Isa.fu_index} *)
+  l1_access : float;
+  l2_access : float;
+  mem_access : float;
+  bpred_lookup : float;
+  mispredict : float;  (** recovery energy per direction misprediction *)
+  leak_per_cycle_per_way : float;  (** static energy, scaled by issue width *)
+}
+
+val default : coefficients
+
+type breakdown = {
+  total : float;
+  dynamic_fu : float;  (** functional-unit switching energy *)
+  memory : float;  (** cache and DRAM access energy *)
+  predictor : float;
+  leakage : float;
+}
+
+val estimate : ?coeffs:coefficients -> Ooo.t -> cycles:float -> breakdown
+(** Energy for a finished (or SMARTS-sampled) simulation; [cycles] may be an
+    estimate — every other count is exact, since functional warming updates
+    the same cache/predictor structures as detailed simulation. *)

@@ -1,0 +1,178 @@
+open Emc_isa
+
+(** Functional (architectural) simulator for the target ISA.
+
+    Executes the linked program one instruction per [step] call and returns a
+    {!dyn} record describing the dynamic instance — exactly what the timing
+    model and the SMARTS functional-warming mode need. Integer values are
+    OCaml native ints and floats are doubles, matching the IR interpreter's
+    semantics, so outputs are comparable bit-for-bit across optimization
+    levels. *)
+
+type value = VI of int | VF of float
+
+type dyn = {
+  idx : int;  (** static instruction index (= pc) *)
+  addr : int;  (** byte address for memory ops; -1 otherwise *)
+  taken : bool;  (** outcome for conditional branches; true for jumps *)
+}
+
+type t = {
+  prog : Isa.program;
+  regs : int array;  (** 32 integer registers *)
+  fregs : float array;  (** 32 FP registers *)
+  imem : int array;  (** word-addressed integer view of memory *)
+  fmem : float array;  (** word-addressed FP view of memory *)
+  mutable pc : int;
+  mutable halted : bool;
+  mutable icount : int;
+  mutable outputs : value list;  (** reversed *)
+  class_counts : int array;  (** dynamic instructions per FU class, for the energy model *)
+}
+
+let create (prog : Isa.program) =
+  let words = Emc_ir.Memlayout.mem_words prog.Isa.layout in
+  let t =
+    {
+      prog;
+      regs = Array.make 32 0;
+      fregs = Array.make 32 0.0;
+      imem = Array.make words 0;
+      fmem = Array.make words 0.0;
+      pc = prog.Isa.entry;
+      halted = false;
+      icount = 0;
+      outputs = [];
+      class_counts = Array.make Isa.n_fu_classes 0;
+    }
+  in
+  t.regs.(Isa.r_sp) <- Emc_ir.Memlayout.stack_top prog.Isa.layout;
+  t
+
+let word addr =
+  if addr land 7 <> 0 then failwith (Printf.sprintf "Func: unaligned access %#x" addr);
+  addr lsr 3
+
+let set_global_int t name idx v = t.imem.(word (Isa.global_base t.prog name + (idx * 8))) <- v
+let set_global_float t name idx v = t.fmem.(word (Isa.global_base t.prog name + (idx * 8))) <- v
+let get_global_int t name idx = t.imem.(word (Isa.global_base t.prog name + (idx * 8)))
+let get_global_float t name idx = t.fmem.(word (Isa.global_base t.prog name + (idx * 8)))
+
+let outputs t = List.rev t.outputs
+let return_value t = t.regs.(Isa.r_ret)
+
+(* register accessors across the unified id namespace *)
+let geti t r = t.regs.(r)
+let getf t r = t.fregs.(r - Isa.fp_base)
+let seti t r v = t.regs.(r) <- v
+let setf t r v = t.fregs.(r - Isa.fp_base) <- v
+
+let step t : dyn option =
+  if t.halted then None
+  else begin
+    let pc = t.pc in
+    let i = t.prog.Isa.insts.(pc) in
+    t.icount <- t.icount + 1;
+    let ci = Isa.fu_index (Isa.fu_of i.op) in
+    t.class_counts.(ci) <- t.class_counts.(ci) + 1;
+    let next = ref (pc + 1) in
+    let addr = ref (-1) in
+    let taken = ref false in
+    (match i.op with
+    | LDI -> seti t i.rd i.imm
+    | LFI -> setf t i.rd i.fimm
+    | ADD -> seti t i.rd (geti t i.rs1 + geti t i.rs2)
+    | SUB -> seti t i.rd (geti t i.rs1 - geti t i.rs2)
+    | MUL -> seti t i.rd (geti t i.rs1 * geti t i.rs2)
+    | DIV ->
+        let d = geti t i.rs2 in
+        if d = 0 then failwith "Func: division by zero" else seti t i.rd (geti t i.rs1 / d)
+    | REM ->
+        let d = geti t i.rs2 in
+        if d = 0 then failwith "Func: remainder by zero" else seti t i.rd (geti t i.rs1 mod d)
+    | AND -> seti t i.rd (geti t i.rs1 land geti t i.rs2)
+    | OR -> seti t i.rd (geti t i.rs1 lor geti t i.rs2)
+    | XOR -> seti t i.rd (geti t i.rs1 lxor geti t i.rs2)
+    | SLL -> seti t i.rd (geti t i.rs1 lsl (geti t i.rs2 land 63))
+    | SRL -> seti t i.rd (geti t i.rs1 lsr (geti t i.rs2 land 63))
+    | SRA -> seti t i.rd (geti t i.rs1 asr (geti t i.rs2 land 63))
+    | ADDI -> seti t i.rd (geti t i.rs1 + i.imm)
+    | SLLI -> seti t i.rd (geti t i.rs1 lsl (i.imm land 63))
+    | CEQ -> seti t i.rd (if geti t i.rs1 = geti t i.rs2 then 1 else 0)
+    | CNE -> seti t i.rd (if geti t i.rs1 <> geti t i.rs2 then 1 else 0)
+    | CLT -> seti t i.rd (if geti t i.rs1 < geti t i.rs2 then 1 else 0)
+    | CLE -> seti t i.rd (if geti t i.rs1 <= geti t i.rs2 then 1 else 0)
+    | CGT -> seti t i.rd (if geti t i.rs1 > geti t i.rs2 then 1 else 0)
+    | CGE -> seti t i.rd (if geti t i.rs1 >= geti t i.rs2 then 1 else 0)
+    | FADD -> setf t i.rd (getf t i.rs1 +. getf t i.rs2)
+    | FSUB -> setf t i.rd (getf t i.rs1 -. getf t i.rs2)
+    | FMUL -> setf t i.rd (getf t i.rs1 *. getf t i.rs2)
+    | FDIV -> setf t i.rd (getf t i.rs1 /. getf t i.rs2)
+    | FCEQ -> seti t i.rd (if getf t i.rs1 = getf t i.rs2 then 1 else 0)
+    | FCNE -> seti t i.rd (if getf t i.rs1 <> getf t i.rs2 then 1 else 0)
+    | FCLT -> seti t i.rd (if getf t i.rs1 < getf t i.rs2 then 1 else 0)
+    | FCLE -> seti t i.rd (if getf t i.rs1 <= getf t i.rs2 then 1 else 0)
+    | FCGT -> seti t i.rd (if getf t i.rs1 > getf t i.rs2 then 1 else 0)
+    | FCGE -> seti t i.rd (if getf t i.rs1 >= getf t i.rs2 then 1 else 0)
+    | ITOF -> setf t i.rd (float_of_int (geti t i.rs1))
+    | FTOI -> seti t i.rd (int_of_float (getf t i.rs1))
+    | LD ->
+        let a = geti t i.rs1 + i.imm in
+        addr := a;
+        seti t i.rd t.imem.(word a)
+    | FLD ->
+        let a = geti t i.rs1 + i.imm in
+        addr := a;
+        setf t i.rd t.fmem.(word a)
+    | ST ->
+        let a = geti t i.rs1 + i.imm in
+        addr := a;
+        t.imem.(word a) <- geti t i.rs2
+    | FST ->
+        let a = geti t i.rs1 + i.imm in
+        addr := a;
+        t.fmem.(word a) <- getf t i.rs2
+    | PREF ->
+        let a = geti t i.rs1 + i.imm in
+        addr := a
+    | BEQZ ->
+        if geti t i.rs1 = 0 then begin
+          taken := true;
+          next := i.imm
+        end
+    | BNEZ ->
+        if geti t i.rs1 <> 0 then begin
+          taken := true;
+          next := i.imm
+        end
+    | J ->
+        taken := true;
+        next := i.imm
+    | CALL ->
+        taken := true;
+        seti t Isa.r_ra (pc + 1);
+        next := i.imm
+    | RET ->
+        taken := true;
+        next := geti t Isa.r_ra
+    | MOV -> seti t i.rd (geti t i.rs1)
+    | FMOV -> setf t i.rd (getf t i.rs1)
+    | OUT ->
+        let v = if Isa.is_fp_reg i.rs1 then VF (getf t i.rs1) else VI (geti t i.rs1) in
+        t.outputs <- v :: t.outputs
+    | HALT -> t.halted <- true
+    | NOP -> ());
+    t.pc <- !next;
+    Some { idx = pc; addr = !addr; taken = !taken }
+  end
+
+(** Run to completion with a fuel limit; returns the dynamic instruction
+    count. *)
+let run ?(fuel = 1_000_000_000) t =
+  let n = ref 0 in
+  while (not t.halted) && !n < fuel do
+    ignore (step t);
+    incr n
+  done;
+  if not t.halted then failwith "Func.run: out of fuel";
+  !n

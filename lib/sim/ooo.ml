@@ -1,0 +1,387 @@
+open Emc_isa
+
+(** Out-of-order timing model in the style of SimpleScalar's sim-outorder.
+
+    The core structure is the RUU (register update unit — a unified
+    reorder-buffer/reservation-station array, parameter #17), fed by an
+    in-order front end (I-cache + combined branch predictor) and drained by
+    in-order commit. Per cycle:
+
+    - {b commit}: up to [issue_width] completed entries leave the RUU head;
+      stores write the D-cache at commit (store buffer semantics);
+    - {b writeback}: issued entries whose latency elapsed become complete; a
+      mispredicted branch unblocks the front end [mispredict_extra] cycles
+      after completing;
+    - {b issue}: up to [issue_width] ready entries (operands complete,
+      functional unit of the right class free) begin execution, oldest
+      first. Loads check older in-flight stores for a same-word conflict
+      (forwarding at 1 cycle once the store has executed); otherwise they
+      access the D-cache/L2/memory hierarchy. Prefetches touch the hierarchy
+      without stalling anything;
+    - {b dispatch}: up to [issue_width] instructions move from the fetch
+      queue into free RUU slots, capturing their producers;
+    - {b fetch}: up to [issue_width] sequential instructions per cycle; a
+      taken branch ends the fetch group; an I-cache miss stalls the front
+      end; a mispredicted conditional branch blocks fetch until the branch
+      resolves (the simulator is trace-driven, so wrong-path instructions
+      are modeled as front-end bubbles, a standard approximation).
+
+    The model is driven by the functional simulator's dynamic stream, so
+    each run is tied to one binary and one input — IPC comparisons across
+    different binaries are meaningless, which is exactly why the paper (and
+    this reproduction) measures whole-program cycles. *)
+
+type entry = {
+  mutable seq : int;
+  mutable idx : int;  (** static instruction index *)
+  mutable fu : Isa.fu_class;
+  mutable dst : int;  (** arch register id or -1 *)
+  mutable dep1_slot : int;  (** RUU slot of producer 1, -1 if none *)
+  mutable dep1_seq : int;
+  mutable dep2_slot : int;
+  mutable dep2_seq : int;
+  mutable addr : int;
+  mutable is_load : bool;
+  mutable is_store : bool;
+  mutable is_pref : bool;
+  mutable is_branch : bool;
+  mutable mispred : bool;
+  mutable state : int;  (** 0 = waiting, 1 = issued, 2 = completed *)
+  mutable complete_at : int;
+  mutable valid : bool;
+}
+
+let mispredict_extra = 3
+let ifq_size = 16
+
+type fetch_item = { fdyn : Func.dyn; fmispred : bool }
+
+type t = {
+  cfg : Config.t;
+  machine : Isa.machine;
+  mem : Memsys.t;
+  bpred : Bpred.t;
+  func : Func.t;
+  prog : Isa.program;
+  ruu : entry array;
+  mutable head : int;
+  mutable count : int;
+  mutable seq : int;
+  ifq : fetch_item Queue.t;
+  mutable fetch_blocked_until : int;  (** -1 means blocked on a branch resolution *)
+  mutable last_fetch_line : int;
+  mutable cycle : int;
+  mutable committed : int;
+  mutable trace_done : bool;
+  (* per-arch-register producer tracking *)
+  prod_slot : int array;  (** 64 entries; -1 when value is architectural *)
+  prod_seq : int array;
+  mutable branch_mispredicts : int;
+  mutable detail_instrs : int;
+}
+
+let fresh_entry () =
+  {
+    seq = -1; idx = 0; fu = Isa.IntAlu; dst = -1; dep1_slot = -1; dep1_seq = -1;
+    dep2_slot = -1; dep2_seq = -1; addr = -1; is_load = false; is_store = false;
+    is_pref = false; is_branch = false; mispred = false; state = 0; complete_at = 0;
+    valid = false;
+  }
+
+let create (cfg : Config.t) (prog : Isa.program) =
+  {
+    cfg;
+    machine = Isa.machine_for_width cfg.issue_width;
+    mem = Memsys.create cfg;
+    bpred = Bpred.create ~size:cfg.bpred_size;
+    func = Func.create prog;
+    prog;
+    ruu = Array.init cfg.ruu_size (fun _ -> fresh_entry ());
+    head = 0;
+    count = 0;
+    seq = 0;
+    ifq = Queue.create ();
+    fetch_blocked_until = 0;
+    last_fetch_line = -1;
+    cycle = 0;
+    committed = 0;
+    trace_done = false;
+    prod_slot = Array.make 64 (-1);
+    prod_seq = Array.make 64 (-1);
+    branch_mispredicts = 0;
+    detail_instrs = 0;
+  }
+
+let func t = t.func
+
+(* sources of a static instruction, in the unified register namespace *)
+let sources (i : Isa.inst) =
+  match i.op with
+  | ST | FST -> (i.rs1, i.rs2)
+  | _ -> (i.rs1, i.rs2)
+
+let dep_ready t slot seq =
+  slot < 0
+  ||
+  let e = t.ruu.(slot) in
+  (not e.valid) || e.seq <> seq || e.state = 2
+
+let entry_ready t (e : entry) =
+  dep_ready t e.dep1_slot e.dep1_seq && dep_ready t e.dep2_slot e.dep2_seq
+
+(* Is there an older in-flight store to the same word? Returns
+   [`Forward] when that store has executed (data available),
+   [`Conflict] when it has not, [`None] otherwise. *)
+let older_store_conflict t slot =
+  let result = ref `None in
+  let i = ref t.head in
+  while !i <> slot do
+    let e = t.ruu.(!i) in
+    if e.valid && e.is_store && e.addr lsr 3 = t.ruu.(slot).addr lsr 3 then
+      result := (if e.state = 2 then `Forward else `Conflict);
+    i := (!i + 1) mod Array.length t.ruu
+  done;
+  !result
+
+(* ---------- pipeline stages ---------- *)
+
+let commit t =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < t.machine.Isa.issue_width && t.count > 0 do
+    let e = t.ruu.(t.head) in
+    if e.valid && e.state = 2 && e.complete_at <= t.cycle then begin
+      if e.is_store then ignore (Memsys.access_d t.mem e.addr);
+      (* clear producer tracking if we are still the last writer *)
+      if e.dst >= 0 && t.prod_slot.(e.dst) = t.head && t.prod_seq.(e.dst) = e.seq then begin
+        t.prod_slot.(e.dst) <- -1;
+        t.prod_seq.(e.dst) <- -1
+      end;
+      e.valid <- false;
+      t.head <- (t.head + 1) mod Array.length t.ruu;
+      t.count <- t.count - 1;
+      t.committed <- t.committed + 1;
+      incr n
+    end
+    else continue_ := false
+  done
+
+let writeback t =
+  let i = ref t.head in
+  for _ = 1 to t.count do
+    let e = t.ruu.(!i) in
+    if e.valid && e.state = 1 && e.complete_at <= t.cycle then begin
+      e.state <- 2;
+      if e.is_branch && e.mispred && t.fetch_blocked_until < 0 then
+        t.fetch_blocked_until <- t.cycle + mispredict_extra
+    end;
+    i := (!i + 1) mod Array.length t.ruu
+  done
+
+let issue t =
+  let avail_int_alu = ref t.machine.Isa.n_int_alu in
+  let avail_int_mul = ref t.machine.Isa.n_int_mul in
+  let avail_fp_alu = ref t.machine.Isa.n_fp_alu in
+  let avail_fp_mul = ref t.machine.Isa.n_fp_mul in
+  let avail_ldst = ref t.machine.Isa.n_ldst in
+  let avail_branch = ref t.machine.Isa.issue_width in
+  let counter = function
+    | Isa.IntAlu -> avail_int_alu
+    | Isa.IntMul -> avail_int_mul
+    | Isa.FpAlu -> avail_fp_alu
+    | Isa.FpMul -> avail_fp_mul
+    | Isa.LdSt -> avail_ldst
+    | Isa.Branch | Isa.NoFu -> avail_branch
+  in
+  let issued = ref 0 in
+  let slot = ref t.head in
+  let scanned = ref 0 in
+  while !scanned < t.count && !issued < t.machine.Isa.issue_width do
+    let e = t.ruu.(!slot) in
+    if e.valid && e.state = 0 && entry_ready t e then begin
+      let c = counter e.fu in
+      if !c > 0 then begin
+        let ok, lat =
+          if e.is_load then
+            match older_store_conflict t !slot with
+            | `Conflict -> (false, 0)
+            | `Forward -> (true, 1)
+            | _ -> (true, Memsys.access_d t.mem e.addr)
+          else if e.is_store then (true, 1)
+          else if e.is_pref then begin
+            Memsys.prefetch_d t.mem e.addr;
+            (true, 1)
+          end
+          else (true, Isa.latency_of t.prog.Isa.insts.(e.idx).Isa.op)
+        in
+        if ok then begin
+          decr c;
+          e.state <- 1;
+          e.complete_at <- t.cycle + lat;
+          incr issued
+        end
+      end
+    end;
+    slot := (!slot + 1) mod Array.length t.ruu;
+    incr scanned
+  done
+
+let dispatch t =
+  let n = ref 0 in
+  while !n < t.machine.Isa.issue_width && t.count < Array.length t.ruu
+        && not (Queue.is_empty t.ifq) do
+    let item = Queue.pop t.ifq in
+    let d = item.fdyn in
+    let i = t.prog.Isa.insts.(d.Func.idx) in
+    let slot = (t.head + t.count) mod Array.length t.ruu in
+    let e = t.ruu.(slot) in
+    t.seq <- t.seq + 1;
+    e.seq <- t.seq;
+    e.idx <- d.Func.idx;
+    e.fu <- Isa.fu_of i.Isa.op;
+    e.dst <- i.Isa.rd;
+    e.addr <- d.Func.addr;
+    e.is_load <- Isa.is_load i.Isa.op;
+    e.is_store <- Isa.is_store i.Isa.op;
+    e.is_pref <- i.Isa.op = Isa.PREF;
+    e.is_branch <- Isa.is_branch i.Isa.op;
+    e.mispred <- item.fmispred;
+    e.state <- 0;
+    e.complete_at <- max_int;
+    e.valid <- true;
+    let s1, s2 = sources i in
+    let dep r =
+      if r < 0 then (-1, -1)
+      else if t.prod_slot.(r) >= 0 then (t.prod_slot.(r), t.prod_seq.(r))
+      else (-1, -1)
+    in
+    let d1, q1 = dep s1 in
+    let d2, q2 = dep s2 in
+    e.dep1_slot <- d1;
+    e.dep1_seq <- q1;
+    e.dep2_slot <- d2;
+    e.dep2_seq <- q2;
+    if e.dst >= 0 then begin
+      t.prod_slot.(e.dst) <- slot;
+      t.prod_seq.(e.dst) <- e.seq
+    end;
+    t.count <- t.count + 1;
+    incr n
+  done
+
+(* Fetch up to issue_width instructions; returns true while the trace has
+   instructions left. *)
+let fetch t =
+  if t.fetch_blocked_until >= 0 && t.fetch_blocked_until <= t.cycle && not t.trace_done then begin
+    let n = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !n < t.machine.Isa.issue_width && Queue.length t.ifq < ifq_size do
+      (* I-cache: account a line access when crossing into a new line *)
+      let pc = t.func.Func.pc in
+      let line = pc * 4 / Cache.line_bytes in
+      if line <> t.last_fetch_line then begin
+        let lat = Memsys.access_i t.mem (pc * 4) in
+        t.last_fetch_line <- line;
+        if lat > 1 then begin
+          t.fetch_blocked_until <- t.cycle + lat;
+          stop := true
+        end
+      end;
+      if not !stop then begin
+        match Func.step t.func with
+        | None ->
+            t.trace_done <- true;
+            stop := true
+        | Some d ->
+            t.detail_instrs <- t.detail_instrs + 1;
+            let i = t.prog.Isa.insts.(d.Func.idx) in
+            if i.Isa.op = Isa.HALT then begin
+              t.trace_done <- true;
+              stop := true
+            end
+            else begin
+              let mispred =
+                if Isa.is_cond_branch i.Isa.op then begin
+                  let correct = Bpred.update t.bpred d.Func.idx d.Func.taken in
+                  if not correct then t.branch_mispredicts <- t.branch_mispredicts + 1;
+                  not correct
+                end
+                else false
+              in
+              Queue.push { fdyn = d; fmispred = mispred } t.ifq;
+              incr n;
+              if mispred then begin
+                (* block until the branch resolves *)
+                t.fetch_blocked_until <- -1;
+                stop := true
+              end
+              else if d.Func.taken then stop := true (* taken branch ends the group *)
+            end
+      end
+    done
+  end
+
+(* one simulated cycle *)
+let step_cycle t =
+  commit t;
+  writeback t;
+  issue t;
+  dispatch t;
+  fetch t;
+  t.cycle <- t.cycle + 1
+
+let busy t = t.count > 0 || not (Queue.is_empty t.ifq) || not t.trace_done
+
+(** Run in detailed mode until [instrs] more instructions have been fetched
+    (or the program ends). *)
+let run_detailed t ~instrs =
+  let start = t.detail_instrs in
+  while busy t && t.detail_instrs - start < instrs do
+    step_cycle t
+  done
+
+(** Discard in-flight timing state (RUU, fetch queue, producer tracking)
+    while keeping architectural state, caches and predictors. Used when
+    SMARTS switches from a detailed window back to functional warming: the
+    functional simulator already executed the in-flight instructions at
+    fetch, so only their timing bookkeeping must go. *)
+let flush_timing t =
+  Queue.clear t.ifq;
+  Array.iter (fun e -> e.valid <- false) t.ruu;
+  t.head <- 0;
+  t.count <- 0;
+  Array.fill t.prod_slot 0 64 (-1);
+  Array.fill t.prod_seq 0 64 (-1);
+  if t.fetch_blocked_until < 0 then t.fetch_blocked_until <- t.cycle
+
+(** Run the whole program in detailed mode; returns total cycles. *)
+let run_to_completion t =
+  while busy t do
+    step_cycle t
+  done;
+  t.cycle
+
+(** Functional warming: advance [instrs] instructions updating caches and
+    branch predictor without timing (the SMARTS fast-forward mode). *)
+let run_warming t ~instrs =
+  let n = ref 0 in
+  while !n < instrs && not t.trace_done do
+    let pc = t.func.Func.pc in
+    let line = pc * 4 / Cache.line_bytes in
+    if line <> t.last_fetch_line then begin
+      ignore (Memsys.access_i t.mem (pc * 4));
+      t.last_fetch_line <- line
+    end;
+    (match Func.step t.func with
+    | None -> t.trace_done <- true
+    | Some d ->
+        let i = t.prog.Isa.insts.(d.Func.idx) in
+        if i.Isa.op = Isa.HALT then t.trace_done <- true
+        else begin
+          if Isa.is_cond_branch i.Isa.op then ignore (Bpred.update t.bpred d.Func.idx d.Func.taken);
+          if d.Func.addr >= 0 then
+            if i.Isa.op = Isa.PREF then Memsys.prefetch_d t.mem d.Func.addr
+            else ignore (Memsys.access_d t.mem d.Func.addr)
+        end);
+    incr n
+  done

@@ -1,0 +1,42 @@
+(** SMARTS-style statistical sampling (Wunderlich et al., ISCA 2003 — the
+    paper's simulation-time reduction method, chosen because design points
+    correspond to different binaries, which rules out IPC comparisons and
+    SimPoint).
+
+    The dynamic instruction stream is split into fixed-size units; every
+    [interval]-th unit is measured in detail after a detailed warm-up
+    window; the rest run in functional-warming mode (architectural state,
+    caches and branch predictor advance with no timing). Whole-program
+    cycles are estimated as mean unit CPI × instruction count with a
+    confidence interval from the between-unit variance; the interval is
+    halved and the run repeated while the CI misses the target, mirroring
+    the paper's "tune the sampling parameters and repeat". *)
+
+type params = {
+  unit_size : int;  (** instructions per measured unit (paper: 1000) *)
+  warmup : int;  (** detailed-warming instructions before each unit *)
+  interval : int;  (** one in [interval] units is measured; 1 = full detail *)
+  target_ci : float;  (** desired relative CI at 3 sigma *)
+  max_refinements : int;  (** interval halvings allowed *)
+}
+
+val default_params : params
+
+type result = {
+  cycles : float;  (** estimated whole-program cycles *)
+  instrs : int;  (** exact dynamic instruction count *)
+  cpi : float;
+  ci_rel : float;  (** relative half-width of the 3σ CI on CPI *)
+  sampled_units : int;
+  detailed : bool;  (** [true] when no sampling was used *)
+  energy : float;  (** abstract units, see {!Energy} *)
+  static_instrs : int;  (** the code-size response *)
+}
+
+val run_full :
+  Config.t -> Emc_isa.Isa.program -> setup:(Func.t -> unit) -> result
+(** Fully detailed simulation ([setup] fills the input arrays before the
+    run starts). *)
+
+val run_sampled :
+  ?params:params -> Config.t -> Emc_isa.Isa.program -> setup:(Func.t -> unit) -> result

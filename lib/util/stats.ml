@@ -1,0 +1,85 @@
+let sum xs =
+  (* Kahan compensated summation. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    xs;
+  !s
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else sum xs /. float_of_int n
+
+let moment2 xs =
+  let m = mean xs in
+  let acc = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let d = x -. m in
+      acc := !acc +. (d *. d))
+    xs;
+  !acc
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else moment2 xs /. float_of_int n
+
+let sample_variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0 else moment2 xs /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+let sample_stddev xs = sqrt (sample_variance xs)
+
+let min xs = Array.fold_left Float.min infinity xs
+let max xs = Array.fold_left Float.max neg_infinity xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let f = rank -. float_of_int lo in
+    ((1.0 -. f) *. sorted.(lo)) +. (f *. sorted.(hi))
+
+let median xs = percentile xs 50.0
+
+let quantiles xs k =
+  if k < 2 then invalid_arg "Stats.quantiles: k must be >= 2";
+  Array.init (k - 1) (fun i -> percentile xs (100.0 *. float_of_int (i + 1) /. float_of_int k))
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+
+let correlation xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.correlation: length mismatch";
+  if n < 2 then invalid_arg "Stats.correlation: need >= 2 samples";
+  let mx = mean xs and my = mean ys in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)

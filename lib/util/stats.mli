@@ -1,0 +1,34 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by n); 0 for fewer than 2 samples. *)
+
+val sample_variance : float array -> float
+(** Unbiased sample variance (divides by n-1); 0 for fewer than 2 samples. *)
+
+val stddev : float array -> float
+val sample_stddev : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics. *)
+
+val quantiles : float array -> int -> float array
+(** [quantiles xs k] returns the k-1 interior quantile cut points. *)
+
+val sum : float array -> float
+(** Numerically-stable (Kahan) sum. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient. Arrays must have equal length >= 2. *)

@@ -1,0 +1,19 @@
+let to_unit ~lo ~hi x =
+  if hi <= lo then invalid_arg "Transform.to_unit: hi <= lo";
+  ((x -. lo) /. (hi -. lo) *. 2.0) -. 1.0
+
+let of_unit ~lo ~hi u =
+  if hi <= lo then invalid_arg "Transform.of_unit: hi <= lo";
+  lo +. ((u +. 1.0) /. 2.0 *. (hi -. lo))
+
+let log2 x = log x /. log 2.0
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)
+
+let round_to_levels ~levels x =
+  if Array.length levels = 0 then invalid_arg "Transform.round_to_levels: empty levels";
+  let best = ref levels.(0) in
+  Array.iter (fun l -> if Float.abs (l -. x) < Float.abs (!best -. x) then best := l) levels;
+  !best

@@ -1,0 +1,20 @@
+(** Scaling helpers used to map predictor variables into the model domain.
+
+    The paper linearly rescales every compiler parameter to [\[-1,1\]] and log2-
+    transforms the power-of-two microarchitectural parameters before scaling
+    (Table 2's "*" rows). *)
+
+val to_unit : lo:float -> hi:float -> float -> float
+(** Affine map of [\[lo,hi\]] onto [\[-1,1\]]. Requires [lo < hi]. *)
+
+val of_unit : lo:float -> hi:float -> float -> float
+(** Inverse of {!to_unit}. *)
+
+val log2 : float -> float
+
+val is_pow2 : int -> bool
+
+val clamp : lo:float -> hi:float -> float -> float
+
+val round_to_levels : levels:float array -> float -> float
+(** Snap a raw value to the nearest admissible level. [levels] non-empty. *)

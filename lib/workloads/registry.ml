@@ -1,0 +1,30 @@
+(** The seven benchmark/input pairs of the paper's Table 3. *)
+
+let all : Workload.t list =
+  [
+    W_gzip.workload;
+    W_vpr.workload;
+    W_mesa.workload;
+    W_art.workload;
+    W_mcf.workload;
+    W_vortex.workload;
+    W_bzip2.workload;
+  ]
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.name = name) all with
+  | Some w -> w
+  | None ->
+      (* allow the short name too, e.g. "art" for "179.art" *)
+      (match
+         List.find_opt
+           (fun (w : Workload.t) ->
+             match String.index_opt w.Workload.name '.' with
+             | Some i -> String.sub w.name (i + 1) (String.length w.name - i - 1) = name
+             | None -> false)
+           all
+       with
+      | Some w -> w
+      | None -> invalid_arg ("Registry.find: unknown workload " ^ name))
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all

@@ -1,0 +1,186 @@
+open Emc_util
+
+(** 179.art stand-in: adaptive-resonance (ART) neural-network recognition.
+
+    Mirrors the phase structure of SPEC's scanner: input normalization, an
+    F1 bottom-up activation sweep against a large weight matrix (an L2-sized
+    FP working set), F2 lateral competition, a vigilance test against the
+    top-down weights, and resonance training of the winner (plus a periodic
+    weight-decay sweep). Memory-bandwidth-bound FP with many tight
+    unrollable loops — this is the program the paper uses for Figure 3
+    (execution time vs max unroll factor and I-cache size): unrolling and
+    inlining its many loop bodies inflates the code footprint past small
+    instruction caches. *)
+
+let source =
+  {|
+int params[8];
+float w1[65536];
+float w2[65536];
+float inp[128];
+float norm[128];
+float act[512];
+float match_score[512];
+int winners[512];
+int committed[512];
+
+fn normalize(len: int) -> float {
+  let total = 0.0;
+  for (k = 0; k < len; k = k + 1) {
+    total = total + inp[k];
+  }
+  if (total < 0.0001) { total = 0.0001; }
+  let inv = 1.0 / total;
+  for (k = 0; k < len; k = k + 1) {
+    norm[k] = inp[k] * inv;
+  }
+  return total;
+}
+
+fn bottom_up(row: int, len: int) -> float {
+  let base = row * len;
+  let s = 0.0;
+  for (k = 0; k < len; k = k + 1) {
+    s = s + w1[base + k] * norm[k];
+  }
+  return s;
+}
+
+fn top_down_match(row: int, len: int) -> float {
+  let base = row * len;
+  let s = 0.0;
+  let m = 0.0;
+  for (k = 0; k < len; k = k + 1) {
+    let x = norm[k];
+    let y = w2[base + k];
+    let mn = x;
+    if (y < x) { mn = y; }
+    s = s + x;
+    m = m + mn;
+  }
+  if (s < 0.0001) { s = 0.0001; }
+  return m / s;
+}
+
+fn f1_sweep(rows: int, len: int) -> int {
+  let best = 0;
+  let bestv = -1000000.0;
+  for (j = 0; j < rows; j = j + 1) {
+    let a = bottom_up(j, len);
+    let bias = 0.0;
+    if (committed[j] == 0) {
+      bias = 0.01;
+    }
+    act[j] = a + bias;
+    if (act[j] > bestv) {
+      bestv = act[j];
+      best = j;
+    }
+  }
+  return best;
+}
+
+fn lateral_inhibit(rows: int, win: int) -> float {
+  let sum = 0.0;
+  for (j = 0; j < rows; j = j + 1) {
+    if (j != win) {
+      act[j] = act[j] * 0.9;
+    }
+    sum = sum + act[j];
+  }
+  return sum;
+}
+
+fn train_winner(row: int, len: int, rate: float) {
+  let base = row * len;
+  for (k = 0; k < len; k = k + 1) {
+    w1[base + k] = w1[base + k] * (1.0 - rate) + norm[k] * rate;
+  }
+  for (k = 0; k < len; k = k + 1) {
+    let x = norm[k];
+    let y = w2[base + k];
+    let mn = x;
+    if (y < x) { mn = y; }
+    w2[base + k] = y * (1.0 - rate) + mn * rate;
+  }
+  committed[row] = 1;
+  return;
+}
+
+fn decay_all(rows: int, len: int) {
+  let n = rows * len;
+  for (k = 0; k < n; k = k + 1) {
+    w1[k] = w1[k] * 0.9999 + 0.000001;
+  }
+  return;
+}
+
+fn main() -> int {
+  let rows = params[0];
+  let len = params[1];
+  let passes = params[2];
+  let vigilance = 0.35;
+  let csum = 0;
+  let resonated = 0;
+  for (p = 0; p < passes; p = p + 1) {
+    let phase = p % 7;
+    for (k = 0; k < len; k = k + 1) {
+      inp[k] = float((k * 13 + phase * 29) % 97) * 0.01 + 0.01;
+    }
+    normalize(len);
+    let win = f1_sweep(rows, len);
+    lateral_inhibit(rows, win);
+    let m = top_down_match(win, len);
+    match_score[p % 512] = m;
+    if (m >= vigilance) {
+      train_winner(win, len, 0.05);
+      resonated = resonated + 1;
+    } else {
+      // mismatch reset: search the next-best candidate once
+      act[win] = -1000000.0;
+      let second = 0;
+      let bv = -1000000.0;
+      for (j = 0; j < rows; j = j + 1) {
+        if (act[j] > bv) {
+          bv = act[j];
+          second = j;
+        }
+      }
+      train_winner(second, len, 0.02);
+      win = second;
+    }
+    winners[p % 512] = win;
+    csum = csum + win;
+    if (phase == 6) {
+      decay_all(rows, len);
+    }
+  }
+  out(csum);
+  out(resonated);
+  out(act[0]);
+  return csum;
+}
+|}
+
+let arrays ~scale ~variant =
+  let rows = Workload.sc scale (match variant with Workload.Train -> 320 | Ref -> 448) in
+  let rows = min rows 512 in
+  let len = 128 in
+  let passes = match variant with Workload.Train -> 3 | Ref -> 4 in
+  let seed = match variant with Workload.Train -> 53 | Ref -> 907 in
+  let rng = Rng.create seed in
+  let w1 = Array.init 65536 (fun _ -> Rng.float rng 1.0) in
+  let w2 = Array.init 65536 (fun _ -> Rng.float rng 1.0) in
+  [
+    ("params", Workload.DInt [| rows; len; passes; 0; 0; 0; 0; 0 |]);
+    ("w1", Workload.DFloat w1);
+    ("w2", Workload.DFloat w2);
+  ]
+
+let workload =
+  {
+    Workload.name = "179.art";
+    description = "adaptive-resonance neural net (large FP weight-matrix scans)";
+    source;
+    arrays;
+  }

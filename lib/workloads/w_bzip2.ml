@@ -1,0 +1,124 @@
+open Emc_util
+
+(** 256.bzip2-graphic stand-in: block transform compression — per-block
+    counting sort, a move-to-front pass and run-length accumulation.
+    Integer-heavy with nested loops over small tables, like bzip2's Huffman
+    and MTF stages; moderately cache-friendly. *)
+
+let source =
+  {|
+int params[8];
+int buf[32768];
+int freq[256];
+int mtf[256];
+int sorted[32768];
+
+fn counting_sort_block(lo: int, hi: int) -> int {
+  for (v = 0; v < 256; v = v + 1) {
+    freq[v] = 0;
+  }
+  for (i = lo; i < hi; i = i + 1) {
+    let b = buf[i];
+    freq[b] = freq[b] + 1;
+  }
+  let pos = lo;
+  let csum = 0;
+  for (v = 0; v < 256; v = v + 1) {
+    let c = freq[v];
+    let k = 0;
+    while (k < c) {
+      sorted[pos] = v;
+      pos = pos + 1;
+      k = k + 1;
+    }
+    csum = csum + c * v;
+  }
+  return csum;
+}
+
+fn mtf_encode(lo: int, hi: int) -> int {
+  for (v = 0; v < 256; v = v + 1) {
+    mtf[v] = v;
+  }
+  let acc = 0;
+  for (i = lo; i < hi; i = i + 1) {
+    let b = sorted[i];
+    let j = 0;
+    while (mtf[j] != b) {
+      j = j + 1;
+    }
+    acc = acc + j;
+    while (j > 0) {
+      mtf[j] = mtf[j - 1];
+      j = j - 1;
+    }
+    mtf[0] = b;
+  }
+  return acc;
+}
+
+fn rle(lo: int, hi: int) -> int {
+  let runs = 0;
+  let i = lo;
+  while (i < hi) {
+    let v = buf[i];
+    let j = i + 1;
+    while (j < hi && buf[j] == v) {
+      j = j + 1;
+    }
+    runs = runs + 1;
+    i = j;
+  }
+  return runs;
+}
+
+fn main() -> int {
+  let n = params[0];
+  let blk = params[1];
+  let csum = 0;
+  let macc = 0;
+  let runs = 0;
+  let lo = 0;
+  while (lo < n) {
+    let hi = lo + blk;
+    if (hi > n) { hi = n; }
+    csum = csum + counting_sort_block(lo, hi);
+    macc = macc + mtf_encode(lo, hi);
+    runs = runs + rle(lo, hi);
+    lo = hi;
+  }
+  out(csum);
+  out(macc);
+  out(runs);
+  return csum + macc + runs;
+}
+|}
+
+let arrays ~scale ~variant =
+  let n = Workload.sc scale (match variant with Workload.Train -> 6000 | Ref -> 12000) in
+  let n = min n 32768 in
+  let seed = match variant with Workload.Train -> 23 | Ref -> 301 in
+  let rng = Rng.create seed in
+  let buf =
+    let cur = ref 0 in
+    let run = ref 0 in
+    Array.init 32768 (fun _ ->
+        if !run = 0 then begin
+          cur := Rng.int rng 64;
+          run := 1 + Rng.int rng 12
+        end;
+        decr run;
+        if Rng.int rng 6 = 0 then Rng.int rng 256 else !cur)
+  in
+  [
+    ("params", Workload.DInt [| n; 1500; 0; 0; 0; 0; 0; 0 |]);
+    ("buf", Workload.DInt buf);
+  ]
+
+let workload =
+  {
+    Workload.name = "256.bzip2";
+    description = "block-transform compressor (counting sort + MTF + RLE)";
+    source;
+    arrays;
+  }

@@ -1,0 +1,100 @@
+open Emc_util
+
+(** 164.gzip-graphic stand-in: LZ77-style compression over a synthetic
+    "graphic" buffer (long runs + noise). Integer ALU and data-dependent
+    branches dominate; the hash probe gives short unpredictable dependence
+    chains — the behaviour that makes gzip sensitive to branch prediction
+    and issue width rather than memory latency. *)
+
+let source =
+  {|
+int params[8];
+int text[32768];
+int hashtab[4096];
+int litcnt[4];
+
+fn hash3(p: int) -> int {
+  let h = text[p] * 31 + text[p + 1];
+  h = h * 31 + text[p + 2];
+  h = h % 4096;
+  if (h < 0) { h = h + 4096; }
+  return h;
+}
+
+fn match_len(a: int, b: int, limit: int) -> int {
+  let l = 0;
+  while (l < limit && text[a + l] == text[b + l]) {
+    l = l + 1;
+  }
+  return l;
+}
+
+fn main() -> int {
+  let n = params[0];
+  let maxmatch = params[1];
+  let lits = 0;
+  let matches = 0;
+  let outlen = 0;
+  let csum = 0;
+  let i = 0;
+  while (i < n - 3) {
+    let h = hash3(i);
+    let cand = hashtab[h];
+    hashtab[h] = i;
+    let len = 0;
+    if (cand > 0 && cand < i && i - cand < 8192) {
+      let lim = maxmatch;
+      if (n - i - 3 < lim) { lim = n - i - 3; }
+      len = match_len(cand, i, lim);
+    }
+    if (len >= 3) {
+      matches = matches + 1;
+      outlen = outlen + 2;
+      csum = csum + len * 7 + (i - cand);
+      i = i + len;
+    } else {
+      lits = lits + 1;
+      outlen = outlen + 1;
+      csum = csum + text[i];
+      i = i + 1;
+    }
+  }
+  litcnt[0] = lits;
+  litcnt[1] = matches;
+  out(lits);
+  out(matches);
+  out(outlen);
+  out(csum);
+  return csum;
+}
+|}
+
+let arrays ~scale ~variant =
+  let n = Workload.sc scale (match variant with Workload.Train -> 12000 | Ref -> 24000) in
+  let n = min n 32760 in
+  let seed = match variant with Workload.Train -> 11 | Ref -> 191 in
+  let rng = Rng.create seed in
+  (* graphic-like data: runs of a value with sporadic noise *)
+  let text =
+    let cur = ref 0 in
+    let run = ref 0 in
+    Array.init 32768 (fun _ ->
+        if !run = 0 then begin
+          cur := Rng.int rng 256;
+          run := 1 + Rng.int rng 24
+        end;
+        decr run;
+        if Rng.int rng 10 = 0 then Rng.int rng 256 else !cur)
+  in
+  [
+    ("params", Workload.DInt [| n; 64; 0; 0; 0; 0; 0; 0 |]);
+    ("text", Workload.DInt text);
+  ]
+
+let workload =
+  {
+    Workload.name = "164.gzip";
+    description = "LZ77-style compressor on a synthetic graphic buffer";
+    source;
+    arrays;
+  }

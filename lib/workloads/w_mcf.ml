@@ -1,0 +1,90 @@
+open Emc_util
+
+(** 181.mcf stand-in: network-simplex-style pointer chasing — traversals of a
+    node list linked through a shuffled permutation array (dependent loads
+    that defeat both caches and prefetching), cost accumulation and sporadic
+    relinking. Memory-latency-bound integer code, the classic mcf
+    behaviour: performance is dominated by L2 size and memory latency. *)
+
+let source =
+  {|
+int params[8];
+int nxt[131072];
+int cost[131072];
+int potential[131072];
+
+fn chase(start: int, steps: int) -> int {
+  let node = start;
+  let acc = 0;
+  let k = 0;
+  while (k < steps) {
+    acc = acc + cost[node];
+    node = nxt[node];
+    k = k + 1;
+  }
+  potential[start] = acc;
+  return node;
+}
+
+fn relink(a: int, b: int) {
+  let t = nxt[a];
+  nxt[a] = nxt[b];
+  nxt[b] = t;
+  return;
+}
+
+fn main() -> int {
+  let nodes = params[0];
+  let iters = params[1];
+  let steps = params[2];
+  let csum = 0;
+  let node = 0;
+  for (it = 0; it < iters; it = it + 1) {
+    let start = node % nodes;
+    node = chase(start, steps);
+    csum = csum + potential[start] % 1009;
+    if (it % 7 == 3) {
+      relink(node % nodes, (node * 17 + it) % nodes);
+    }
+  }
+  out(csum);
+  out(node);
+  return csum;
+}
+|}
+
+let arrays ~scale ~variant =
+  (* node count (memory footprint) fixed per input — mcf must stay
+     memory-bound at any scale; [scale] varies the iteration count *)
+  let nodes = match variant with Workload.Train -> 65536 | Ref -> 131072 in
+  let iters = Workload.sc scale (match variant with Workload.Train -> 60 | Ref -> 80) in
+  let steps = 1500 in
+  let seed = match variant with Workload.Train -> 71 | Ref -> 1013 in
+  let rng = Rng.create seed in
+  (* a random single-cycle permutation (Sattolo) over the first [nodes]
+     entries: every chase is one long dependent-load chain *)
+  let nxt = Array.init 131072 (fun i -> i) in
+  let perm = Array.init nodes Fun.id in
+  for i = nodes - 1 downto 1 do
+    let j = Rng.int rng i in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  for i = 0 to nodes - 1 do
+    nxt.(perm.(i)) <- perm.((i + 1) mod nodes)
+  done;
+  let cost = Array.init 131072 (fun _ -> Rng.int rng 1000) in
+  [
+    ("params", Workload.DInt [| nodes; iters; steps; 0; 0; 0; 0; 0 |]);
+    ("nxt", Workload.DInt nxt);
+    ("cost", Workload.DInt cost);
+  ]
+
+let workload =
+  {
+    Workload.name = "181.mcf";
+    description = "network-simplex pointer chasing (memory-latency bound)";
+    source;
+    arrays;
+  }

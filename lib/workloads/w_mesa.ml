@@ -1,0 +1,87 @@
+open Emc_util
+
+(** 177.mesa stand-in: a software 3D vertex pipeline — 4x4 matrix transform,
+    perspective divide, diffuse lighting and a viewport clip test over a
+    vertex buffer. Dense sequential FP (mul/add chains) with a few
+    data-dependent branches; benefits from unrolling, scheduling and
+    prefetching like mesa's inner loops. *)
+
+let source =
+  {|
+int params[8];
+float verts[49152];
+float m[16];
+float light[4];
+float outv[49152];
+int counts[4];
+
+fn transform_and_light(n: int) -> float {
+  let acc = 0.0;
+  let inside = 0;
+  for (v = 0; v < n; v = v + 1) {
+    let b = v * 3;
+    let x = verts[b];
+    let y = verts[b + 1];
+    let z = verts[b + 2];
+    let tx = m[0] * x + m[1] * y + m[2] * z + m[3];
+    let ty = m[4] * x + m[5] * y + m[6] * z + m[7];
+    let tz = m[8] * x + m[9] * y + m[10] * z + m[11];
+    let tw = m[12] * x + m[13] * y + m[14] * z + m[15];
+    if (tw < 0.001) { tw = 0.001; }
+    let px = tx / tw;
+    let py = ty / tw;
+    let pz = tz / tw;
+    let ndot = px * light[0] + py * light[1] + pz * light[2];
+    if (ndot < 0.0) { ndot = 0.0; }
+    let shade = ndot * light[3];
+    outv[b] = px;
+    outv[b + 1] = py;
+    outv[b + 2] = shade;
+    if (px > -1.0 && px < 1.0 && py > -1.0 && py < 1.0) {
+      inside = inside + 1;
+      acc = acc + shade;
+    }
+  }
+  counts[0] = inside;
+  return acc;
+}
+
+fn main() -> int {
+  let n = params[0];
+  let frames = params[1];
+  let total = 0.0;
+  for (f = 0; f < frames; f = f + 1) {
+    let wob = float(f) * 0.01;
+    m[3] = m[3] + wob;
+    total = total + transform_and_light(n);
+  }
+  out(counts[0]);
+  out(total);
+  return counts[0];
+}
+|}
+
+let arrays ~scale ~variant =
+  (* vertex count (footprint) fixed per input; [scale] varies frame count *)
+  let n = match variant with Workload.Train -> 3000 | Ref -> 6000 in
+  let frames = Workload.sc scale (match variant with Workload.Train -> 8 | Ref -> 10) in
+  let seed = match variant with Workload.Train -> 37 | Ref -> 577 in
+  let rng = Rng.create seed in
+  let verts = Array.init 49152 (fun _ -> Rng.float rng 4.0 -. 2.0) in
+  let m =
+    [| 0.9; 0.1; 0.0; 0.2; -0.1; 0.95; 0.05; -0.3; 0.0; 0.08; 1.05; 0.5; 0.01; 0.0; 0.12; 2.0 |]
+  in
+  [
+    ("params", Workload.DInt [| n; frames; 0; 0; 0; 0; 0; 0 |]);
+    ("verts", Workload.DFloat verts);
+    ("m", Workload.DFloat m);
+    ("light", Workload.DFloat [| 0.3; 0.6; 0.74; 0.8 |]);
+  ]
+
+let workload =
+  {
+    Workload.name = "177.mesa";
+    description = "3D vertex transform + lighting pipeline (dense FP)";
+    source;
+    arrays;
+  }

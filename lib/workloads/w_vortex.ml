@@ -1,0 +1,119 @@
+open Emc_util
+
+(** 255.vortex-lendian1 stand-in: an object-store / in-memory database —
+    hash-table inserts, lookups and deletes over an operation stream, with
+    the work split across many small helper functions. Call-dominated
+    integer code with scattered table accesses: the workload where
+    -finline-functions and the inlining heuristics matter most. *)
+
+let source =
+  {|
+int params[8];
+int keys[16384];
+int table[16384];
+int vals[16384];
+int stats[8];
+
+fn hash(k: int) -> int {
+  let h = k * 2654435761;
+  if (h < 0) { h = -h; }
+  return h % 16384;
+}
+
+fn probe(k: int) -> int {
+  let i = hash(k);
+  let steps = 0;
+  while (table[i] != 0 && table[i] != k && steps < 16384) {
+    i = i + 1;
+    if (i >= 16384) { i = 0; }
+    steps = steps + 1;
+  }
+  return i;
+}
+
+fn insert(k: int, v: int) -> int {
+  let i = probe(k);
+  if (table[i] == k) {
+    vals[i] = vals[i] + v;
+    return 0;
+  }
+  table[i] = k;
+  vals[i] = v;
+  return 1;
+}
+
+fn lookup(k: int) -> int {
+  let i = probe(k);
+  if (table[i] == k) {
+    return vals[i];
+  }
+  return -1;
+}
+
+fn erase(k: int) -> int {
+  let i = probe(k);
+  if (table[i] == k) {
+    table[i] = 0 - 1;
+    vals[i] = 0;
+    return 1;
+  }
+  return 0;
+}
+
+fn main() -> int {
+  let nops = params[0];
+  let inserted = 0;
+  let hits = 0;
+  let misses = 0;
+  let erased = 0;
+  let csum = 0;
+  for (op = 0; op < nops; op = op + 1) {
+    let k = keys[op % 16384];
+    let kind = op % 10;
+    if (kind < 5) {
+      inserted = inserted + insert(k, op);
+    } else {
+      if (kind < 9) {
+        let v = lookup(k);
+        if (v >= 0) {
+          hits = hits + 1;
+          csum = csum + v % 4093;
+        } else {
+          misses = misses + 1;
+        }
+      } else {
+        erased = erased + erase(k);
+      }
+    }
+  }
+  stats[0] = inserted;
+  out(inserted);
+  out(hits);
+  out(misses);
+  out(erased);
+  out(csum);
+  return csum;
+}
+|}
+
+let arrays ~scale ~variant =
+  let nops = Workload.sc scale (match variant with Workload.Train -> 7000 | Ref -> 14000) in
+  let seed = match variant with Workload.Train -> 97 | Ref -> 1237 in
+  let rng = Rng.create seed in
+  (* keys drawn from a skewed distribution: hot keys reused often *)
+  let keys =
+    Array.init 16384 (fun _ ->
+        if Rng.int rng 4 = 0 then 1 + Rng.int rng 64 else 1 + Rng.int rng 6000)
+  in
+  [
+    ("params", Workload.DInt [| nops; 0; 0; 0; 0; 0; 0; 0 |]);
+    ("keys", Workload.DInt keys);
+  ]
+
+let workload =
+  {
+    Workload.name = "255.vortex";
+    description = "object store: hash-table ops through small helper functions";
+    source;
+    arrays;
+  }

@@ -1,0 +1,113 @@
+open Emc_util
+
+(** 175.vpr-route stand-in: maze routing on a 2D grid — repeated
+    breadth-first wavefront expansions from source to sink over a congestion
+    cost map, with path backtrace and cost update. Mixed integer arithmetic
+    with an explicit work queue; moderately irregular memory and branchy
+    control, like VPR's router. *)
+
+let source =
+  {|
+int params[8];
+int gcost[16384];
+int dist[16384];
+int queue[32768];
+int hist[16384];
+
+fn route_one(w: int, h: int, src: int, dst: int) -> int {
+  let n = w * h;
+  for (i = 0; i < n; i = i + 1) {
+    dist[i] = 1000000;
+  }
+  let head = 0;
+  let tail = 0;
+  dist[src] = 0;
+  queue[tail] = src;
+  tail = tail + 1;
+  let found = 0;
+  while (head < tail && found == 0) {
+    let cur = queue[head];
+    head = head + 1;
+    if (cur == dst) {
+      found = 1;
+    } else {
+      let d = dist[cur] + 1 + gcost[cur];
+      let x = cur % w;
+      let y = cur / w;
+      if (x + 1 < w && d < dist[cur + 1]) {
+        dist[cur + 1] = d;
+        if (tail < 32768) { queue[tail] = cur + 1; tail = tail + 1; }
+      }
+      if (x > 0 && d < dist[cur - 1]) {
+        dist[cur - 1] = d;
+        if (tail < 32768) { queue[tail] = cur - 1; tail = tail + 1; }
+      }
+      if (y + 1 < h && d < dist[cur + w]) {
+        dist[cur + w] = d;
+        if (tail < 32768) { queue[tail] = cur + w; tail = tail + 1; }
+      }
+      if (y > 0 && d < dist[cur - w]) {
+        dist[cur - w] = d;
+        if (tail < 32768) { queue[tail] = cur - w; tail = tail + 1; }
+      }
+    }
+  }
+  // congestion update along a greedy backtrace
+  let cur = dst;
+  let len = 0;
+  while (cur != src && len < 4096 && found == 1) {
+    gcost[cur] = gcost[cur] + 1;
+    hist[cur] = hist[cur] + 1;
+    let x = cur % w;
+    let y = cur / w;
+    let best = cur;
+    let bd = dist[cur];
+    if (x + 1 < w && dist[cur + 1] < bd) { bd = dist[cur + 1]; best = cur + 1; }
+    if (x > 0 && dist[cur - 1] < bd) { bd = dist[cur - 1]; best = cur - 1; }
+    if (y + 1 < h && dist[cur + w] < bd) { bd = dist[cur + w]; best = cur + w; }
+    if (y > 0 && dist[cur - w] < bd) { bd = dist[cur - w]; best = cur - w; }
+    if (best == cur) { cur = src; } else { cur = best; }
+    len = len + 1;
+  }
+  return dist[dst] + len;
+}
+
+fn main() -> int {
+  let w = params[0];
+  let h = params[1];
+  let nets = params[2];
+  let csum = 0;
+  for (t = 0; t < nets; t = t + 1) {
+    let src = (t * 2654435761) % (w * h);
+    if (src < 0) { src = -src; }
+    let dst = (t * 40503 + 12345) % (w * h);
+    if (dst < 0) { dst = -dst; }
+    if (src != dst) {
+      csum = csum + route_one(w, h, src, dst);
+    }
+  }
+  out(csum);
+  return csum;
+}
+|}
+
+let arrays ~scale ~variant =
+  (* the grid (memory footprint) is fixed per input; [scale] varies the
+     number of nets routed (simulation length) *)
+  let dim = match variant with Workload.Train -> 40 | Ref -> 56 in
+  let nets = Workload.sc scale (match variant with Workload.Train -> 14 | Ref -> 18) in
+  let seed = match variant with Workload.Train -> 5 | Ref -> 401 in
+  let rng = Rng.create seed in
+  let gcost = Array.init 16384 (fun _ -> Rng.int rng 4) in
+  [
+    ("params", Workload.DInt [| dim; dim; nets; 0; 0; 0; 0; 0 |]);
+    ("gcost", Workload.DInt gcost);
+  ]
+
+let workload =
+  {
+    Workload.name = "175.vpr";
+    description = "maze router: BFS wavefront over a congestion grid";
+    source;
+    arrays;
+  }

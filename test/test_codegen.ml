@@ -1,0 +1,189 @@
+(** Code-generation tests: register allocation (calling-convention
+    correctness, spilling, the caller-saved-across-call hazard), frame
+    construction, parallel argument moves, and machine-vs-interpreter
+    differential checks. *)
+
+open Emc_opt
+
+let ci = Alcotest.(check int)
+
+(* regression for the crosses-call bug: a parameter used after a nested call
+   must survive the callee clobbering the argument registers *)
+let test_param_survives_call () =
+  let src =
+    {|
+fn clobber(a: int, b: int, c: int, d: int, e: int, f: int) -> int {
+  return a + b + c + d + e + f;
+}
+fn middle(k: int, v: int) -> int {
+  let t = clobber(9, 8, 7, 6, 5, 4);
+  return k * 1000 + v * 10 + t;
+}
+fn main() -> int {
+  out(middle(3, 2));
+  return middle(1, 2);
+}
+|}
+  in
+  Helpers.check_flags_preserve_semantics ~what:"param across call" Flags.o0 src;
+  Helpers.check_flags_preserve_semantics ~what:"param across call O2" Flags.o2 src
+
+let test_deep_call_chain () =
+  let src =
+    {|
+fn f4(x: int) -> int { return x + 4; }
+fn f3(x: int) -> int { return f4(x) * 3; }
+fn f2(x: int) -> int { return f3(x) + f4(x); }
+fn f1(x: int) -> int { return f2(x) - f3(x) + x; }
+fn main() -> int {
+  let s = 0;
+  for (i = 0; i < 10; i = i + 1) { s = s + f1(i); }
+  out(s);
+  return s;
+}
+|}
+  in
+  List.iter
+    (fun (n, fl) -> Helpers.check_flags_preserve_semantics ~what:("deep chain " ^ n) fl src)
+    [ ("O0", Flags.o0); ("O2", Flags.o2); ("O2-fp", { Flags.o2 with omit_frame_pointer = false }) ]
+
+(* more live values than physical registers: must spill correctly *)
+let test_spilling () =
+  let src =
+    {|
+fn main() -> int {
+  let a1 = 1; let a2 = 2; let a3 = 3; let a4 = 4; let a5 = 5;
+  let a6 = 6; let a7 = 7; let a8 = 8; let a9 = 9; let a10 = 10;
+  let a11 = 11; let a12 = 12; let a13 = 13; let a14 = 14; let a15 = 15;
+  let a16 = 16; let a17 = 17; let a18 = 18; let a19 = 19; let a20 = 20;
+  let a21 = 21; let a22 = 22; let a23 = 23; let a24 = 24; let a25 = 25;
+  let a26 = 26; let a27 = 27; let a28 = 28; let a29 = 29; let a30 = 30;
+  let b = a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8 + a9 + a10
+        + a11 + a12 + a13 + a14 + a15 + a16 + a17 + a18 + a19 + a20
+        + a21 + a22 + a23 + a24 + a25 + a26 + a27 + a28 + a29 + a30;
+  let c = a30 * a1 + a29 * a2 + a28 * a3 + a27 * a4 + a26 * a5;
+  out(b);
+  out(c);
+  return b + c;
+}
+|}
+  in
+  (* defeat constant folding by passing values through an array *)
+  let src = String.concat "" [ "int blk[1];\n"; src ] in
+  Helpers.check_flags_preserve_semantics ~what:"spilling O0" Flags.o0 src;
+  Helpers.check_flags_preserve_semantics ~what:"spilling O2" Flags.o2 src
+
+let test_fp_spilling () =
+  (* heavy-FP straight-line program built programmatically: 24 simultaneously
+     live doubles exceed the FP register file *)
+  let parts =
+    List.init 24 (fun i -> Printf.sprintf "let f%d = float(%d) * 1.5;" i (i + 1))
+  in
+  let sum = String.concat " + " (List.init 24 (fun i -> Printf.sprintf "f%d" i)) in
+  let src =
+    Printf.sprintf "fn main() -> int { %s let total = %s; out(total); return int(total); }"
+      (String.concat " " parts) sum
+  in
+  Helpers.check_flags_preserve_semantics ~what:"fp spilling" Emc_opt.Flags.o0 src;
+  Helpers.check_flags_preserve_semantics ~what:"fp spilling O2" Emc_opt.Flags.o2 src
+
+(* six arguments of each kind, in an order that forces parallel-move cycles *)
+let test_many_args_and_moves () =
+  let src =
+    {|
+fn mix(a: int, b: int, c: int, d: int, e: int, f: int) -> int {
+  return a + 2*b + 3*c + 4*d + 5*e + 6*f;
+}
+fn swapped(a: int, b: int, c: int, d: int, e: int, f: int) -> int {
+  return mix(f, e, d, c, b, a);
+}
+fn main() -> int {
+  out(swapped(1, 2, 3, 4, 5, 6));
+  return swapped(10, 20, 30, 40, 50, 60);
+}
+|}
+  in
+  Helpers.check_flags_preserve_semantics ~what:"parallel moves" Flags.o0 src;
+  Helpers.check_flags_preserve_semantics ~what:"parallel moves O3" Flags.o3 src
+
+let test_float_args_and_return () =
+  let src =
+    {|
+fn blend(a: float, b: float, t: float) -> float {
+  return a * (1.0 - t) + b * t;
+}
+fn main() -> int {
+  let r = blend(2.0, 10.0, 0.25);
+  out(r);
+  return int(r);
+}
+|}
+  in
+  Helpers.check_flags_preserve_semantics ~what:"float args" Flags.o0 src;
+  ci "blend result" 4 (Helpers.interp_ret src)
+
+let test_mixed_args () =
+  let src =
+    {|
+fn mixed(i: int, x: float, j: int, y: float) -> float {
+  return float(i) * x + float(j) * y;
+}
+fn main() -> int {
+  out(mixed(2, 1.5, 3, 2.5));
+  return int(mixed(2, 1.5, 3, 2.5));
+}
+|}
+  in
+  Helpers.check_flags_preserve_semantics ~what:"mixed args" Flags.o0 src;
+  ci "mixed result" 10 (Helpers.interp_ret src)
+
+let test_omit_frame_pointer_equivalence () =
+  List.iter
+    (fun (_, src) ->
+      let _, outs_fp, prog_fp =
+        Helpers.machine ~flags:{ Flags.o2 with omit_frame_pointer = false } src
+      in
+      let _, outs_nofp, prog_nofp =
+        Helpers.machine ~flags:{ Flags.o2 with omit_frame_pointer = true } src
+      in
+      Alcotest.(check (list string)) "same outputs" outs_fp outs_nofp;
+      (* omitting the frame pointer must not grow the code *)
+      Alcotest.(check bool) "code not larger" true
+        (Array.length prog_nofp.Emc_isa.Isa.insts <= Array.length prog_fp.Emc_isa.Isa.insts))
+    [ ("calls", List.assoc "calls" Test_opt.corpus) ]
+
+let test_program_structure () =
+  let _, _, prog = Helpers.machine ~flags:Flags.o0 "fn main() -> int { return 42; }" in
+  let open Emc_isa in
+  (* starts with call main; halt *)
+  Alcotest.(check bool) "stub call" true (prog.Isa.insts.(0).Isa.op = Isa.CALL);
+  Alcotest.(check bool) "stub halt" true (prog.Isa.insts.(1).Isa.op = Isa.HALT);
+  Alcotest.(check bool) "main registered" true
+    (List.mem_assoc "main" prog.Isa.func_starts)
+
+let test_return_value_register () =
+  let ret, _, _ = Helpers.machine ~flags:Flags.o0 "fn main() -> int { return 42; }" in
+  ci "r0 holds return" 42 ret
+
+(* every workload, O0 vs interpreter at small input scale *)
+let test_workloads_differential_o0 () =
+  List.iter
+    (fun (w : Emc_workloads.Workload.t) ->
+      let arrays = w.arrays ~scale:0.05 ~variant:Emc_workloads.Workload.Train in
+      Helpers.check_flags_preserve_semantics ~arrays ~what:(w.name ^ " O0") Flags.o0 w.source)
+    Emc_workloads.Registry.all
+
+let suite =
+  [
+    ("param survives call (regression)", `Quick, test_param_survives_call);
+    ("deep call chain", `Quick, test_deep_call_chain);
+    ("integer spilling", `Quick, test_spilling);
+    ("float spilling", `Quick, test_fp_spilling);
+    ("parallel argument moves", `Quick, test_many_args_and_moves);
+    ("float args and return", `Quick, test_float_args_and_return);
+    ("mixed int/float args", `Quick, test_mixed_args);
+    ("omit-frame-pointer equivalence", `Quick, test_omit_frame_pointer_equivalence);
+    ("program structure", `Quick, test_program_structure);
+    ("return value register", `Quick, test_return_value_register);
+    ("workloads differential O0", `Quick, test_workloads_differential_o0);
+  ]

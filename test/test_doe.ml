@@ -1,0 +1,106 @@
+(** Design-of-experiments tests: LHS coverage, the D-optimality criterion,
+    Fedorov exchange improvement over random designs. *)
+
+open Emc_doe
+
+let cb = Alcotest.(check bool)
+
+let small_space =
+  {
+    Doe.names = [| "a"; "b"; "c"; "d" |];
+    levels =
+      [| [| -1.0; 1.0 |]; [| -1.0; 0.0; 1.0 |]; [| -1.0; -0.5; 0.0; 0.5; 1.0 |]; [| -1.0; 1.0 |] |];
+  }
+
+let test_random_design_on_grid () =
+  let rng = Emc_util.Rng.create 1 in
+  let d = Doe.random_design rng small_space 50 in
+  Alcotest.(check int) "size" 50 (Array.length d);
+  Array.iter
+    (fun p ->
+      Array.iteri
+        (fun dim v ->
+          cb "value on grid" true (Array.exists (fun l -> l = v) small_space.levels.(dim)))
+        p)
+    d
+
+let test_lhs_marginal_coverage () =
+  let rng = Emc_util.Rng.create 2 in
+  let n = 60 in
+  let d = Doe.lhs rng small_space n in
+  (* every level of every dimension must appear with roughly even frequency *)
+  Array.iteri
+    (fun dim levels ->
+      Array.iter
+        (fun l ->
+          let count = Array.fold_left (fun acc p -> if p.(dim) = l then acc + 1 else acc) 0 d in
+          let expected = n / Array.length levels in
+          cb
+            (Printf.sprintf "dim %d level %g count %d ~ %d" dim l count expected)
+            true
+            (count >= (expected / 2) && count <= expected * 2))
+        levels)
+    small_space.levels
+
+let test_expand_main () =
+  let row = Doe.expand_main [| 0.5; -1.0 |] in
+  Alcotest.(check (array (float 1e-12))) "intercept + mains" [| 1.0; 0.5; -1.0 |] row
+
+let test_d_optimal_beats_random () =
+  let rng = Emc_util.Rng.create 3 in
+  (* average over a few seeds to keep this robust *)
+  let wins = ref 0 in
+  for _ = 1 to 5 do
+    let dopt = Doe.generate rng small_space ~n:12 in
+    let rand = Doe.random_design rng small_space 12 in
+    if Doe.log_det_information dopt >= Doe.log_det_information rand then incr wins
+  done;
+  cb (Printf.sprintf "d-optimal wins %d/5" !wins) true (!wins >= 4)
+
+let test_d_optimal_nondegenerate () =
+  let rng = Emc_util.Rng.create 4 in
+  let d = Doe.generate rng small_space ~n:10 in
+  Alcotest.(check int) "requested size" 10 (Array.length d);
+  cb "information matrix nonsingular" true (Doe.log_det_information d > neg_infinity)
+
+let test_d_optimal_full_space () =
+  (* the real 25-parameter space of the paper *)
+  let rng = Emc_util.Rng.create 5 in
+  let space = Emc_core.Params.space_all in
+  let d = Doe.generate ~sweeps:1 ~cand_factor:3 rng space ~n:40 in
+  Alcotest.(check int) "size" 40 (Array.length d);
+  cb "nonsingular" true (Doe.log_det_information d > neg_infinity);
+  (* points decode into valid configurations *)
+  Array.iter
+    (fun p ->
+      let flags, march = Emc_core.Params.configs_of_coded p in
+      cb "issue width valid" true (march.Emc_sim.Config.issue_width = 2 || march.issue_width = 4);
+      cb "unroll bounds" true
+        (flags.Emc_opt.Flags.max_unroll_times >= 4 && flags.max_unroll_times <= 12))
+    d
+
+let prop_lhs_values_on_grid =
+  QCheck.Test.make ~name:"lhs points stay on the level grid" ~count:50
+    QCheck.(pair (int_range 1 40) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Emc_util.Rng.create seed in
+      let d = Doe.lhs rng small_space n in
+      Array.for_all
+        (fun p ->
+          Array.length p = 4
+          && Array.for_all Fun.id
+               (Array.mapi
+                  (fun dim v -> Array.exists (fun l -> l = v) small_space.levels.(dim))
+                  p))
+        d)
+
+let suite =
+  [
+    ("random design on grid", `Quick, test_random_design_on_grid);
+    ("lhs marginal coverage", `Quick, test_lhs_marginal_coverage);
+    ("expand main effects", `Quick, test_expand_main);
+    ("d-optimal beats random", `Quick, test_d_optimal_beats_random);
+    ("d-optimal nondegenerate", `Quick, test_d_optimal_nondegenerate);
+    ("d-optimal on the paper space", `Quick, test_d_optimal_full_space);
+    QCheck_alcotest.to_alcotest prop_lhs_values_on_grid;
+  ]

@@ -1,0 +1,270 @@
+(** IR-level tests: CFG analyses (dominators, loops, liveness), the verifier
+    and the reference interpreter, on hand-built functions. *)
+
+open Emc_ir
+
+(* Build a diamond CFG:   0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 -> ret *)
+let diamond () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:(Some Ir.I64) in
+  let c = Builder.iconst b 1 in
+  let b1 = Builder.new_block b in
+  let b2 = Builder.new_block b in
+  let b3 = Builder.new_block b in
+  Builder.terminate b (Ir.CondBr (c, b1.Ir.id, b2.Ir.id));
+  Builder.position_at b b1;
+  let x1 = Builder.iconst b 10 in
+  Builder.terminate b (Ir.Br b3.Ir.id);
+  Builder.position_at b b2;
+  let _x2 = Builder.iconst b 20 in
+  Builder.terminate b (Ir.Br b3.Ir.id);
+  Builder.position_at b b3;
+  Builder.terminate b (Ir.Ret (Some x1));
+  Builder.finish b
+
+(* simple counted loop: for (i = 0; i < 10; i++) acc += i *)
+let loop_func () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:(Some Ir.I64) in
+  let acc = Builder.fresh b Ir.I64 in
+  Builder.emit b (Ir.Iconst (acc, 0));
+  let iv = Builder.fresh b Ir.I64 in
+  Builder.emit b (Ir.Iconst (iv, 0));
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let latch = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.terminate b (Ir.Br header.Ir.id);
+  Builder.position_at b header;
+  let cond = Builder.icmp b Ir.Lt (Ir.Reg iv) (Ir.Imm 10) in
+  Builder.terminate b (Ir.CondBr (cond, body.Ir.id, exit.Ir.id));
+  Builder.position_at b body;
+  let t = Builder.ibin b Ir.Add (Ir.Reg acc) (Ir.Reg iv) in
+  Builder.emit b (Ir.Mov (Ir.I64, acc, t));
+  Builder.terminate b (Ir.Br latch.Ir.id);
+  Builder.position_at b latch;
+  Builder.emit b (Ir.Ibin (Ir.Add, iv, Ir.Reg iv, Ir.Imm 1));
+  Builder.terminate b (Ir.Br header.Ir.id);
+  Builder.position_at b exit;
+  Builder.terminate b (Ir.Ret (Some acc));
+  (Builder.finish b, iv, header.Ir.id, latch.Ir.id)
+
+let prog_of f = { Ir.funcs = [ (f.Ir.fname, f) ]; globals = [] }
+
+(* ---------------- dominators ---------------- *)
+
+let test_dominators_diamond () =
+  let f = diamond () in
+  let dom = Dom.compute f in
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (fun l -> Dom.dominates dom 0 l) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "1 does not dominate 3" false (Dom.dominates dom 1 3);
+  Alcotest.(check bool) "3 dominated by 0 only" true (dom.Dom.idom.(3) = 0)
+
+let test_dominators_loop () =
+  let f, _, header, latch = loop_func () in
+  let dom = Dom.compute f in
+  Alcotest.(check bool) "header dominates latch" true (Dom.dominates dom header latch);
+  Alcotest.(check bool) "latch does not dominate header" false (Dom.dominates dom latch header)
+
+let test_rpo () =
+  let f = diamond () in
+  let rpo = Ir.reverse_postorder f in
+  Alcotest.(check int) "entry first" 0 (List.hd rpo);
+  Alcotest.(check int) "all blocks" 4 (List.length rpo);
+  (* join block is last *)
+  Alcotest.(check int) "join last" 3 (List.nth rpo 3)
+
+(* ---------------- loops ---------------- *)
+
+let test_loop_discovery () =
+  let f, iv, header, latch = loop_func () in
+  let loops = Loops.find f in
+  Alcotest.(check int) "one loop" 1 (List.length loops);
+  let l = List.hd loops in
+  Alcotest.(check int) "header" header l.Loops.header;
+  Alcotest.(check int) "latch" latch l.Loops.latch;
+  Alcotest.(check int) "depth" 1 l.Loops.depth;
+  match Loops.counted_loop f l with
+  | Some c ->
+      Alcotest.(check int) "iv" iv c.Loops.iv;
+      Alcotest.(check int) "step" 1 c.Loops.step;
+      Alcotest.(check bool) "bound" true (c.Loops.bound = Ir.Imm 10)
+  | None -> Alcotest.fail "counted loop not recognized"
+
+let test_counted_loop_rejects_mutated_iv () =
+  let f, iv, _, _ = loop_func () in
+  (* mutate iv inside the body: no longer a canonical counted loop *)
+  let body = f.Ir.blocks.(2) in
+  body.Ir.instrs <- body.Ir.instrs @ [ Ir.Ibin (Ir.Add, iv, Ir.Reg iv, Ir.Imm 5) ];
+  let loops = Loops.find f in
+  Alcotest.(check bool) "rejected" true
+    (Loops.counted_loop f (List.hd loops) = None)
+
+let test_nested_loop_depth () =
+  let src =
+    {|
+fn main() -> int {
+  let s = 0;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 4; j = j + 1) {
+      s = s + i * j;
+    }
+  }
+  return s;
+}
+|}
+  in
+  let ir = Emc_lang.Minic.compile_exn src in
+  let f = List.assoc "main" ir.Ir.funcs in
+  let loops = Loops.find f in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let depths = List.sort compare (List.map (fun (l : Loops.t) -> l.Loops.depth) loops) in
+  Alcotest.(check (list int)) "nesting depths" [ 1; 2 ] depths
+
+(* ---------------- liveness ---------------- *)
+
+let test_liveness () =
+  let f, iv, header, _ = loop_func () in
+  let live = Liveness.compute f in
+  Alcotest.(check bool) "iv live into header" true
+    (Liveness.IntSet.mem iv live.Liveness.live_in.(header));
+  (* acc (reg 0) is live into the exit block *)
+  let exit_l = 4 in
+  Alcotest.(check bool) "acc live into exit" true
+    (Liveness.IntSet.mem 0 live.Liveness.live_in.(exit_l))
+
+(* ---------------- verify ---------------- *)
+
+let test_verify_catches_type_confusion () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  let x = Builder.fconst b 1.0 in
+  (* use a float register in an integer op *)
+  let d = Builder.fresh b Ir.I64 in
+  Builder.emit b (Ir.Ibin (Ir.Add, d, Ir.Reg x, Ir.Imm 1));
+  Builder.terminate b (Ir.Ret None);
+  let p = prog_of (Builder.finish b) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Verify.check_program p;
+       false
+     with Failure _ -> true)
+
+let test_verify_catches_bad_label () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  Builder.terminate b (Ir.Br 99);
+  let p = prog_of (Builder.finish b) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Verify.check_program p;
+       false
+     with Failure _ -> true)
+
+let test_verify_catches_bad_call () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  Builder.emit b (Ir.Call (None, "nonexistent", []));
+  Builder.terminate b (Ir.Ret None);
+  let p = prog_of (Builder.finish b) in
+  Alcotest.(check bool) "rejected" true
+    (try
+       Verify.check_program p;
+       false
+     with Failure _ -> true)
+
+(* ---------------- remove_unreachable ---------------- *)
+
+let test_remove_unreachable () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  let dead = Builder.new_block b in
+  ignore dead;
+  Builder.terminate b (Ir.Ret None);
+  let f = Builder.finish b in
+  Alcotest.(check int) "two blocks before" 2 (Array.length f.Ir.blocks);
+  Ir.remove_unreachable f;
+  Alcotest.(check int) "one block after" 1 (Array.length f.Ir.blocks);
+  Alcotest.(check int) "layout updated" 1 (List.length f.Ir.layout)
+
+(* ---------------- interpreter ---------------- *)
+
+let test_interp_loop () =
+  let f, _, _, _ = loop_func () in
+  let st = Interp.create (prog_of f) in
+  let res = Interp.run st ~func:"main" ~args:[] in
+  Alcotest.(check bool) "sum 0..9 = 45" true (res.Interp.ret = Some (Interp.VI 45))
+
+let test_interp_fuel () =
+  (* infinite loop must exhaust fuel, not hang *)
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  let header = Builder.new_block b in
+  Builder.terminate b (Ir.Br header.Ir.id);
+  Builder.position_at b header;
+  Builder.terminate b (Ir.Br header.Ir.id);
+  let p = prog_of (Builder.finish b) in
+  let st = Interp.create p in
+  Alcotest.(check bool) "fuel trap" true
+    (try
+       ignore (Interp.run ~fuel:1000 st ~func:"main" ~args:[]);
+       false
+     with Interp.Trap _ -> true)
+
+let test_interp_unaligned_trap () =
+  let b = Builder.create_func ~name:"main" ~param_tys:[] ~ret_ty:None in
+  let a = Builder.iconst b 0x1003 in
+  ignore (Builder.load b Ir.I64 a);
+  Builder.terminate b (Ir.Ret None);
+  let p = { Ir.funcs = [ ("main", Builder.finish b) ]; globals = [ { Ir.gname = "g"; gty = Ir.I64; gsize = 8 } ] } in
+  let st = Interp.create p in
+  Alcotest.(check bool) "unaligned trap" true
+    (try
+       ignore (Interp.run st ~func:"main" ~args:[]);
+       false
+     with Interp.Trap _ -> true)
+
+(* ---------------- memlayout ---------------- *)
+
+let test_memlayout () =
+  let globals =
+    [ { Ir.gname = "a"; gty = Ir.I64; gsize = 3 }; { Ir.gname = "b"; gty = Ir.F64; gsize = 100 } ]
+  in
+  let p = { Ir.funcs = []; globals } in
+  let l = Memlayout.compute p in
+  Alcotest.(check int) "first base" 0x1000 (Memlayout.base l "a");
+  Alcotest.(check int) "64-byte aligned" 0 (Memlayout.base l "b" land 63);
+  Alcotest.(check bool) "no overlap" true (Memlayout.base l "b" >= 0x1000 + (3 * 8));
+  Alcotest.(check bool) "stack above data" true (Memlayout.stack_top l > l.Memlayout.data_end)
+
+let test_instr_count () =
+  let f = diamond () in
+  (* 3 instrs + 4 terminators *)
+  Alcotest.(check int) "count" 7 (Ir.instr_count_fn f)
+
+let string_contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* pretty-printer shouldn't raise and should mention every block *)
+let test_printer () =
+  let f, _, _, _ = loop_func () in
+  let s = Ir.to_string (prog_of f) in
+  Alcotest.(check bool) "mentions blocks" true
+    (List.for_all (fun l -> string_contains l s) [ "L0:"; "L1:"; "L2:"; "L3:"; "L4:" ])
+
+let suite =
+  [
+    ("dominators diamond", `Quick, test_dominators_diamond);
+    ("dominators loop", `Quick, test_dominators_loop);
+    ("reverse postorder", `Quick, test_rpo);
+    ("loop discovery", `Quick, test_loop_discovery);
+    ("counted loop rejects mutated iv", `Quick, test_counted_loop_rejects_mutated_iv);
+    ("nested loop depth", `Quick, test_nested_loop_depth);
+    ("liveness", `Quick, test_liveness);
+    ("verify type confusion", `Quick, test_verify_catches_type_confusion);
+    ("verify bad label", `Quick, test_verify_catches_bad_label);
+    ("verify bad call", `Quick, test_verify_catches_bad_call);
+    ("remove unreachable", `Quick, test_remove_unreachable);
+    ("interp loop", `Quick, test_interp_loop);
+    ("interp fuel", `Quick, test_interp_fuel);
+    ("interp unaligned trap", `Quick, test_interp_unaligned_trap);
+    ("memlayout", `Quick, test_memlayout);
+    ("instr count", `Quick, test_instr_count);
+    ("printer", `Quick, test_printer);
+  ]

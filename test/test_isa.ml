@@ -1,0 +1,125 @@
+(** ISA definition tests: register namespace, FU/latency tables, machine
+    descriptions, and the post-RA scheduler. *)
+
+open Emc_isa
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+
+let test_register_namespace () =
+  cb "r0 is integer" false (Isa.is_fp_reg 0);
+  cb "f0 is fp" true (Isa.is_fp_reg Isa.fp_base);
+  ci "arg registers" 1 (Isa.r_arg 0);
+  ci "arg registers (5)" 6 (Isa.r_arg 5);
+  ci "fp args offset" (Isa.fp_base + 1) (Isa.f_arg 0);
+  (* reserved registers stay out of the allocatable pools *)
+  List.iter
+    (fun r ->
+      cb (Printf.sprintf "r%d not allocatable" r) false
+        (List.mem r Isa.int_caller_saved || List.mem r Isa.int_callee_saved))
+    [ Isa.r_ret; Isa.r_scratch; Isa.r_fp; Isa.r_sp; Isa.r_ra ];
+  ci "12 callee-saved ints" 12 (List.length Isa.int_callee_saved);
+  ci "15 caller-saved ints" 15 (List.length Isa.int_caller_saved)
+
+let test_fu_classes () =
+  cb "add is int alu" true (Isa.fu_of Isa.ADD = Isa.IntAlu);
+  cb "mul is int mul" true (Isa.fu_of Isa.MUL = Isa.IntMul);
+  cb "fadd is fp alu" true (Isa.fu_of Isa.FADD = Isa.FpAlu);
+  cb "fdiv is fp mul" true (Isa.fu_of Isa.FDIV = Isa.FpMul);
+  cb "load is ldst" true (Isa.fu_of Isa.LD = Isa.LdSt);
+  cb "prefetch is ldst" true (Isa.fu_of Isa.PREF = Isa.LdSt);
+  cb "branch class" true (Isa.fu_of Isa.BNEZ = Isa.Branch && Isa.fu_of Isa.RET = Isa.Branch)
+
+let test_latencies () =
+  ci "alu 1" 1 (Isa.latency_of Isa.ADD);
+  ci "mul 3" 3 (Isa.latency_of Isa.MUL);
+  ci "div 12" 12 (Isa.latency_of Isa.DIV);
+  ci "fadd 2" 2 (Isa.latency_of Isa.FADD);
+  ci "fmul 4" 4 (Isa.latency_of Isa.FMUL);
+  ci "fdiv 12" 12 (Isa.latency_of Isa.FDIV)
+
+let test_machine_for_width () =
+  let m2 = Isa.machine_for_width 2 and m4 = Isa.machine_for_width 4 in
+  ci "width 2 alus" 2 m2.Isa.n_int_alu;
+  ci "width 4 alus" 4 m4.Isa.n_int_alu;
+  ci "width 2 ports" 1 m2.Isa.n_ldst;
+  ci "width 4 ports" 2 m4.Isa.n_ldst;
+  cb "every class has at least one unit" true
+    (List.for_all
+       (fun c -> Isa.fu_count m2 c >= 1)
+       [ Isa.IntAlu; Isa.IntMul; Isa.FpAlu; Isa.FpMul; Isa.LdSt; Isa.Branch ]);
+  cb "invalid width rejected" true
+    (try
+       ignore (Isa.machine_for_width 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fu_index_dense () =
+  let idxs =
+    List.map Isa.fu_index [ Isa.IntAlu; Isa.IntMul; Isa.FpAlu; Isa.FpMul; Isa.LdSt; Isa.Branch; Isa.NoFu ]
+  in
+  Alcotest.(check (list int)) "dense indices" [ 0; 1; 2; 3; 4; 5; 6 ] idxs;
+  ci "count matches" Isa.n_fu_classes (List.length idxs)
+
+let test_pp_inst () =
+  let s = Format.asprintf "%a" Isa.pp_inst (Isa.make Isa.ADD ~rd:3 ~rs1:1 ~rs2:2) in
+  cb "mentions opcode" true (String.length s > 0 && String.sub s 0 3 = "add")
+
+(* ---------------- post-RA scheduler ---------------- *)
+
+(* Scheduling must preserve machine-level semantics on real programs; its
+   whole point is changing instruction order, so we check behaviour, not
+   layout. *)
+let test_postsched_preserves_semantics () =
+  List.iter
+    (fun (name, src) ->
+      let flags = { Emc_opt.Flags.o2 with schedule_insns2 = false } in
+      let _, base_outs, prog = Helpers.machine ~flags src in
+      let machine = Isa.machine_for_width 4 in
+      let prog' = Emc_codegen.Postsched.run machine prog in
+      let f = Emc_sim.Func.create prog' in
+      ignore (Emc_sim.Func.run f);
+      Alcotest.(check (list string))
+        (name ^ ": outputs unchanged by post-RA scheduling")
+        base_outs
+        (List.map Helpers.fvalue_str (Emc_sim.Func.outputs f)))
+    Test_opt.corpus
+
+let test_postsched_keeps_branches_in_place () =
+  let src = List.assoc "branches" Test_opt.corpus in
+  let flags = { Emc_opt.Flags.o2 with schedule_insns2 = false } in
+  let _, _, prog = Helpers.machine ~flags src in
+  let branch_positions p =
+    let out = ref [] in
+    Array.iteri (fun i (inst : Isa.inst) -> if Isa.is_branch inst.Isa.op then out := i :: !out)
+      p.Isa.insts;
+    !out
+  in
+  let before = branch_positions prog in
+  let prog' = Emc_codegen.Postsched.run (Isa.machine_for_width 4) prog in
+  Alcotest.(check (list int)) "branches pinned" before (branch_positions prog')
+
+let test_postsched_respects_spill_order () =
+  (* a program whose spill code creates store->load dependences through the
+     stack: any reordering bug corrupts values *)
+  let parts = List.init 28 (fun i -> Printf.sprintf "let v%d = blk[0] + %d;" i i) in
+  let sum = String.concat " + " (List.init 28 (fun i -> Printf.sprintf "v%d" i)) in
+  let src =
+    Printf.sprintf "int blk[4];\nfn main() -> int { blk[0] = 3; %s out(%s); return 0; }"
+      (String.concat " " parts) sum
+  in
+  Helpers.check_flags_preserve_semantics ~what:"spill order"
+    { Emc_opt.Flags.o2 with schedule_insns2 = true } src
+
+let suite =
+  [
+    ("register namespace", `Quick, test_register_namespace);
+    ("fu classes", `Quick, test_fu_classes);
+    ("latencies", `Quick, test_latencies);
+    ("machine for width", `Quick, test_machine_for_width);
+    ("fu index dense", `Quick, test_fu_index_dense);
+    ("pp inst", `Quick, test_pp_inst);
+    ("postsched preserves semantics", `Quick, test_postsched_preserves_semantics);
+    ("postsched pins branches", `Quick, test_postsched_keeps_branches_in_place);
+    ("postsched spill order", `Quick, test_postsched_respects_spill_order);
+  ]

@@ -1,0 +1,273 @@
+(** Frontend tests: lexer, parser, typechecker, and the semantics of lowered
+    programs (exercised through the IR interpreter). *)
+
+open Emc_lang
+
+let wrap_int_expr e = Printf.sprintf "fn main() -> int { out(%s); return 0; }" e
+let wrap_float_expr e = Printf.sprintf "fn main() -> int { out(%s); return 0; }" e
+
+let eval_int e =
+  match Helpers.interp_outputs (wrap_int_expr e) with
+  | [ s ] -> int_of_string s
+  | _ -> Alcotest.fail "expected one output"
+
+let eval_float e =
+  match Helpers.interp_outputs (wrap_float_expr e) with
+  | [ s ] -> float_of_string s
+  | _ -> Alcotest.fail "expected one output"
+
+(* ---------------- lexer ---------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "fn x1 123 4.5 <= << // comment\n + 0.5e2" in
+  let kinds = List.map (fun (t : Lexer.loc_token) -> t.tok) toks in
+  Alcotest.(check bool) "tokens" true
+    (kinds
+    = [ Lexer.KW "fn"; Lexer.IDENT "x1"; Lexer.INT 123; Lexer.FLOAT 4.5; Lexer.PUNCT "<=";
+        Lexer.PUNCT "<<"; Lexer.PUNCT "+"; Lexer.FLOAT 50.0; Lexer.EOF ])
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "fn\n  main" in
+  match toks with
+  | [ _; { tok = Lexer.IDENT "main"; pos }; _ ] ->
+      Alcotest.(check int) "line" 2 pos.Emc_lang.Ast.line;
+      Alcotest.(check int) "col" 3 pos.Emc_lang.Ast.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_error () =
+  Alcotest.(check bool) "bad char raises" true
+    (try
+       ignore (Lexer.tokenize "fn @ main");
+       false
+     with Lexer.Error _ -> true)
+
+(* ---------------- parser errors ---------------- *)
+
+let parse_fails src =
+  match Minic.compile src with
+  | Error _ -> true
+  | Ok _ -> false
+
+let test_parse_errors () =
+  List.iter
+    (fun src -> Alcotest.(check bool) ("rejects: " ^ src) true (parse_fails src))
+    [
+      "fn main() -> int { return }";
+      "fn main() -> int { let = 3; return 0; }";
+      "fn main() -> int { if 1 { } return 0; }";
+      "int a[]; fn main() -> int { return 0; }";
+      "fn main() -> int { for (i = 0; j < 3; i = i + 1) {} return 0; }";
+      "fn main() -> int { for (i = 0; i < 3; i = i - 1) {} return 0; }" (* negative step *);
+      "fn main() -> int { a[0]; return 0; }" (* array expr as statement *);
+    ]
+
+(* ---------------- typechecker ---------------- *)
+
+let test_type_errors () =
+  List.iter
+    (fun (what, src) -> Alcotest.(check bool) what true (parse_fails src))
+    [
+      ("int+float mix", "fn main() -> int { let x = 1 + 2.0; return 0; }");
+      ("unknown var", "fn main() -> int { return y; }");
+      ("unknown function", "fn main() -> int { return f(1); }");
+      ("arity mismatch", "fn f(a: int) -> int { return a; } fn main() -> int { return f(1,2); }");
+      ("void as value", "fn f() { return; } fn main() -> int { return f(); }");
+      ("float condition", "fn main() -> int { if (1.0) { } return 0; }");
+      ("missing return", "fn main() -> int { let x = 1; }");
+      ("redeclaration", "fn main() -> int { let x = 1; let x = 2; return x; }");
+      ("no main", "fn f() -> int { return 1; }");
+      ("float shift", "fn main() -> int { let x = 1.0 << 2; return 0; }" );
+      ("non-const step", "fn main() -> int { let s = 1; for (i = 0; i < 9; i = i + s) {} return 0; }");
+      ("assign type mismatch", "fn main() -> int { let x = 1; x = 2.0; return x; }");
+      ("return type mismatch", "fn main() -> int { return 1.5; }");
+      ("main with params", "fn main(x: int) -> int { return x; }");
+    ]
+
+let test_valid_programs_accepted () =
+  List.iter
+    (fun src ->
+      match Minic.compile src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "rejected valid program: %s" (Format.asprintf "%a" Minic.pp_error e))
+    [
+      "fn main() -> int { return 0; }";
+      "fn main() -> int { if (1) { return 1; } else { return 2; } }";
+      "int a[10]; fn main() -> int { a[3] = 7; return a[3]; }";
+      "fn f(x: float) -> float { return x * 2.0; } fn main() -> int { return int(f(1.5)); }";
+    ]
+
+(* ---------------- expression semantics ---------------- *)
+
+let ci = Alcotest.(check int)
+
+let test_arithmetic () =
+  ci "add" 7 (eval_int "3 + 4");
+  ci "precedence" 14 (eval_int "2 + 3 * 4");
+  ci "parens" 20 (eval_int "(2 + 3) * 4");
+  ci "sub assoc" (-4) (eval_int "1 - 2 - 3");
+  ci "div trunc" 2 (eval_int "7 / 3");
+  ci "div negative" (-2) (eval_int "(0 - 7) / 3");
+  ci "rem" 1 (eval_int "7 % 3");
+  ci "neg" (-5) (eval_int "-5");
+  ci "shifts" 40 (eval_int "5 << 3");
+  ci "shr" 2 (eval_int "20 >> 3");
+  ci "bitand" 4 (eval_int "12 & 6");
+  ci "bitor" 14 (eval_int "12 | 6");
+  ci "bitxor" 10 (eval_int "12 ^ 6")
+
+let test_comparisons () =
+  ci "lt true" 1 (eval_int "2 < 3");
+  ci "lt false" 0 (eval_int "3 < 2");
+  ci "le" 1 (eval_int "3 <= 3");
+  ci "eq" 1 (eval_int "4 == 4");
+  ci "ne" 1 (eval_int "4 != 5");
+  ci "not" 1 (eval_int "!0");
+  ci "not nonzero" 0 (eval_int "!7")
+
+let test_float_arith () =
+  let cf = Alcotest.(check (float 1e-12)) in
+  cf "fadd" 3.5 (eval_float "1.25 + 2.25");
+  cf "fmul" 2.5 (eval_float "1.25 * 2.0");
+  cf "fdiv" 0.625 (eval_float "1.25 / 2.0");
+  cf "fcmp" 1.0 (eval_float "float(1.5 < 2.5)");
+  cf "cast int->float" 3.0 (eval_float "float(3)");
+  ci "cast float->int truncates" 2 (eval_int "int(2.9)")
+
+let test_short_circuit () =
+  (* the right operand must not be evaluated when the left decides *)
+  let src =
+    {|
+int hits[4];
+fn bump(i: int) -> int { hits[i] = hits[i] + 1; return i; }
+fn main() -> int {
+  let a = 0 != 0 && bump(0) == 0;
+  let b = 1 == 1 || bump(1) == 1;
+  let c = 1 == 1 && bump(2) == 2;
+  let d = 0 != 0 || bump(3) == 3;
+  out(hits[0]); out(hits[1]); out(hits[2]); out(hits[3]);
+  return a + b + c + d;
+}
+|}
+  in
+  Alcotest.(check (list string)) "evaluation counts" [ "0"; "0"; "1"; "1" ]
+    (Helpers.interp_outputs src)
+
+let test_control_flow () =
+  ci "while loop sum" 45
+    (Helpers.interp_ret
+       "fn main() -> int { let s = 0; let i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }");
+  ci "for loop sum" 45
+    (Helpers.interp_ret "fn main() -> int { let s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }");
+  ci "for with step" 9
+    (Helpers.interp_ret "fn main() -> int { let s = 0; for (i = 0; i <= 6; i = i + 3) { s = s + i; } return s; }");
+  ci "nested if" 2
+    (Helpers.interp_ret
+       "fn main() -> int { let x = 5; if (x > 10) { return 1; } else { if (x > 3) { return 2; } } return 3; }");
+  ci "zero-trip for" 0
+    (Helpers.interp_ret "fn main() -> int { let s = 0; for (i = 5; i < 5; i = i + 1) { s = 99; } return s; }")
+
+let test_for_bound_evaluated_once () =
+  (* MiniC semantics: the bound expression is evaluated once, in the
+     preheader — growing it inside the body must not extend the loop *)
+  let src =
+    {|
+int n[1];
+fn main() -> int {
+  n[0] = 3;
+  let c = 0;
+  for (i = 0; i < n[0]; i = i + 1) {
+    n[0] = n[0] + 1;
+    c = c + 1;
+  }
+  return c;
+}
+|}
+  in
+  ci "bound snapshot" 3 (Helpers.interp_ret src)
+
+let test_recursion () =
+  ci "factorial" 120
+    (Helpers.interp_ret
+       "fn fact(n: int) -> int { if (n <= 1) { return 1; } return n * fact(n - 1); } fn main() -> int { return fact(5); }");
+  ci "fib" 55
+    (Helpers.interp_ret
+       "fn fib(n: int) -> int { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } fn main() -> int { return fib(10); }")
+
+let test_scoping () =
+  ci "shadowing in blocks" 1
+    (Helpers.interp_ret
+       "fn main() -> int { let x = 1; if (1) { let x = 2; x = 3; } return x; }");
+  ci "loop var scoped" 7
+    (Helpers.interp_ret
+       "fn main() -> int { let i = 7; for (i = 0; i < 3; i = i + 1) { } return i; }")
+
+let test_globals () =
+  Alcotest.(check (list string)) "arrays zero-initialized and writable" [ "0"; "42" ]
+    (Helpers.interp_outputs
+       "int g[8]; fn main() -> int { out(g[5]); g[5] = 42; out(g[5]); return 0; }")
+
+let test_division_by_zero_traps () =
+  Alcotest.(check bool) "trap" true
+    (try
+       ignore (Helpers.interp_ret "fn main() -> int { let z = 0; return 1 / z; }");
+       false
+     with Emc_ir.Interp.Trap _ -> true)
+
+(* all workloads parse, typecheck and verify *)
+let test_workloads_compile () =
+  List.iter
+    (fun (w : Emc_workloads.Workload.t) ->
+      match Minic.compile w.source with
+      | Ok ir -> Emc_ir.Verify.check_program ir
+      | Error e ->
+          Alcotest.failf "%s rejected: %s" w.name (Format.asprintf "%a" Minic.pp_error e))
+    Emc_workloads.Registry.all
+
+let test_more_precedence () =
+  ci "unary minus binds tighter than mul" (-6) (eval_int "-2 * 3");
+  ci "rem precedence" 5 (eval_int "1 + 12 % 8");
+  ci "shift vs add" 32 (eval_int "1 << 4 + 1");
+  ci "bitand vs eq" 1 (eval_int "(3 & 1) == 1");
+  ci "chained compare via parens" 1 (eval_int "(1 < 2) == 1");
+  ci "logical or of ands" 1 (eval_int "0 != 0 && 1 == 1 || 2 > 1")
+
+let test_comment_handling () =
+  ci "comment at eof" 4 (Helpers.interp_ret "fn main() -> int { return 4; } // trailing");
+  ci "comment mid-function" 9
+    (Helpers.interp_ret "fn main() -> int {\n // note\n return 9;\n}")
+
+let test_float_output_roundtrip () =
+  (* hex float formatting must be exact, so optimized/unoptimized comparisons
+     of FP outputs are bit-level *)
+  Alcotest.(check (list string)) "hex bits" [ "0x1.8p+0" ]
+    (Helpers.interp_outputs "fn main() -> int { out(1.5); return 0; }")
+
+let test_deep_nesting () =
+  ci "five-deep blocks" 5
+    (Helpers.interp_ret
+       "fn main() -> int { let x = 0; if (1) { if (1) { if (1) { if (1) { if (1) { x = 5; } } } } } return x; }")
+
+let suite =
+  [
+    ("lexer tokens", `Quick, test_lexer_tokens);
+    ("lexer positions", `Quick, test_lexer_positions);
+    ("lexer errors", `Quick, test_lexer_error);
+    ("parse errors", `Quick, test_parse_errors);
+    ("type errors", `Quick, test_type_errors);
+    ("valid programs accepted", `Quick, test_valid_programs_accepted);
+    ("integer arithmetic", `Quick, test_arithmetic);
+    ("comparisons", `Quick, test_comparisons);
+    ("float arithmetic", `Quick, test_float_arith);
+    ("short-circuit evaluation", `Quick, test_short_circuit);
+    ("control flow", `Quick, test_control_flow);
+    ("for bound evaluated once", `Quick, test_for_bound_evaluated_once);
+    ("recursion", `Quick, test_recursion);
+    ("scoping", `Quick, test_scoping);
+    ("globals", `Quick, test_globals);
+    ("division by zero traps", `Quick, test_division_by_zero_traps);
+    ("all workloads compile", `Quick, test_workloads_compile);
+    ("more precedence", `Quick, test_more_precedence);
+    ("comments", `Quick, test_comment_handling);
+    ("float output roundtrip", `Quick, test_float_output_roundtrip);
+    ("deep nesting", `Quick, test_deep_nesting);
+  ]

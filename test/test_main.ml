@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "emc"
+    [
+      ("util", Test_util.suite);
+      ("linalg", Test_linalg.suite);
+      ("lang", Test_lang.suite);
+      ("ir", Test_ir.suite);
+      ("opt", Test_opt.suite);
+      ("codegen", Test_codegen.suite);
+      ("sim", Test_sim.suite);
+      ("isa", Test_isa.suite);
+      ("doe", Test_doe.suite);
+      ("regress", Test_regress.suite);
+      ("search", Test_search.suite);
+      ("workloads", Test_workloads.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,266 @@
+(** Regression-model tests: datasets, metrics, and the three model families
+    on synthetic functions with known structure. *)
+
+open Emc_regress
+
+let cb = Alcotest.(check bool)
+let cf = Alcotest.(check (float 1e-6))
+
+let rng0 () = Emc_util.Rng.create 42
+
+(* sample a function over random points in [-1,1]^k *)
+let sample rng k n f =
+  let x = Array.init n (fun _ -> Array.init k (fun _ -> Emc_util.Rng.float rng 2.0 -. 1.0)) in
+  Dataset.create x (Array.map f x)
+
+(* ---------------- dataset ---------------- *)
+
+let test_dataset_basics () =
+  let d = Dataset.create [| [| 1.0 |]; [| 2.0 |]; [| 3.0 |] |] [| 10.0; 20.0; 30.0 |] in
+  Alcotest.(check int) "size" 3 (Dataset.size d);
+  Alcotest.(check int) "dims" 1 (Dataset.dims d);
+  let a, b = Dataset.split (rng0 ()) d 2 in
+  Alcotest.(check int) "split sizes" 2 (Dataset.size a);
+  Alcotest.(check int) "split sizes 2" 1 (Dataset.size b)
+
+let test_dataset_sample () =
+  let d = Dataset.create (Array.init 10 (fun i -> [| float_of_int i |])) (Array.init 10 float_of_int) in
+  let s = Dataset.sample (rng0 ()) d 4 in
+  Alcotest.(check int) "sample size" 4 (Dataset.size s);
+  (* samples are distinct rows of the original *)
+  let rows = Array.to_list (Array.map (fun r -> r.(0)) s.Dataset.x) in
+  Alcotest.(check int) "distinct" 4 (List.length (List.sort_uniq compare rows))
+
+let test_dataset_standardize () =
+  let d = Dataset.create [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |] |] [| 10.0; 20.0; 30.0 |] in
+  let ds, unstd = Dataset.standardize d in
+  cf "standardized mean" 0.0 (Emc_util.Stats.mean ds.Dataset.y);
+  cf "roundtrip" 20.0 (unstd ds.Dataset.y.(1))
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics () =
+  let d = Dataset.create [| [| 0.0 |]; [| 1.0 |] |] [| 100.0; 200.0 |] in
+  let predict x = if x.(0) = 0.0 then 110.0 else 180.0 in
+  cf "mape" 10.0 (Metrics.mape predict d);
+  Alcotest.(check (float 1e-4)) "rmse" (sqrt (((10.0 ** 2.0) +. (20.0 ** 2.0)) /. 2.0))
+    (Metrics.rmse predict d);
+  cf "sse" 500.0 (Metrics.sse predict d)
+
+let test_bic_penalizes_complexity () =
+  let b1 = Metrics.bic ~samples:100 ~params:5 ~sse:1000.0 in
+  let b2 = Metrics.bic ~samples:100 ~params:50 ~sse:1000.0 in
+  cb "more params, higher BIC" true (b2 > b1);
+  cb "gamma >= p is infinite" true (Metrics.bic ~samples:10 ~params:10 ~sse:1.0 = infinity)
+
+let test_gcv_penalizes_complexity () =
+  let g1 = Metrics.gcv ~samples:100 ~effective_params:5.0 ~sse:1000.0 in
+  let g2 = Metrics.gcv ~samples:100 ~effective_params:50.0 ~sse:1000.0 in
+  cb "more effective params, higher GCV" true (g2 > g1)
+
+(* ---------------- linear ---------------- *)
+
+let test_linear_recovers_coefficients () =
+  let f x = 5.0 +. (2.0 *. x.(0)) -. (3.0 *. x.(1)) in
+  let d = sample (rng0 ()) 3 80 f in
+  let m = Linear.fit ~interactions:false d in
+  let test = sample (Emc_util.Rng.create 7) 3 40 f in
+  cb "near-zero error" true (Metrics.mape m.Model.predict test < 0.5)
+
+let test_linear_with_interactions () =
+  let f x = 1.0 +. (2.0 *. x.(0) *. x.(1)) +. x.(2) in
+  let d = sample (rng0 ()) 3 120 f in
+  let plain = Linear.fit ~interactions:false d in
+  let inter = Linear.fit ~interactions:true d in
+  let test = sample (Emc_util.Rng.create 8) 3 50 f in
+  let ep = Metrics.mape plain.Model.predict test in
+  let ei = Metrics.mape inter.Model.predict test in
+  cb (Printf.sprintf "interactions help (%.1f%% vs %.1f%%)" ei ep) true (ei < ep /. 3.0)
+
+let test_linear_feature_names () =
+  let names = Linear.feature_names ~interactions:true [| "a"; "b" |] in
+  Alcotest.(check (array string)) "names" [| "const"; "a"; "b"; "a^2"; "a * b"; "b^2" |] names
+
+(* ---------------- tree ---------------- *)
+
+let test_tree_piecewise_constant () =
+  let f x = if x.(0) > 0.3 then 10.0 else if x.(1) > 0.0 then 5.0 else 1.0 in
+  let d = sample (rng0 ()) 2 200 f in
+  let t = Tree.fit ~max_leaves:8 d in
+  let test = sample (Emc_util.Rng.create 9) 2 100 f in
+  cb "low error on piecewise target" true (Metrics.rmse (Tree.predict t) test < 1.5)
+
+let test_tree_respects_max_leaves () =
+  let f x = x.(0) *. x.(1) in
+  let d = sample (rng0 ()) 2 100 f in
+  List.iter
+    (fun ml ->
+      let t = Tree.fit ~max_leaves:ml d in
+      cb
+        (Printf.sprintf "leaves <= %d" ml)
+        true
+        (List.length (Tree.leaves t) <= ml))
+    [ 1; 2; 4; 8; 16 ]
+
+let test_tree_min_leaf () =
+  let f x = x.(0) in
+  let d = sample (rng0 ()) 1 30 f in
+  let t = Tree.fit ~min_leaf:5 ~max_leaves:16 d in
+  List.iter
+    (fun (idx, _) -> cb "leaf size >= 5" true (Array.length idx >= 5))
+    (Tree.leaves t)
+
+(* ---------------- RBF ---------------- *)
+
+let test_rbf_kernels () =
+  cf "gaussian at center" 1.0 (Rbf.eval_kernel Rbf.Gaussian ~r:1.0 0.0);
+  cf "multiquadric at center" 1.0 (Rbf.eval_kernel Rbf.Multiquadric ~r:1.0 0.0);
+  cf "inverse multiquadric at center" 1.0 (Rbf.eval_kernel Rbf.InverseMultiquadric ~r:1.0 0.0);
+  cb "gaussian decays" true (Rbf.eval_kernel Rbf.Gaussian ~r:1.0 4.0 < 0.2);
+  cb "multiquadric grows" true (Rbf.eval_kernel Rbf.Multiquadric ~r:1.0 4.0 > 2.0);
+  cb "inv-multiquadric decays" true (Rbf.eval_kernel Rbf.InverseMultiquadric ~r:1.0 4.0 < 0.5)
+
+let test_rbf_fits_nonlinear () =
+  let f x = sin (3.0 *. x.(0)) +. (x.(1) *. x.(1)) in
+  let d = sample (rng0 ()) 2 150 f in
+  let rbf = Rbf.fit d in
+  let lin = Linear.fit ~interactions:false d in
+  let test = sample (Emc_util.Rng.create 10) 2 60 f in
+  let er = Metrics.rmse rbf.Model.predict test in
+  let el = Metrics.rmse lin.Model.predict test in
+  cb (Printf.sprintf "rbf (%.3f) beats linear (%.3f) on nonlinear target" er el) true
+    (er < el /. 2.0)
+
+let test_rbf_all_kernels_reasonable () =
+  let f x = (x.(0) *. x.(1)) +. x.(2) in
+  let d = sample (rng0 ()) 3 120 f in
+  let test = sample (Emc_util.Rng.create 11) 3 50 f in
+  List.iter
+    (fun k ->
+      let m = Rbf.fit ~kernel:k d in
+      cb (Rbf.kernel_name k ^ " fits") true (Metrics.rmse m.Model.predict test < 0.5))
+    [ Rbf.Gaussian; Rbf.Multiquadric; Rbf.InverseMultiquadric ]
+
+(* ---------------- MARS ---------------- *)
+
+let test_mars_recovers_hinge () =
+  let f x = 2.0 +. (3.0 *. Float.max 0.0 (x.(0) -. 0.2)) in
+  let d = sample (rng0 ()) 3 150 f in
+  let m = Mars.fit d in
+  let test = sample (Emc_util.Rng.create 12) 3 60 f in
+  cb "tiny error on hinge target" true (Metrics.rmse m.Model.predict test < 0.15)
+
+let test_mars_finds_interaction () =
+  let f x = 1.0 +. (2.0 *. x.(0) *. x.(1)) in
+  let d = sample (rng0 ()) 4 200 f in
+  let m = Mars.fit d in
+  let e = Effects.interaction_effect m.Model.predict ~dims:4 0 1 in
+  Alcotest.(check (float 0.3)) "interaction effect ~ 2" 2.0 e
+
+let test_mars_prunes () =
+  (* pure noise target: backward pruning should cut nearly everything *)
+  let rng = rng0 () in
+  let d = sample rng 5 80 (fun _ -> Emc_util.Rng.float rng 0.01) in
+  let m = Mars.fit d in
+  cb
+    (Printf.sprintf "small model on noise (%d terms)" (List.length m.Model.terms))
+    true
+    (List.length m.Model.terms <= 8)
+
+(* ---------------- effects ---------------- *)
+
+let test_effects_of_linear_model () =
+  let f x = 10.0 +. (4.0 *. x.(0)) -. (2.0 *. x.(1)) +. (6.0 *. x.(0) *. x.(2)) in
+  let dims = 3 in
+  cf "main 0" 4.0 (Effects.main_effect f ~dims 0);
+  cf "main 1" (-2.0) (Effects.main_effect f ~dims 1);
+  cf "main 2 (no standalone term)" 0.0 (Effects.main_effect f ~dims 2);
+  cf "interaction 0,2" 6.0 (Effects.interaction_effect f ~dims 0 2);
+  cf "interaction 0,1" 0.0 (Effects.interaction_effect f ~dims 0 1);
+  cf "constant" 10.0 (Effects.constant f ~dims)
+
+let test_top_effects_sorted () =
+  let f x = (5.0 *. x.(0)) +. x.(1) in
+  let tops = Effects.top_effects f ~dims:2 ~names:[| "big"; "small" |] in
+  match tops with
+  | (n1, e1) :: (n2, _) :: _ ->
+      Alcotest.(check string) "biggest first" "big" n1;
+      cf "value" 5.0 e1;
+      Alcotest.(check string) "second" "small" n2
+  | _ -> Alcotest.fail "expected two effects"
+
+let test_mars_degree_one_excludes_interactions () =
+  let f x = 1.0 +. (2.0 *. x.(0) *. x.(1)) in
+  let d = sample (rng0 ()) 3 150 f in
+  let m = Mars.fit ~max_degree:1 d in
+  (* no basis function may involve two dimensions *)
+  List.iter
+    (fun (name, _) ->
+      cb ("additive term only: " ^ name) false
+        (String.length name > 0
+        && String.split_on_char '*' name |> List.length > 1))
+    m.Model.terms
+
+let test_rbf_explicit_size_grid () =
+  let f x = x.(0) +. x.(1) in
+  let d = sample (rng0 ()) 2 60 f in
+  let m = Rbf.fit ~size_grid:[ 6 ] d in
+  Alcotest.(check (float 0.0)) "six centers" 6.0 (List.assoc "centers" m.Model.terms)
+
+let test_dataset_append () =
+  let a = Dataset.create [| [| 1.0 |] |] [| 10.0 |] in
+  let b = Dataset.create [| [| 2.0 |]; [| 3.0 |] |] [| 20.0; 30.0 |] in
+  let c = Dataset.append a b in
+  Alcotest.(check int) "size" 3 (Dataset.size c);
+  cf "order preserved" 20.0 c.Dataset.y.(1)
+
+let test_metrics_perfect_predictor () =
+  let d = Dataset.create [| [| 0.0 |]; [| 1.0 |] |] [| 5.0; 7.0 |] in
+  let predict x = if x.(0) = 0.0 then 5.0 else 7.0 in
+  cf "mape 0" 0.0 (Metrics.mape predict d);
+  cf "rmse 0" 0.0 (Metrics.rmse predict d);
+  cf "sse 0" 0.0 (Metrics.sse predict d)
+
+let prop_tree_predicts_leaf_means =
+  QCheck.Test.make ~name:"tree prediction is bounded by target range" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Emc_util.Rng.create seed in
+      let f x = x.(0) *. 3.0 in
+      let d = sample rng 2 60 f in
+      let t = Tree.fit ~max_leaves:8 d in
+      let lo = Emc_util.Stats.min d.Dataset.y and hi = Emc_util.Stats.max d.Dataset.y in
+      Array.for_all
+        (fun x ->
+          let p = Tree.predict t x in
+          p >= lo -. 1e-9 && p <= hi +. 1e-9)
+        d.Dataset.x)
+
+let suite =
+  [
+    ("dataset basics", `Quick, test_dataset_basics);
+    ("dataset sample", `Quick, test_dataset_sample);
+    ("dataset standardize", `Quick, test_dataset_standardize);
+    ("metrics", `Quick, test_metrics);
+    ("bic penalizes complexity", `Quick, test_bic_penalizes_complexity);
+    ("gcv penalizes complexity", `Quick, test_gcv_penalizes_complexity);
+    ("linear recovers coefficients", `Quick, test_linear_recovers_coefficients);
+    ("linear interactions", `Quick, test_linear_with_interactions);
+    ("linear feature names", `Quick, test_linear_feature_names);
+    ("tree piecewise constant", `Quick, test_tree_piecewise_constant);
+    ("tree max leaves", `Quick, test_tree_respects_max_leaves);
+    ("tree min leaf", `Quick, test_tree_min_leaf);
+    ("rbf kernels", `Quick, test_rbf_kernels);
+    ("rbf fits nonlinear", `Quick, test_rbf_fits_nonlinear);
+    ("rbf all kernels", `Quick, test_rbf_all_kernels_reasonable);
+    ("mars recovers hinge", `Quick, test_mars_recovers_hinge);
+    ("mars finds interaction", `Quick, test_mars_finds_interaction);
+    ("mars prunes noise", `Quick, test_mars_prunes);
+    ("effects of known function", `Quick, test_effects_of_linear_model);
+    ("top effects sorted", `Quick, test_top_effects_sorted);
+    ("mars degree 1 is additive", `Quick, test_mars_degree_one_excludes_interactions);
+    ("rbf explicit size grid", `Quick, test_rbf_explicit_size_grid);
+    ("dataset append", `Quick, test_dataset_append);
+    ("metrics perfect predictor", `Quick, test_metrics_perfect_predictor);
+    QCheck_alcotest.to_alcotest prop_tree_predicts_leaf_means;
+  ]

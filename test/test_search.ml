@@ -1,0 +1,110 @@
+(** Genetic algorithm / search tests on functions with known optima. *)
+
+open Emc_search
+
+let cb = Alcotest.(check bool)
+
+let grid5 k = { Ga.levels = Array.init k (fun _ -> [| -1.0; -0.5; 0.0; 0.5; 1.0 |]) }
+
+(* separable convex: optimum at the grid point closest to the continuous
+   minimizer (0.5, 0.5, ...) *)
+let separable x = Array.fold_left (fun acc v -> acc +. ((v -. 0.5) ** 2.0)) 0.0 x
+
+let test_ga_finds_separable_optimum () =
+  let rng = Emc_util.Rng.create 1 in
+  let best, fit = Ga.optimize rng (grid5 6) ~fitness:separable in
+  Alcotest.(check (float 1e-9)) "optimal value" 0.0 fit;
+  Array.iter (fun v -> Alcotest.(check (float 1e-9)) "gene at 0.5" 0.5 v) best
+
+let test_ga_deterministic_with_seed () =
+  let run () =
+    let rng = Emc_util.Rng.create 7 in
+    Ga.optimize rng (grid5 8) ~fitness:(fun x -> separable x +. (0.3 *. x.(0) *. x.(1)))
+  in
+  let b1, f1 = run () and b2, f2 = run () in
+  Alcotest.(check (float 0.0)) "same fitness" f1 f2;
+  Alcotest.(check (array (float 0.0))) "same genome" b1 b2
+
+let test_ga_handles_interactions () =
+  (* XOR-like coupling: good settings depend jointly on two genes *)
+  let f x = (x.(0) *. x.(1)) +. (0.1 *. separable x) in
+  let rng = Emc_util.Rng.create 3 in
+  let _, fit = Ga.optimize rng (grid5 4) ~fitness:f in
+  (* optimum: x0 = 1, x1 = -1 (or vice versa), x2 = x3 = 0.5:
+     -1 + 0.1 * (0.25 + 2.25) = -0.75 *)
+  Alcotest.(check (float 1e-9)) "found coupled optimum" (-0.75) fit
+
+let test_random_search_budget () =
+  let rng = Emc_util.Rng.create 4 in
+  let _, fit = Ga.random_search rng (grid5 4) ~fitness:separable ~evals:4000 in
+  cb "random search gets close" true (fit < 0.6)
+
+let test_hill_climb_unimodal_exact () =
+  let rng = Emc_util.Rng.create 5 in
+  let _, fit = Ga.hill_climb rng (grid5 6) ~fitness:separable ~restarts:1 in
+  Alcotest.(check (float 1e-9)) "exact on unimodal" 0.0 fit
+
+let test_ga_beats_small_random_budget () =
+  (* on a rugged landscape the GA should do at least as well as an
+     equivalent-budget random search most of the time *)
+  let rugged x =
+    Array.fold_left (fun acc v -> acc +. (v *. v) +. (0.5 *. sin (7.0 *. v))) 0.0 x
+  in
+  let wins = ref 0 in
+  for seed = 1 to 5 do
+    let r1 = Emc_util.Rng.create seed and r2 = Emc_util.Rng.create (seed + 100) in
+    let _, ga = Ga.optimize r1 (grid5 10) ~fitness:rugged in
+    let _, rs = Ga.random_search r2 (grid5 10) ~fitness:rugged ~evals:600 in
+    if ga <= rs +. 1e-9 then incr wins
+  done;
+  cb (Printf.sprintf "ga wins %d/5" !wins) true (!wins >= 3)
+
+let test_searcher_freezes_march () =
+  (* the model-based search must only vary compiler genes: a model that
+     depends solely on microarch parameters yields identical fitness
+     everywhere, and the prescribed flags must still be valid *)
+  let model =
+    {
+      Emc_regress.Model.technique = "stub";
+      predict = (fun x -> 1000.0 +. (100.0 *. x.(Emc_core.Params.n_compiler)));
+      n_params = 1;
+      terms = [];
+    }
+  in
+  let rng = Emc_util.Rng.create 6 in
+  let r =
+    Emc_core.Searcher.search ~rng ~model ~march:Emc_sim.Config.typical ()
+  in
+  Alcotest.(check int) "raw has compiler dims" Emc_core.Params.n_compiler
+    (Array.length r.Emc_core.Searcher.raw);
+  cb "heuristics in range" true
+    (r.Emc_core.Searcher.flags.Emc_opt.Flags.max_unroll_times >= 4
+    && r.Emc_core.Searcher.flags.Emc_opt.Flags.max_unroll_times <= 12)
+
+let test_searcher_guards_nonphysical_predictions () =
+  (* a model that returns negative cycles in some corner must not have that
+     corner prescribed *)
+  let model =
+    {
+      Emc_regress.Model.technique = "stub";
+      predict =
+        (fun x -> if x.(0) > 0.0 then -1e9 (* nonphysical *) else 500.0 +. x.(1));
+      n_params = 1;
+      terms = [];
+    }
+  in
+  let rng = Emc_util.Rng.create 7 in
+  let r = Emc_core.Searcher.search ~rng ~model ~march:Emc_sim.Config.typical () in
+  cb "prescribed point is physical" true (r.Emc_core.Searcher.predicted_cycles > 0.0)
+
+let suite =
+  [
+    ("ga separable optimum", `Quick, test_ga_finds_separable_optimum);
+    ("ga deterministic", `Quick, test_ga_deterministic_with_seed);
+    ("ga coupled genes", `Quick, test_ga_handles_interactions);
+    ("random search budget", `Quick, test_random_search_budget);
+    ("hill climb unimodal", `Quick, test_hill_climb_unimodal_exact);
+    ("ga vs random", `Quick, test_ga_beats_small_random_budget);
+    ("searcher freezes march", `Quick, test_searcher_freezes_march);
+    ("searcher guards non-physical", `Quick, test_searcher_guards_nonphysical_predictions);
+  ]

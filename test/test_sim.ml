@@ -1,0 +1,481 @@
+(** Simulator tests: caches, branch predictors, the memory hierarchy, the
+    functional core on hand-assembled programs, and timing-model sanity
+    (dependence stalls, issue-width limits, memory-latency and predictor
+    effects, SMARTS vs full detail). *)
+
+open Emc_sim
+open Emc_isa
+
+let ci = Alcotest.(check int)
+let cb = Alcotest.(check bool)
+
+(* ---------------- cache ---------------- *)
+
+let test_cache_basic () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:2 in
+  cb "cold miss" false (Cache.access c 0);
+  cb "hit after fill" true (Cache.access c 0);
+  cb "same line hit" true (Cache.access c 32);
+  cb "different line miss" false (Cache.access c 64)
+
+let test_cache_lru () =
+  (* 2-way, 2 sets of 64B lines: lines mapping to set 0 are multiples of 128 *)
+  let c = Cache.create ~size_bytes:256 ~assoc:2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128);
+  (* touch 0 so 128 is LRU *)
+  ignore (Cache.access c 0);
+  (* new line in set 0 evicts 128 *)
+  ignore (Cache.access c 256);
+  cb "0 still resident" true (Cache.access c 0);
+  cb "128 evicted" false (Cache.access c 128)
+
+let test_cache_direct_mapped_conflict () =
+  let c = Cache.create ~size_bytes:256 ~assoc:1 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  cb "conflict evicted" false (Cache.access c 0)
+
+let test_cache_assoc_avoids_conflict () =
+  let c = Cache.create ~size_bytes:256 ~assoc:2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 256);
+  cb "2-way keeps both" true (Cache.access c 0);
+  cb "2-way keeps both (2)" true (Cache.access c 256)
+
+let test_cache_stats () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:1 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 4096);
+  Alcotest.(check (float 1e-9)) "miss rate" 0.5 (Cache.miss_rate c)
+
+let test_cache_probe_no_fill () =
+  let c = Cache.create ~size_bytes:1024 ~assoc:1 in
+  cb "probe miss" false (Cache.probe c 0);
+  cb "probe did not fill" false (Cache.probe c 0);
+  ignore (Cache.access c 0);
+  cb "probe hit" true (Cache.probe c 0)
+
+(* ---------------- branch predictor ---------------- *)
+
+let test_bpred_learns_bias () =
+  let p = Bpred.create ~size:512 in
+  (* an always-taken branch is learned after two updates *)
+  ignore (Bpred.update p 100 true);
+  ignore (Bpred.update p 100 true);
+  cb "predicts taken" true (Bpred.predict p 100);
+  for _ = 1 to 100 do
+    ignore (Bpred.update p 100 true)
+  done;
+  cb "still predicts taken" true (Bpred.predict p 100)
+
+let test_bpred_gshare_learns_alternation () =
+  let p = Bpred.create ~size:4096 in
+  (* strictly alternating T/N/T/N: bimodal fails, the 2-level component keyed
+     on history learns it; accuracy over the last updates must be high *)
+  let taken = ref false in
+  for _ = 1 to 500 do
+    taken := not !taken;
+    ignore (Bpred.update p 777 !taken)
+  done;
+  let correct = ref 0 in
+  for _ = 1 to 200 do
+    taken := not !taken;
+    if Bpred.update p 777 !taken then incr correct
+  done;
+  cb (Printf.sprintf "alternation learned (%d/200)" !correct) true (!correct > 180)
+
+let test_bpred_mispredict_rate_tracked () =
+  let p = Bpred.create ~size:512 in
+  for i = 1 to 100 do
+    ignore (Bpred.update p 5 (i mod 7 = 0))
+  done;
+  cb "rate in (0,1)" true (Bpred.mispredict_rate p > 0.0 && Bpred.mispredict_rate p < 1.0)
+
+let test_bpred_size_must_be_pow2 () =
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Bpred.create: size must be a positive power of two") (fun () ->
+      ignore (Bpred.create ~size:1000))
+
+(* ---------------- memory hierarchy ---------------- *)
+
+let test_memsys_latencies () =
+  let m = Memsys.create Config.typical in
+  (* cold access goes to memory *)
+  let lat = Memsys.access_d m 0x2000 in
+  ci "cold = l1 + l2 + mem" (Config.typical.dcache_lat + Config.typical.l2_lat + Config.typical.mem_lat) lat;
+  (* second access hits L1 *)
+  ci "hit = l1" Config.typical.dcache_lat (Memsys.access_d m 0x2000);
+  (* evicting L1 but not L2 gives an L2 hit — touch far addresses to evict *)
+  for i = 1 to 4096 do
+    ignore (Memsys.access_d m (0x2000 + (i * 64)))
+  done;
+  let l2hit = Memsys.access_d m 0x2000 in
+  cb "l2 hit cheaper than memory" true
+    (l2hit <= Config.typical.dcache_lat + Config.typical.l2_lat)
+
+let test_memsys_prefetch_warms () =
+  let m = Memsys.create Config.typical in
+  Memsys.prefetch_d m 0x4000;
+  ci "post-prefetch hit" Config.typical.dcache_lat (Memsys.access_d m 0x4000)
+
+(* ---------------- functional core on hand-written machine code -------- *)
+
+let dummy_layout = Emc_ir.Memlayout.compute { Emc_ir.Ir.funcs = []; globals = [] }
+
+let mk_prog insts =
+  { Isa.insts = Array.of_list insts; entry = 0; layout = dummy_layout; globals = [];
+    func_starts = [] }
+
+let run_prog insts =
+  let f = Func.create (mk_prog insts) in
+  ignore (Func.run f);
+  f
+
+let test_func_arithmetic () =
+  let f =
+    run_prog
+      [
+        Isa.make LDI ~rd:1 ~imm:20;
+        Isa.make LDI ~rd:2 ~imm:6;
+        Isa.make ADD ~rd:3 ~rs1:1 ~rs2:2;
+        Isa.make SUB ~rd:4 ~rs1:1 ~rs2:2;
+        Isa.make MUL ~rd:5 ~rs1:1 ~rs2:2;
+        Isa.make DIV ~rd:6 ~rs1:1 ~rs2:2;
+        Isa.make REM ~rd:7 ~rs1:1 ~rs2:2;
+        Isa.make OUT ~rs1:3; Isa.make OUT ~rs1:4; Isa.make OUT ~rs1:5;
+        Isa.make OUT ~rs1:6; Isa.make OUT ~rs1:7;
+        Isa.make HALT;
+      ]
+  in
+  Alcotest.(check (list string)) "results" [ "26"; "14"; "120"; "3"; "2" ]
+    (List.map Helpers.fvalue_str (Func.outputs f))
+
+let test_func_memory () =
+  let f =
+    run_prog
+      [
+        Isa.make LDI ~rd:1 ~imm:0x1000;
+        Isa.make LDI ~rd:2 ~imm:77;
+        Isa.make ST ~rs1:1 ~rs2:2 ~imm:8;
+        Isa.make LD ~rd:3 ~rs1:1 ~imm:8;
+        Isa.make OUT ~rs1:3;
+        Isa.make HALT;
+      ]
+  in
+  Alcotest.(check (list string)) "store/load roundtrip" [ "77" ] (List.map Helpers.fvalue_str (Func.outputs f))
+
+let test_func_branches () =
+  let f =
+    run_prog
+      [
+        Isa.make LDI ~rd:1 ~imm:0;
+        Isa.make BEQZ ~rs1:1 ~imm:3; (* taken *)
+        Isa.make LDI ~rd:2 ~imm:111; (* skipped *)
+        Isa.make BNEZ ~rs1:1 ~imm:5; (* not taken *)
+        Isa.make LDI ~rd:2 ~imm:222;
+        Isa.make OUT ~rs1:2;
+        Isa.make HALT;
+      ]
+  in
+  Alcotest.(check (list string)) "branch semantics" [ "222" ] (List.map Helpers.fvalue_str (Func.outputs f))
+
+let test_func_call_ret () =
+  let f =
+    run_prog
+      [
+        Isa.make CALL ~imm:4;
+        Isa.make OUT ~rs1:0;
+        Isa.make HALT;
+        Isa.make NOP;
+        (* function at 4: r0 <- 99; ret *)
+        Isa.make LDI ~rd:0 ~imm:99;
+        Isa.make RET;
+      ]
+  in
+  Alcotest.(check (list string)) "call/ret" [ "99" ] (List.map Helpers.fvalue_str (Func.outputs f))
+
+let test_func_float_bits () =
+  let f =
+    run_prog
+      [
+        Isa.make LFI ~rd:33 ~fimm:1.5;
+        Isa.make LFI ~rd:34 ~fimm:2.25;
+        Isa.make FADD ~rd:35 ~rs1:33 ~rs2:34;
+        Isa.make FMUL ~rd:36 ~rs1:33 ~rs2:34;
+        Isa.make OUT ~rs1:35;
+        Isa.make OUT ~rs1:36;
+        Isa.make FTOI ~rd:5 ~rs1:36;
+        Isa.make OUT ~rs1:5;
+        Isa.make HALT;
+      ]
+  in
+  Alcotest.(check (list string)) "fp ops" [ "0x1.ep+1"; "0x1.bp+1"; "3" ]
+    (List.map Helpers.fvalue_str (Func.outputs f))
+
+(* ---------------- timing model ---------------- *)
+
+let cycles_of ?(cfg = Config.typical) insts =
+  let ooo = Ooo.create cfg (mk_prog insts) in
+  Ooo.run_to_completion ooo
+
+let test_ooo_dependent_chain_slower () =
+  (* 40 dependent adds vs 40 independent adds *)
+  let dep =
+    Isa.make LDI ~rd:1 ~imm:0
+    :: List.init 40 (fun _ -> Isa.make ADD ~rd:1 ~rs1:1 ~rs2:1)
+    @ [ Isa.make HALT ]
+  in
+  let indep =
+    Isa.make LDI ~rd:1 ~imm:0
+    :: List.init 40 (fun i -> Isa.make ADD ~rd:(2 + (i mod 8)) ~rs1:1 ~rs2:1)
+    @ [ Isa.make HALT ]
+  in
+  let cd = cycles_of dep and ci' = cycles_of indep in
+  cb (Printf.sprintf "dependent (%d) > independent (%d)" cd ci') true (cd > ci')
+
+let test_ooo_issue_width_effect () =
+  let indep =
+    Isa.make LDI ~rd:1 ~imm:0
+    :: List.init 200 (fun i -> Isa.make ADD ~rd:(2 + (i mod 8)) ~rs1:1 ~rs2:1)
+    @ [ Isa.make HALT ]
+  in
+  let w2 = cycles_of ~cfg:{ Config.typical with issue_width = 2 } indep in
+  let w4 = cycles_of ~cfg:{ Config.typical with issue_width = 4 } indep in
+  cb (Printf.sprintf "width 4 (%d) faster than width 2 (%d)" w4 w2) true (w4 < w2)
+
+let test_ooo_memory_latency_effect () =
+  (* dependent load chain over cold lines: memory latency dominates *)
+  let loads =
+    Isa.make LDI ~rd:1 ~imm:0x1000
+    :: List.init 20 (fun i -> Isa.make LD ~rd:2 ~rs1:1 ~imm:(i * 64))
+    @ [ Isa.make HALT ]
+  in
+  let fast = cycles_of ~cfg:{ Config.typical with mem_lat = 50 } loads in
+  let slow = cycles_of ~cfg:{ Config.typical with mem_lat = 150 } loads in
+  cb (Printf.sprintf "mem 150 (%d) slower than mem 50 (%d)" slow fast) true
+    (slow > fast + 20)
+
+(* a helper: loop [body] [n] times (counter in r20, body must not touch it);
+   the first iteration warms the I-cache so later iterations measure steady
+   state *)
+let looped n body =
+  (Isa.make LDI ~rd:20 ~imm:n :: body)
+  @ [ Isa.make ADDI ~rd:20 ~rs1:20 ~imm:(-1); Isa.make BNEZ ~rs1:20 ~imm:1; Isa.make HALT ]
+
+let test_ooo_store_forwarding () =
+  (* each iteration stores then immediately loads the same (cold) word while
+     memory latency is enormous: the load must get its value from the store
+     buffer and commit-time store writes must not stall the pipeline *)
+  let n = 100 in
+  let body =
+    [
+      Isa.make ADDI ~rd:1 ~rs1:1 ~imm:64; (* fresh line each iteration *)
+      Isa.make ST ~rs1:1 ~rs2:20 ~imm:0;
+      Isa.make LD ~rd:3 ~rs1:1 ~imm:0;
+      Isa.make ADD ~rd:4 ~rs1:3 ~rs2:3;
+    ]
+  in
+  let prog = Isa.make LDI ~rd:1 ~imm:0x1000 :: looped n body in
+  (* shift loop body by one instruction: fix branch target *)
+  let prog =
+    List.mapi
+      (fun _ i -> if i.Isa.op = BNEZ then { i with Isa.imm = 2 } else i)
+      prog
+  in
+  let c = cycles_of ~cfg:{ Config.typical with mem_lat = 400 } prog in
+  cb (Printf.sprintf "store->load forwards (%d cycles for %d iters)" c n) true
+    (c < n * 30)
+
+let test_ooo_ruu_size_effect () =
+  (* per iteration: 4 cold-line loads, each followed by 12 independent adds.
+     A 16-entry RUU holds barely one load at a time (the misses serialize);
+     a 128-entry RUU exposes the memory-level parallelism *)
+  let n = 60 in
+  let body =
+    List.concat
+      (List.init 4 (fun j ->
+           Isa.make ADDI ~rd:1 ~rs1:1 ~imm:64
+           :: Isa.make LD ~rd:(2 + j) ~rs1:1 ~imm:0
+           :: List.init 12 (fun k -> Isa.make ADD ~rd:(8 + (k mod 6)) ~rs1:1 ~rs2:1)))
+  in
+  let prog = Isa.make LDI ~rd:1 ~imm:0x1000 :: looped n body in
+  let prog =
+    List.map (fun i -> if i.Isa.op = BNEZ then { i with Isa.imm = 2 } else i) prog
+  in
+  let small = cycles_of ~cfg:{ Config.typical with ruu_size = 16; mem_lat = 150 } prog in
+  let large = cycles_of ~cfg:{ Config.typical with ruu_size = 128; mem_lat = 150 } prog in
+  cb (Printf.sprintf "ruu 128 (%d) < ruu 16 (%d)" large small) true
+    (float_of_int large < 0.8 *. float_of_int small)
+
+let test_ooo_commits_everything () =
+  let n = 50 in
+  let prog =
+    Isa.make LDI ~rd:1 ~imm:1
+    :: List.init n (fun i -> Isa.make ADD ~rd:(2 + (i mod 4)) ~rs1:1 ~rs2:1)
+    @ [ Isa.make HALT ]
+  in
+  let ooo = Ooo.create Config.typical (mk_prog prog) in
+  ignore (Ooo.run_to_completion ooo);
+  (* all instructions except HALT commit through the RUU *)
+  ci "committed count" (n + 1) ooo.Ooo.committed
+
+let test_ooo_flush_timing_keeps_arch_state () =
+  let prog =
+    [
+      Isa.make LDI ~rd:1 ~imm:7;
+      Isa.make LDI ~rd:2 ~imm:35;
+      Isa.make ADD ~rd:3 ~rs1:1 ~rs2:2;
+      Isa.make OUT ~rs1:3;
+      Isa.make HALT;
+    ]
+  in
+  let ooo = Ooo.create Config.typical (mk_prog prog) in
+  Ooo.run_detailed ooo ~instrs:2;
+  Ooo.flush_timing ooo;
+  ignore (Ooo.run_to_completion ooo);
+  Alcotest.(check (list string)) "outputs survive flush" [ "42" ]
+    (List.map Helpers.fvalue_str (Func.outputs (Ooo.func ooo)))
+
+(* mispredictable branches cost cycles vs well-predicted ones *)
+let test_branch_prediction_effect () =
+  let src_predictable =
+    {|
+int d[1024];
+fn main() -> int {
+  let s = 0;
+  for (i = 0; i < 1000; i = i + 1) {
+    if (i < 800) { s = s + 1; } else { s = s + 2; }
+  }
+  return s;
+}
+|}
+  in
+  let src_random =
+    {|
+int d[1024];
+fn main() -> int {
+  let s = 0;
+  for (i = 0; i < 1000; i = i + 1) {
+    if (d[i] == 1) { s = s + 1; } else { s = s + 2; }
+  }
+  return s;
+}
+|}
+  in
+  (* genuinely random branch data, injected from the host *)
+  let rng = Emc_util.Rng.create 99 in
+  let arrays = [ ("d", Emc_workloads.Workload.DInt (Array.init 1024 (fun _ -> Emc_util.Rng.int rng 2))) ] in
+  let cycles ?(arrays = []) src =
+    let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays src in
+    let ooo = Ooo.create Config.typical prog in
+    Helpers.set_func_arrays (Ooo.func ooo) arrays;
+    let c = Ooo.run_to_completion ooo in
+    (c, (Ooo.func ooo).Func.icount, ooo.Ooo.branch_mispredicts)
+  in
+  let _, _, mp = cycles src_predictable in
+  let cr, ir, mr = cycles ~arrays src_random in
+  let cpi_r = float_of_int cr /. float_of_int ir in
+  ignore cpi_r;
+  cb (Printf.sprintf "random branches mispredict more (%d vs %d)" mr mp) true (mr > 4 * mp + 50)
+
+(* SMARTS sampling estimates close to full simulation *)
+let test_smarts_accuracy () =
+  let w = Emc_workloads.Registry.find "gzip" in
+  let arrays = w.arrays ~scale:0.3 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays w.source in
+  let setup f = Helpers.set_func_arrays f arrays in
+  let full = Smarts.run_full Config.typical prog ~setup in
+  let smp = Smarts.run_sampled Config.typical prog ~setup in
+  let err = Float.abs (smp.Smarts.cycles -. full.Smarts.cycles) /. full.Smarts.cycles in
+  cb (Printf.sprintf "within 10%% (got %.1f%%)" (err *. 100.)) true (err < 0.10);
+  cb "sampled used sampling" true (not smp.Smarts.detailed);
+  ci "same instruction count" full.Smarts.instrs smp.Smarts.instrs
+
+let test_smarts_interval_one_is_full () =
+  let w = Emc_workloads.Registry.find "gzip" in
+  let arrays = w.arrays ~scale:0.05 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o0 ~arrays w.source in
+  let setup f = Helpers.set_func_arrays f arrays in
+  let r =
+    Smarts.run_sampled
+      ~params:{ Smarts.default_params with interval = 1 }
+      Config.typical prog ~setup
+  in
+  cb "degenerates to detailed" true r.Smarts.detailed
+
+(* ---------------- energy model ---------------- *)
+
+let test_energy_breakdown_sums () =
+  let w = Emc_workloads.Registry.find "gzip" in
+  let arrays = w.arrays ~scale:0.05 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays w.source in
+  let ooo = Ooo.create Config.typical prog in
+  Helpers.set_func_arrays (Ooo.func ooo) arrays;
+  let cycles = float_of_int (Ooo.run_to_completion ooo) in
+  let b = Energy.estimate ooo ~cycles in
+  cb "total positive" true (b.Energy.total > 0.0);
+  Alcotest.(check (float 1e-6)) "components sum to total" b.Energy.total
+    (b.Energy.dynamic_fu +. b.Energy.memory +. b.Energy.predictor +. b.Energy.leakage);
+  cb "every component positive" true
+    (b.Energy.dynamic_fu > 0.0 && b.Energy.memory > 0.0 && b.Energy.predictor > 0.0
+    && b.Energy.leakage > 0.0)
+
+let test_energy_tracks_memory_traffic () =
+  (* mcf with a tiny L2 spends far more memory energy than with a huge one *)
+  let w = Emc_workloads.Registry.find "mcf" in
+  let arrays = w.arrays ~scale:0.08 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays w.source in
+  let energy l2 =
+    let ooo = Ooo.create { Config.typical with l2_kb = l2 } prog in
+    Helpers.set_func_arrays (Ooo.func ooo) arrays;
+    let cycles = float_of_int (Ooo.run_to_completion ooo) in
+    (Energy.estimate ooo ~cycles).Energy.memory
+  in
+  let small = energy 256 and big = energy 8192 in
+  cb (Printf.sprintf "small L2 burns more memory energy (%.0f vs %.0f)" small big) true
+    (small > big)
+
+let test_smarts_reports_all_responses () =
+  let w = Emc_workloads.Registry.find "vortex" in
+  let arrays = w.arrays ~scale:0.05 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays w.source in
+  let r = Smarts.run_full Config.typical prog ~setup:(fun f -> Helpers.set_func_arrays f arrays) in
+  cb "energy present" true (r.Smarts.energy > 0.0);
+  ci "code size is the program size" (Array.length prog.Emc_isa.Isa.insts) r.Smarts.static_instrs
+
+let suite =
+  [
+    ("energy breakdown sums", `Quick, test_energy_breakdown_sums);
+    ("energy tracks memory traffic", `Quick, test_energy_tracks_memory_traffic);
+    ("smarts reports all responses", `Quick, test_smarts_reports_all_responses);
+    ("cache basic", `Quick, test_cache_basic);
+    ("cache lru", `Quick, test_cache_lru);
+    ("cache direct-mapped conflict", `Quick, test_cache_direct_mapped_conflict);
+    ("cache associativity", `Quick, test_cache_assoc_avoids_conflict);
+    ("cache stats", `Quick, test_cache_stats);
+    ("cache probe", `Quick, test_cache_probe_no_fill);
+    ("bpred learns bias", `Quick, test_bpred_learns_bias);
+    ("bpred learns alternation", `Quick, test_bpred_gshare_learns_alternation);
+    ("bpred mispredict rate", `Quick, test_bpred_mispredict_rate_tracked);
+    ("bpred size validation", `Quick, test_bpred_size_must_be_pow2);
+    ("memsys latencies", `Quick, test_memsys_latencies);
+    ("memsys prefetch", `Quick, test_memsys_prefetch_warms);
+    ("func arithmetic", `Quick, test_func_arithmetic);
+    ("func memory", `Quick, test_func_memory);
+    ("func branches", `Quick, test_func_branches);
+    ("func call/ret", `Quick, test_func_call_ret);
+    ("func floats", `Quick, test_func_float_bits);
+    ("ooo dependent chain", `Quick, test_ooo_dependent_chain_slower);
+    ("ooo issue width", `Quick, test_ooo_issue_width_effect);
+    ("ooo memory latency", `Quick, test_ooo_memory_latency_effect);
+    ("ooo store forwarding", `Quick, test_ooo_store_forwarding);
+    ("ooo ruu size", `Quick, test_ooo_ruu_size_effect);
+    ("ooo commits everything", `Quick, test_ooo_commits_everything);
+    ("ooo flush keeps arch state", `Quick, test_ooo_flush_timing_keeps_arch_state);
+    ("branch prediction effect", `Quick, test_branch_prediction_effect);
+    ("smarts accuracy", `Quick, test_smarts_accuracy);
+    ("smarts interval=1", `Quick, test_smarts_interval_one_is_full);
+  ]
