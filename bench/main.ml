@@ -20,6 +20,11 @@ let hr title =
   Printf.printf "\n%s  [t=%.0fs]\n%s\n%!" title (Unix.gettimeofday () -. t_start)
     (String.make (String.length title) '=')
 
+(* A harness phase: section header on stdout plus a span in the trace file
+   (EMC_TRACE=<file>), so a Perfetto timeline shows where the wall clock
+   went — prepare vs tables vs ablations vs micro-benchmarks. *)
+let phase title f = hr title; Emc_obs.Trace.with_span ~cat:"phase" title f
+
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                            *)
 
@@ -112,7 +117,6 @@ let ablation_search (ctx : Experiments.ctx) =
 (* Bechamel micro-benchmarks: one per table/figure kernel               *)
 
 let bechamel_suite (ctx : Experiments.ctx) =
-  hr "Bechamel micro-benchmarks (kernels behind each table/figure)";
   let d = Experiments.prepare ctx (Registry.find "gzip") in
   let train = d.Experiments.train and test = d.Experiments.test in
   let rbf = Experiments.rbf_model d in
@@ -188,6 +192,9 @@ let bechamel_suite (ctx : Experiments.ctx) =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* the harness is a progress-reporting tool: keep the prepare/fit progress
+     events visible unless the user asked for something else via EMC_LOG *)
+  if Sys.getenv_opt "EMC_LOG" = None then Emc_obs.Log.set_level Emc_obs.Log.Info;
   let args = Array.to_list Sys.argv in
   let bechamel_only = List.mem "--bechamel-only" args in
   let no_bechamel = List.mem "--no-bechamel" args in
@@ -198,27 +205,28 @@ let () =
     ctx.scale.Scale.name ctx.scale.Scale.train_n ctx.scale.Scale.test_n
     ctx.scale.Scale.workload_scale;
   if not bechamel_only then begin
-    hr "Parameter space";
-    Experiments.print_parameters ();
-    Experiments.print_table5 ();
-    hr "Model accuracy (Tables 3-4, Figures 5-6)";
-    ignore (Experiments.table3 ctx);
-    ignore (Experiments.fig5 ctx);
-    ignore (Experiments.fig6 ctx);
-    ignore (Experiments.table4 ctx);
-    hr "Figure 3 (art: unroll x I-cache)";
-    ignore (Experiments.fig3 ctx);
-    hr "Model-based search (Table 6, Figure 7, Table 7)";
-    let t6 = Experiments.table6 ctx in
-    ignore (Experiments.fig7 ctx t6);
-    ignore (Experiments.table7 ctx t6);
-    hr "Ablations";
-    ablation_doe ctx;
-    ablation_rbf ctx;
-    ablation_smarts ctx;
-    ablation_search ctx
+    phase "Parameter space" (fun () ->
+        Experiments.print_parameters ();
+        Experiments.print_table5 ());
+    phase "Model accuracy (Tables 3-4, Figures 5-6)" (fun () ->
+        ignore (Experiments.table3 ctx);
+        ignore (Experiments.fig5 ctx);
+        ignore (Experiments.fig6 ctx);
+        ignore (Experiments.table4 ctx));
+    phase "Figure 3 (art: unroll x I-cache)" (fun () -> ignore (Experiments.fig3 ctx));
+    phase "Model-based search (Table 6, Figure 7, Table 7)" (fun () ->
+        let t6 = Experiments.table6 ctx in
+        ignore (Experiments.fig7 ctx t6);
+        ignore (Experiments.table7 ctx t6));
+    phase "Ablations" (fun () ->
+        ablation_doe ctx;
+        ablation_rbf ctx;
+        ablation_smarts ctx;
+        ablation_search ctx)
   end;
-  if not no_bechamel then bechamel_suite ctx;
+  if not no_bechamel then
+    phase "Bechamel micro-benchmarks (kernels behind each table/figure)" (fun () ->
+        bechamel_suite ctx);
   Printf.printf "\nTotal: %d simulator runs, %d compilations, %.1fs wall clock.\n"
     ctx.measure.Measure.simulations ctx.measure.Measure.compiles
     (Unix.gettimeofday () -. t0)

@@ -33,6 +33,28 @@ let seed_arg =
   let doc = "Random seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of this run to $(docv) (open in chrome://tracing \
+     or Perfetto). Equivalent to setting EMC_TRACE=$(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "After the run, print the telemetry metrics registry (simulator stall/miss counters, \
+     SMARTS confidence intervals, cache hit rates, fit times, ...)."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Wrap a subcommand body with the observability plumbing: enable tracing
+   first (so spans cover the whole run), dump metrics last. *)
+let with_obs trace metrics f =
+  (match trace with Some file -> Emc_obs.Trace.enable file | None -> ());
+  let r = f () in
+  if metrics then print_string (Emc_obs.Metrics.dump_text ());
+  r
+
 let parse_config = function
   | "constrained" -> Emc_sim.Config.constrained
   | "typical" -> Emc_sim.Config.typical
@@ -56,12 +78,13 @@ let parse_scale = function
 (* ---------------- params ---------------- *)
 
 let params_cmd =
-  let run () =
-    Experiments.print_parameters ();
-    Experiments.print_table5 ()
+  let run trace metrics =
+    with_obs trace metrics (fun () ->
+        Experiments.print_parameters ();
+        Experiments.print_table5 ())
   in
   Cmd.v (Cmd.info "params" ~doc:"Print the modeled parameter space (Tables 1, 2 and 5).")
-    Term.(const run $ const ())
+    Term.(const run $ trace_arg $ metrics_arg)
 
 (* ---------------- compile ---------------- *)
 
@@ -72,28 +95,33 @@ let compile_cmd =
   let dump_asm =
     Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the generated machine code.")
   in
-  let run wname level dump_ir dump_asm =
-    let w = Registry.find wname in
-    let flags = parse_flags level in
-    let ir = Emc_lang.Minic.compile_exn w.Workload.source in
-    let before = Emc_ir.Ir.instr_count ir in
-    let opt = Emc_opt.Pipeline.optimize ~issue_width:4 flags ir in
-    let after = Emc_ir.Ir.instr_count opt in
-    let prog =
-      Emc_codegen.Codegen.emit_program ~omit_frame_pointer:flags.omit_frame_pointer opt
-    in
-    Printf.printf "%s at %s: IR %d -> %d instrs; machine code %d instrs (%d bytes)\n" w.name
-      level before after
-      (Array.length prog.Emc_isa.Isa.insts)
-      (4 * Array.length prog.Emc_isa.Isa.insts);
-    if dump_ir then print_string (Emc_ir.Ir.to_string opt);
-    if dump_asm then
-      Array.iteri
-        (fun i inst -> Format.printf "%5d: %a@." i Emc_isa.Isa.pp_inst inst)
-        prog.Emc_isa.Isa.insts
+  let run wname level dump_ir dump_asm trace metrics =
+    with_obs trace metrics (fun () ->
+        let w = Registry.find wname in
+        let flags = parse_flags level in
+        let ir = Emc_lang.Minic.compile_exn w.Workload.source in
+        let before = Emc_ir.Ir.instr_count ir in
+        let opt =
+          Emc_obs.Trace.with_span ~cat:"compile" "optimize" (fun () ->
+              Emc_opt.Pipeline.optimize ~issue_width:4 flags ir)
+        in
+        let after = Emc_ir.Ir.instr_count opt in
+        let prog =
+          Emc_obs.Trace.with_span ~cat:"compile" "codegen" (fun () ->
+              Emc_codegen.Codegen.emit_program ~omit_frame_pointer:flags.omit_frame_pointer opt)
+        in
+        Printf.printf "%s at %s: IR %d -> %d instrs; machine code %d instrs (%d bytes)\n" w.name
+          level before after
+          (Array.length prog.Emc_isa.Isa.insts)
+          (4 * Array.length prog.Emc_isa.Isa.insts);
+        if dump_ir then print_string (Emc_ir.Ir.to_string opt);
+        if dump_asm then
+          Array.iteri
+            (fun i inst -> Format.printf "%5d: %a@." i Emc_isa.Isa.pp_inst inst)
+            prog.Emc_isa.Isa.insts)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a workload and report/dump the result.")
-    Term.(const run $ workload_arg $ opt_level_arg $ dump_ir $ dump_asm)
+    Term.(const run $ workload_arg $ opt_level_arg $ dump_ir $ dump_asm $ trace_arg $ metrics_arg)
 
 (* ---------------- simulate ---------------- *)
 
@@ -101,46 +129,51 @@ let simulate_cmd =
   let full_detail =
     Arg.(value & flag & info [ "full" ] ~doc:"Fully detailed simulation (no SMARTS sampling).")
   in
-  let run wname level cname scale full_detail =
-    let w = Registry.find wname in
-    let flags = parse_flags level in
-    let march = parse_config cname in
-    let scale = parse_scale scale in
-    let m = Measure.create { scale with smarts = (if full_detail then None else scale.smarts) } in
-    let t0 = Unix.gettimeofday () in
-    let cycles = Measure.cycles m w ~variant:Workload.Train flags march in
-    Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall)\n" w.name level cname cycles
-      (Unix.gettimeofday () -. t0)
+  let run wname level cname scale full_detail trace metrics =
+    with_obs trace metrics (fun () ->
+        let w = Registry.find wname in
+        let flags = parse_flags level in
+        let march = parse_config cname in
+        let scale = parse_scale scale in
+        let m =
+          Measure.create { scale with smarts = (if full_detail then None else scale.smarts) }
+        in
+        let t0 = Unix.gettimeofday () in
+        let cycles = Measure.cycles m w ~variant:Workload.Train flags march in
+        Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall)\n" w.name level cname cycles
+          (Unix.gettimeofday () -. t0))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compile and simulate one workload/flags/microarch combination.")
-    Term.(const run $ workload_arg $ opt_level_arg $ config_arg $ scale_arg $ full_detail)
+    Term.(const run $ workload_arg $ opt_level_arg $ config_arg $ scale_arg $ full_detail
+          $ trace_arg $ metrics_arg)
 
 (* ---------------- design ---------------- *)
 
 let design_cmd =
   let n_arg = Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Design size.") in
-  let run n seed =
-    let rng = Emc_util.Rng.create seed in
-    let space = Params.space_all in
-    let design = Emc_doe.Doe.generate rng space ~n in
-    let rand = Emc_doe.Doe.random_design rng space n in
-    Printf.printf "D-optimal design, n=%d, log det(X'X) = %.3f (random baseline %.3f)\n" n
-      (Emc_doe.Doe.log_det_information design)
-      (Emc_doe.Doe.log_det_information rand);
-    Array.iteri
-      (fun i p ->
-        if i < 5 then begin
-          let raw = Params.decode Params.all_specs p in
-          let flags, march = Params.split_raw raw in
-          Printf.printf "  point %d: %s | %s\n" i (Emc_opt.Flags.to_string flags)
-            (Emc_sim.Config.to_string march)
-        end)
-      design;
-    if n > 5 then Printf.printf "  ... (%d more)\n" (n - 5)
+  let run n seed trace metrics =
+    with_obs trace metrics (fun () ->
+        let rng = Emc_util.Rng.create seed in
+        let space = Params.space_all in
+        let design = Emc_doe.Doe.generate rng space ~n in
+        let rand = Emc_doe.Doe.random_design rng space n in
+        Printf.printf "D-optimal design, n=%d, log det(X'X) = %.3f (random baseline %.3f)\n" n
+          (Emc_doe.Doe.log_det_information design)
+          (Emc_doe.Doe.log_det_information rand);
+        Array.iteri
+          (fun i p ->
+            if i < 5 then begin
+              let raw = Params.decode Params.all_specs p in
+              let flags, march = Params.split_raw raw in
+              Printf.printf "  point %d: %s | %s\n" i (Emc_opt.Flags.to_string flags)
+                (Emc_sim.Config.to_string march)
+            end)
+          design;
+        if n > 5 then Printf.printf "  ... (%d more)\n" (n - 5))
   in
   Cmd.v (Cmd.info "design" ~doc:"Generate a D-optimal experiment design (paper, section 3).")
-    Term.(const run $ n_arg $ seed_arg)
+    Term.(const run $ n_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- model ---------------- *)
 
@@ -155,27 +188,29 @@ let parse_technique = function
   | s -> failwith ("unknown technique: " ^ s)
 
 let model_cmd =
-  let run wname tname scale seed =
-    let w = Registry.find wname in
-    let scale = parse_scale scale in
-    let ctx = Experiments.create ~seed ~scale () in
-    let d = Experiments.prepare ctx w in
-    let technique = parse_technique tname in
-    let m = Experiments.model_of d technique in
-    Printf.printf "%s / %s: test MAPE = %.2f%% (%d params)\n" w.name
-      (Modeling.technique_name technique)
-      (Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test)
-      m.Emc_regress.Model.n_params;
-    let names = Params.names Params.all_specs in
-    let effects =
-      Emc_regress.Effects.top_effects m.Emc_regress.Model.predict ~dims:Params.n_all ~names
-    in
-    Printf.printf "strongest effects:\n";
-    List.iteri (fun i (n, e) -> if i < 10 then Printf.printf "  %-40s %+.4g\n" n e) effects
+  let run wname tname scale seed trace metrics =
+    with_obs trace metrics (fun () ->
+        let w = Registry.find wname in
+        let scale = parse_scale scale in
+        let ctx = Experiments.create ~seed ~scale () in
+        let d = Experiments.prepare ctx w in
+        let technique = parse_technique tname in
+        let m = Experiments.model_of d technique in
+        Printf.printf "%s / %s: test MAPE = %.2f%% (%d params)\n" w.name
+          (Modeling.technique_name technique)
+          (Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test)
+          m.Emc_regress.Model.n_params;
+        let names = Params.names Params.all_specs in
+        let effects =
+          Emc_regress.Effects.top_effects m.Emc_regress.Model.predict ~dims:Params.n_all ~names
+        in
+        Printf.printf "strongest effects:\n";
+        List.iteri (fun i (n, e) -> if i < 10 then Printf.printf "  %-40s %+.4g\n" n e) effects)
   in
   Cmd.v
     (Cmd.info "model" ~doc:"Build an empirical model for a workload and report its accuracy.")
-    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg)
+    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ trace_arg
+          $ metrics_arg)
 
 (* ---------------- search ---------------- *)
 
@@ -183,28 +218,33 @@ let search_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Also measure the prescribed settings.")
   in
-  let run wname cname scale seed validate =
-    let w = Registry.find wname in
-    let march = parse_config cname in
-    let scale = parse_scale scale in
-    let ctx = Experiments.create ~seed ~scale () in
-    let d = Experiments.prepare ctx w in
-    let m = Experiments.rbf_model d in
-    let r = Searcher.search ~params:scale.Scale.ga ~rng:(Emc_util.Rng.create (seed + 1)) ~model:m ~march () in
-    Printf.printf "%s on %s:\n  prescribed: %s\n  predicted cycles: %.0f\n" w.name cname
-      (Emc_opt.Flags.to_string r.Searcher.flags)
-      r.Searcher.predicted_cycles;
-    if validate then begin
-      let o2 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
-      let best = Measure.cycles ctx.measure w ~variant:Workload.Train r.Searcher.flags march in
-      Printf.printf "  measured: O2=%.0f prescribed=%.0f actual speedup=%+.2f%%\n" o2 best
-        ((o2 /. best -. 1.0) *. 100.0)
-    end
+  let run wname cname scale seed validate trace metrics =
+    with_obs trace metrics (fun () ->
+        let w = Registry.find wname in
+        let march = parse_config cname in
+        let scale = parse_scale scale in
+        let ctx = Experiments.create ~seed ~scale () in
+        let d = Experiments.prepare ctx w in
+        let m = Experiments.rbf_model d in
+        let r =
+          Searcher.search ~params:scale.Scale.ga ~rng:(Emc_util.Rng.create (seed + 1)) ~model:m
+            ~march ()
+        in
+        Printf.printf "%s on %s:\n  prescribed: %s\n  predicted cycles: %.0f\n" w.name cname
+          (Emc_opt.Flags.to_string r.Searcher.flags)
+          r.Searcher.predicted_cycles;
+        if validate then begin
+          let o2 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
+          let best = Measure.cycles ctx.measure w ~variant:Workload.Train r.Searcher.flags march in
+          Printf.printf "  measured: O2=%.0f prescribed=%.0f actual speedup=%+.2f%%\n" o2 best
+            ((o2 /. best -. 1.0) *. 100.0)
+        end)
   in
   Cmd.v
     (Cmd.info "search"
        ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
-    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ validate)
+    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ validate $ trace_arg
+          $ metrics_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -213,23 +253,25 @@ let experiment_cmd =
     Arg.(value & pos 0 string "table3"
          & info [] ~docv:"EXP" ~doc:"One of: table3 table4 table5 table6 table7 fig3 fig5 fig6 fig7.")
   in
-  let run which scale seed =
-    let scale = parse_scale scale in
-    let ctx = Experiments.create ~seed ~scale () in
-    match which with
-    | "table3" -> ignore (Experiments.table3 ctx)
-    | "table4" -> ignore (Experiments.table4 ctx)
-    | "table5" -> Experiments.print_table5 ()
-    | "table6" -> ignore (Experiments.table6 ctx)
-    | "table7" -> ignore (Experiments.table7 ctx (Experiments.table6 ctx))
-    | "fig3" -> ignore (Experiments.fig3 ctx)
-    | "fig5" -> ignore (Experiments.fig5 ctx)
-    | "fig6" -> ignore (Experiments.fig6 ctx)
-    | "fig7" -> ignore (Experiments.fig7 ctx (Experiments.table6 ctx))
-    | s -> failwith ("unknown experiment: " ^ s)
+  let run which scale seed trace metrics =
+    with_obs trace metrics (fun () ->
+        let scale = parse_scale scale in
+        let ctx = Experiments.create ~seed ~scale () in
+        Emc_obs.Trace.with_span ~cat:"phase" which (fun () ->
+            match which with
+            | "table3" -> ignore (Experiments.table3 ctx)
+            | "table4" -> ignore (Experiments.table4 ctx)
+            | "table5" -> Experiments.print_table5 ()
+            | "table6" -> ignore (Experiments.table6 ctx)
+            | "table7" -> ignore (Experiments.table7 ctx (Experiments.table6 ctx))
+            | "fig3" -> ignore (Experiments.fig3 ctx)
+            | "fig5" -> ignore (Experiments.fig5 ctx)
+            | "fig6" -> ignore (Experiments.fig6 ctx)
+            | "fig7" -> ignore (Experiments.fig7 ctx (Experiments.table6 ctx))
+            | s -> failwith ("unknown experiment: " ^ s)))
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure from the paper.")
-    Term.(const run $ which_arg $ scale_arg $ seed_arg)
+    Term.(const run $ which_arg $ scale_arg $ seed_arg $ trace_arg $ metrics_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -34,35 +34,43 @@ let short_name (w : Workload.t) =
   | Some i -> String.sub w.name (i + 1) (String.length w.name - i - 1)
   | None -> w.name
 
-let progress fmt = Printf.eprintf (fmt ^^ "\n%!")
+let progress ?fields fmt = Emc_obs.Log.info ~src:"prepare" ?fields fmt
 
 (** Build (or fetch) the designs, measurements and models for one workload. *)
 let prepare ctx (w : Workload.t) =
   match List.assoc_opt w.name ctx.wdata with
   | Some d -> d
   | None ->
-      let t0 = Unix.gettimeofday () in
-      progress "[prepare] %s: generating D-optimal designs (train=%d test=%d)..." w.name
-        ctx.scale.train_n ctx.scale.test_n;
-      let rng = Rng.split ctx.rng in
-      let space = Params.space_all in
-      let train_pts =
-        Emc_doe.Doe.generate ~sweeps:ctx.scale.doe_sweeps ~cand_factor:ctx.scale.doe_cand_factor
-          rng space ~n:ctx.scale.train_n
-      in
-      let test_pts = Emc_doe.Doe.lhs rng space ctx.scale.test_n in
-      progress "[prepare] %s: measuring %d+%d design points..." w.name ctx.scale.train_n
-        ctx.scale.test_n;
-      let train = Modeling.build_dataset ctx.measure w ~variant:Workload.Train train_pts in
-      let test = Modeling.build_dataset ctx.measure w ~variant:Workload.Train test_pts in
-      progress "[prepare] %s: fitting models..." w.name;
-      let models = List.map (fun t -> (t, Modeling.fit t train)) Modeling.all_techniques in
-      let d = { workload = w; train; test; models } in
-      ctx.wdata <- (w.name, d) :: ctx.wdata;
-      progress "[prepare] %s: done in %.1fs (%d simulations so far)" w.name
-        (Unix.gettimeofday () -. t0)
-        ctx.measure.Measure.simulations;
-      d
+      Emc_obs.Trace.with_span ~cat:"phase"
+        ~args:(fun () -> [ ("workload", Emc_obs.Json.Str w.name) ])
+        "prepare"
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          progress "%s: generating D-optimal designs (train=%d test=%d)..." w.name
+            ctx.scale.train_n ctx.scale.test_n;
+          let rng = Rng.split ctx.rng in
+          let space = Params.space_all in
+          let train_pts =
+            Emc_doe.Doe.generate ~sweeps:ctx.scale.doe_sweeps
+              ~cand_factor:ctx.scale.doe_cand_factor rng space ~n:ctx.scale.train_n
+          in
+          let test_pts = Emc_doe.Doe.lhs rng space ctx.scale.test_n in
+          progress "%s: measuring %d+%d design points..." w.name ctx.scale.train_n
+            ctx.scale.test_n;
+          let train = Modeling.build_dataset ctx.measure w ~variant:Workload.Train train_pts in
+          let test = Modeling.build_dataset ctx.measure w ~variant:Workload.Train test_pts in
+          progress "%s: fitting models..." w.name;
+          let models = List.map (fun t -> (t, Modeling.fit t train)) Modeling.all_techniques in
+          let d = { workload = w; train; test; models } in
+          ctx.wdata <- (w.name, d) :: ctx.wdata;
+          progress
+            ~fields:
+              [ ("seconds", Emc_obs.Json.Float (Unix.gettimeofday () -. t0));
+                ("simulations", Emc_obs.Json.Int ctx.measure.Measure.simulations) ]
+            "%s: done in %.1fs (%d simulations so far)" w.name
+            (Unix.gettimeofday () -. t0)
+            ctx.measure.Measure.simulations;
+          d)
 
 let model_of d technique = List.assoc technique d.models
 

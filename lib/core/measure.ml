@@ -16,19 +16,40 @@ type t = {
   results : (string, float) Hashtbl.t;
   mutable simulations : int;  (** actual simulator runs (cache misses) *)
   mutable compiles : int;
+  mutable binary_hits : int;  (** compile requests served from the memo *)
+  mutable result_hits : int;  (** measurements served from the memo *)
 }
+
+module Metrics = Emc_obs.Metrics
+module Trace = Emc_obs.Trace
+
+let m_compiles = Metrics.counter "measure.compiles"
+let m_binary_hits = Metrics.counter "measure.binary_cache_hits"
+let m_simulations = Metrics.counter "measure.simulations"
+let m_result_hits = Metrics.counter "measure.result_cache_hits"
 
 let create scale =
   { scale; binaries = Hashtbl.create 64; results = Hashtbl.create 1024; simulations = 0;
-    compiles = 0 }
+    compiles = 0; binary_hits = 0; result_hits = 0 }
 
 let compile t (w : Workload.t) (flags : Emc_opt.Flags.t) ~issue_width =
   let key = Printf.sprintf "%s|%d|%s" w.name issue_width (Emc_opt.Flags.to_string flags) in
   match Hashtbl.find_opt t.binaries key with
-  | Some p -> p
+  | Some p ->
+      t.binary_hits <- t.binary_hits + 1;
+      Metrics.incr m_binary_hits;
+      p
   | None ->
-      let prog = Emc_codegen.Compiler.compile_source ~issue_width flags w.source in
+      let prog =
+        Trace.with_span ~cat:"compile"
+          ~args:(fun () ->
+            [ ("workload", Emc_obs.Json.Str w.name);
+              ("issue_width", Emc_obs.Json.Int issue_width) ])
+          "compile"
+          (fun () -> Emc_codegen.Compiler.compile_source ~issue_width flags w.source)
+      in
       t.compiles <- t.compiles + 1;
+      Metrics.incr m_compiles;
       Hashtbl.replace t.binaries key prog;
       prog
 
@@ -48,16 +69,24 @@ type response = Cycles | Energy | CodeSize
 let response_name = function Cycles -> "cycles" | Energy -> "energy" | CodeSize -> "code-size"
 
 let run_sim t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t) (march : Emc_sim.Config.t) =
-  let prog = compile t w flags ~issue_width:march.issue_width in
-  let arrays = w.arrays ~scale:t.scale.Scale.workload_scale ~variant in
-  let setup = setup_func arrays in
-  let r =
-    match t.scale.Scale.smarts with
-    | Some params -> Emc_sim.Smarts.run_sampled ~params march prog ~setup
-    | None -> Emc_sim.Smarts.run_full march prog ~setup
-  in
-  t.simulations <- t.simulations + 1;
-  r
+  Trace.with_span ~cat:"measure"
+    ~args:(fun () ->
+      [ ("workload", Emc_obs.Json.Str w.name);
+        ("variant", Emc_obs.Json.Str (Workload.variant_name variant)) ])
+    "measure"
+    (fun () ->
+      let prog = compile t w flags ~issue_width:march.issue_width in
+      let arrays = w.arrays ~scale:t.scale.Scale.workload_scale ~variant in
+      let setup = setup_func arrays in
+      let r =
+        Trace.with_span ~cat:"sim" "simulate" (fun () ->
+            match t.scale.Scale.smarts with
+            | Some params -> Emc_sim.Smarts.run_sampled ~params march prog ~setup
+            | None -> Emc_sim.Smarts.run_full march prog ~setup)
+      in
+      t.simulations <- t.simulations + 1;
+      Metrics.incr m_simulations;
+      r)
 
 (** Measured response; results are memoized per full configuration. *)
 let respond ?(response = Cycles) t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t)
@@ -68,7 +97,10 @@ let respond ?(response = Cycles) t (w : Workload.t) ~variant (flags : Emc_opt.Fl
       (Emc_sim.Config.to_string march)
   in
   match Hashtbl.find_opt t.results key with
-  | Some c -> c
+  | Some c ->
+      t.result_hits <- t.result_hits + 1;
+      Metrics.incr m_result_hits;
+      c
   | None ->
       let r = run_sim t w ~variant flags march in
       (* one simulation yields all three responses: memoize them all *)

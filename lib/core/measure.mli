@@ -12,6 +12,8 @@ type t = {
   results : (string, float) Hashtbl.t;
   mutable simulations : int;  (** simulator runs actually executed *)
   mutable compiles : int;  (** distinct binaries built *)
+  mutable binary_hits : int;  (** compile requests served from the memo *)
+  mutable result_hits : int;  (** measurements served from the memo *)
 }
 
 val create : Scale.t -> t

@@ -26,12 +26,39 @@ let clamp_to_response (d : Dataset.t) (m : Model.t) : Model.t =
   let hi = Emc_util.Stats.max d.Dataset.y *. clamp_margin in
   { m with Model.predict = (fun x -> Float.max lo (Float.min hi (m.Model.predict x))) }
 
+let m_fits = Emc_obs.Metrics.counter "model.fits"
+
+let fit_seconds_hist technique =
+  Emc_obs.Metrics.histogram ("model.fit_seconds." ^ technique_name technique)
+
 let fit ?(names = Params.names Params.all_specs) technique (d : Dataset.t) : Model.t =
-  clamp_to_response d
-    (match technique with
-    | Linear -> Linear.fit ~interactions:true ~names d
-    | Mars -> Mars.fit ~names d
-    | Rbf -> Rbf.fit ~kernel:Rbf.Multiquadric d)
+  Emc_obs.Trace.with_span ~cat:"model"
+    ~args:(fun () ->
+      [ ("technique", Emc_obs.Json.Str (technique_name technique));
+        ("points", Emc_obs.Json.Int (Array.length d.Dataset.x)) ])
+    "model.fit"
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let m =
+        clamp_to_response d
+          (match technique with
+          | Linear -> Linear.fit ~interactions:true ~names d
+          | Mars -> Mars.fit ~names d
+          | Rbf -> Rbf.fit ~kernel:Rbf.Multiquadric d)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Emc_obs.Metrics.incr m_fits;
+      Emc_obs.Metrics.observe (fit_seconds_hist technique) dt;
+      Emc_obs.Log.debug ~src:"model"
+        ~fields:
+          [ ("technique", Emc_obs.Json.Str (technique_name technique));
+            ("points", Emc_obs.Json.Int (Array.length d.Dataset.x));
+            ("params", Emc_obs.Json.Int m.Model.n_params);
+            ("seconds", Emc_obs.Json.Float dt) ]
+        "fit %s on %d points: %d basis terms/centers in %.3fs"
+        (technique_name technique)
+        (Array.length d.Dataset.x) m.Model.n_params dt;
+      m)
 
 (** Measure the response at every point of a coded design. *)
 let build_dataset (m : Measure.t) w ~variant (points : float array array) : Dataset.t =

@@ -94,5 +94,7 @@ let of_env () =
   | Some "tiny" -> tiny
   | Some "quick" | None -> quick
   | Some other ->
-      Printf.eprintf "EMC_SCALE=%s not recognized; using quick\n%!" other;
+      Emc_obs.Log.warn ~src:"scale"
+        ~fields:[ ("value", Emc_obs.Json.Str other) ]
+        "EMC_SCALE=%s not recognized; using quick" other;
       quick

@@ -87,7 +87,11 @@ let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
     done;
     !acc
   in
-  for _sweep = 1 to sweeps do
+  (* per-sweep D-criterion trajectory: log det is O(p^3), negligible next
+     to the exchange sweep itself, so the telemetry is always on *)
+  let logdet = ref (log_det_information design) in
+  let h_gain = Emc_obs.Metrics.histogram "doe.sweep_logdet_gain" in
+  for sweep = 1 to sweeps do
     for i = 0 to Array.length design - 1 do
       let xi = expand_main design.(i) in
       let mvi = Mat.mul_vec !minv xi in
@@ -109,14 +113,29 @@ let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
         design.(i) <- Array.copy candidates.(!best_j);
         minv := Mat.inverse (information_matrix design)
       end
-    done
+    done;
+    let after = log_det_information design in
+    let gain = after -. !logdet in
+    Emc_obs.Metrics.observe h_gain gain;
+    Emc_obs.Log.debug ~src:"doe"
+      ~fields:
+        [ ("sweep", Emc_obs.Json.Int sweep);
+          ("logdet", Emc_obs.Json.Float after);
+          ("gain", Emc_obs.Json.Float gain) ]
+      "sweep %d/%d: log det(X'X) %.3f (gain %+.3f)" sweep sweeps after gain;
+    Emc_obs.Trace.counter "doe.logdet" [ ("logdet", after) ];
+    logdet := after
   done;
   design
 
 (** Generate a design of [n] points: LHS candidates + Fedorov exchange. The
     candidate pool size scales with [n]. *)
 let generate ?(sweeps = 2) ?(cand_factor = 5) rng space ~n =
-  let candidates =
-    Array.append (lhs rng space (cand_factor * n)) (random_design rng space n)
-  in
-  d_optimal ~sweeps rng space ~n ~candidates
+  Emc_obs.Trace.with_span ~cat:"doe"
+    ~args:(fun () -> [ ("n", Emc_obs.Json.Int n); ("sweeps", Emc_obs.Json.Int sweeps) ])
+    "doe.generate"
+    (fun () ->
+      let candidates =
+        Array.append (lhs rng space (cand_factor * n)) (random_design rng space n)
+      in
+      d_optimal ~sweeps rng space ~n ~candidates)

@@ -1,0 +1,94 @@
+type level = Error | Warn | Info | Debug
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | "quiet" | "off" | "silent" -> Some Error
+  | _ -> None
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let current =
+  ref
+    (match Sys.getenv_opt "EMC_LOG" with
+    | Some s -> ( match level_of_string s with Some l -> l | None -> Warn)
+    | None -> Warn)
+
+let set_level l = current := l
+let level () = !current
+let enabled l = severity l <= severity !current
+
+let t0 = Unix.gettimeofday ()
+
+let jsonl : out_channel option ref = ref None
+
+let close_jsonl () =
+  match !jsonl with
+  | Some oc ->
+      close_out_noerr oc;
+      jsonl := None
+  | None -> ()
+
+let set_jsonl = function
+  | None -> close_jsonl ()
+  | Some path ->
+      close_jsonl ();
+      jsonl := Some (open_out_gen [ Open_append; Open_creat ] 0o644 path)
+
+let () =
+  match Sys.getenv_opt "EMC_LOG_FILE" with
+  | Some path when path <> "" ->
+      set_jsonl (Some path);
+      at_exit close_jsonl
+  | _ -> ()
+
+let render_fields fields =
+  if fields = [] then ""
+  else
+    " ("
+    ^ String.concat " "
+        (List.map
+           (fun (k, v) ->
+             k ^ "="
+             ^ (match v with Json.Str s -> s | j -> Json.to_string j))
+           fields)
+    ^ ")"
+
+let emit lvl src fields msg =
+  Printf.eprintf "[%7.1fs] %-5s %s: %s%s\n%!"
+    (Unix.gettimeofday () -. t0)
+    (level_to_string lvl) src msg (render_fields fields);
+  match !jsonl with
+  | None -> ()
+  | Some oc ->
+      let record =
+        Json.Obj
+          ([
+             ("ts", Json.Float (Unix.gettimeofday ()));
+             ("level", Json.Str (level_to_string lvl));
+             ("src", Json.Str src);
+             ("msg", Json.Str msg);
+           ]
+          @ if fields = [] then [] else [ ("fields", Json.Obj fields) ])
+      in
+      output_string oc (Json.to_string record);
+      output_char oc '\n';
+      flush oc
+
+let logf lvl ~src ?(fields = []) fmt =
+  if enabled lvl then Printf.ksprintf (emit lvl src fields) fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
+
+let err ~src ?fields fmt = logf Error ~src ?fields fmt
+let warn ~src ?fields fmt = logf Warn ~src ?fields fmt
+let info ~src ?fields fmt = logf Info ~src ?fields fmt
+let debug ~src ?fields fmt = logf Debug ~src ?fields fmt

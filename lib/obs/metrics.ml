@@ -1,0 +1,165 @@
+type counter = { cname : string; mutable count : int }
+type gauge = { gname : string; mutable gval : float; mutable gset : bool }
+
+type histogram = {
+  hname : string;
+  mutable data : float array;
+  mutable len : int;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make check =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match check m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name (kind_name m)))
+  | None ->
+      let m, v = make () in
+      Hashtbl.replace registry name m;
+      v
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { cname = name; count = 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let add c n = c.count <- c.count + n
+let value c = c.count
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { gname = name; gval = 0.0; gset = false } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let set g v =
+  g.gval <- v;
+  g.gset <- true
+
+let gauge_read g = if g.gset then Some g.gval else None
+
+let histogram name =
+  register name
+    (fun () ->
+      let h = { hname = name; data = [||]; len = 0 } in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  if h.len = Array.length h.data then begin
+    let grown = Array.make (Stdlib.max 16 (2 * h.len)) 0.0 in
+    Array.blit h.data 0 grown 0 h.len;
+    h.data <- grown
+  end;
+  h.data.(h.len) <- v;
+  h.len <- h.len + 1
+
+type hstats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let histogram_stats h =
+  if h.len = 0 then None
+  else
+    let xs = Array.sub h.data 0 h.len in
+    let module S = Emc_util.Stats in
+    Some
+      {
+        count = h.len;
+        sum = S.sum xs;
+        mean = S.mean xs;
+        min = S.min xs;
+        max = S.max xs;
+        p50 = S.percentile xs 50.0;
+        p90 = S.percentile xs 90.0;
+        p99 = S.percentile xs 99.0;
+      }
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with Some (C c) -> Some c.count | _ -> None
+
+let gauge_value name =
+  match Hashtbl.find_opt registry name with Some (G g) -> gauge_read g | _ -> None
+
+let stats_of name =
+  match Hashtbl.find_opt registry name with Some (H h) -> histogram_stats h | _ -> None
+
+let sorted_metrics () =
+  let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+let dump_text () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | C c -> Buffer.add_string buf (Printf.sprintf "counter    %-36s %d\n" name c.count)
+      | G g ->
+          Buffer.add_string buf
+            (Printf.sprintf "gauge      %-36s %s\n" name
+               (if g.gset then Printf.sprintf "%g" g.gval else "unset"))
+      | H h -> (
+          match histogram_stats h with
+          | None -> Buffer.add_string buf (Printf.sprintf "histogram  %-36s empty\n" name)
+          | Some s ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "histogram  %-36s count=%d mean=%g min=%g p50=%g p90=%g p99=%g max=%g\n" name
+                   s.count s.mean s.min s.p50 s.p90 s.p99 s.max)))
+    (sorted_metrics ());
+  Buffer.contents buf
+
+let to_json () =
+  Json.Obj
+    (List.map
+       (fun (name, m) ->
+         let v =
+           match m with
+           | C c -> Json.Int c.count
+           | G g -> if g.gset then Json.Float g.gval else Json.Null
+           | H h -> (
+               match histogram_stats h with
+               | None -> Json.Obj [ ("count", Json.Int 0) ]
+               | Some s ->
+                   Json.Obj
+                     [
+                       ("count", Json.Int s.count);
+                       ("sum", Json.Float s.sum);
+                       ("mean", Json.Float s.mean);
+                       ("min", Json.Float s.min);
+                       ("max", Json.Float s.max);
+                       ("p50", Json.Float s.p50);
+                       ("p90", Json.Float s.p90);
+                       ("p99", Json.Float s.p99);
+                     ])
+         in
+         (name, v))
+       (sorted_metrics ()))
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> c.count <- 0
+      | G g -> g.gset <- false
+      | H h -> h.len <- 0)
+    registry

@@ -1,0 +1,68 @@
+(** Process-wide metrics registry: named counters, gauges and histograms.
+
+    Handles are obtained once (typically at module initialization) with
+    {!counter} / {!gauge} / {!histogram}; updating through a handle is a
+    single field write, so the always-on instrumentation of the hot paths
+    (simulator runs, cache lookups, GA generations) costs nothing
+    measurable and produces no output until a dump is requested
+    ([emc ... --metrics], or {!dump_text} / {!to_json} from code).
+
+    Names are dotted lowercase paths, [<subsystem>.<what>] — e.g.
+    [sim.issue_stall_cycles], [smarts.refinements], [measure.compiles].
+    Registering the same name twice returns the same metric; registering it
+    as two different kinds raises [Invalid_argument]. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter registered under this name. *)
+
+val incr : ?by:int -> counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_read : gauge -> float option
+(** [None] until the first {!set}. *)
+
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample. Samples are kept exactly (the registry is
+    process-local and runs are bounded), so dump-time percentiles are
+    exact order statistics, not sketch approximations. *)
+
+type hstats = {
+  count : int;
+  sum : float;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val histogram_stats : histogram -> hstats option
+(** [None] when the histogram has no samples. *)
+
+(* -------- lookups by name (reporting, tests) -------- *)
+
+val counter_value : string -> int option
+val gauge_value : string -> float option
+val stats_of : string -> hstats option
+
+val dump_text : unit -> string
+(** Human-readable dump of every registered metric, sorted by name, one
+    per line. Histograms show count/mean/min/p50/p90/p99/max. *)
+
+val to_json : unit -> Json.t
+(** The whole registry as one JSON object keyed by metric name. *)
+
+val reset : unit -> unit
+(** Zero every counter, clear every gauge and histogram. Registrations
+    (and outstanding handles) stay valid — intended for tests and for
+    separating phases of long runs. *)

@@ -1,0 +1,122 @@
+type event = {
+  name : string;
+  cat : string;
+  ph : string;
+  ts : float;  (** microseconds since trace start *)
+  dur : float;  (** microseconds; only meaningful for "X" events *)
+  args : (string * Json.t) list;
+}
+
+let on = ref false
+let path = ref ""
+let t0 = ref 0.0
+let events : event list ref = ref []
+let at_exit_registered = ref false
+
+let enabled () = !on
+
+let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+
+let rec flush () =
+  if !on then begin
+    let evs = List.rev !events in
+    let json_of_event e =
+      Json.Obj
+        ([
+           ("name", Json.Str e.name);
+           ("cat", Json.Str e.cat);
+           ("ph", Json.Str e.ph);
+           ("ts", Json.Float e.ts);
+         ]
+        @ (if e.ph = "X" then [ ("dur", Json.Float e.dur) ] else [])
+        @ (if e.ph = "i" then [ ("s", Json.Str "t") ] else [])
+        @ [ ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+        @ if e.args = [] then [] else [ ("args", Json.Obj e.args) ])
+    in
+    let doc =
+      Json.Obj
+        [
+          ("traceEvents", Json.List (List.map json_of_event evs));
+          ("displayTimeUnit", Json.Str "ms");
+        ]
+    in
+    match open_out !path with
+    | exception Sys_error msg ->
+        Log.err ~src:"trace" "cannot write trace file: %s" msg;
+        on := false
+    | oc ->
+        output_string oc (Json.to_string doc);
+        output_char oc '\n';
+        close_out oc
+  end
+
+and enable p =
+  (* fail fast on an unwritable path: better a warning now than an
+     uncaught Sys_error from the at_exit flush after the whole run *)
+  match open_out p with
+  | exception Sys_error msg ->
+      Log.err ~src:"trace" "cannot open trace file: %s" msg
+  | oc ->
+      close_out oc;
+      path := p;
+      t0 := Unix.gettimeofday ();
+      events := [];
+      on := true;
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit flush
+      end
+
+let disable () =
+  on := false;
+  events := []
+
+let push e = events := e :: !events
+
+let with_span ?(cat = "emc") ?args name f =
+  if not !on then f ()
+  else begin
+    let start = now_us () in
+    let finish ok =
+      let dur = now_us () -. start in
+      let a = match args with Some g -> g () | None -> [] in
+      let a = if ok then a else ("error", Json.Bool true) :: a in
+      push { name; cat; ph = "X"; ts = start; dur; args = a }
+    in
+    match f () with
+    | v ->
+        finish true;
+        v
+    | exception e ->
+        finish false;
+        raise e
+  end
+
+let instant ?args name =
+  if !on then
+    push
+      {
+        name;
+        cat = "emc";
+        ph = "i";
+        ts = now_us ();
+        dur = 0.0;
+        args = (match args with Some g -> g () | None -> []);
+      }
+
+let counter name series =
+  if !on then
+    push
+      {
+        name;
+        cat = "emc";
+        ph = "C";
+        ts = now_us ();
+        dur = 0.0;
+        args = List.map (fun (k, v) -> (k, Json.Float v)) series;
+      }
+
+let () =
+  match Sys.getenv_opt "EMC_TRACE" with
+  | Some p when p <> "" -> enable p
+  | _ -> ()

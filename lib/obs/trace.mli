@@ -1,0 +1,41 @@
+(** Hierarchical timed spans exported in Chrome [trace_event] format
+    (open the output file in [chrome://tracing] or Perfetto).
+
+    Tracing is off by default; enable with [EMC_TRACE=<file>] in the
+    environment or {!enable} from code (the CLI's [--trace FILE] does the
+    latter). When disabled, {!with_span} calls the body directly — no
+    timestamps, no allocation — so instrumentation can stay in place on
+    hot paths. Span arguments are built lazily ([unit -> ...]) for the
+    same reason.
+
+    Events are buffered in memory and written on {!flush} (registered
+    [at_exit] when tracing is enabled). The run is single-threaded, so
+    all events share pid/tid 1 and viewers reconstruct the hierarchy from
+    interval containment of the "X" (complete) events. *)
+
+val enable : string -> unit
+(** Start tracing into the given file (truncating it at flush time).
+    Resets the clock origin. An unwritable path logs an error and
+    leaves tracing disabled rather than blowing up at exit. *)
+
+val disable : unit -> unit
+(** Stop tracing and drop buffered events (tests). *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?cat:string -> ?args:(unit -> (string * Json.t) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as one complete event. Exceptions
+    propagate; the span is still recorded, tagged [error=true]. *)
+
+val instant : ?args:(unit -> (string * Json.t) list) -> string -> unit
+(** A zero-duration marker event (e.g. a SMARTS refinement firing). *)
+
+val counter : string -> (string * float) list -> unit
+(** A Chrome counter event: named series plotted over trace time (e.g.
+    per-generation GA fitness). *)
+
+val flush : unit -> unit
+(** Write all buffered events to the trace file as a single JSON document
+    [{"traceEvents": [...]}]. Safe to call repeatedly; a no-op when
+    disabled. *)

@@ -27,10 +27,29 @@ let default_params =
 
 let random_genome rng (p : problem) = Array.map (fun ls -> Rng.choice rng ls) p.levels
 
+let m_generations = Emc_obs.Metrics.counter "ga.generations"
+let m_evaluations = Emc_obs.Metrics.counter "ga.evaluations"
+
+(* Per-generation best/mean fitness trace; the mean is only computed when a
+   consumer (debug log or trace file) is actually on. *)
+let trace_generation gen best fit =
+  if Emc_obs.Log.enabled Emc_obs.Log.Debug || Emc_obs.Trace.enabled () then begin
+    let mean = Stats.mean fit in
+    Emc_obs.Log.debug ~src:"ga" "gen %d: best=%.6g mean=%.6g" gen best mean;
+    Emc_obs.Trace.counter "ga.fitness" [ ("best", best); ("mean", mean) ]
+  end
+
 let optimize ?(params = default_params) rng (p : problem) ~fitness =
+ Emc_obs.Trace.with_span ~cat:"search"
+   ~args:(fun () ->
+     [ ("pop_size", Emc_obs.Json.Int params.pop_size);
+       ("generations", Emc_obs.Json.Int params.generations) ])
+   "ga.optimize"
+ @@ fun () ->
   let k = Array.length p.levels in
   let pop = Array.init params.pop_size (fun _ -> random_genome rng p) in
   let fit = Array.map fitness pop in
+  Emc_obs.Metrics.add m_evaluations params.pop_size;
   let order () =
     let idx = Array.init params.pop_size Fun.id in
     Array.sort (fun a b -> compare fit.(a) fit.(b)) idx;
@@ -81,6 +100,9 @@ let optimize ?(params = default_params) rng (p : problem) ~fitness =
     Array.blit next 0 pop 0 params.pop_size;
     Array.iteri (fun i g -> fit.(i) <- fitness g) pop;
     update_best ();
+    Emc_obs.Metrics.incr m_generations;
+    Emc_obs.Metrics.add m_evaluations params.pop_size;
+    trace_generation !gen !best_f fit;
     if !best_f < prev_best -. 1e-12 then stagnant := 0 else incr stagnant
   done;
   (!best, !best_f)

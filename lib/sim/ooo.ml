@@ -78,6 +78,13 @@ type t = {
   prod_seq : int array;
   mutable branch_mispredicts : int;
   mutable detail_instrs : int;
+  (* per-run performance counters (see {!counters}): stall cycles are
+     detailed-mode cycles in which the corresponding stage made no
+     progress while it had work available *)
+  mutable issued_total : int;
+  mutable fetch_stall_cycles : int;
+  mutable issue_stall_cycles : int;
+  mutable commit_stall_cycles : int;
 }
 
 let fresh_entry () =
@@ -110,6 +117,10 @@ let create (cfg : Config.t) (prog : Isa.program) =
     prod_seq = Array.make 64 (-1);
     branch_mispredicts = 0;
     detail_instrs = 0;
+    issued_total = 0;
+    fetch_stall_cycles = 0;
+    issue_stall_cycles = 0;
+    commit_stall_cycles = 0;
   }
 
 let func t = t.func
@@ -218,7 +229,8 @@ let issue t =
           decr c;
           e.state <- 1;
           e.complete_at <- t.cycle + lat;
-          incr issued
+          incr issued;
+          t.issued_total <- t.issued_total + 1
         end
       end
     end;
@@ -323,14 +335,43 @@ let fetch t =
 
 (* one simulated cycle *)
 let step_cycle t =
+  let committed0 = t.committed and issued0 = t.issued_total in
+  let fetched0 = t.detail_instrs and had_entries = t.count > 0 in
   commit t;
   writeback t;
   issue t;
   dispatch t;
   fetch t;
+  if had_entries then begin
+    if t.committed = committed0 then t.commit_stall_cycles <- t.commit_stall_cycles + 1;
+    if t.issued_total = issued0 then t.issue_stall_cycles <- t.issue_stall_cycles + 1
+  end;
+  if (not t.trace_done) && t.detail_instrs = fetched0 then
+    t.fetch_stall_cycles <- t.fetch_stall_cycles + 1;
   t.cycle <- t.cycle + 1
 
 let busy t = t.count > 0 || not (Queue.is_empty t.ifq) || not t.trace_done
+
+(** Per-run performance counters — the raw material of the telemetry layer
+    ({!Smarts} folds them into the [sim.*] metrics after every run, and
+    [emc simulate --metrics] surfaces them as a report). *)
+let counters t =
+  [
+    ("cycles", t.cycle);
+    ("committed_instrs", t.committed);
+    ("detail_instrs", t.detail_instrs);
+    ("issued_instrs", t.issued_total);
+    ("branch_mispredicts", t.branch_mispredicts);
+    ("fetch_stall_cycles", t.fetch_stall_cycles);
+    ("issue_stall_cycles", t.issue_stall_cycles);
+    ("commit_stall_cycles", t.commit_stall_cycles);
+    ("l1i_hits", t.mem.Memsys.l1i.Cache.hits);
+    ("l1i_misses", t.mem.Memsys.l1i.Cache.misses);
+    ("l1d_hits", t.mem.Memsys.l1d.Cache.hits);
+    ("l1d_misses", t.mem.Memsys.l1d.Cache.misses);
+    ("l2_hits", t.mem.Memsys.l2.Cache.hits);
+    ("l2_misses", t.mem.Memsys.l2.Cache.misses);
+  ]
 
 (** Run in detailed mode until [instrs] more instructions have been fetched
     (or the program ends). *)

@@ -38,12 +38,17 @@ let sample_stddev xs = sqrt (sample_variance xs)
 let min xs = Array.fold_left Float.min infinity xs
 let max xs = Array.fold_left Float.max neg_infinity xs
 
-let percentile xs p =
-  let n = Array.length xs in
+(* Sort with Float.compare, not polymorphic compare: unboxed comparisons on
+   the (hot) histogram path, and explicit NaN ordering (NaNs sort first). *)
+let sorted_copy xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  sorted
+
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let sorted = Array.copy xs in
-  Array.sort compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -52,11 +57,15 @@ let percentile xs p =
     let f = rank -. float_of_int lo in
     ((1.0 -. f) *. sorted.(lo)) +. (f *. sorted.(hi))
 
+let percentile xs p = percentile_sorted (sorted_copy xs) p
+
 let median xs = percentile xs 50.0
 
 let quantiles xs k =
   if k < 2 then invalid_arg "Stats.quantiles: k must be >= 2";
-  Array.init (k - 1) (fun i -> percentile xs (100.0 *. float_of_int (i + 1) /. float_of_int k))
+  let sorted = sorted_copy xs in
+  Array.init (k - 1) (fun i ->
+      percentile_sorted sorted (100.0 *. float_of_int (i + 1) /. float_of_int k))
 
 let geomean xs =
   let n = Array.length xs in

@@ -14,4 +14,5 @@ let () =
       ("search", Test_search.suite);
       ("workloads", Test_workloads.suite);
       ("core", Test_core.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,268 @@
+(** Tests for the observability layer (Emc_obs): JSON round-trips, the
+    metrics registry, log level plumbing, Chrome-trace well-formedness and
+    span nesting, and the SMARTS telemetry contract. *)
+
+module Json = Emc_obs.Json
+module Metrics = Emc_obs.Metrics
+module Log = Emc_obs.Log
+module Trace = Emc_obs.Trace
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+let cs = Alcotest.(check string)
+
+(* ---------------- Json ---------------- *)
+
+let test_json_print () =
+  cs "null" "null" (Json.to_string Json.Null);
+  cs "bool" "true" (Json.to_string (Json.Bool true));
+  cs "int" "42" (Json.to_string (Json.Int 42));
+  cs "negative int" "-7" (Json.to_string (Json.Int (-7)));
+  cs "integral float" "3" (Json.to_string (Json.Float 3.0));
+  cs "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  cs "inf is null" "null" (Json.to_string (Json.Float Float.infinity));
+  cs "escaping" {|"a\"b\\c\n\td"|} (Json.to_string (Json.Str "a\"b\\c\n\td"));
+  cs "control chars" {|"\u0001"|} (Json.to_string (Json.Str "\001"));
+  cs "nested" {|{"k":[1,2.5,"x"],"e":{}}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("k", Json.List [ Json.Int 1; Json.Float 2.5; Json.Str "x" ]); ("e", Json.Obj []) ]))
+
+let test_json_parse_roundtrip () =
+  let roundtrip j =
+    let s = Json.to_string j in
+    cs ("roundtrip " ^ s) s (Json.to_string (Json.parse_exn s))
+  in
+  List.iter roundtrip
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 123;
+      Json.Int (-456);
+      Json.Float 1.25;
+      Json.Float (-0.0625);
+      Json.Str "hello \"world\"\n";
+      Json.List [ Json.Int 1; Json.Null; Json.Str "x" ];
+      Json.Obj [ ("a", Json.Int 1); ("b", Json.List []); ("c", Json.Obj [ ("d", Json.Bool true) ]) ];
+    ];
+  (match Json.parse_exn {| { "a" : [ 1 , 2 ] } |} with
+  | Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ] -> ()
+  | _ -> Alcotest.fail "whitespace-tolerant parse");
+  cb "trailing garbage rejected" true (Result.is_error (Json.parse "1 2"));
+  cb "bad literal rejected" true (Result.is_error (Json.parse "troo"));
+  cb "unterminated string rejected" true (Result.is_error (Json.parse "\"abc"));
+  match Json.parse_exn {|"éA"|} with
+  | Json.Str s -> cs "unicode escapes decode to UTF-8" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "expected string"
+
+(* ---------------- Metrics ---------------- *)
+
+let test_counter_semantics () =
+  let c = Metrics.counter "test.obs.counter" in
+  let before = Metrics.value c in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Metrics.add c 5;
+  ci "incr/by/add accumulate" (before + 10) (Metrics.value c);
+  let c' = Metrics.counter "test.obs.counter" in
+  Metrics.incr c';
+  ci "same name is same counter" (before + 11) (Metrics.value c);
+  ci "lookup by name" (before + 11)
+    (Option.get (Metrics.counter_value "test.obs.counter"));
+  cb "unknown name is None" true (Metrics.counter_value "test.obs.nosuch" = None)
+
+let test_kind_mismatch_raises () =
+  ignore (Metrics.counter "test.obs.kinded");
+  cb "re-registering as gauge raises" true
+    (try
+       ignore (Metrics.gauge "test.obs.kinded");
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge_and_histogram () =
+  let g = Metrics.gauge "test.obs.gauge" in
+  cb "gauge unset initially" true (Metrics.gauge_read g = None);
+  Metrics.set g 2.5;
+  Metrics.set g 7.0;
+  Alcotest.(check (float 0.0)) "gauge keeps last value" 7.0 (Option.get (Metrics.gauge_read g));
+  let h = Metrics.histogram "test.obs.hist" in
+  cb "empty histogram has no stats" true (Metrics.histogram_stats h = None);
+  (* observe 1..100 out of order; exact order-statistic percentiles *)
+  List.iter (fun i -> Metrics.observe h (float_of_int i)) (List.init 100 (fun i -> ((i * 37) mod 100) + 1));
+  let s = Option.get (Metrics.histogram_stats h) in
+  ci "count" 100 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "mean" 50.5 s.Metrics.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100.0 s.Metrics.max;
+  cb "p50 near median" true (s.Metrics.p50 >= 50.0 && s.Metrics.p50 <= 51.0);
+  cb "p90 near 90" true (s.Metrics.p90 >= 89.0 && s.Metrics.p90 <= 92.0);
+  cb "p99 near 99" true (s.Metrics.p99 >= 98.0 && s.Metrics.p99 <= 100.0)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_dump_and_reset () =
+  let c = Metrics.counter "test.obs.dumpme" in
+  Metrics.add c 3;
+  let txt = Metrics.dump_text () in
+  cb "dump mentions the counter" true (contains txt "test.obs.dumpme");
+  (match Json.member "test.obs.dumpme" (Metrics.to_json ()) with
+  | Some (Json.Int _) -> ()
+  | _ -> Alcotest.fail "to_json carries the counter");
+  Metrics.reset ();
+  ci "reset zeroes counters" 0 (Metrics.value c);
+  cb "reset keeps registration" true (Metrics.counter_value "test.obs.dumpme" = Some 0)
+
+(* ---------------- Log ---------------- *)
+
+let test_log_levels () =
+  let saved = Log.level () in
+  Fun.protect ~finally:(fun () -> Log.set_level saved) @@ fun () ->
+  cb "parse debug" true (Log.level_of_string "DEBUG" = Some Log.Debug);
+  cb "parse warning" true (Log.level_of_string "warning" = Some Log.Warn);
+  cb "parse quiet" true (Log.level_of_string "quiet" = Some Log.Error);
+  cb "parse junk" true (Log.level_of_string "blah" = None);
+  Log.set_level Log.Warn;
+  cb "warn enabled at warn" true (Log.enabled Log.Warn);
+  cb "error enabled at warn" true (Log.enabled Log.Error);
+  cb "info disabled at warn" false (Log.enabled Log.Info);
+  cb "debug disabled at warn" false (Log.enabled Log.Debug);
+  Log.set_level Log.Debug;
+  cb "debug enabled at debug" true (Log.enabled Log.Debug)
+
+(* ---------------- Trace ---------------- *)
+
+let num = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> Alcotest.fail "expected a number"
+
+let test_trace_spans_nest () =
+  let file = Filename.temp_file "emc_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Trace.disable (); Sys.remove file) @@ fun () ->
+  Trace.enable file;
+  cb "enabled after enable" true (Trace.enabled ());
+  let r =
+    Trace.with_span ~cat:"test" "outer" (fun () ->
+        Trace.instant "marker";
+        Trace.with_span ~cat:"test"
+          ~args:(fun () -> [ ("k", Json.Int 7) ])
+          "inner"
+          (fun () -> 41 + 1))
+  in
+  ci "span returns body value" 42 r;
+  Trace.counter "test.series" [ ("a", 1.0); ("b", 2.0) ];
+  Trace.flush ();
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  let doc = Json.parse_exn contents in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "traceEvents list missing"
+  in
+  let find name =
+    List.find
+      (fun e -> Json.member "name" e = Some (Json.Str name))
+      events
+  in
+  let outer = find "outer" and inner = find "inner" in
+  cb "outer is a complete event" true (Json.member "ph" outer = Some (Json.Str "X"));
+  cb "instant has scope" true (Json.member "s" (find "marker") = Some (Json.Str "t"));
+  cb "counter event present" true (Json.member "ph" (find "test.series") = Some (Json.Str "C"));
+  (match Json.member "args" inner with
+  | Some a -> cb "span args recorded" true (Json.member "k" a = Some (Json.Int 7))
+  | None -> Alcotest.fail "inner span lost its args");
+  let ts e = num (Option.get (Json.member "ts" e)) in
+  let dur e = num (Option.get (Json.member "dur" e)) in
+  let eps = 1.0 (* µs of float slack *) in
+  cb "inner starts after outer" true (ts inner >= ts outer -. eps);
+  cb "inner ends before outer ends" true
+    (ts inner +. dur inner <= ts outer +. dur outer +. eps);
+  (* disabled tracing is transparent *)
+  Trace.disable ();
+  cb "disabled after disable" false (Trace.enabled ());
+  ci "with_span still runs the body" 5 (Trace.with_span "off" (fun () -> 5))
+
+let test_trace_span_records_exception () =
+  let file = Filename.temp_file "emc_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Trace.disable (); Sys.remove file) @@ fun () ->
+  Trace.enable file;
+  (try Trace.with_span "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.flush ();
+  let ic = open_in file in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Json.member "traceEvents" (Json.parse_exn contents) with
+  | Some (Json.List [ e ]) -> (
+      cb "span survived the exception" true (Json.member "name" e = Some (Json.Str "boom"));
+      match Json.member "args" e with
+      | Some a -> cb "tagged error=true" true (Json.member "error" a = Some (Json.Bool true))
+      | None -> Alcotest.fail "error tag missing")
+  | _ -> Alcotest.fail "expected exactly one event"
+
+(* An unrecognized EMC_SCALE falls back to quick and routes its complaint
+   through the logger (silenced here) rather than a bare eprintf. *)
+let test_scale_warning_routed () =
+  let saved = Log.level () and saved_env = Sys.getenv_opt "EMC_SCALE" in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_level saved;
+      Unix.putenv "EMC_SCALE" (Option.value ~default:"" saved_env))
+  @@ fun () ->
+  Log.set_level Log.Error;
+  Unix.putenv "EMC_SCALE" "bogus";
+  let s = Emc_core.Scale.of_env () in
+  cs "falls back to quick" "quick" s.Emc_core.Scale.name
+
+(* ---------------- SMARTS telemetry regression ---------------- *)
+
+(* An unreachably tight CI target must drive the refinement loop: the
+   interval halves (bumping smarts.refinements) until max_refinements is
+   spent, and the achieved CI lands in the gauge/histogram. *)
+let test_smarts_refinement_fires () =
+  let w = Emc_workloads.Registry.find "gzip" in
+  let arrays = w.Emc_workloads.Workload.arrays ~scale:0.3 ~variant:Emc_workloads.Workload.Train in
+  let _, _, prog = Helpers.machine ~flags:Emc_opt.Flags.o2 ~arrays w.Emc_workloads.Workload.source in
+  let setup f = Helpers.set_func_arrays f arrays in
+  let before = Option.value ~default:0 (Metrics.counter_value "smarts.refinements") in
+  let r =
+    Emc_sim.Smarts.run_sampled
+      ~params:
+        { Emc_sim.Smarts.default_params with interval = 16; target_ci = 1e-6; max_refinements = 2 }
+      Emc_sim.Config.typical prog ~setup
+  in
+  let after = Option.value ~default:0 (Metrics.counter_value "smarts.refinements") in
+  cb "refinement fired at least once" true (after >= before + 1);
+  cb "achieved ci recorded in gauge" true
+    (match Metrics.gauge_value "smarts.last_ci_rel" with
+    | Some ci -> ci = r.Emc_sim.Smarts.ci_rel
+    | None -> false);
+  cb "ci histogram has samples" true
+    (match Metrics.stats_of "smarts.ci_rel" with
+    | Some s -> s.Metrics.count >= 1
+    | None -> false);
+  cb "run counter advanced" true
+    (Option.value ~default:0 (Metrics.counter_value "sim.runs") >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "json: printing and escaping" `Quick test_json_print;
+    Alcotest.test_case "json: parse round-trips" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "metrics: counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "metrics: kind mismatch raises" `Quick test_kind_mismatch_raises;
+    Alcotest.test_case "metrics: gauge and histogram" `Quick test_gauge_and_histogram;
+    Alcotest.test_case "metrics: dump and reset" `Quick test_dump_and_reset;
+    Alcotest.test_case "log: levels and parsing" `Quick test_log_levels;
+    Alcotest.test_case "trace: spans nest in the json" `Quick test_trace_spans_nest;
+    Alcotest.test_case "trace: exception tags the span" `Quick test_trace_span_records_exception;
+    Alcotest.test_case "scale: bad EMC_SCALE warns and falls back" `Quick
+      test_scale_warning_routed;
+    Alcotest.test_case "smarts: refinement fires and is recorded" `Quick
+      test_smarts_refinement_fires;
+  ]
