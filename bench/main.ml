@@ -198,12 +198,26 @@ let () =
   let args = Array.to_list Sys.argv in
   let bechamel_only = List.mem "--bechamel-only" args in
   let no_bechamel = List.mem "--no-bechamel" args in
+  (* --jobs N overrides EMC_JOBS for the measurement fan-out *)
+  let rec jobs_of = function
+    | "--jobs" :: n :: _ -> int_of_string_opt n
+    | _ :: rest -> jobs_of rest
+    | [] -> None
+  in
   let t0 = Unix.gettimeofday () in
-  let ctx = Experiments.create () in
+  let scale =
+    match jobs_of args with
+    | Some j -> { (Scale.of_env ()) with Scale.jobs = j }
+    | None -> Scale.of_env ()
+  in
+  let ctx = Experiments.create ~scale () in
   Printf.printf
-    "EMC reproduction harness — scale=%s (train=%d, test=%d, workload-scale=%.2f)\n%!"
+    "EMC reproduction harness — scale=%s (train=%d, test=%d, workload-scale=%.2f, jobs=%d%s)\n%!"
     ctx.scale.Scale.name ctx.scale.Scale.train_n ctx.scale.Scale.test_n
-    ctx.scale.Scale.workload_scale;
+    ctx.scale.Scale.workload_scale ctx.scale.Scale.jobs
+    (match Sys.getenv_opt "EMC_CACHE" with
+     | Some f -> Printf.sprintf ", cache=%s" f
+     | None -> "");
   if not bechamel_only then begin
     phase "Parameter space" (fun () ->
         Experiments.print_parameters ();

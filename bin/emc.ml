@@ -47,6 +47,20 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan measurement batches out across $(docv) forked workers. Defaults to EMC_JOBS, or 1 \
+     (sequential). Any worker count produces bit-identical datasets at the same seed."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc =
+    "Persistent measurement result cache (JSONL). Loaded on startup and appended on every \
+     new simulation, so a warm re-run performs zero simulations. Defaults to EMC_CACHE."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+
 (* Wrap a subcommand body with the observability plumbing: enable tracing
    first (so spans cover the whole run), dump metrics last. *)
 let with_obs trace metrics f =
@@ -68,12 +82,16 @@ let parse_flags = function
   | "O3" -> Emc_opt.Flags.o3
   | s -> failwith ("unknown optimization level: " ^ s)
 
-let parse_scale = function
-  | "tiny" -> Scale.tiny
-  | "quick" -> Scale.quick
-  | "medium" -> Scale.medium
-  | "full" | "paper" -> Scale.full
-  | s -> failwith ("unknown scale: " ^ s)
+let parse_scale ?jobs name =
+  let base =
+    match name with
+    | "tiny" -> Scale.tiny
+    | "quick" -> Scale.quick
+    | "medium" -> Scale.medium
+    | "full" | "paper" -> Scale.full
+    | s -> failwith ("unknown scale: " ^ s)
+  in
+  { base with Scale.jobs = (match jobs with Some j -> j | None -> Scale.jobs_of_env ()) }
 
 (* ---------------- params ---------------- *)
 
@@ -129,24 +147,27 @@ let simulate_cmd =
   let full_detail =
     Arg.(value & flag & info [ "full" ] ~doc:"Fully detailed simulation (no SMARTS sampling).")
   in
-  let run wname level cname scale full_detail trace metrics =
+  let run wname level cname scale cache full_detail trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let flags = parse_flags level in
         let march = parse_config cname in
         let scale = parse_scale scale in
         let m =
-          Measure.create { scale with smarts = (if full_detail then None else scale.smarts) }
+          Measure.create ?cache_file:cache
+            { scale with smarts = (if full_detail then None else scale.smarts) }
         in
         let t0 = Unix.gettimeofday () in
         let cycles = Measure.cycles m w ~variant:Workload.Train flags march in
-        Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall)\n" w.name level cname cycles
-          (Unix.gettimeofday () -. t0))
+        Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall, %d simulations)\n" w.name level
+          cname cycles
+          (Unix.gettimeofday () -. t0)
+          m.Measure.simulations)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compile and simulate one workload/flags/microarch combination.")
-    Term.(const run $ workload_arg $ opt_level_arg $ config_arg $ scale_arg $ full_detail
-          $ trace_arg $ metrics_arg)
+    Term.(const run $ workload_arg $ opt_level_arg $ config_arg $ scale_arg $ cache_arg
+          $ full_detail $ trace_arg $ metrics_arg)
 
 (* ---------------- design ---------------- *)
 
@@ -188,11 +209,11 @@ let parse_technique = function
   | s -> failwith ("unknown technique: " ^ s)
 
 let model_cmd =
-  let run wname tname scale seed trace metrics =
+  let run wname tname scale seed jobs cache trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
-        let scale = parse_scale scale in
-        let ctx = Experiments.create ~seed ~scale () in
+        let scale = parse_scale ?jobs scale in
+        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
         let d = Experiments.prepare ctx w in
         let technique = parse_technique tname in
         let m = Experiments.model_of d technique in
@@ -209,8 +230,8 @@ let model_cmd =
   in
   Cmd.v
     (Cmd.info "model" ~doc:"Build an empirical model for a workload and report its accuracy.")
-    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
+          $ cache_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- search ---------------- *)
 
@@ -218,12 +239,12 @@ let search_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Also measure the prescribed settings.")
   in
-  let run wname cname scale seed validate trace metrics =
+  let run wname cname scale seed jobs cache validate trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let march = parse_config cname in
-        let scale = parse_scale scale in
-        let ctx = Experiments.create ~seed ~scale () in
+        let scale = parse_scale ?jobs scale in
+        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
         let d = Experiments.prepare ctx w in
         let m = Experiments.rbf_model d in
         let r =
@@ -243,8 +264,8 @@ let search_cmd =
   Cmd.v
     (Cmd.info "search"
        ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
-    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ validate $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
+          $ validate $ trace_arg $ metrics_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -253,10 +274,10 @@ let experiment_cmd =
     Arg.(value & pos 0 string "table3"
          & info [] ~docv:"EXP" ~doc:"One of: table3 table4 table5 table6 table7 fig3 fig5 fig6 fig7.")
   in
-  let run which scale seed trace metrics =
+  let run which scale seed jobs cache trace metrics =
     with_obs trace metrics (fun () ->
-        let scale = parse_scale scale in
-        let ctx = Experiments.create ~seed ~scale () in
+        let scale = parse_scale ?jobs scale in
+        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
         Emc_obs.Trace.with_span ~cat:"phase" which (fun () ->
             match which with
             | "table3" -> ignore (Experiments.table3 ctx)
@@ -271,7 +292,8 @@ let experiment_cmd =
             | s -> failwith ("unknown experiment: " ^ s)))
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure from the paper.")
-    Term.(const run $ which_arg $ scale_arg $ seed_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ trace_arg
+          $ metrics_arg)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -25,9 +25,9 @@ type ctx = {
   mutable wdata : (string * wdata) list;
 }
 
-let create ?(seed = 42) ?scale () =
+let create ?(seed = 42) ?scale ?cache_file () =
   let scale = match scale with Some s -> s | None -> Scale.of_env () in
-  { scale; measure = Measure.create scale; rng = Rng.create seed; wdata = [] }
+  { scale; measure = Measure.create ?cache_file scale; rng = Rng.create seed; wdata = [] }
 
 let short_name (w : Workload.t) =
   match String.index_opt w.name '.' with
@@ -55,8 +55,8 @@ let prepare ctx (w : Workload.t) =
               ~cand_factor:ctx.scale.doe_cand_factor rng space ~n:ctx.scale.train_n
           in
           let test_pts = Emc_doe.Doe.lhs rng space ctx.scale.test_n in
-          progress "%s: measuring %d+%d design points..." w.name ctx.scale.train_n
-            ctx.scale.test_n;
+          progress "%s: measuring %d+%d design points (jobs=%d)..." w.name ctx.scale.train_n
+            ctx.scale.test_n ctx.scale.jobs;
           let train = Modeling.build_dataset ctx.measure w ~variant:Workload.Train train_pts in
           let test = Modeling.build_dataset ctx.measure w ~variant:Workload.Train test_pts in
           progress "%s: fitting models..." w.name;
@@ -285,14 +285,22 @@ let fig7 ctx (table6_out : (string * search_row list) list) =
         let w = Registry.find wname in
         let d = prepare ctx w in
         let m = rbf_model d in
-        List.map
-          (fun (r : search_row) ->
+        (* the 3 measurements per row are independent: fan them out in one
+           batch per workload *)
+        let pairs =
+          Array.of_list
+            (List.concat_map
+               (fun (r : search_row) ->
+                 let march = List.assoc r.config configs in
+                 [ (Emc_opt.Flags.o2, march); (Emc_opt.Flags.o3, march);
+                   (r.prescribed, march) ])
+               rows)
+        in
+        let meas = Measure.cycles_many ctx.measure w ~variant:Workload.Train pairs in
+        List.mapi
+          (fun i (r : search_row) ->
             let march = List.assoc r.config configs in
-            let o2 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
-            let o3 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o3 march in
-            let best =
-              Measure.cycles ctx.measure w ~variant:Workload.Train r.prescribed march
-            in
+            let o2 = meas.(3 * i) and o3 = meas.((3 * i) + 1) and best = meas.((3 * i) + 2) in
             let pred_o2 = m.Model.predict (coded_of Emc_opt.Flags.o2 march) in
             let pred_best = m.Model.predict (coded_of r.prescribed march) in
             let pct a b = (a /. b -. 1.0) *. 100.0 in
@@ -323,22 +331,39 @@ type table7_row = { tbench : string; tconfig : string; ref_speedup : float }
 let table7 ctx (table6_out : (string * search_row list) list) =
   Printf.printf
     "== Table 7: profile-guided scenario — settings from train input, speedup on ref input ==\n";
-  Printf.printf "  %-12s %12s %12s %12s\n" "bench" "constrained" "typical" "aggressive";
+  (* columns come from the configs list itself, so adding or reordering a
+     target configuration cannot silently misalign the table *)
+  Printf.printf "  %-12s" "bench";
+  List.iter (fun (cname, _) -> Printf.printf " %12s" cname) configs;
+  Printf.printf "\n";
   let out =
     List.map
       (fun (wname, rows) ->
         let w = Registry.find wname in
+        let pairs =
+          Array.of_list
+            (List.concat_map
+               (fun (r : search_row) ->
+                 let march = List.assoc r.config configs in
+                 [ (Emc_opt.Flags.o2, march); (r.prescribed, march) ])
+               rows)
+        in
+        let meas = Measure.cycles_many ctx.measure w ~variant:Workload.Ref pairs in
         let per =
-          List.map
-            (fun (r : search_row) ->
-              let march = List.assoc r.config configs in
-              let o2 = Measure.cycles ctx.measure w ~variant:Workload.Ref Emc_opt.Flags.o2 march in
-              let best = Measure.cycles ctx.measure w ~variant:Workload.Ref r.prescribed march in
+          List.mapi
+            (fun i (r : search_row) ->
+              let o2 = meas.(2 * i) and best = meas.((2 * i) + 1) in
               { tbench = wname; tconfig = r.config; ref_speedup = (o2 /. best -. 1.0) *. 100.0 })
             rows
         in
-        Printf.printf "  %-12s %12.2f %12.2f %12.2f\n%!" (short_name w)
-          (List.nth per 0).ref_speedup (List.nth per 1).ref_speedup (List.nth per 2).ref_speedup;
+        Printf.printf "  %-12s" (short_name w);
+        List.iter
+          (fun (cname, _) ->
+            match List.find_opt (fun row -> row.tconfig = cname) per with
+            | Some row -> Printf.printf " %12.2f" row.ref_speedup
+            | None -> Printf.printf " %12s" "-")
+          configs;
+        Printf.printf "\n%!";
         per)
       table6_out
   in
@@ -363,24 +388,25 @@ let fig3 ctx =
   let w = Registry.find "art" in
   let unrolls = [ 1; 2; 4; 6; 8; 10; 12; 16 ] in
   let icaches = [ 8; 32; 128 ] in
+  let grid = List.concat_map (fun ic -> List.map (fun u -> (u, ic)) unrolls) icaches in
+  let pairs =
+    Array.of_list
+      (List.map
+         (fun (u, ic) ->
+           (* aggressive inlining + unrolling so code size actually tracks
+              the unroll factor, as in the paper's gcc binaries *)
+           let flags =
+             if u <= 1 then Emc_opt.Flags.o3
+             else { Emc_opt.Flags.o3 with unroll_loops = true; max_unroll_times = u;
+                    max_unrolled_insns = 300; max_inline_insns_auto = 150;
+                    inline_unit_growth = 75 }
+           in
+           (flags, { Emc_sim.Config.typical with icache_kb = ic }))
+         grid)
+  in
+  let meas = Measure.cycles_many ctx.measure w ~variant:Workload.Train pairs in
   let cells =
-    List.concat_map
-      (fun ic ->
-        List.map
-          (fun u ->
-            (* aggressive inlining + unrolling so code size actually tracks
-               the unroll factor, as in the paper's gcc binaries *)
-            let flags =
-              if u <= 1 then Emc_opt.Flags.o3
-              else { Emc_opt.Flags.o3 with unroll_loops = true; max_unroll_times = u;
-                     max_unrolled_insns = 300; max_inline_insns_auto = 150;
-                     inline_unit_growth = 75 }
-            in
-            let march = { Emc_sim.Config.typical with icache_kb = ic } in
-            let c = Measure.cycles ctx.measure w ~variant:Workload.Train flags march in
-            { unroll = u; icache_kb = ic; cycles = c })
-          unrolls)
-      icaches
+    List.mapi (fun i (u, ic) -> { unroll = u; icache_kb = ic; cycles = meas.(i) }) grid
   in
   List.iter
     (fun ic ->

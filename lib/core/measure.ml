@@ -8,16 +8,24 @@ open Emc_workloads
 
     Compiled binaries are memoized per (workload, flags, issue-width) and
     measurements per full configuration — D-optimal designs repeat corner
-    points, and searches revisit configurations. *)
+    points, and searches revisit configurations. The measurement memo can
+    additionally be backed by a persistent on-disk cache (JSONL, one
+    key/value pair per line) that is loaded at {!create} and appended on
+    every fresh simulation, so a re-run of an experiment against a warm
+    cache performs zero simulations. Batches of independent design points
+    ({!respond_many} and friends) fan out across [scale.jobs] forked worker
+    processes via {!Emc_par.Par}. *)
 
 type t = {
   scale : Scale.t;
   binaries : (string, Emc_isa.Isa.program) Hashtbl.t;
   results : (string, float) Hashtbl.t;
+  cache : out_channel option;  (** append side of the persistent cache *)
   mutable simulations : int;  (** actual simulator runs (cache misses) *)
   mutable compiles : int;
   mutable binary_hits : int;  (** compile requests served from the memo *)
   mutable result_hits : int;  (** measurements served from the memo *)
+  mutable preloaded : int;  (** results loaded from the persistent cache *)
 }
 
 module Metrics = Emc_obs.Metrics
@@ -27,13 +35,84 @@ let m_compiles = Metrics.counter "measure.compiles"
 let m_binary_hits = Metrics.counter "measure.binary_cache_hits"
 let m_simulations = Metrics.counter "measure.simulations"
 let m_result_hits = Metrics.counter "measure.result_cache_hits"
+let m_preloaded = Metrics.counter "measure.cache_preloaded"
 
-let create scale =
-  { scale; binaries = Hashtbl.create 64; results = Hashtbl.create 1024; simulations = 0;
-    compiles = 0; binary_hits = 0; result_hits = 0 }
+(* ---------------- persistent result cache ---------------- *)
+
+(* One JSON object per line. The value is a hex float literal (%h) rather
+   than a JSON number: decimal printing is lossy and the cache must
+   round-trip bit-identically for warm re-runs to reproduce datasets
+   exactly. *)
+let cache_line key v =
+  Emc_obs.Json.to_string
+    (Emc_obs.Json.Obj
+       [ ("k", Emc_obs.Json.Str key); ("v", Emc_obs.Json.Str (Printf.sprintf "%h" v)) ])
+
+let cache_entry_of_line line =
+  match Emc_obs.Json.parse line with
+  | Error _ -> None
+  | Ok j -> (
+      match (Emc_obs.Json.member "k" j, Emc_obs.Json.member "v" j) with
+      | Some (Emc_obs.Json.Str k), Some (Emc_obs.Json.Str v) ->
+          Option.map (fun f -> (k, f)) (float_of_string_opt v)
+      | _ -> None)
+
+let cache_load results path =
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let ic = open_in path in
+    let loaded = ref 0 and bad = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then
+           match cache_entry_of_line line with
+           | Some (k, v) ->
+               Hashtbl.replace results k v;
+               incr loaded
+           | None -> incr bad
+       done
+     with End_of_file -> ());
+    close_in ic;
+    (!loaded, !bad)
+  end
+
+let cache_append t key v =
+  match t.cache with
+  | None -> ()
+  | Some oc ->
+      output_string oc (cache_line key v);
+      output_char oc '\n';
+      flush oc
+
+let create ?cache_file scale =
+  let cache_file =
+    match cache_file with Some _ as f -> f | None -> Sys.getenv_opt "EMC_CACHE"
+  in
+  let results = Hashtbl.create 1024 in
+  let cache, preloaded =
+    match cache_file with
+    | None -> (None, 0)
+    | Some path ->
+        let loaded, bad = cache_load results path in
+        if bad > 0 then
+          Emc_obs.Log.warn ~src:"measure"
+            ~fields:[ ("file", Emc_obs.Json.Str path); ("lines", Emc_obs.Json.Int bad) ]
+            "skipped %d malformed lines in result cache %s" bad path;
+        Emc_obs.Log.info ~src:"measure"
+          ~fields:[ ("file", Emc_obs.Json.Str path); ("results", Emc_obs.Json.Int loaded) ]
+          "result cache %s: %d measurements preloaded" path loaded;
+        Metrics.add m_preloaded loaded;
+        (Some (open_out_gen [ Open_append; Open_creat ] 0o644 path), loaded)
+  in
+  { scale; binaries = Hashtbl.create 64; results; cache; simulations = 0; compiles = 0;
+    binary_hits = 0; result_hits = 0; preloaded }
+
+let binary_key (w : Workload.t) ~issue_width (flags : Emc_opt.Flags.t) =
+  Printf.sprintf "%s|%d|%s" w.name issue_width (Emc_opt.Flags.to_string flags)
 
 let compile t (w : Workload.t) (flags : Emc_opt.Flags.t) ~issue_width =
-  let key = Printf.sprintf "%s|%d|%s" w.name issue_width (Emc_opt.Flags.to_string flags) in
+  let key = binary_key w ~issue_width flags in
   match Hashtbl.find_opt t.binaries key with
   | Some p ->
       t.binary_hits <- t.binary_hits + 1;
@@ -68,6 +147,12 @@ type response = Cycles | Energy | CodeSize
 
 let response_name = function Cycles -> "cycles" | Energy -> "energy" | CodeSize -> "code-size"
 
+let result_key response (w : Workload.t) ~variant (flags : Emc_opt.Flags.t)
+    (march : Emc_sim.Config.t) =
+  Printf.sprintf "%s|%s|%s|%s|%s" (response_name response) w.name
+    (Workload.variant_name variant) (Emc_opt.Flags.to_string flags)
+    (Emc_sim.Config.to_string march)
+
 let run_sim t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t) (march : Emc_sim.Config.t) =
   Trace.with_span ~cat:"measure"
     ~args:(fun () ->
@@ -88,14 +173,21 @@ let run_sim t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t) (march : Emc_s
       Metrics.incr m_simulations;
       r)
 
+(* one simulation yields all three responses: memoize (and persist) them all *)
+let store_all t w ~variant flags march (r : Emc_sim.Smarts.result) =
+  let store resp v =
+    let k = result_key resp w ~variant flags march in
+    Hashtbl.replace t.results k v;
+    cache_append t k v
+  in
+  store Cycles r.Emc_sim.Smarts.cycles;
+  store Energy r.Emc_sim.Smarts.energy;
+  store CodeSize (float_of_int r.Emc_sim.Smarts.static_instrs)
+
 (** Measured response; results are memoized per full configuration. *)
 let respond ?(response = Cycles) t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t)
     (march : Emc_sim.Config.t) =
-  let key =
-    Printf.sprintf "%s|%s|%s|%s|%s" (response_name response) w.name
-      (Workload.variant_name variant) (Emc_opt.Flags.to_string flags)
-      (Emc_sim.Config.to_string march)
-  in
+  let key = result_key response w ~variant flags march in
   match Hashtbl.find_opt t.results key with
   | Some c ->
       t.result_hits <- t.result_hits + 1;
@@ -103,19 +195,87 @@ let respond ?(response = Cycles) t (w : Workload.t) ~variant (flags : Emc_opt.Fl
       c
   | None ->
       let r = run_sim t w ~variant flags march in
-      (* one simulation yields all three responses: memoize them all *)
-      let store resp v =
-        let k =
-          Printf.sprintf "%s|%s|%s|%s|%s" (response_name resp) w.name
-            (Workload.variant_name variant) (Emc_opt.Flags.to_string flags)
-            (Emc_sim.Config.to_string march)
-        in
-        Hashtbl.replace t.results k v
-      in
-      store Cycles r.Emc_sim.Smarts.cycles;
-      store Energy r.Emc_sim.Smarts.energy;
-      store CodeSize (float_of_int r.Emc_sim.Smarts.static_instrs);
+      store_all t w ~variant flags march r;
       Hashtbl.find t.results key
+
+(* ---------------- batched / parallel measurement ---------------- *)
+
+(* One worker task: simulate one configuration. Runs in a forked child whose
+   memo tables are copy-on-write snapshots of the parent's; the parent
+   compiles every needed binary before forking, so the child's compile
+   lookup always hits the inherited memo. *)
+let sim_task t w ~variant ((flags : Emc_opt.Flags.t), (march : Emc_sim.Config.t)) =
+  run_sim t w ~variant flags march
+
+let respond_many ?(response = Cycles) t (w : Workload.t) ~variant
+    (pairs : (Emc_opt.Flags.t * Emc_sim.Config.t) array) =
+  let jobs = t.scale.Scale.jobs in
+  let keys = Array.map (fun (f, m) -> result_key response w ~variant f m) pairs in
+  (* unique uncached configurations, in first-occurrence order: D-optimal
+     designs repeat corner points, and simulating a duplicate twice would
+     waste a worker *)
+  let missing = Hashtbl.create 32 in
+  let work = ref [] in
+  Array.iteri
+    (fun i k ->
+      if not (Hashtbl.mem t.results k || Hashtbl.mem missing k) then begin
+        Hashtbl.add missing k ();
+        work := pairs.(i) :: !work
+      end)
+    keys;
+  let work = Array.of_list (List.rev !work) in
+  if jobs <= 1 || Array.length work <= 1 then
+    (* sequential path: byte-for-byte the reference semantics *)
+    Array.map (fun (f, m) -> respond ~response t w ~variant f m) pairs
+  else begin
+    (* compile in the parent, one call per work item in sequential order:
+       the children inherit the binary memo copy-on-write (no recompiles,
+       no binaries built twice by sibling workers), and the compile /
+       binary-hit counters advance exactly as the sequential path's would *)
+    Array.iter
+      (fun ((flags : Emc_opt.Flags.t), (march : Emc_sim.Config.t)) ->
+        ignore (compile t w flags ~issue_width:march.issue_width))
+      work;
+    let sims =
+      Trace.with_span ~cat:"measure"
+        ~args:(fun () ->
+          [ ("workload", Emc_obs.Json.Str w.name);
+            ("points", Emc_obs.Json.Int (Array.length pairs));
+            ("misses", Emc_obs.Json.Int (Array.length work));
+            ("jobs", Emc_obs.Json.Int jobs) ])
+        "measure.batch"
+        (fun () -> Emc_par.Par.map ~jobs (sim_task t w ~variant) work)
+    in
+    (* merge the workers' results into the parent memo (and the persistent
+       cache), accounting each exactly as the sequential path would *)
+    Array.iteri
+      (fun j (flags, march) ->
+        store_all t w ~variant flags march sims.(j);
+        t.simulations <- t.simulations + 1;
+        Metrics.incr m_simulations)
+      work;
+    (* every key now resolves from the memo; a point is a cache hit unless
+       it is the first occurrence of a key we just simulated *)
+    let first = Hashtbl.create 32 in
+    Array.map
+      (fun k ->
+        let v = Hashtbl.find t.results k in
+        if Hashtbl.mem missing k && not (Hashtbl.mem first k) then Hashtbl.add first k ()
+        else begin
+          t.result_hits <- t.result_hits + 1;
+          Metrics.incr m_result_hits
+        end;
+        v)
+      keys
+  end
+
+let cycles_many t w ~variant pairs = respond_many ~response:Cycles t w ~variant pairs
+
+let respond_coded_many ?response t w ~variant (points : float array array) =
+  respond_many ?response t w ~variant (Array.map Params.configs_of_coded points)
+
+let cycles_coded_many t w ~variant points =
+  respond_coded_many ~response:Cycles t w ~variant points
 
 (** Measured execution time, in cycles. *)
 let cycles t w ~variant flags march = respond ~response:Cycles t w ~variant flags march

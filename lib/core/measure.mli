@@ -4,19 +4,37 @@
     gcc per functional-unit configuration), simulate it on the design
     point's microarchitecture, and return the response. Binaries and results
     are memoized — designs repeat corner points and searches revisit
-    configurations. *)
+    configurations.
+
+    Two scaling mechanisms sit on top of the memo tables:
+
+    - a {b persistent result cache} (JSONL file, [?cache_file] or the
+      EMC_CACHE environment variable): loaded at {!create}, appended on
+      every fresh simulation, so a warm re-run of the same experiment
+      performs zero simulations;
+    - {b parallel fan-out} of measurement batches ({!respond_many},
+      {!cycles_many}, {!cycles_coded_many}) across [scale.jobs] forked
+      workers. Results are merged back into the parent memo in input order,
+      and the simulator is deterministic, so datasets are bit-identical to
+      a sequential run at any worker count. *)
 
 type t = {
   scale : Scale.t;
   binaries : (string, Emc_isa.Isa.program) Hashtbl.t;
   results : (string, float) Hashtbl.t;
+  cache : out_channel option;  (** append side of the persistent cache *)
   mutable simulations : int;  (** simulator runs actually executed *)
   mutable compiles : int;  (** distinct binaries built *)
   mutable binary_hits : int;  (** compile requests served from the memo *)
   mutable result_hits : int;  (** measurements served from the memo *)
+  mutable preloaded : int;  (** results loaded from the persistent cache *)
 }
 
-val create : Scale.t -> t
+val create : ?cache_file:string -> Scale.t -> t
+(** [create ?cache_file scale]: when [cache_file] (default: the EMC_CACHE
+    environment variable) is set, existing cached results are loaded into
+    the memo and every future simulation is appended to the file. Malformed
+    cache lines are skipped with a warning. *)
 
 val compile :
   t -> Emc_workloads.Workload.t -> Emc_opt.Flags.t -> issue_width:int -> Emc_isa.Isa.program
@@ -41,6 +59,19 @@ val respond :
   Emc_sim.Config.t ->
   float
 
+val respond_many :
+  ?response:response ->
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  (Emc_opt.Flags.t * Emc_sim.Config.t) array ->
+  float array
+(** Measure a batch of independent configurations, fanning cache misses out
+    across [scale.jobs] forked workers (deduplicated first — designs repeat
+    corner points). Equivalent to mapping {!respond} over the batch: same
+    values bit-for-bit, same memo/cache contents, same counter totals; with
+    [jobs = 1] it literally is that map. *)
+
 val cycles :
   t ->
   Emc_workloads.Workload.t ->
@@ -49,6 +80,14 @@ val cycles :
   Emc_sim.Config.t ->
   float
 (** [respond ~response:Cycles]. *)
+
+val cycles_many :
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  (Emc_opt.Flags.t * Emc_sim.Config.t) array ->
+  float array
+(** [respond_many ~response:Cycles]. *)
 
 val cycles_coded :
   t -> Emc_workloads.Workload.t -> variant:Emc_workloads.Workload.variant -> float array -> float
@@ -62,3 +101,21 @@ val respond_coded :
   variant:Emc_workloads.Workload.variant ->
   float array ->
   float
+
+val respond_coded_many :
+  ?response:response ->
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  float array array ->
+  float array
+(** {!respond_many} over coded design points. *)
+
+val cycles_coded_many :
+  t ->
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  float array array ->
+  float array
+(** {!cycles_many} over coded design points — the fan-out entry used by
+    [Modeling.build_dataset]. *)

@@ -60,16 +60,19 @@ let fit ?(names = Params.names Params.all_specs) technique (d : Dataset.t) : Mod
         (Array.length d.Dataset.x) m.Model.n_params dt;
       m)
 
-(** Measure the response at every point of a coded design. *)
+(** Measure the response at every point of a coded design. Design points are
+    independent, so misses fan out across [measure.scale.jobs] workers; at
+    any worker count the dataset is bit-identical to a sequential run. *)
 let build_dataset (m : Measure.t) w ~variant (points : float array array) : Dataset.t =
-  let y = Array.map (fun p -> Measure.cycles_coded m w ~variant p) points in
+  let y = Measure.cycles_coded_many m w ~variant points in
   Dataset.create (Array.map Array.copy points) y
 
 (** One Figure-1 iteration cycle: grow the training design by [step] points
-    (re-running the D-optimal exchange over old + new candidates, exploiting
-    the extensibility of D-optimal designs), refit, and re-evaluate, until
-    the test MAPE reaches [target_error] or [max_n] is hit. Returns the
-    final model plus the error trajectory. *)
+    — a Fedorov exchange over fresh candidates with the already-measured
+    rows held fixed ({!Emc_doe.Doe.augment}), so each round's design is
+    D-optimal as a whole, exploiting the extensibility of D-optimal designs
+    — then refit and re-evaluate, until the test MAPE reaches [target_error]
+    or [max_n] is hit. Returns the final model plus the error trajectory. *)
 let iterate ?(step = 50) ?(target_error = 5.0) ?(max_n = 400) ~rng ~measure ~workload ~variant
     ~technique ~test () =
   let space = Params.space_all in
@@ -81,7 +84,7 @@ let iterate ?(step = 50) ?(target_error = 5.0) ?(max_n = 400) ~rng ~measure ~wor
     trajectory := (n, err) :: !trajectory;
     if err <= target_error || n >= max_n then (model, List.rev !trajectory)
     else
-      let extra = Emc_doe.Doe.generate rng space ~n:step in
+      let extra = Emc_doe.Doe.augment rng space ~design ~n_extra:step in
       go (n + step) (Array.append design extra)
   in
   let initial = Emc_doe.Doe.generate rng space ~n:step in

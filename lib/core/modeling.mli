@@ -22,7 +22,9 @@ val build_dataset :
   variant:Emc_workloads.Workload.variant ->
   float array array ->
   Emc_regress.Dataset.t
-(** Measure the response at every point of a coded design. *)
+(** Measure the response at every point of a coded design, fanning cache
+    misses out across [measure.scale.jobs] forked workers. Bit-identical to
+    the sequential result at any worker count. *)
 
 val iterate :
   ?step:int ->
@@ -36,6 +38,8 @@ val iterate :
   test:Emc_regress.Dataset.t ->
   unit ->
   Emc_regress.Model.t * (int * float) list
-(** The Figure-1 loop: grow the training design by [step] D-optimal points
-    per round until the test MAPE reaches [target_error] or [max_n] points;
-    returns the final model and the (size, error) trajectory. *)
+(** The Figure-1 loop: grow the training design by [step] points per round —
+    chosen by a Fedorov exchange with the already-measured rows held fixed,
+    so the augmented design stays D-optimal as a whole — until the test MAPE
+    reaches [target_error] or [max_n] points; returns the final model and
+    the (size, error) trajectory. *)

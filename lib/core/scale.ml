@@ -19,7 +19,13 @@ type t = {
   ga : Emc_search.Ga.params;
   doe_sweeps : int;
   doe_cand_factor : int;
+  jobs : int;  (** measurement fan-out workers; 1 = sequential *)
 }
+
+(* Same seed must give the same datasets at any [jobs], so the presets
+   default to sequential and the worker count comes only from the
+   environment (of_env) or explicit CLI flags. *)
+let jobs_of_env () = Emc_par.Par.default_jobs ()
 
 let quick =
   {
@@ -35,6 +41,7 @@ let quick =
     ga = { Emc_search.Ga.default_params with pop_size = 50; generations = 40 };
     doe_sweeps = 2;
     doe_cand_factor = 5;
+    jobs = 1;
   }
 
 let full =
@@ -51,6 +58,7 @@ let full =
     ga = Emc_search.Ga.default_params;
     doe_sweeps = 3;
     doe_cand_factor = 5;
+    jobs = 1;
   }
 
 (** Intermediate validation scale: half the paper's design sizes on
@@ -70,6 +78,7 @@ let medium =
     ga = Emc_search.Ga.default_params;
     doe_sweeps = 2;
     doe_cand_factor = 5;
+    jobs = 1;
   }
 
 (** Smoke-test scale: tiny designs, heavily scaled-down inputs. Models are
@@ -88,13 +97,16 @@ let tiny =
   }
 
 let of_env () =
-  match Sys.getenv_opt "EMC_SCALE" with
-  | Some ("full" | "paper") -> full
-  | Some "medium" -> medium
-  | Some "tiny" -> tiny
-  | Some "quick" | None -> quick
-  | Some other ->
-      Emc_obs.Log.warn ~src:"scale"
-        ~fields:[ ("value", Emc_obs.Json.Str other) ]
-        "EMC_SCALE=%s not recognized; using quick" other;
-      quick
+  let base =
+    match Sys.getenv_opt "EMC_SCALE" with
+    | Some ("full" | "paper") -> full
+    | Some "medium" -> medium
+    | Some "tiny" -> tiny
+    | Some "quick" | None -> quick
+    | Some other ->
+        Emc_obs.Log.warn ~src:"scale"
+          ~fields:[ ("value", Emc_obs.Json.Str other) ]
+          "EMC_SCALE=%s not recognized; using quick" other;
+        quick
+  in
+  { base with jobs = jobs_of_env () }

@@ -15,6 +15,9 @@ type t = {
   ga : Emc_search.Ga.params;
   doe_sweeps : int;  (** Fedorov exchange passes *)
   doe_cand_factor : int;  (** LHS candidates per design point *)
+  jobs : int;  (** measurement fan-out workers; 1 = sequential (presets
+                   always say 1 — parallelism is opt-in via EMC_JOBS or
+                   [--jobs], and never changes the measured datasets) *)
 }
 
 val quick : t
@@ -23,4 +26,8 @@ val medium : t
 val tiny : t
 
 val of_env : unit -> t
-(** Reads EMC_SCALE; defaults to {!quick}, warns on unknown values. *)
+(** Reads EMC_SCALE; defaults to {!quick}, warns on unknown values. The
+    [jobs] field is filled in from EMC_JOBS ({!jobs_of_env}). *)
+
+val jobs_of_env : unit -> int
+(** EMC_JOBS when it is a positive integer; 1 otherwise. *)

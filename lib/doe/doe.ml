@@ -64,8 +64,11 @@ let log_det_information points = Mat.log_det (information_matrix points)
 
 (** Modified Fedorov exchange: for each design point in turn, consider
     swapping it with every candidate and apply the best improving exchange.
-    [sweeps] full passes (2–3 suffice in practice). *)
-let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
+    [sweeps] full passes (2–3 suffice in practice). [fixed] rows are already
+    measured and cannot be exchanged, but contribute to the information
+    matrix, so the [n] returned rows D-optimally {e augment} them — the
+    extensibility property the Figure-1 iteration relies on. *)
+let d_optimal ?(sweeps = 3) ?(fixed = [||]) rng space ~n ~candidates =
   let cands = Array.map expand_main candidates in
   let m = Array.length cands in
   if m = 0 then invalid_arg "Doe.d_optimal: no candidates";
@@ -78,8 +81,9 @@ let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
       Array.append design (Array.init (n - Array.length design) (fun _ -> random_point rng space))
     else design
   in
+  let full design = Array.append fixed design in
   let p = dims space + 1 in
-  let minv = ref (Mat.inverse (information_matrix design)) in
+  let minv = ref (Mat.inverse (information_matrix (full design))) in
   let dot v w =
     let acc = ref 0.0 in
     for i = 0 to p - 1 do
@@ -89,7 +93,7 @@ let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
   in
   (* per-sweep D-criterion trajectory: log det is O(p^3), negligible next
      to the exchange sweep itself, so the telemetry is always on *)
-  let logdet = ref (log_det_information design) in
+  let logdet = ref (log_det_information (full design)) in
   let h_gain = Emc_obs.Metrics.histogram "doe.sweep_logdet_gain" in
   for sweep = 1 to sweeps do
     for i = 0 to Array.length design - 1 do
@@ -111,10 +115,10 @@ let d_optimal ?(sweeps = 3) rng space ~n ~candidates =
       done;
       if !best_j >= 0 then begin
         design.(i) <- Array.copy candidates.(!best_j);
-        minv := Mat.inverse (information_matrix design)
+        minv := Mat.inverse (information_matrix (full design))
       end
     done;
-    let after = log_det_information design in
+    let after = log_det_information (full design) in
     let gain = after -. !logdet in
     Emc_obs.Metrics.observe h_gain gain;
     Emc_obs.Log.debug ~src:"doe"
@@ -139,3 +143,18 @@ let generate ?(sweeps = 2) ?(cand_factor = 5) rng space ~n =
         Array.append (lhs rng space (cand_factor * n)) (random_design rng space n)
       in
       d_optimal ~sweeps rng space ~n ~candidates)
+
+(** Augment an existing (already measured) design with [n_extra] new points
+    chosen D-optimally {e given} the old rows: fresh LHS candidates, Fedorov
+    exchange with the old design held fixed. Returns only the new rows. *)
+let augment ?(sweeps = 2) ?(cand_factor = 5) rng space ~design ~n_extra =
+  Emc_obs.Trace.with_span ~cat:"doe"
+    ~args:(fun () ->
+      [ ("fixed", Emc_obs.Json.Int (Array.length design));
+        ("n_extra", Emc_obs.Json.Int n_extra) ])
+    "doe.augment"
+    (fun () ->
+      let candidates =
+        Array.append (lhs rng space (cand_factor * n_extra)) (random_design rng space n_extra)
+      in
+      d_optimal ~sweeps ~fixed:design rng space ~n:n_extra ~candidates)

@@ -37,6 +37,7 @@ val log_det_information : float array array -> float
 
 val d_optimal :
   ?sweeps:int ->
+  ?fixed:float array array ->
   Emc_util.Rng.t ->
   space ->
   n:int ->
@@ -44,9 +45,24 @@ val d_optimal :
   float array array
 (** Modified Fedorov exchange: starting from a random subset of
     [candidates], repeatedly apply the best improving point exchange,
-    [sweeps] passes over the design. *)
+    [sweeps] passes over the design. [fixed] rows (default none) are
+    unexchangeable but contribute to the information matrix, so the [n]
+    returned rows D-optimally augment an existing design. *)
 
 val generate : ?sweeps:int -> ?cand_factor:int -> Emc_util.Rng.t -> space -> n:int
   -> float array array
 (** One-call design generation: LHS candidates ([cand_factor × n] of them
     plus a random batch), then {!d_optimal}. *)
+
+val augment :
+  ?sweeps:int ->
+  ?cand_factor:int ->
+  Emc_util.Rng.t ->
+  space ->
+  design:float array array ->
+  n_extra:int ->
+  float array array
+(** [augment rng space ~design ~n_extra] picks [n_extra] fresh points that
+    maximize the D-criterion of [design ++ extra] with [design] held fixed —
+    the design-extensibility step of the paper's Figure-1 iteration. Returns
+    only the new rows. *)

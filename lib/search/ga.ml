@@ -30,6 +30,17 @@ let random_genome rng (p : problem) = Array.map (fun ls -> Rng.choice rng ls) p.
 let m_generations = Emc_obs.Metrics.counter "ga.generations"
 let m_evaluations = Emc_obs.Metrics.counter "ga.evaluations"
 
+(* Minimizing order over fitness values, NaN sorted last. Both polymorphic
+   [compare] and [Float.compare] place NaN below every number, which would
+   hand the elite slots (and tournament wins) to broken genomes whenever a
+   model predicts NaN. *)
+let fitness_order a b =
+  match (Float.is_nan a, Float.is_nan b) with
+  | true, true -> 0
+  | true, false -> 1
+  | false, true -> -1
+  | false, false -> Float.compare a b
+
 (* Per-generation best/mean fitness trace; the mean is only computed when a
    consumer (debug log or trace file) is actually on. *)
 let trace_generation gen best fit =
@@ -52,14 +63,14 @@ let optimize ?(params = default_params) rng (p : problem) ~fitness =
   Emc_obs.Metrics.add m_evaluations params.pop_size;
   let order () =
     let idx = Array.init params.pop_size Fun.id in
-    Array.sort (fun a b -> compare fit.(a) fit.(b)) idx;
+    Array.sort (fun a b -> fitness_order fit.(a) fit.(b)) idx;
     idx
   in
   let best = ref (Array.copy pop.(0)) and best_f = ref fit.(0) in
   let update_best () =
     Array.iteri
       (fun i f ->
-        if f < !best_f then begin
+        if fitness_order f !best_f < 0 then begin
           best_f := f;
           best := Array.copy pop.(i)
         end)
@@ -76,7 +87,7 @@ let optimize ?(params = default_params) rng (p : problem) ~fitness =
       let w = ref (Rng.int rng params.pop_size) in
       for _ = 2 to params.tournament do
         let c = Rng.int rng params.pop_size in
-        if fit.(c) < fit.(!w) then w := c
+        if fitness_order fit.(c) fit.(!w) < 0 then w := c
       done;
       pop.(!w)
     in
@@ -107,8 +118,13 @@ let optimize ?(params = default_params) rng (p : problem) ~fitness =
   done;
   (!best, !best_f)
 
-(** Pure random search baseline (same budget accounting as the GA). *)
+(** Pure random search baseline (same budget accounting as the GA: every
+    fitness call counts into [ga.evaluations]). *)
 let random_search rng (p : problem) ~fitness ~evals =
+  let fitness g =
+    Emc_obs.Metrics.incr m_evaluations;
+    fitness g
+  in
   let best = ref (random_genome rng p) in
   let best_f = ref (fitness !best) in
   for _ = 2 to evals do
@@ -121,8 +137,13 @@ let random_search rng (p : problem) ~fitness ~evals =
   done;
   (!best, !best_f)
 
-(** First-improvement hill climbing over per-gene level moves. *)
+(** First-improvement hill climbing over per-gene level moves (every fitness
+    call counts into [ga.evaluations], as for the GA). *)
 let hill_climb rng (p : problem) ~fitness ~restarts =
+  let fitness g =
+    Emc_obs.Metrics.incr m_evaluations;
+    fitness g
+  in
   let k = Array.length p.levels in
   let best = ref (random_genome rng p) and best_f = ref infinity in
   for _ = 1 to restarts do

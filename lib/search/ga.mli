@@ -26,15 +26,18 @@ val optimize :
   fitness:(float array -> float) ->
   float array * float
 (** Returns the best genome found and its fitness. Deterministic for a given
-    generator state. *)
+    generator state. NaN fitness values are treated as worse than any
+    number: they win no tournaments and claim no elite slots. *)
 
 val random_search :
   Emc_util.Rng.t -> problem -> fitness:(float array -> float) -> evals:int
   -> float array * float
-(** Pure random sampling with an evaluation budget. *)
+(** Pure random sampling with an evaluation budget; every fitness call
+    counts into the [ga.evaluations] metric, like the GA's. *)
 
 val hill_climb :
   Emc_util.Rng.t -> problem -> fitness:(float array -> float) -> restarts:int
   -> float array * float
 (** First-improvement hill climbing over single-gene level moves, with
-    random restarts; exact on unimodal separable landscapes. *)
+    random restarts; exact on unimodal separable landscapes. Fitness calls
+    count into [ga.evaluations]. *)

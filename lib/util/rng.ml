@@ -21,7 +21,17 @@ let next_nat t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  next_nat t mod bound
+  (* Rejection sampling: draws at or above the largest exact multiple of
+     [bound] in the 62-bit range are re-drawn, so every residue class is
+     equally likely (a bare [mod] over-weights small residues). For small
+     bounds the rejection probability is ~bound/2^62, so streams are
+     unchanged in practice; bounds near max_int reject ~half the draws. *)
+  let limit = max_int / bound * bound in
+  let rec go () =
+    let v = next_nat t in
+    if v >= limit then go () else v mod bound
+  in
+  go ()
 
 let float t bound =
   let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in

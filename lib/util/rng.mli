@@ -17,7 +17,9 @@ val split : t -> t
 (** Derive a statistically independent child generator; advances the parent. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)] — exactly uniform, via
+    rejection sampling, with no modulo bias even for bounds close to
+    [max_int]. [bound] must be positive. *)
 
 val int64 : t -> int64
 (** Next raw 64-bit output. *)

@@ -79,6 +79,32 @@ let test_d_optimal_full_space () =
         (flags.Emc_opt.Flags.max_unroll_times >= 4 && flags.max_unroll_times <= 12))
     d
 
+let test_augment_is_d_optimal_given_base () =
+  (* augmenting a design must pick extra rows that are good {e jointly} with
+     the existing ones: log det of the combined information matrix beats
+     appending an independent random design in most seeds *)
+  let wins = ref 0 in
+  for seed = 1 to 5 do
+    let rng = Emc_util.Rng.create (100 + seed) in
+    let base = Doe.generate rng small_space ~n:8 in
+    let extra = Doe.augment rng small_space ~design:base ~n_extra:6 in
+    Alcotest.(check int) "n_extra rows returned" 6 (Array.length extra);
+    Array.iter
+      (fun p ->
+        Array.iteri
+          (fun dim v ->
+            cb "augmented point on grid" true
+              (Array.exists (fun l -> l = v) small_space.levels.(dim)))
+          p)
+      extra;
+    let rand = Doe.random_design rng small_space 6 in
+    if
+      Doe.log_det_information (Array.append base extra)
+      >= Doe.log_det_information (Array.append base rand)
+    then incr wins
+  done;
+  cb (Printf.sprintf "augment wins %d/5" !wins) true (!wins >= 4)
+
 let prop_lhs_values_on_grid =
   QCheck.Test.make ~name:"lhs points stay on the level grid" ~count:50
     QCheck.(pair (int_range 1 40) (int_range 0 10_000))
@@ -102,5 +128,6 @@ let suite =
     ("d-optimal beats random", `Quick, test_d_optimal_beats_random);
     ("d-optimal nondegenerate", `Quick, test_d_optimal_nondegenerate);
     ("d-optimal on the paper space", `Quick, test_d_optimal_full_space);
+    ("augment is jointly d-optimal", `Quick, test_augment_is_d_optimal_given_base);
     QCheck_alcotest.to_alcotest prop_lhs_values_on_grid;
   ]

@@ -13,6 +13,7 @@ let () =
       ("regress", Test_regress.suite);
       ("search", Test_search.suite);
       ("workloads", Test_workloads.suite);
+      ("par", Test_par.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
     ]

@@ -34,6 +34,31 @@ let test_ga_handles_interactions () =
      -1 + 0.1 * (0.25 + 2.25) = -0.75 *)
   Alcotest.(check (float 1e-9)) "found coupled optimum" (-0.75) fit
 
+let test_ga_nan_fitness_is_worst () =
+  (* a model predicting NaN in some region must not hand that region the
+     elite slots: the returned best is a real number outside the NaN zone *)
+  let f x = if x.(0) > 0.0 then Float.nan else separable x in
+  let rng = Emc_util.Rng.create 21 in
+  let best, fit = Ga.optimize rng (grid5 4) ~fitness:f in
+  cb "best fitness is a number" true (not (Float.is_nan fit));
+  cb "best genome avoids the NaN region" true (best.(0) <= 0.0);
+  (* all-NaN landscape still terminates and reports NaN honestly *)
+  let rng = Emc_util.Rng.create 22 in
+  let _, fit = Ga.optimize rng (grid5 3) ~fitness:(fun _ -> Float.nan) in
+  cb "all-NaN landscape returns NaN" true (Float.is_nan fit)
+
+let evaluations () = Option.value ~default:0 (Emc_obs.Metrics.counter_value "ga.evaluations")
+
+let test_baseline_budget_accounting () =
+  (* random_search and hill_climb must count their fitness calls into
+     ga.evaluations like the GA does, or ablation budgets are meaningless *)
+  let before = evaluations () in
+  let _ = Ga.random_search (Emc_util.Rng.create 8) (grid5 4) ~fitness:separable ~evals:50 in
+  Alcotest.(check int) "random_search counts every call" (before + 50) (evaluations ());
+  let before = evaluations () in
+  let _ = Ga.hill_climb (Emc_util.Rng.create 9) (grid5 4) ~fitness:separable ~restarts:1 in
+  cb "hill_climb counts its calls" true (evaluations () > before)
+
 let test_random_search_budget () =
   let rng = Emc_util.Rng.create 4 in
   let _, fit = Ga.random_search rng (grid5 4) ~fitness:separable ~evals:4000 in
@@ -102,6 +127,8 @@ let suite =
     ("ga separable optimum", `Quick, test_ga_finds_separable_optimum);
     ("ga deterministic", `Quick, test_ga_deterministic_with_seed);
     ("ga coupled genes", `Quick, test_ga_handles_interactions);
+    ("ga nan fitness is worst", `Quick, test_ga_nan_fitness_is_worst);
+    ("baseline budget accounting", `Quick, test_baseline_budget_accounting);
     ("random search budget", `Quick, test_random_search_budget);
     ("hill climb unimodal", `Quick, test_hill_climb_unimodal_exact);
     ("ga vs random", `Quick, test_ga_beats_small_random_budget);

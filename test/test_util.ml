@@ -60,6 +60,26 @@ let test_rng_uniformity () =
       Alcotest.(check bool) "bucket near 10%" true (frac > 0.085 && frac < 0.115))
     counts
 
+let test_rng_no_modulo_bias () =
+  (* bounds close to max_int: a bare [mod] would make residues below
+     max_int mod bound almost twice as likely. With rejection sampling the
+     draw is exactly uniform, so ~half the mass sits in each half of the
+     range; also exercises the rejection loop itself (~50% rejection). *)
+  let r = Rng.create 29 in
+  let bound = (max_int / 2) + 1 in
+  let n = 2000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.int r bound in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < bound);
+    if v < bound / 2 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "lower half gets ~50%% (%.1f%%)" (100.0 *. frac))
+    true
+    (frac > 0.44 && frac < 0.56)
+
 let test_gaussian_moments () =
   let r = Rng.create 13 in
   let xs = Array.init 50_000 (fun _ -> Rng.gaussian r) in
@@ -183,6 +203,7 @@ let suite =
     ("rng bounds", `Quick, test_rng_bounds);
     ("rng invalid bound", `Quick, test_rng_int_invalid);
     ("rng uniformity", `Quick, test_rng_uniformity);
+    ("rng no modulo bias", `Quick, test_rng_no_modulo_bias);
     ("gaussian moments", `Quick, test_gaussian_moments);
     ("shuffle is permutation", `Quick, test_shuffle_permutation);
     ("sample without replacement", `Quick, test_sample_without_replacement);
