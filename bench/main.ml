@@ -131,6 +131,15 @@ let bechamel_suite (ctx : Experiments.ctx) =
   let arrays =
     (Registry.find "gzip").Workload.arrays ~scale:0.05 ~variant:Workload.Train
   in
+  let art =
+    match
+      Artifact.of_model ~workload:"164.gzip" ~scale:ctx.scale.Scale.name ~seed:42
+        ~train_n:(Dataset.size train) rbf
+    with
+    | Ok a -> a
+    | Error e -> failwith e
+  in
+  let art_text = Emc_obs.Json.to_string (Artifact.to_json art) in
   let open Bechamel in
   let tests =
     [
@@ -154,6 +163,21 @@ let bechamel_suite (ctx : Experiments.ctx) =
              for _ = 1 to 100 do
                ignore
                  (rbf.Model.predict
+                    (Array.append (Emc_doe.Doe.random_point rng Params.space_compiler) march_coded))
+             done));
+      (* serving kernels: artifact text round-trip and served prediction *)
+      Test.make ~name:"serve/artifact-load"
+        (Staged.stage (fun () ->
+             match Result.bind (Emc_obs.Json.parse art_text) Artifact.of_json with
+             | Ok a -> ignore (Artifact.model a)
+             | Error e -> failwith e));
+      Test.make ~name:"serve/artifact-save"
+        (Staged.stage (fun () -> ignore (Emc_obs.Json.to_string (Artifact.to_json art))));
+      Test.make ~name:"serve/repr-eval-x100"
+        (Staged.stage (fun () ->
+             for _ = 1 to 100 do
+               ignore
+                 (Repr.eval art.Artifact.repr
                     (Array.append (Emc_doe.Doe.random_point rng Params.space_compiler) march_coded))
              done));
       (* §3 kernel: D-optimal exchange *)

@@ -3,9 +3,10 @@
     Subcommands mirror the stages of the paper's methodology: [compile]
     (inspect the compiler's output for a workload), [simulate] (one
     measurement), [design] (generate a D-optimal experiment design), [model]
-    (build and evaluate empirical models), [search] (model-based search for
-    platform-specific settings, §6.3), and [experiment] (regenerate a
-    specific table/figure). *)
+    (build and evaluate empirical models), [train]/[predict]/[rank]/[serve]
+    (persist a model as an artifact and use or serve it without retraining),
+    [search] (model-based search for platform-specific settings, §6.3), and
+    [experiment] (regenerate a specific table/figure). *)
 
 open Cmdliner
 open Emc_core
@@ -233,20 +234,168 @@ let model_cmd =
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
           $ cache_arg $ trace_arg $ metrics_arg)
 
+(* ---------------- artifacts: train / predict / rank / serve ---------------- *)
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("emc: " ^ msg); exit 1) fmt
+
+let load_artifact path =
+  match Artifact.load path with Ok a -> a | Error e -> die "%s" e
+
+let model_file_arg =
+  let doc = "Model artifact file (written by $(b,emc train --out))." in
+  Arg.(required & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+
+let train_cmd =
+  let out_arg =
+    let doc = "Write the model artifact (JSON) to $(docv)." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run wname tname scale seed jobs cache out trace metrics =
+    with_obs trace metrics (fun () ->
+        let w = Registry.find wname in
+        let scale = parse_scale ?jobs scale in
+        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+        let d = Experiments.prepare ctx w in
+        let m = Experiments.model_of d (parse_technique tname) in
+        let test_mape =
+          Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test
+        in
+        match
+          Artifact.of_model ~workload:w.name ~scale:scale.Scale.name ~seed
+            ~train_n:(Emc_regress.Dataset.size d.Experiments.train)
+            ~test_mape m
+        with
+        | Error e -> die "%s" e
+        | Ok a ->
+            Artifact.save a out;
+            Printf.printf "%s / %s: test MAPE = %.2f%%, %d params -> %s\n" w.name
+              a.Artifact.technique test_mape m.Emc_regress.Model.n_params out)
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Build an empirical model and persist it as a reusable artifact file.")
+    Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
+          $ cache_arg $ out_arg $ trace_arg $ metrics_arg)
+
+let predict_cmd =
+  let raw_arg =
+    let doc = "Interpret the values as raw parameter settings and code them through the \
+               artifact's schema (default: already-coded [-1,1] values)."
+    in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the prediction as a JSON object.")
+  in
+  let point_arg =
+    let doc = "Design-point values, one per schema parameter, in order." in
+    Arg.(non_empty & pos_all float [] & info [] ~docv:"VALUE" ~doc)
+  in
+  let run mfile raw json point =
+    let a = load_artifact mfile in
+    let x = Array.of_list point in
+    let coded =
+      if raw then Artifact.code_raw a x
+      else match Artifact.validate_point a x with Ok () -> Ok x | Error e -> Error e
+    in
+    match coded with
+    | Error e -> die "%s" e
+    | Ok x ->
+        let p = Emc_regress.Repr.eval a.Artifact.repr x in
+        if json then
+          print_endline
+            (Emc_obs.Json.to_string (Emc_obs.Json.Obj [ ("prediction", Emc_obs.Json.Float p) ]))
+        else Printf.printf "%.17g\n" p
+  in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Evaluate a saved model artifact at one design point.")
+    Term.(const run $ model_file_arg $ raw_arg $ json_arg $ point_arg)
+
+let rank_cmd =
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the $(docv) strongest terms.")
+  in
+  let run mfile top =
+    let a = load_artifact mfile in
+    Printf.printf "%s / %s (test MAPE %s):\n" a.Artifact.workload a.Artifact.technique
+      (match a.Artifact.test_mape with Some m -> Printf.sprintf "%.2f%%" m | None -> "n/a");
+    a.Artifact.terms
+    |> List.sort (fun (_, x) (_, y) -> compare (Float.abs y) (Float.abs x))
+    |> List.iteri (fun i (n, c) -> if i < top then Printf.printf "  %-40s %+.4g\n" n c)
+  in
+  Cmd.v
+    (Cmd.info "rank"
+       ~doc:"Rank a saved model's significant terms by |coefficient| (the paper's Table-4 \
+             reading).")
+    Term.(const run $ model_file_arg $ top_arg)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen on 127.0.0.1:$(docv).")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "unix-socket" ] ~docv:"PATH" ~doc:"Listen on a Unix domain socket at $(docv).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 1
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Pre-forked accept workers. /metrics is per-worker; keep 1 for exact totals.")
+  in
+  let max_body_arg =
+    Arg.(value & opt int (1024 * 1024)
+         & info [ "max-body" ] ~docv:"BYTES" ~doc:"Request body size limit.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "read-timeout" ] ~docv:"SECONDS" ~doc:"Per-read socket timeout.")
+  in
+  let run mfile port socket workers max_body read_timeout =
+    let a = load_artifact mfile in
+    let listen =
+      match (port, socket) with
+      | Some p, None -> Emc_serve.Serve.Port p
+      | None, Some path -> Emc_serve.Serve.Unix_socket path
+      | None, None -> die "give --port or --unix-socket"
+      | Some _, Some _ -> die "give either --port or --unix-socket, not both"
+    in
+    Emc_serve.Serve.run { listen; workers; max_body; read_timeout } a
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a saved model over HTTP: /predict, /rank, /search, /healthz, /metrics.")
+    Term.(const run $ model_file_arg $ port_arg $ socket_arg $ workers_arg $ max_body_arg
+          $ timeout_arg)
+
 (* ---------------- search ---------------- *)
 
 let search_cmd =
   let validate =
     Arg.(value & flag & info [ "validate" ] ~doc:"Also measure the prescribed settings.")
   in
-  let run wname cname scale seed jobs cache validate trace metrics =
+  let model_opt_arg =
+    let doc = "Search over a saved model artifact instead of training in-process — zero \
+               simulator invocations."
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+  in
+  let run wname cname scale seed jobs cache mfile validate trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let march = parse_config cname in
         let scale = parse_scale ?jobs scale in
-        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
-        let d = Experiments.prepare ctx w in
-        let m = Experiments.rbf_model d in
+        let measure, m =
+          match mfile with
+          | Some path ->
+              (* the artifact replaces training; a Measure is only created
+                 lazily if --validate asks for real measurements *)
+              (lazy (Measure.create ?cache_file:cache scale), Artifact.model (load_artifact path))
+          | None ->
+              let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+              let d = Experiments.prepare ctx w in
+              (lazy ctx.Experiments.measure, Experiments.rbf_model d)
+        in
         let r =
           Searcher.search ~params:scale.Scale.ga ~rng:(Emc_util.Rng.create (seed + 1)) ~model:m
             ~march ()
@@ -255,8 +404,9 @@ let search_cmd =
           (Emc_opt.Flags.to_string r.Searcher.flags)
           r.Searcher.predicted_cycles;
         if validate then begin
-          let o2 = Measure.cycles ctx.measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
-          let best = Measure.cycles ctx.measure w ~variant:Workload.Train r.Searcher.flags march in
+          let measure = Lazy.force measure in
+          let o2 = Measure.cycles measure w ~variant:Workload.Train Emc_opt.Flags.o2 march in
+          let best = Measure.cycles measure w ~variant:Workload.Train r.Searcher.flags march in
           Printf.printf "  measured: O2=%.0f prescribed=%.0f actual speedup=%+.2f%%\n" o2 best
             ((o2 /. best -. 1.0) *. 100.0)
         end)
@@ -265,7 +415,7 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-          $ validate $ trace_arg $ metrics_arg)
+          $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -301,4 +451,5 @@ let () =
       ~doc:"Microarchitecture-sensitive empirical models for compiler optimizations (CGO'07 reproduction)."
   in
   exit (Cmd.eval (Cmd.group ~default info
-    [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; search_cmd; experiment_cmd ]))
+    [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
+      rank_cmd; serve_cmd; search_cmd; experiment_cmd ]))

@@ -24,7 +24,14 @@ let clamp_margin = 2.0
 let clamp_to_response (d : Dataset.t) (m : Model.t) : Model.t =
   let lo = Emc_util.Stats.min d.Dataset.y /. clamp_margin in
   let hi = Emc_util.Stats.max d.Dataset.y *. clamp_margin in
-  { m with Model.predict = (fun x -> Float.max lo (Float.min hi (m.Model.predict x))) }
+  match m.Model.repr with
+  | Some body ->
+      (* keep the clamp inside the serializable repr so that artifacts
+         reproduce the clamped model, not the raw regression *)
+      let repr = Repr.Clamp { lo; hi; body } in
+      { m with Model.predict = Repr.eval repr; repr = Some repr }
+  | None ->
+      { m with Model.predict = (fun x -> Float.max lo (Float.min hi (m.Model.predict x))) }
 
 let m_fits = Emc_obs.Metrics.counter "model.fits"
 

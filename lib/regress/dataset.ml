@@ -32,11 +32,17 @@ let split rng d n =
   (sub d (Array.sub idx 0 n), sub d (Array.sub idx n (size d - n)))
 
 (** Normalize responses to mean 0 / scale 1; returns the transformed dataset
-    plus the inverse transform (models train better on standardized targets,
-    predictions are mapped back). *)
-let standardize d =
+    plus the (mu, sd) of the inverse map [v *. sd +. mu]. Exposing the two
+    floats (rather than only a closure) is what lets fitted models record
+    the inverse transform in their serializable {!Repr.t}. *)
+let standardize_stats d =
   let mu = Stats.mean d.y in
   let sd = Stats.sample_stddev d.y in
   let sd = if sd < 1e-12 then 1.0 else sd in
   let y' = Array.map (fun v -> (v -. mu) /. sd) d.y in
-  ({ d with y = y' }, fun v -> (v *. sd) +. mu)
+  ({ d with y = y' }, mu, sd)
+
+(** {!standardize_stats} with the inverse transform as a closure. *)
+let standardize d =
+  let d', mu, sd = standardize_stats d in
+  (d', fun v -> (v *. sd) +. mu)

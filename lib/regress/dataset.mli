@@ -21,7 +21,10 @@ val sample : Emc_util.Rng.t -> t -> int -> t
 val split : Emc_util.Rng.t -> t -> int -> t * t
 (** Random disjoint split into sizes [n] and [size - n]. *)
 
+val standardize_stats : t -> t * float * float
+(** Responses shifted/scaled to mean 0, sd 1; returns [(standardized, mu,
+    sd)] where the inverse transform is [v *. sd +. mu]. Models record
+    [(mu, sd)] in their serializable {!Repr.t}. *)
+
 val standardize : t -> t * (float -> float)
-(** Responses shifted/scaled to mean 0, sd 1; the returned function maps
-    model outputs back to the original units. Models train on the
-    standardized target and wrap their predictor with the inverse. *)
+(** {!standardize_stats} with the inverse transform as a closure. *)

@@ -7,24 +7,13 @@ open Emc_linalg
     fitted by least squares (Householder QR). With 25 predictors this is
     1 + 25 + 325 = 351 columns; the paper's 400-point designs keep it
     overdetermined. Pure main-effects models are available with
-    [~interactions:false]. *)
+    [~interactions:false]. The feature expansion lives in {!Repr} (shared
+    with artifact evaluation); the returned model's [predict] is
+    [Repr.eval] of its repr, so saved models reproduce it bit-for-bit. *)
 
-let n_features ~interactions k = if interactions then 1 + k + (k * (k + 1) / 2) else 1 + k
+let n_features = Repr.n_features
 
-let expand ~interactions x =
-  let k = Array.length x in
-  let out = Array.make (n_features ~interactions k) 1.0 in
-  Array.blit x 0 out 1 k;
-  if interactions then begin
-    let idx = ref (1 + k) in
-    for i = 0 to k - 1 do
-      for j = i to k - 1 do
-        out.(!idx) <- x.(i) *. x.(j);
-        incr idx
-      done
-    done
-  end;
-  out
+let expand = Repr.expand
 
 let feature_names ~interactions names =
   let k = Array.length names in
@@ -49,7 +38,7 @@ let ridge = 1e-4
 let fit ?(interactions = true) ?(names = [||]) (d : Dataset.t) : Model.t =
   let k = Dataset.dims d in
   let names = if Array.length names = k then names else Array.init k (Printf.sprintf "x%d") in
-  let d_std, unstd_y = Dataset.standardize d in
+  let d_std, mu, sd_y = Dataset.standardize_stats d in
   let rows = Array.map (expand ~interactions) d_std.Dataset.x in
   let xmat = Mat.of_rows rows in
   let beta =
@@ -62,6 +51,7 @@ let fit ?(interactions = true) ?(names = [||]) (d : Dataset.t) : Model.t =
     try Mat.solve_spd g rhs with Failure _ -> Mat.lstsq xmat d_std.Dataset.y
   in
   let fnames = feature_names ~interactions names in
+  let unstd_y v = (v *. sd_y) +. mu in
   let sd = unstd_y 1.0 -. unstd_y 0.0 in
   let terms =
     Array.to_list
@@ -69,14 +59,11 @@ let fit ?(interactions = true) ?(names = [||]) (d : Dataset.t) : Model.t =
          (fun i b -> (fnames.(i), if i = 0 then unstd_y b else b *. sd))
          beta)
   in
+  let repr = Repr.Linear { interactions; beta; mu; sd = sd_y } in
   {
     Model.technique = "linear";
-    predict =
-      (fun x ->
-        let f = expand ~interactions x in
-        let acc = ref 0.0 in
-        Array.iteri (fun i v -> acc := !acc +. (v *. beta.(i))) f;
-        unstd_y !acc);
+    predict = Repr.eval repr;
     n_params = Array.length beta;
     terms = List.filter (fun (_, b) -> Float.abs b > 1e-12) terms;
+    repr = Some repr;
   }

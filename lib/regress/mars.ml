@@ -10,16 +10,12 @@ open Emc_linalg
     values; the backward pass prunes terms by GCV (the criterion polspline
     uses, §5 of the paper) and the best-GCV subset is refit and returned. *)
 
-type factor = { dim : int; knot : float; positive : bool }
+type factor = Repr.factor = { dim : int; knot : float; positive : bool }
 
 type basis = factor list (* empty = intercept *)
 
-let eval_basis (b : basis) x =
-  List.fold_left
-    (fun acc f ->
-      let v = if f.positive then x.(f.dim) -. f.knot else f.knot -. x.(f.dim) in
-      if v <= 0.0 then 0.0 else acc *. v)
-    1.0 b
+(* the single hinge-product implementation, shared with artifact eval *)
+let eval_basis (b : basis) x = Repr.eval_basis b x
 
 let basis_name names (b : basis) =
   match b with
@@ -85,7 +81,7 @@ let knot_candidates ?(max_knots = 5) (d : Dataset.t) dim =
     |> fun l -> if List.length l > max_knots then List.filteri (fun i _ -> i < max_knots) l else l
 
 let fit ?(max_terms = 23) ?(max_degree = 2) ?(names = [||]) (d : Dataset.t) : Model.t =
-  let d_std, unstd = Dataset.standardize d in
+  let d_std, mu, sd = Dataset.standardize_stats d in
   let n = Dataset.size d_std in
   let k = Dataset.dims d_std in
   let names = if Array.length names = k then names else Array.init k (Printf.sprintf "x%d") in
@@ -165,14 +161,12 @@ let fit ?(max_terms = 23) ?(max_degree = 2) ?(names = [||]) (d : Dataset.t) : Mo
   let final_cols = Array.of_list (List.filteri (fun i _ -> List.mem i !best_subset) !cols) in
   let w, _ = solve_sse final_cols y in
   let final_bases = Array.of_list final_bases in
+  let repr = Repr.Mars { bases = final_bases; weights = w; mu; sd } in
   {
     Model.technique = "mars";
-    predict =
-      (fun x ->
-        let acc = ref 0.0 in
-        Array.iteri (fun i b -> acc := !acc +. (w.(i) *. eval_basis b x)) final_bases;
-        unstd !acc);
+    predict = Repr.eval repr;
     n_params = Array.length w;
     terms =
       Array.to_list (Array.mapi (fun i b -> (basis_name names b, w.(i))) final_bases);
+    repr = Some repr;
   }

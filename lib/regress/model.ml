@@ -1,10 +1,15 @@
 (** Common model interface: every technique yields a predictor plus an
-    interpretable term listing (coefficients for linear/MARS; centers for
-    RBF networks). *)
+    interpretable term listing (coefficients for linear/MARS; center/weight
+    pairs for RBF networks) and, for the built-in families, a structured
+    representation ({!Repr.t}) that reproduces [predict] bit-for-bit and can
+    be serialized into a model artifact. *)
 
 type t = {
   technique : string;
   predict : float array -> float;
   n_params : int;  (** for BIC-style complexity accounting *)
   terms : (string * float) list;  (** human-readable term/coefficient pairs *)
+  repr : Repr.t option;
+      (** structured form of [predict]; [None] for ad-hoc models (stubs,
+          trees) that cannot be saved as artifacts *)
 }

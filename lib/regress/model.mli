@@ -5,7 +5,13 @@ type t = {
   predict : float array -> float;  (** response at a coded design point *)
   n_params : int;  (** fitted parameter count, for BIC-style accounting *)
   terms : (string * float) list;
-      (** interpretable term/coefficient pairs — populated for linear and
-          MARS models (the paper's Table-4 reading), informational for RBF
-          networks *)
+      (** interpretable term/coefficient pairs — coefficients in response
+          units for linear and MARS models (the paper's Table-4 reading),
+          bias and per-center weights for RBF networks *)
+  repr : Repr.t option;
+      (** structured, serializable form of [predict]. The three built-in
+          families always carry one, and their [predict] {e is}
+          [Repr.eval repr] — so a saved and reloaded model predicts
+          bit-identically. [None] for ad-hoc models (test stubs, bare
+          regression trees), which cannot be saved as artifacts. *)
 }

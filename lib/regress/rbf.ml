@@ -13,27 +13,15 @@ open Emc_linalg
     the paper's most accurate kernel); Gaussian and inverse multiquadric are
     also available. *)
 
-type kernel = Gaussian | Multiquadric | InverseMultiquadric
+type kernel = Repr.kernel = Gaussian | Multiquadric | InverseMultiquadric
 
-let kernel_name = function
-  | Gaussian -> "gaussian"
-  | Multiquadric -> "multiquadric"
-  | InverseMultiquadric -> "inverse-multiquadric"
+let kernel_name = Repr.kernel_name
 
-let eval_kernel kernel ~r d2 =
-  match kernel with
-  | Gaussian -> exp (-.d2 /. (2.0 *. r *. r))
-  | Multiquadric -> sqrt ((d2 /. (r *. r)) +. 1.0)
-  | InverseMultiquadric -> 1.0 /. sqrt ((d2 /. (r *. r)) +. 1.0)
+(* kernel/distance evaluation is shared with artifact eval (Repr) so that a
+   saved network reproduces the fitted one bit-for-bit *)
+let eval_kernel = Repr.eval_kernel
 
-let dist2 a b =
-  let acc = ref 0.0 in
-  Array.iteri
-    (fun i ai ->
-      let d = ai -. b.(i) in
-      acc := !acc +. (d *. d))
-    a;
-  !acc
+let dist2 = Repr.dist2
 
 (* centers and radii from a regression tree with [n_centers] leaves *)
 let centers_from_tree (d : Dataset.t) ~n_centers =
@@ -101,7 +89,7 @@ let default_size_grid n =
 (** Train an RBF network; the number of centers is chosen by BIC over
     [size_grid]. *)
 let fit ?(kernel = Multiquadric) ?size_grid (d : Dataset.t) : Model.t =
-  let d_std, unstd = Dataset.standardize d in
+  let d_std, mu, sd = Dataset.standardize_stats d in
   let n = Dataset.size d in
   let grid = match size_grid with Some g -> g | None -> default_size_grid n in
   let grid = if grid = [] then [ max 2 (n / 4) ] else grid in
@@ -110,21 +98,37 @@ let fit ?(kernel = Multiquadric) ?size_grid (d : Dataset.t) : Model.t =
     let predict, w = fit_weights kernel d_std centers in
     let sse = Metrics.sse predict d_std in
     let bic = Metrics.bic ~samples:n ~params:(Array.length w) ~sse in
-    (bic, predict, Array.length w, List.length centers)
+    (bic, centers, w)
   in
   let best =
     List.fold_left
       (fun acc c ->
-        let (bic, _, _, _) as cand = fit_one c in
+        let (bic, _, _) as cand = fit_one c in
         match acc with
-        | Some (b', _, _, _) when b' <= bic -> acc
+        | Some (b', _, _) when b' <= bic -> acc
         | _ -> Some cand)
       None grid
   in
-  let _, predict, n_params, n_centers = Option.get best in
+  let _, centers, w = Option.get best in
+  let centers = Array.of_list centers in
+  let repr =
+    Repr.Rbf
+      { kernel; centers = Array.map fst centers; radii = Array.map snd centers; weights = w;
+        mu; sd }
+  in
+  (* center/weight pairs in response units (weights scale by the response
+     sd; the bias absorbs the mean) — the Table-4 reading for networks *)
+  let terms =
+    ("bias", (w.(0) *. sd) +. mu)
+    :: Array.to_list
+         (Array.mapi
+            (fun j (_, r) -> (Printf.sprintf "center%d(r=%.2f)" j r, w.(j + 1) *. sd))
+            centers)
+  in
   {
     Model.technique = "rbf-rt(" ^ kernel_name kernel ^ ")";
-    predict = (fun x -> unstd (predict x));
-    n_params;
-    terms = [ ("centers", float_of_int n_centers) ];
+    predict = Repr.eval repr;
+    n_params = Array.length w;
+    terms;
+    repr = Some repr;
   }

@@ -10,7 +10,7 @@
     multiquadric √(d²/r² + 1), which is the default here (it was the paper's
     most accurate kernel). *)
 
-type kernel = Gaussian | Multiquadric | InverseMultiquadric
+type kernel = Repr.kernel = Gaussian | Multiquadric | InverseMultiquadric
 
 val kernel_name : kernel -> string
 
@@ -22,3 +22,6 @@ val default_size_grid : int -> int list
 (** Candidate center counts tried by BIC for a given training-set size. *)
 
 val fit : ?kernel:kernel -> ?size_grid:int list -> Dataset.t -> Model.t
+(** The returned model's [terms] list the bias and every center/weight pair
+    (weights in response units), and its [repr] serializes the full network
+    (centers, radii, weights, response transform). *)

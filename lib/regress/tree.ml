@@ -105,4 +105,5 @@ let to_model (d : Dataset.t) node : Model.t =
     predict = predict node;
     n_params = n_leaves;
     terms = [];
+    repr = None;
   }

@@ -1,0 +1,197 @@
+(** Minimal HTTP/1.1 over Unix file descriptors (see http.mli). *)
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type error =
+  | Closed
+  | Timeout
+  | Too_large of string
+  | Bad of string
+
+let header req name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Payload Too Large"
+  | 415 -> "Unsupported Media Type"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | _ -> "Status"
+
+let url_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '+' -> Buffer.add_char b ' '
+    | '%' when !i + 2 < n -> (
+        match (hex s.[!i + 1], hex s.[!i + 2]) with
+        | Some h, Some l ->
+            Buffer.add_char b (Char.chr ((h lsl 4) lor l));
+            i := !i + 2
+        | _ -> Buffer.add_char b '%')
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter_map (fun kv ->
+         if kv = "" then None
+         else
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( url_decode (String.sub kv 0 i),
+                   url_decode (String.sub kv (i + 1) (String.length kv - i - 1)) )
+           | None -> Some (url_decode kv, ""))
+
+let trim = String.trim
+
+(* Read until the header terminator appears; any extra bytes already read
+   belong to the body and are returned alongside. *)
+let read_head ~max_header fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let find_terminator () =
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    let rec go i =
+      if i + 3 >= n then None
+      else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    match find_terminator () with
+    | Some i ->
+        let s = Buffer.contents buf in
+        Ok (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+    | None ->
+        if Buffer.length buf > max_header then Error (Too_large "headers")
+        else (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> if Buffer.length buf = 0 then Error Closed else Error (Bad "truncated request")
+          | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              loop ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+              if Buffer.length buf = 0 then Error Closed else Error (Bad "connection reset"))
+  in
+  loop ()
+
+let read_body ~max_body fd ~already len =
+  if len > max_body then Error (Too_large "body")
+  else if String.length already >= len then Ok (String.sub already 0 len)
+  else begin
+    let buf = Buffer.create len in
+    Buffer.add_string buf already;
+    let chunk = Bytes.create 4096 in
+    let rec loop () =
+      if Buffer.length buf >= len then Ok (Buffer.contents buf)
+      else (
+        match Unix.read fd chunk 0 (min (Bytes.length chunk) (len - Buffer.length buf)) with
+        | 0 -> Error (Bad "truncated body")
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            loop ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error (Bad "connection reset"))
+    in
+    loop ()
+  end
+
+let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
+  match read_head ~max_header fd with
+  | Error e -> Error e
+  | Ok (head, rest) -> (
+      match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
+      | [] -> Error (Bad "empty request")
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; target; version ]
+            when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+              let headers =
+                List.filter_map
+                  (fun l ->
+                    if l = "" then None
+                    else
+                      match String.index_opt l ':' with
+                      | Some i ->
+                          Some
+                            ( String.lowercase_ascii (trim (String.sub l 0 i)),
+                              trim (String.sub l (i + 1) (String.length l - i - 1)) )
+                      | None -> None)
+                  header_lines
+              in
+              let path, query =
+                match String.index_opt target '?' with
+                | Some i ->
+                    ( url_decode (String.sub target 0 i),
+                      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+                | None -> (url_decode target, [])
+              in
+              if List.mem_assoc "transfer-encoding" headers then
+                Error (Bad "chunked transfer encoding is not supported")
+              else
+                let len =
+                  match List.assoc_opt "content-length" headers with
+                  | None -> Ok 0
+                  | Some v -> (
+                      match int_of_string_opt (trim v) with
+                      | Some n when n >= 0 -> Ok n
+                      | _ -> Error (Bad ("malformed content-length: " ^ v)))
+                in
+                match len with
+                | Error e -> Error e
+                | Ok len -> (
+                    match read_body ~max_body fd ~already:rest len with
+                    | Error e -> Error e
+                    | Ok body ->
+                        Ok { meth = String.uppercase_ascii meth; path; query; headers; body }))
+          | _ -> Error (Bad "malformed request line")))
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let respond fd ~status ?(content_type = "application/json") ?(keep_alive = true) body =
+  let b = Buffer.create (String.length body + 128) in
+  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string b ("Content-Type: " ^ content_type ^ "\r\n");
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  write_all fd (Buffer.contents b)

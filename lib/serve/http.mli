@@ -1,0 +1,44 @@
+(** A deliberately small HTTP/1.1 reader/writer over [Unix] file
+    descriptors — just enough protocol for the model-serving daemon: one
+    request line, headers, an optional [Content-Length] body, keep-alive.
+    No chunked encoding, no TLS, no pipelining beyond sequential reuse.
+
+    Robustness is the point: header and body sizes are capped, reads honor
+    the socket's receive timeout, and every malformed input is a typed
+    [error], never an exception — the daemon must survive a fuzz loop of
+    truncated and oversized garbage. *)
+
+type request = {
+  meth : string;  (** uppercase, e.g. "GET" *)
+  path : string;  (** decoded path without the query string *)
+  query : (string * string) list;  (** decoded key/value pairs *)
+  headers : (string * string) list;  (** keys lowercased *)
+  body : string;
+}
+
+type error =
+  | Closed  (** clean EOF before any request byte — peer is done *)
+  | Timeout  (** the socket's receive timeout expired mid-request *)
+  | Too_large of string  (** headers or declared body over the cap; names which *)
+  | Bad of string  (** malformed request line/headers or truncated body *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val read_request :
+  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (request, error) result
+(** Read one request. [max_header] defaults to 16 KiB, [max_body] to
+    1 MiB. *)
+
+val respond :
+  Unix.file_descr ->
+  status:int ->
+  ?content_type:string ->
+  ?keep_alive:bool ->
+  string ->
+  unit
+(** Write a complete response with [Content-Length]. [content_type]
+    defaults to ["application/json"]. Raises [Unix.Unix_error] on a dead
+    peer (callers catch EPIPE/ECONNRESET). *)
+
+val status_text : int -> string

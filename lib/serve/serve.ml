@@ -1,0 +1,398 @@
+open Emc_core
+module Json = Emc_obs.Json
+module Metrics = Emc_obs.Metrics
+
+(** The prediction/search serving daemon (see serve.mli). *)
+
+type listen = Port of int | Unix_socket of string
+
+type opts = {
+  listen : listen;
+  workers : int;
+  max_body : int;
+  read_timeout : float;
+}
+
+let default_opts listen = { listen; workers = 1; max_body = 1024 * 1024; read_timeout = 10.0 }
+
+(* ---------------- metrics ---------------- *)
+
+let m_requests = Metrics.counter "serve.requests"
+let m_errors = Metrics.counter "serve.errors"
+let m_connections = Metrics.counter "serve.connections"
+
+let endpoint_counter path = Metrics.counter ("serve.requests." ^ path)
+let status_counter status = Metrics.counter (Printf.sprintf "serve.errors.%d" status)
+let latency_hist path = Metrics.histogram ("serve.latency_seconds." ^ path)
+
+(* Prometheus text exposition of the whole registry: counters and gauges
+   map directly; histograms become summaries (count/sum + exact quantiles,
+   which the registry keeps precisely). *)
+let prometheus () =
+  let b = Buffer.create 2048 in
+  let name n =
+    "emc_"
+    ^ String.map (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' as c -> c | _ -> '_') n
+  in
+  (match Metrics.to_json () with
+  | Json.Obj kvs ->
+      List.iter
+        (fun (raw, v) ->
+          let n = name raw in
+          match v with
+          | Json.Int i ->
+              Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n i)
+          | Json.Float f ->
+              Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %.17g\n" n n f)
+          | Json.Null -> ()
+          | Json.Obj fields ->
+              let get k = match List.assoc_opt k fields with
+                | Some (Json.Float f) -> Some f
+                | Some (Json.Int i) -> Some (float_of_int i)
+                | _ -> None
+              in
+              let count = match List.assoc_opt "count" fields with Some (Json.Int c) -> c | _ -> 0 in
+              Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+              List.iter
+                (fun (q, k) ->
+                  match get k with
+                  | Some v -> Buffer.add_string b (Printf.sprintf "%s{quantile=\"%s\"} %.17g\n" n q v)
+                  | None -> ())
+                [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99") ];
+              (match get "sum" with
+              | Some s -> Buffer.add_string b (Printf.sprintf "%s_sum %.17g\n" n s)
+              | None -> ());
+              Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count)
+          | _ -> ())
+        kvs
+  | _ -> ());
+  Buffer.contents b
+
+(* ---------------- request handling ---------------- *)
+
+let json_body status j = (status, "application/json", Json.to_string j ^ "\n")
+
+let error_body status code msg =
+  json_body status
+    (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]) ])
+
+let ( let* ) r k = match r with Ok v -> k v | Error (st, code, msg) -> error_body st code msg
+
+let as_float = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | Json.Str s -> (
+      match float_of_string_opt s with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "malformed number %S" s))
+  | _ -> Error "expected a number"
+
+let point_of_json j =
+  match j with
+  | Json.List vs -> (
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | v :: rest -> ( match as_float v with Ok f -> go (f :: acc) rest | Error e -> Error e)
+      in
+      go [] vs)
+  | _ -> Error "each point must be a list of numbers"
+
+let parse_json_body (req : Http.request) =
+  (match Http.header req "content-type" with
+  | Some ct
+    when not
+           (String.length ct >= 16
+           && String.lowercase_ascii (String.sub ct 0 16) = "application/json") ->
+      Error (415, "unsupported_media_type", "content-type must be application/json, got " ^ ct)
+  | _ -> Ok ())
+  |> function
+  | Error e -> Error e
+  | Ok () -> (
+      match Json.parse req.Http.body with
+      | Ok j -> Ok j
+      | Error e -> Error (400, "bad_json", "malformed JSON body: " ^ e))
+
+(* /predict: single point or batch, coded (default) or raw space. *)
+let max_batch = 4096
+
+let handle_predict art (req : Http.request) =
+  let* j = parse_json_body req in
+  let* space =
+    match Json.member "space" j with
+    | None | Some (Json.Str "coded") -> Ok `Coded
+    | Some (Json.Str "raw") -> Ok `Raw
+    | Some (Json.Str s) -> Error (400, "bad_request", Printf.sprintf "unknown space %S (want \"coded\" or \"raw\")" s)
+    | Some _ -> Error (400, "bad_request", "\"space\" must be a string")
+  in
+  let* points, batched =
+    match (Json.member "point" j, Json.member "points" j) with
+    | Some p, None -> (
+        match point_of_json p with
+        | Ok x -> Ok ([ x ], false)
+        | Error e -> Error (400, "bad_request", e))
+    | None, Some (Json.List ps) ->
+        if List.length ps > max_batch then
+          Error (413, "too_many_points", Printf.sprintf "batch of %d points exceeds the %d cap" (List.length ps) max_batch)
+        else
+          let rec go acc = function
+            | [] -> Ok (List.rev acc, true)
+            | p :: rest -> (
+                match point_of_json p with
+                | Ok x -> go (x :: acc) rest
+                | Error e -> Error (400, "bad_request", e))
+          in
+          go [] ps
+    | None, Some _ -> Error (400, "bad_request", "\"points\" must be a list of points")
+    | None, None -> Error (400, "bad_request", "body must carry \"point\" or \"points\"")
+    | Some _, Some _ -> Error (400, "bad_request", "give either \"point\" or \"points\", not both")
+  in
+  let* coded =
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+          let r =
+            match space with
+            | `Coded -> ( match Artifact.validate_point art x with Ok () -> Ok x | Error e -> Error e)
+            | `Raw -> Artifact.code_raw art x
+          in
+          match r with
+          | Ok x -> go (x :: acc) rest
+          | Error e -> Error (400, "bad_point", e))
+    in
+    go [] points
+  in
+  let predict = Emc_regress.Repr.eval art.Artifact.repr in
+  match (coded, batched) with
+  | [ x ], false -> json_body 200 (Json.Obj [ ("prediction", Json.Float (predict x)) ])
+  | xs, _ ->
+      json_body 200
+        (Json.Obj [ ("predictions", Json.List (List.map (fun x -> Json.Float (predict x)) xs)) ])
+
+let handle_rank art (req : Http.request) =
+  let top =
+    match List.assoc_opt "top" req.Http.query with
+    | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> max_int)
+    | None -> max_int
+  in
+  let terms =
+    List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) art.Artifact.terms
+  in
+  let terms = List.filteri (fun i _ -> i < top) terms in
+  json_body 200
+    (Json.Obj
+       [ ("technique", Json.Str art.Artifact.technique);
+         ("terms",
+          Json.List
+            (List.map
+               (fun (n, c) -> Json.Obj [ ("term", Json.Str n); ("coef", Json.Float c) ])
+               terms)) ])
+
+let named_config = function
+  | "constrained" -> Some Emc_sim.Config.constrained
+  | "typical" -> Some Emc_sim.Config.typical
+  | "aggressive" -> Some Emc_sim.Config.aggressive
+  | _ -> None
+
+let handle_search art (req : Http.request) =
+  let* j = parse_json_body req in
+  let* march =
+    match (Json.member "config" j, Json.member "march" j) with
+    | Some (Json.Str name), None -> (
+        match named_config name with
+        | Some c -> Ok c
+        | None ->
+            Error (400, "bad_request", Printf.sprintf "unknown config %S (want constrained|typical|aggressive)" name))
+    | None, Some m -> (
+        match point_of_json m with
+        | Error e -> Error (400, "bad_request", e)
+        | Ok vals ->
+            if Array.length vals <> Params.n_march then
+              Error (400, "bad_request", Printf.sprintf "\"march\" wants %d raw values, got %d" Params.n_march (Array.length vals))
+            else Ok (Params.to_march (Array.append (Array.make Params.n_compiler 0.0) vals)))
+    | None, None -> Ok Emc_sim.Config.typical
+    | _ -> Error (400, "bad_request", "give either \"config\" or \"march\", not both")
+  in
+  let int_field name default =
+    match Json.member name j with
+    | None -> Ok default
+    | Some (Json.Int v) when v > 0 -> Ok v
+    | Some _ -> Error (400, "bad_request", Printf.sprintf "%S must be a positive integer" name)
+  in
+  let* seed = int_field "seed" 42 in
+  let* pop_size = int_field "pop_size" Emc_search.Ga.default_params.Emc_search.Ga.pop_size in
+  let* generations =
+    int_field "generations" Emc_search.Ga.default_params.Emc_search.Ga.generations
+  in
+  let params = { Emc_search.Ga.default_params with pop_size; generations } in
+  let evals_before = Option.value ~default:0 (Metrics.counter_value "ga.evaluations") in
+  let r =
+    Searcher.search ~params ~rng:(Emc_util.Rng.create seed) ~model:(Artifact.model art) ~march ()
+  in
+  let evals = Option.value ~default:0 (Metrics.counter_value "ga.evaluations") - evals_before in
+  let flag_names = Params.names Params.compiler_specs in
+  json_body 200
+    (Json.Obj
+       [ ("flags",
+          Json.Obj
+            (Array.to_list
+               (Array.mapi (fun i v -> (flag_names.(i), Json.Float v)) r.Searcher.raw)));
+         ("flags_string", Json.Str (Emc_opt.Flags.to_string r.Searcher.flags));
+         ("predicted_cycles", Json.Float r.Searcher.predicted_cycles);
+         ("evaluations", Json.Int evals);
+         ("seed", Json.Int seed) ])
+
+let handle_healthz art (_req : Http.request) =
+  json_body 200
+    (Json.Obj
+       [ ("status", Json.Str "ok");
+         ("workload", Json.Str art.Artifact.workload);
+         ("technique", Json.Str art.Artifact.technique);
+         ("dims", Json.Int (Artifact.dims art));
+         ("format_version", Json.Int Artifact.current_version) ])
+
+let endpoints = [ "/predict"; "/rank"; "/search"; "/healthz"; "/metrics" ]
+
+let dispatch art (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/predict" -> handle_predict art req
+  | "GET", "/rank" | "POST", "/rank" -> handle_rank art req
+  | "POST", "/search" -> handle_search art req
+  | "GET", "/healthz" -> handle_healthz art req
+  | "GET", "/metrics" -> (200, "text/plain; version=0.0.4", prometheus ())
+  | _, p when List.mem p endpoints ->
+      error_body 405 "method_not_allowed" (req.Http.meth ^ " is not supported on " ^ p)
+  | _, p -> error_body 404 "not_found" ("no such endpoint: " ^ p)
+
+(* Dispatch wrapped with per-endpoint telemetry and a catch-all so no
+   exception ever escapes to the client as a dropped connection. *)
+let handle_request art (req : Http.request) =
+  let endpoint = if List.mem req.Http.path endpoints then req.Http.path else "other" in
+  Metrics.incr m_requests;
+  Metrics.incr (endpoint_counter endpoint);
+  let t0 = Unix.gettimeofday () in
+  let ((status, _, _) as resp) =
+    try dispatch art req
+    with e ->
+      Emc_obs.Log.warn ~src:"serve" "request handler raised: %s" (Printexc.to_string e);
+      error_body 500 "internal" "internal error; see server log"
+  in
+  Metrics.observe (latency_hist endpoint) (Unix.gettimeofday () -. t0);
+  if status >= 400 then begin
+    Metrics.incr m_errors;
+    Metrics.incr (status_counter status)
+  end;
+  resp
+
+(* ---------------- connection + worker loop ---------------- *)
+
+let stop = ref false
+
+let count_error status =
+  Metrics.incr m_requests;
+  Metrics.incr m_errors;
+  Metrics.incr (status_counter status)
+
+let handle_conn art opts fd =
+  Metrics.incr m_connections;
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO opts.read_timeout;
+  let rec loop () =
+    match Http.read_request ~max_body:opts.max_body fd with
+    | Error Http.Closed -> ()
+    | Error Http.Timeout ->
+        count_error 408;
+        Http.respond fd ~status:408 ~keep_alive:false
+          (Json.to_string
+             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "timeout"); ("message", Json.Str "request read timed out") ]) ]))
+    | Error (Http.Too_large what) ->
+        count_error 413;
+        Http.respond fd ~status:413 ~keep_alive:false
+          (Json.to_string
+             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "too_large"); ("message", Json.Str (what ^ " exceed the configured limit")) ]) ]))
+    | Error (Http.Bad msg) ->
+        count_error 400;
+        Http.respond fd ~status:400 ~keep_alive:false
+          (Json.to_string
+             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "bad_request"); ("message", Json.Str msg) ]) ]))
+    | Ok req ->
+        let status, content_type, body = handle_request art req in
+        let keep_alive =
+          (not !stop)
+          && (match Http.header req "connection" with
+             | Some c -> String.lowercase_ascii c <> "close"
+             | None -> true)
+        in
+        Http.respond fd ~status ~content_type ~keep_alive body;
+        if keep_alive then loop ()
+  in
+  (try loop ()
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+     ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let worker art opts lsock =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let quit = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm quit;
+  Sys.set_signal Sys.sigint quit;
+  while not !stop do
+    match Unix.accept lsock with
+    | fd, _ -> handle_conn art opts fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  (* in-flight work is done (handle_conn returned); leave without running
+     the parent's at_exit handlers, as lib/par workers do *)
+  Unix._exit 0
+
+let listen_description = function
+  | Port p -> Printf.sprintf "127.0.0.1:%d" p
+  | Unix_socket path -> path
+
+let bind_listener = function
+  | Unix_socket path ->
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path (* stale socket from a dead server *)
+      | _ -> failwith (path ^ " exists and is not a socket; refusing to replace it")
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind s (Unix.ADDR_UNIX path);
+      (s, fun () -> (try Unix.unlink path with Unix.Unix_error _ -> ()))
+  | Port p ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt s Unix.SO_REUSEADDR true;
+      Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+      (s, fun () -> ())
+
+let run opts art =
+  let lsock, cleanup = bind_listener opts.listen in
+  Unix.listen lsock 64;
+  let workers = max 1 opts.workers in
+  let pids =
+    List.init workers (fun _ -> match Unix.fork () with 0 -> worker art opts lsock | pid -> pid)
+  in
+  let stopping = ref false in
+  let quit = Sys.Signal_handle (fun _ -> stopping := true) in
+  Sys.set_signal Sys.sigterm quit;
+  Sys.set_signal Sys.sigint quit;
+  Emc_obs.Log.info ~src:"serve"
+    ~fields:
+      [ ("workload", Json.Str art.Artifact.workload);
+        ("technique", Json.Str art.Artifact.technique);
+        ("workers", Json.Int workers) ]
+    "serving %s/%s on %s (%d worker%s)" art.Artifact.workload art.Artifact.technique
+    (listen_description opts.listen) workers
+    (if workers = 1 then "" else "s");
+  let alive = ref pids in
+  while (not !stopping) && !alive <> [] do
+    match Unix.waitpid [] (-1) with
+    | pid, _ -> alive := List.filter (( <> ) pid) !alive
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> alive := []
+  done;
+  (* graceful shutdown: workers finish their in-flight request, then exit *)
+  List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) !alive;
+  List.iter
+    (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    !alive;
+  (try Unix.close lsock with Unix.Unix_error _ -> ());
+  cleanup ();
+  Emc_obs.Log.info ~src:"serve" "server on %s stopped" (listen_description opts.listen)

@@ -1,0 +1,54 @@
+(** The model-serving daemon: loads one {!Emc_core.Artifact} and serves
+    predictions, term rankings and model-based search over HTTP/1.1 —
+    train once, persist, serve many, with zero simulator invocations.
+
+    Endpoints (all responses JSON unless noted):
+
+    - [POST /predict] — body [{"point": [c1, ...]}] for one coded design
+      point or [{"points": [[...], ...]}] for a batch; add
+      ["space": "raw"] to send raw parameter values instead (coded through
+      the artifact's schema). Points are validated against the schema's
+      arity. Responses: [{"prediction": p}] / [{"predictions": [...]}],
+      bit-identical to the in-process model.
+    - [GET /rank?top=N] — significant terms sorted by |coefficient| (the
+      paper's Table-4 reading), for all three families.
+    - [POST /search] — GA over the served model (paper §6.3): body
+      [{"config": "typical"}] or [{"march": [11 raw values]}], optional
+      ["seed"], ["pop_size"], ["generations"]. Returns prescribed flags,
+      predicted cycles and the GA evaluation count.
+    - [GET /healthz] — liveness plus artifact identity.
+    - [GET /metrics] — Prometheus-style text dump of the process-wide
+      {!Emc_obs.Metrics} registry plus per-endpoint request counters and
+      latency histograms ([serve.*]).
+
+    Errors are structured JSON ([{"error": {"code", "message"}}]) with
+    correct status codes (400/404/405/408/413/415/500); no exception
+    escapes to a client. The daemon pre-forks [workers] accept processes
+    (the [lib/par] fork pattern), enforces request-size and read-timeout
+    limits, and shuts down gracefully on SIGINT/SIGTERM: in-flight
+    requests drain, workers exit, the Unix socket is unlinked. *)
+
+type listen = Port of int | Unix_socket of string
+
+type opts = {
+  listen : listen;
+  workers : int;  (** pre-forked accept workers (>= 1). Metrics are
+                      per-worker; run one worker when scraping /metrics
+                      for exact totals. *)
+  max_body : int;  (** request body cap in bytes *)
+  read_timeout : float;  (** per-read socket timeout, seconds *)
+}
+
+val default_opts : listen -> opts
+(** 1 worker, 1 MiB body cap, 10 s read timeout. *)
+
+val prometheus : unit -> string
+(** The metrics registry rendered as Prometheus text exposition (also used
+    by [GET /metrics]). *)
+
+val handle_request : Emc_core.Artifact.t -> Http.request -> int * string * string
+(** [(status, content_type, body)] for one request — exposed for tests;
+    {!run} drives it from the accept loop. *)
+
+val run : opts -> Emc_core.Artifact.t -> unit
+(** Bind, serve until SIGINT/SIGTERM, clean up. Blocks. *)

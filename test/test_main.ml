@@ -11,7 +11,9 @@ let () =
       ("isa", Test_isa.suite);
       ("doe", Test_doe.suite);
       ("regress", Test_regress.suite);
+      ("repr", Test_repr.suite);
       ("search", Test_search.suite);
+      ("serve", Test_serve.suite);
       ("workloads", Test_workloads.suite);
       ("par", Test_par.suite);
       ("core", Test_core.suite);

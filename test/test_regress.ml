@@ -205,7 +205,13 @@ let test_rbf_explicit_size_grid () =
   let f x = x.(0) +. x.(1) in
   let d = sample (rng0 ()) 2 60 f in
   let m = Rbf.fit ~size_grid:[ 6 ] d in
-  Alcotest.(check (float 0.0)) "six centers" 6.0 (List.assoc "centers" m.Model.terms)
+  (* terms are the bias plus one center/weight pair per RBF center *)
+  let centers =
+    List.filter (fun (n, _) -> String.length n >= 6 && String.sub n 0 6 = "center") m.Model.terms
+  in
+  Alcotest.(check int) "six center terms" 6 (List.length centers);
+  cb "bias term present" true (List.mem_assoc "bias" m.Model.terms);
+  Alcotest.(check int) "n_params = centers + bias" 7 m.Model.n_params
 
 let test_dataset_append () =
   let a = Dataset.create [| [| 1.0 |] |] [| 10.0 |] in

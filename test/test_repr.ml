@@ -1,0 +1,241 @@
+(** Model representations and artifacts: the serialized form of a fitted
+    model must reproduce its predictions bit for bit after a full
+    JSON-text round trip, and artifact loading must be total — corrupt
+    files and version mismatches come back as one-line [Error]s. *)
+
+open Emc_regress
+open Emc_core
+module Json = Emc_obs.Json
+
+let cb = Alcotest.(check bool)
+
+let rng0 () = Emc_util.Rng.create 42
+
+let sample rng k n f =
+  let x = Array.init n (fun _ -> Array.init k (fun _ -> Emc_util.Rng.float rng 2.0 -. 1.0)) in
+  Dataset.create x (Array.map f x)
+
+(* probe points deliberately include corners outside the training cloud so
+   clamped models exercise both branches of the envelope *)
+let probes k =
+  let rng = Emc_util.Rng.create 97 in
+  Array.init 64 (fun i ->
+      Array.init k (fun _ ->
+          if i < 4 then (if i mod 2 = 0 then -1.5 else 1.5)
+          else Emc_util.Rng.float rng 2.4 -. 1.2))
+
+(* The whole point of the subsystem: predict → to_json → to_string → parse
+   → of_json → eval must be the identity on every output bit. *)
+let check_roundtrip ~what (m : Model.t) =
+  let repr =
+    match m.Model.repr with
+    | Some r -> r
+    | None -> Alcotest.failf "%s: fitted model carries no repr" what
+  in
+  let text = Json.to_string (Repr.to_json repr) in
+  let reloaded =
+    match Json.parse text with
+    | Error e -> Alcotest.failf "%s: emitted JSON does not parse: %s" what e
+    | Ok j -> (
+        match Repr.of_json j with
+        | Error e -> Alcotest.failf "%s: repr does not reload: %s" what e
+        | Ok r -> r)
+  in
+  fun dims ->
+    Array.iteri
+      (fun i x ->
+        Alcotest.(check int64)
+          (Printf.sprintf "%s: bits at probe %d" what i)
+          (Int64.bits_of_float (m.Model.predict x))
+          (Int64.bits_of_float (Repr.eval reloaded x)))
+      (probes dims)
+
+let f3 x = 50.0 +. (7.0 *. x.(0)) -. (3.0 *. x.(1) *. x.(2)) +. (2.0 *. x.(1) *. x.(1))
+
+let test_linear_roundtrip () =
+  let d = sample (rng0 ()) 3 60 f3 in
+  check_roundtrip ~what:"linear" (Linear.fit ~interactions:false d) 3;
+  check_roundtrip ~what:"linear+interactions" (Linear.fit ~interactions:true d) 3
+
+let test_mars_roundtrip () =
+  let d = sample (rng0 ()) 3 120 f3 in
+  check_roundtrip ~what:"mars" (Mars.fit d) 3
+
+let test_rbf_roundtrip () =
+  let d = sample (rng0 ()) 3 80 f3 in
+  List.iter
+    (fun k ->
+      check_roundtrip
+        ~what:("rbf:" ^ Rbf.kernel_name k)
+        (Rbf.fit ~kernel:k ~size_grid:[ 6; 10 ] d)
+        3)
+    [ Rbf.Gaussian; Rbf.Multiquadric; Rbf.InverseMultiquadric ]
+
+let test_clamped_roundtrip () =
+  let d = sample (rng0 ()) 3 80 f3 in
+  List.iter
+    (fun t ->
+      let m = Modeling.fit t d in
+      (match m.Model.repr with
+      | Some (Repr.Clamp _) -> ()
+      | Some _ -> Alcotest.failf "%s: Modeling.fit repr is not clamped" (Modeling.technique_name t)
+      | None -> Alcotest.failf "%s: Modeling.fit dropped the repr" (Modeling.technique_name t));
+      check_roundtrip ~what:("clamped " ^ Modeling.technique_name t) m 3)
+    Modeling.all_techniques
+
+let test_eval_matches_predict_exactly () =
+  (* same check without serialization: predict IS Repr.eval repr *)
+  let d = sample (rng0 ()) 4 90 (fun x -> 10.0 +. x.(0) -. (2.0 *. x.(3))) in
+  let m = Rbf.fit d in
+  let repr = Option.get m.Model.repr in
+  Array.iter
+    (fun x ->
+      Alcotest.(check int64) "predict = eval repr"
+        (Int64.bits_of_float (m.Model.predict x))
+        (Int64.bits_of_float (Repr.eval repr x)))
+    (probes 4)
+
+(* ---------------- artifacts ---------------- *)
+
+let tmpfile () = Filename.temp_file "emc_artifact" ".json"
+
+let specs3 =
+  Array.init 3 (fun i ->
+      { Params.name = Printf.sprintf "p%d" i; levels = [| 0.0; 1.0; 2.0 |]; log2 = false })
+
+let artifact_of_fit () =
+  let d = sample (rng0 ()) 3 80 f3 in
+  let m = Modeling.fit Modeling.Rbf d in
+  match
+    Artifact.of_model ~workload:"synthetic" ~scale:"tiny" ~seed:42 ~train_n:80 ~test_mape:1.5
+      ~specs:specs3 m
+  with
+  | Ok a -> (m, a)
+  | Error e -> Alcotest.failf "of_model: %s" e
+
+let test_artifact_save_load_bits () =
+  let m, a = artifact_of_fit () in
+  let path = tmpfile () in
+  Artifact.save a path;
+  match Artifact.load path with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok b ->
+      Sys.remove path;
+      Alcotest.(check string) "workload" a.Artifact.workload b.Artifact.workload;
+      Alcotest.(check string) "technique" a.Artifact.technique b.Artifact.technique;
+      Alcotest.(check int) "seed" a.Artifact.seed b.Artifact.seed;
+      Alcotest.(check int) "train_n" a.Artifact.train_n b.Artifact.train_n;
+      Alcotest.(check int) "dims" 3 (Artifact.dims b);
+      cb "test_mape preserved" true (b.Artifact.test_mape = Some 1.5);
+      let reloaded = Artifact.model b in
+      Array.iter
+        (fun x ->
+          Alcotest.(check int64) "loaded artifact predicts bit-identically"
+            (Int64.bits_of_float (m.Emc_regress.Model.predict x))
+            (Int64.bits_of_float (reloaded.Emc_regress.Model.predict x)))
+        (probes 3)
+
+let test_artifact_validation () =
+  let _, a = artifact_of_fit () in
+  cb "right arity ok" true (Artifact.validate_point a [| 0.1; 0.2; 0.3 |] = Ok ());
+  cb "wrong arity rejected" true (Result.is_error (Artifact.validate_point a [| 0.1 |]));
+  cb "non-finite rejected" true
+    (Result.is_error (Artifact.validate_point a [| 0.1; Float.nan; 0.3 |]));
+  (match Artifact.code_raw a [| 0.0; 1.0; 2.0 |] with
+  | Ok c ->
+      Alcotest.(check (float 1e-9)) "raw low codes to -1" (-1.0) c.(0);
+      Alcotest.(check (float 1e-9)) "raw high codes to +1" 1.0 c.(2)
+  | Error e -> Alcotest.failf "code_raw: %s" e);
+  cb "code_raw arity checked" true (Result.is_error (Artifact.code_raw a [| 0.0 |]))
+
+let test_artifact_rejects_reprless_model () =
+  let stub =
+    { Emc_regress.Model.technique = "stub"; predict = (fun _ -> 0.0); n_params = 0; terms = [];
+      repr = None }
+  in
+  cb "stub model rejected" true
+    (Result.is_error
+       (Artifact.of_model ~workload:"w" ~scale:"tiny" ~seed:1 ~train_n:1 stub))
+
+let expect_load_error ~what path pattern =
+  match Artifact.load path with
+  | Ok _ -> Alcotest.failf "%s: load unexpectedly succeeded" what
+  | Error e ->
+      let lower = String.lowercase_ascii e in
+      let found =
+        let n = String.length lower and m = String.length pattern in
+        let rec go i = i + m <= n && (String.sub lower i m = pattern || go (i + 1)) in
+        go 0
+      in
+      cb (Printf.sprintf "%s: diagnostic %S mentions %S" what e pattern) true found;
+      cb (what ^ ": diagnostic is one line") true (not (String.contains e '\n'))
+
+let write path s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let test_artifact_load_errors () =
+  let _, a = artifact_of_fit () in
+  let path = tmpfile () in
+  write path "{ not json";
+  expect_load_error ~what:"corrupt" path "json";
+  write path "[1,2,3]";
+  expect_load_error ~what:"non-object" path "format";
+  write path {|{"format":"something-else","version":1}|};
+  expect_load_error ~what:"wrong format" path "format";
+  (* a version from the future must fail with a version diagnostic, even
+     when the rest of the document is a perfectly good artifact *)
+  (match Artifact.to_json a with
+  | Json.Obj kvs ->
+      let bumped =
+        Json.Obj
+          (List.map (function "version", _ -> ("version", Json.Int 99) | kv -> kv) kvs)
+      in
+      write path (Json.to_string bumped)
+  | _ -> Alcotest.fail "artifact JSON is not an object");
+  expect_load_error ~what:"future version" path "version 99";
+  Sys.remove path;
+  expect_load_error ~what:"missing file" path "no such file"
+
+let test_artifact_version_constant () =
+  let _, a = artifact_of_fit () in
+  match Artifact.to_json a with
+  | Json.Obj kvs ->
+      cb "format header present" true
+        (List.assoc_opt "format" kvs = Some (Json.Str "emc-model"));
+      cb "version header present" true
+        (List.assoc_opt "version" kvs = Some (Json.Int Artifact.current_version))
+  | _ -> Alcotest.fail "artifact JSON is not an object"
+
+let test_repr_of_json_strictness () =
+  let bad =
+    [
+      ("unknown family", {|{"family":"spline"}|});
+      ("missing fields", {|{"family":"linear","interactions":false}|});
+      ("malformed float", {|{"family":"linear","interactions":false,"beta":["zz"],"mu":"0x0p+0","sd":"0x1p+0"}|});
+      ( "radii/centers mismatch",
+        {|{"family":"rbf","kernel":"gaussian","centers":[["0x0p+0"]],"radii":[],"weights":["0x0p+0","0x1p+0"],"mu":"0x0p+0","sd":"0x1p+0"}|}
+      );
+    ]
+  in
+  List.iter
+    (fun (what, text) ->
+      match Json.parse text with
+      | Error e -> Alcotest.failf "%s: test fixture does not parse: %s" what e
+      | Ok j -> cb what true (Result.is_error (Repr.of_json j)))
+    bad
+
+let suite =
+  [
+    Alcotest.test_case "linear round-trips bit-for-bit" `Quick test_linear_roundtrip;
+    Alcotest.test_case "mars round-trips bit-for-bit" `Quick test_mars_roundtrip;
+    Alcotest.test_case "rbf round-trips bit-for-bit (all kernels)" `Quick test_rbf_roundtrip;
+    Alcotest.test_case "clamped models round-trip bit-for-bit" `Quick test_clamped_roundtrip;
+    Alcotest.test_case "predict is Repr.eval" `Quick test_eval_matches_predict_exactly;
+    Alcotest.test_case "artifact save/load is bit-exact" `Quick test_artifact_save_load_bits;
+    Alcotest.test_case "artifact validates points" `Quick test_artifact_validation;
+    Alcotest.test_case "artifact rejects repr-less models" `Quick
+      test_artifact_rejects_reprless_model;
+    Alcotest.test_case "artifact load errors are total" `Quick test_artifact_load_errors;
+    Alcotest.test_case "artifact carries format/version header" `Quick
+      test_artifact_version_constant;
+    Alcotest.test_case "repr of_json is strict" `Quick test_repr_of_json_strictness;
+  ]

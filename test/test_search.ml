@@ -94,6 +94,7 @@ let test_searcher_freezes_march () =
       predict = (fun x -> 1000.0 +. (100.0 *. x.(Emc_core.Params.n_compiler)));
       n_params = 1;
       terms = [];
+      repr = None;
     }
   in
   let rng = Emc_util.Rng.create 6 in
@@ -116,6 +117,7 @@ let test_searcher_guards_nonphysical_predictions () =
         (fun x -> if x.(0) > 0.0 then -1e9 (* nonphysical *) else 500.0 +. x.(1));
       n_params = 1;
       terms = [];
+      repr = None;
     }
   in
   let rng = Emc_util.Rng.create 7 in

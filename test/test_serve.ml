@@ -1,0 +1,370 @@
+(** The serving daemon, end to end: a real [Serve.run] process on a temp
+    Unix socket, driven by a raw-socket HTTP client. Covers the endpoint
+    contracts, input validation with correct status codes, bit-identical
+    served predictions, model-based /search with zero simulator
+    invocations, a malformed-request fuzz loop, and graceful shutdown. *)
+
+open Emc_core
+module Json = Emc_obs.Json
+module Serve = Emc_serve.Serve
+module Http = Emc_serve.Http
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+
+(* One shared 25-dimensional artifact (the real parameter schema, so /search
+   can decode design points); RBF on a synthetic response, fitted once. *)
+let artifact =
+  lazy
+    (let rng = Emc_util.Rng.create 5 in
+     let f x =
+       5000.0 +. (300.0 *. x.(0)) -. (200.0 *. x.(1) *. x.(2)) +. (150.0 *. x.(14))
+       +. (80.0 *. x.(20) *. x.(20))
+     in
+     let x =
+       Array.init 60 (fun _ ->
+           Array.init Params.n_all (fun _ -> Emc_util.Rng.float rng 2.0 -. 1.0))
+     in
+     let d = Emc_regress.Dataset.create x (Array.map f x) in
+     let m = Emc_regress.Rbf.fit ~size_grid:[ 6 ] d in
+     match
+       Artifact.of_model ~workload:"synthetic" ~scale:"tiny" ~seed:5 ~train_n:60 m
+     with
+     | Ok a -> a
+     | Error e -> failwith e)
+
+(* ---------------- raw-socket client ---------------- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let read_all fd =
+  let b = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  Buffer.contents b
+
+(* Send raw bytes, close the write half, read the full response. *)
+let raw_roundtrip path bytes =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (try
+         ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+         Unix.shutdown fd Unix.SHUTDOWN_SEND
+       with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+      read_all fd)
+
+let parse_response resp =
+  match String.index_opt resp '\r' with
+  | None -> Alcotest.failf "unparseable response: %S" resp
+  | Some _ -> (
+      let status =
+        match String.split_on_char ' ' resp with
+        | _ :: code :: _ -> ( match int_of_string_opt code with Some c -> c | None -> -1)
+        | _ -> -1
+      in
+      let body =
+        let rec find i =
+          if i + 3 >= String.length resp then ""
+          else if String.sub resp i 4 = "\r\n\r\n" then
+            String.sub resp (i + 4) (String.length resp - i - 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      (status, body))
+
+let request path ?(meth = "GET") ?(ctype = "application/json") ?body target =
+  let b =
+    match body with
+    | None -> Printf.sprintf "%s %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" meth target
+    | Some body ->
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: t\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+           close\r\n\r\n%s"
+          meth target ctype (String.length body) body
+  in
+  parse_response (raw_roundtrip path b)
+
+let json_of body =
+  match Json.parse (String.trim body) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "response body is not JSON (%s): %S" e body
+
+(* ---------------- server lifecycle ---------------- *)
+
+let sock_path () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "emc_serve_%d_%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+let start_server ?(max_body = 4096) ?(read_timeout = 2.0) () =
+  let art = Lazy.force artifact in
+  let path = sock_path () in
+  match Unix.fork () with
+  | 0 ->
+      (* the daemon process: Serve.run returns after a signal *)
+      (try
+         Serve.run
+           { Serve.listen = Serve.Unix_socket path; workers = 1; max_body; read_timeout }
+           art
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid ->
+      (* wait for the socket to accept connections *)
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let rec wait () =
+        match connect path with
+        | fd -> Unix.close fd
+        | exception Unix.Unix_error _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.failf "server did not come up on %s" path
+            else begin
+              ignore (Unix.select [] [] [] 0.05);
+              wait ()
+            end
+      in
+      wait ();
+      (pid, path)
+
+let stop_server (pid, path) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  (status, Sys.file_exists path)
+
+let with_server ?max_body ?read_timeout f =
+  let ((pid, _) as srv) = start_server ?max_body ?read_timeout () in
+  Fun.protect
+    ~finally:(fun () ->
+      if
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error _ -> false
+      then ignore (stop_server srv))
+    (fun () -> f srv)
+
+(* ---------------- tests ---------------- *)
+
+let test_routing_no_socket () =
+  let art = Lazy.force artifact in
+  let req meth path = { Http.meth; path; query = []; headers = []; body = "" } in
+  let status, _, _ = Serve.handle_request art (req "GET" "/nope") in
+  ci "unknown path is 404" 404 status;
+  let status, _, body = Serve.handle_request art (req "DELETE" "/predict") in
+  ci "wrong method is 405" 405 status;
+  cb "405 is structured" true
+    (match Json.member "error" (json_of body) with Some (Json.Obj _) -> true | _ -> false);
+  let status, _, _ = Serve.handle_request art (req "GET" "/healthz") in
+  ci "healthz is 200" 200 status
+
+let coded_point () = Array.init Params.n_all (fun i -> Float.of_int (i mod 3) /. 4.0)
+
+let point_json x =
+  Json.to_string (Json.List (Array.to_list (Array.map (fun v -> Json.Float v) x)))
+
+let test_endpoints () =
+  with_server (fun (_, path) ->
+      let art = Lazy.force artifact in
+      (* healthz *)
+      let status, body = request path "/healthz" in
+      ci "healthz status" 200 status;
+      cb "healthz ok" true (Json.member "status" (json_of body) = Some (Json.Str "ok"));
+      (* single predict, bit-identical to the in-process model *)
+      let x = coded_point () in
+      let expected = Emc_regress.Repr.eval art.Artifact.repr x in
+      let status, body =
+        request path ~meth:"POST" ~body:(Printf.sprintf {|{"point":%s}|} (point_json x))
+          "/predict"
+      in
+      ci "predict status" 200 status;
+      (match Json.member "prediction" (json_of body) with
+      | Some (Json.Float p) ->
+          Alcotest.(check int64) "served prediction is bit-identical"
+            (Int64.bits_of_float expected) (Int64.bits_of_float p)
+      | _ -> Alcotest.failf "no prediction in %S" body);
+      (* batch predict *)
+      let pts = [ x; Array.map (fun v -> -.v) x; Array.make Params.n_all 0.25 ] in
+      let batch =
+        Printf.sprintf {|{"points":[%s]}|} (String.concat "," (List.map point_json pts))
+      in
+      let status, body = request path ~meth:"POST" ~body:batch "/predict" in
+      ci "batch status" 200 status;
+      (match Json.member "predictions" (json_of body) with
+      | Some (Json.List ps) ->
+          ci "batch size" (List.length pts) (List.length ps);
+          List.iter2
+            (fun p x ->
+              match p with
+              | Json.Float p ->
+                  Alcotest.(check int64) "batch element bit-identical"
+                    (Int64.bits_of_float (Emc_regress.Repr.eval art.Artifact.repr x))
+                    (Int64.bits_of_float p)
+              | _ -> Alcotest.fail "non-float prediction")
+            ps pts
+      | _ -> Alcotest.failf "no predictions in %S" body);
+      (* raw-space predict codes through the schema *)
+      let raw = Params.decode Params.all_specs x in
+      let body_raw =
+        Printf.sprintf {|{"point":%s,"space":"raw"}|} (point_json raw)
+      in
+      let status, body = request path ~meth:"POST" ~body:body_raw "/predict" in
+      ci "raw predict status" 200 status;
+      cb "raw predict returns a number" true
+        (match Json.member "prediction" (json_of body) with Some (Json.Float _) -> true | _ -> false);
+      (* rank: sorted by |coef|, truncated by ?top *)
+      let status, body = request path "/rank?top=3" in
+      ci "rank status" 200 status;
+      (match Json.member "terms" (json_of body) with
+      | Some (Json.List terms) ->
+          cb "rank truncates" true (List.length terms = 3);
+          let coefs =
+            List.filter_map
+              (fun t -> match Json.member "coef" t with Some (Json.Float c) -> Some (Float.abs c) | _ -> None)
+              terms
+          in
+          cb "rank sorted by |coef|" true (List.sort (fun a b -> compare b a) coefs = coefs)
+      | _ -> Alcotest.failf "no terms in %S" body);
+      (* metrics: prometheus text with the serve counters and zero simulations *)
+      let status, body = request path "/metrics" in
+      ci "metrics status" 200 status;
+      let has s =
+        let n = String.length body and m = String.length s in
+        let rec go i = i + m <= n && (String.sub body i m = s || go (i + 1)) in
+        go 0
+      in
+      cb "request counter exported" true (has "emc_serve_requests ");
+      cb "per-endpoint counter exported" true (has "emc_serve_requests__predict ");
+      cb "latency summary exported" true (has "emc_serve_latency_seconds__predict_count ");
+      cb "zero simulator invocations" true (has "emc_measure_simulations 0"))
+
+let test_validation () =
+  with_server (fun (_, path) ->
+      let check_error what (status, body) want =
+        ci (what ^ ": status") want status;
+        cb (what ^ ": structured error") true
+          (match Json.member "error" (json_of body) with
+          | Some (Json.Obj fields) ->
+              List.mem_assoc "code" fields && List.mem_assoc "message" fields
+          | _ -> false)
+      in
+      check_error "malformed JSON"
+        (request path ~meth:"POST" ~body:"{ not json" "/predict")
+        400;
+      check_error "missing point"
+        (request path ~meth:"POST" ~body:"{}" "/predict")
+        400;
+      check_error "wrong arity"
+        (request path ~meth:"POST" ~body:{|{"point":[1,2,3]}|} "/predict")
+        400;
+      check_error "non-numeric point"
+        (request path ~meth:"POST" ~body:{|{"point":["a"]}|} "/predict")
+        400;
+      check_error "wrong content type"
+        (request path ~meth:"POST" ~ctype:"text/plain" ~body:{|{"point":[]}|} "/predict")
+        415;
+      check_error "unknown search config"
+        (request path ~meth:"POST" ~body:{|{"config":"petaflop"}|} "/search")
+        400;
+      (* declared body over the 4 KiB test cap *)
+      let big = String.make 8000 'x' in
+      check_error "oversized body"
+        (request path ~meth:"POST" ~body:big "/predict")
+        413;
+      (* stalled request: opened, half a request line, then silence *)
+      let fd = connect path in
+      ignore (Unix.write_substring fd "POST /pre" 0 9);
+      let resp = read_all fd in
+      Unix.close fd;
+      let status, _ = parse_response resp in
+      ci "stalled request times out with 408" 408 status)
+
+let test_search_matches_direct () =
+  with_server (fun (_, path) ->
+      let art = Lazy.force artifact in
+      let status, body =
+        request path ~meth:"POST"
+          ~body:{|{"config":"typical","seed":9,"pop_size":24,"generations":10}|} "/search"
+      in
+      ci "search status" 200 status;
+      let j = json_of body in
+      let params =
+        { Emc_search.Ga.default_params with pop_size = 24; generations = 10 }
+      in
+      let direct =
+        Searcher.search ~params ~rng:(Emc_util.Rng.create 9) ~model:(Artifact.model art)
+          ~march:Emc_sim.Config.typical ()
+      in
+      (match Json.member "predicted_cycles" j with
+      | Some (Json.Float c) ->
+          Alcotest.(check int64) "served search equals direct model-based search"
+            (Int64.bits_of_float direct.Searcher.predicted_cycles) (Int64.bits_of_float c)
+      | _ -> Alcotest.failf "no predicted_cycles in %S" body);
+      (match Json.member "flags_string" j with
+      | Some (Json.Str s) ->
+          Alcotest.(check string) "served flags equal direct flags"
+            (Emc_opt.Flags.to_string direct.Searcher.flags) s
+      | _ -> Alcotest.failf "no flags_string in %S" body);
+      match Json.member "evaluations" j with
+      | Some (Json.Int n) -> cb "GA actually ran" true (n > 0)
+      | _ -> Alcotest.failf "no evaluations in %S" body)
+
+let test_fuzz_and_shutdown () =
+  let srv = start_server () in
+  let _, path = srv in
+  (* the daemon must shrug off garbage: truncated requests, binary noise,
+     lying content-lengths, oversized declarations *)
+  let rng = Emc_util.Rng.create 77 in
+  let garbage () =
+    String.init (1 + Emc_util.Rng.int rng 200) (fun _ -> Char.chr (Emc_util.Rng.int rng 256))
+  in
+  for i = 0 to 29 do
+    let payload =
+      match i mod 5 with
+      | 0 -> garbage ()
+      | 1 -> "GET /healthz HTTP/1.1\r\nHost" (* truncated mid-header *)
+      | 2 -> "POST /predict HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n" (* lying length *)
+      | 3 -> "FROB /predict SPDY/9\r\n\r\n"
+      | _ -> "POST /predict HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+    in
+    ignore (try raw_roundtrip path payload with Unix.Unix_error _ -> "")
+  done;
+  (* still alive and correct *)
+  let status, body = request path "/healthz" in
+  ci "healthz after fuzz" 200 status;
+  cb "healthz body after fuzz" true
+    (Json.member "status" (json_of body) = Some (Json.Str "ok"));
+  let _, metrics = request path "/metrics" in
+  let has s =
+    let n = String.length metrics and m = String.length s in
+    let rec go i = i + m <= n && (String.sub metrics i m = s || go (i + 1)) in
+    go 0
+  in
+  cb "fuzz errors counted (400s)" true (has "emc_serve_errors_400 ");
+  cb "oversized counted (413s)" true (has "emc_serve_errors_413 ");
+  (* graceful shutdown: SIGTERM -> exit 0, socket unlinked *)
+  let status, socket_left = stop_server srv in
+  cb "clean exit on SIGTERM" true (status = Unix.WEXITED 0);
+  cb "socket unlinked on shutdown" false socket_left
+
+let suite =
+  [
+    Alcotest.test_case "routing and structured errors (in-process)" `Quick
+      test_routing_no_socket;
+    Alcotest.test_case "endpoints over a unix socket" `Quick test_endpoints;
+    Alcotest.test_case "input validation status codes" `Quick test_validation;
+    Alcotest.test_case "/search equals direct model-based search" `Quick
+      test_search_matches_direct;
+    Alcotest.test_case "survives fuzz; graceful shutdown" `Quick test_fuzz_and_shutdown;
+  ]
