@@ -445,6 +445,38 @@ let experiment_cmd =
     Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ trace_arg
           $ metrics_arg)
 
+let fuzz_cmd =
+  let budget_arg =
+    let doc = "Number of random programs to generate and check." in
+    Arg.(value & opt int 200 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let run seed budget jobs trace metrics =
+    with_obs trace metrics (fun () ->
+        let report = Emc_diff.Diff.fuzz ?jobs ~seed ~budget () in
+        Printf.printf "fuzz: %d programs, %d cross-level checks, %d divergence%s (seed %d)\n"
+          report.Emc_diff.Diff.programs report.Emc_diff.Diff.checks
+          (List.length report.Emc_diff.Diff.divergences)
+          (if List.length report.Emc_diff.Diff.divergences = 1 then "" else "s")
+          seed;
+        List.iter
+          (fun (d : Emc_diff.Diff.divergence) ->
+            Printf.printf
+              "\n--- divergence at case %d (seed %d), level %s\n\
+               expected: %s\n\
+               got:      %s\n\
+               minimized reproducer (%d shrink steps):\n%s"
+              d.index d.prog_seed d.level d.expected d.got d.shrink_steps d.min_source)
+          report.Emc_diff.Diff.divergences;
+        if report.Emc_diff.Diff.divergences <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random MiniC programs checked across the IR interpreter \
+          (unoptimized and optimized), the functional simulator, and the out-of-order commit \
+          stream. Exits non-zero on any divergence, after shrinking the reproducer.")
+    Term.(const run $ seed_arg $ budget_arg $ jobs_arg $ trace_arg $ metrics_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "emc" ~version:"1.0.0"
@@ -452,4 +484,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group ~default info
     [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
-      rank_cmd; serve_cmd; search_cmd; experiment_cmd ]))
+      rank_cmd; serve_cmd; search_cmd; fuzz_cmd; experiment_cmd ]))

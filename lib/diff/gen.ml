@@ -1,0 +1,316 @@
+(** Seeded random generator of well-typed MiniC programs.
+
+    Programs are built directly as {!Emc_lang.Ast} values and then printed
+    with {!Emc_lang.Pretty}, so each fuzz case exercises the whole frontend
+    (lexer, parser, typechecker, lowering, verifier) before it ever reaches
+    the optimizer. The generator aims every construct at a known divergence
+    surface:
+
+    - nested counted ([for]) and bounded [while] loops — unrolling, LICM,
+      strength reduction, block reordering;
+    - global array loads/stores with masked (always in-bounds, always
+      aligned) indices — GCSE, prefetching, scheduling around memory;
+    - int/float mixing through [int()]/[float()] casts — FTOI/ITOF,
+      including FTOI of NaN;
+    - float comparisons over expressions that can produce NaN and
+      infinities ([0.0 / 0.0], [x / 0.0]) — the IEEE-vs-total-order
+      comparison bug class;
+    - guarded ([x / (e | 1)]) and unguarded ([x / e]) integer division —
+      trap-equivalence across levels and trap-speculation bugs in the
+      optimizer;
+    - non-recursive helper functions — inlining and call-cost heuristics.
+
+    Every program terminates by construction: [for] loops have constant
+    positive steps and small bounds, and every [while] is dominated by a
+    fresh counter that the loop body cannot touch (loop counters are
+    "protected" from random assignment). Variable names are globally fresh,
+    so scoping and shadowing rules can never be violated. *)
+
+open Emc_util
+open Emc_lang
+
+let pos = { Ast.line = 0; col = 0 }
+let e desc : Ast.expr = { Ast.desc; pos }
+let s sdesc : Ast.stmt = { Ast.sdesc; spos = pos }
+
+(* All three globals are 64-element arrays; indices are masked with [& 63],
+   which keeps every access in bounds and 8-byte aligned at every
+   optimization level. *)
+let array_mask = 63
+
+let globals =
+  [
+    { Ast.g_name = "gi"; g_ty = Ast.Tint; g_size = 64; g_pos = pos };
+    { Ast.g_name = "gj"; g_ty = Ast.Tint; g_size = 64; g_pos = pos };
+    { Ast.g_name = "gf"; g_ty = Ast.Tfloat; g_size = 64; g_pos = pos };
+  ]
+
+let int_consts = [| 0; 1; 2; 3; 5; 7; 8; 12; 17; 63; 100; 1000; -1; -3; -17 |]
+
+(* Finite by construction ({!Emc_lang.Pretty.float_lit} rejects nan/inf
+   literals); NaN and infinities enter programs through arithmetic. *)
+let float_consts = [| 0.0; 1.0; 0.5; 1.5; 2.25; 3.75; 0.125; 1000.5; -2.5 |]
+
+type ctx = {
+  rng : Rng.t;
+  mutable fresh : int;
+  mutable scopes : (string * Ast.ty) list list;
+  mutable protected : string list;  (** loop counters: never randomly assigned *)
+  mutable helpers : (string * (string * Ast.ty) list * Ast.ty) list;
+  mutable ret_ty : Ast.ty;  (** return type of the function being generated *)
+}
+
+let fresh ctx prefix =
+  let n = ctx.fresh in
+  ctx.fresh <- n + 1;
+  Printf.sprintf "%s%d" prefix n
+
+let push ctx = ctx.scopes <- [] :: ctx.scopes
+let pop ctx = ctx.scopes <- List.tl ctx.scopes
+
+let declare ctx name ty =
+  ctx.scopes <- ((name, ty) :: List.hd ctx.scopes) :: List.tl ctx.scopes
+
+let vars ctx ty =
+  List.concat ctx.scopes |> List.filter_map (fun (n, t) -> if t = ty then Some n else None)
+
+let assignable ctx ty = vars ctx ty |> List.filter (fun n -> not (List.mem n ctx.protected))
+
+let pct ctx n = Rng.int ctx.rng 100 < n
+
+(* ---------------- expressions ---------------- *)
+
+let rec iexpr ctx d =
+  if d <= 0 || pct ctx 18 then ileaf ctx
+  else
+    match Rng.int ctx.rng 100 with
+    | n when n < 20 ->
+        let op = Rng.choice ctx.rng [| Ast.Add; Ast.Sub; Ast.Mul |] in
+        e (Ast.Bin (op, iexpr ctx (d - 1), iexpr ctx (d - 1)))
+    | n when n < 32 ->
+        let op = if Rng.bool ctx.rng then Ast.Div else Ast.Rem in
+        e (Ast.Bin (op, iexpr ctx (d - 1), denom ctx (d - 1)))
+    | n when n < 42 ->
+        let op = Rng.choice ctx.rng [| Ast.BAnd; Ast.BOr; Ast.BXor |] in
+        e (Ast.Bin (op, iexpr ctx (d - 1), iexpr ctx (d - 1)))
+    | n when n < 48 ->
+        (* shift amounts are masked to 6 bits identically at every level,
+           so an arbitrary rhs is semantically safe; keep it small-ish *)
+        let op = if Rng.bool ctx.rng then Ast.Shl else Ast.Shr in
+        let amt =
+          if pct ctx 60 then e (Ast.Int (1 + Rng.int ctx.rng 8))
+          else e (Ast.Bin (Ast.BAnd, iexpr ctx (d - 1), e (Ast.Int 15)))
+        in
+        e (Ast.Bin (op, iexpr ctx (d - 1), amt))
+    | n when n < 56 ->
+        let op = Rng.choice ctx.rng [| Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |] in
+        e (Ast.Bin (op, iexpr ctx (d - 1), iexpr ctx (d - 1)))
+    | n when n < 68 ->
+        (* float comparison: the NaN divergence surface *)
+        let op = Rng.choice ctx.rng [| Ast.Eq; Ast.Ne; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge |] in
+        e (Ast.Bin (op, fexpr ctx (d - 1), fexpr ctx (d - 1)))
+    | n when n < 74 ->
+        let op = if Rng.bool ctx.rng then Ast.LAnd else Ast.LOr in
+        e (Ast.Bin (op, iexpr ctx (d - 1), iexpr ctx (d - 1)))
+    | n when n < 80 ->
+        let op = if Rng.bool ctx.rng then Ast.Neg else Ast.Not in
+        e (Ast.Un (op, iexpr ctx (d - 1)))
+    | n when n < 87 -> e (Ast.CastInt (fexpr ctx (d - 1)))
+    | n when n < 95 ->
+        let a = if Rng.bool ctx.rng then "gi" else "gj" in
+        e (Ast.Index (a, index ctx (d - 1)))
+    | _ -> (
+        match call ctx (d - 1) Ast.Tint with Some c -> c | None -> ileaf ctx)
+
+and fexpr ctx d =
+  if d <= 0 || pct ctx 22 then fleaf ctx
+  else
+    match Rng.int ctx.rng 100 with
+    | n when n < 38 ->
+        let op = Rng.choice ctx.rng [| Ast.Add; Ast.Sub; Ast.Mul; Ast.Div |] in
+        e (Ast.Bin (op, fexpr ctx (d - 1), fexpr ctx (d - 1)))
+    | n when n < 46 ->
+        (* explicit NaN producer *)
+        e (Ast.Bin (Ast.Div, e (Ast.Float 0.0), e (Ast.Float 0.0)))
+    | n when n < 60 -> e (Ast.CastFloat (iexpr ctx (d - 1)))
+    | n when n < 76 -> e (Ast.Index ("gf", index ctx (d - 1)))
+    | n when n < 82 -> e (Ast.Un (Ast.Neg, fexpr ctx (d - 1)))
+    | _ -> (
+        match call ctx (d - 1) Ast.Tfloat with Some c -> c | None -> fleaf ctx)
+
+and ileaf ctx =
+  let vs = vars ctx Ast.Tint in
+  if vs <> [] && pct ctx 55 then e (Ast.Var (Rng.choice ctx.rng (Array.of_list vs)))
+  else e (Ast.Int (Rng.choice ctx.rng int_consts))
+
+and fleaf ctx =
+  let vs = vars ctx Ast.Tfloat in
+  if vs <> [] && pct ctx 55 then e (Ast.Var (Rng.choice ctx.rng (Array.of_list vs)))
+  else e (Ast.Float (Rng.choice ctx.rng float_consts))
+
+(* divisor: mostly provably non-zero (constant, or [e | 1]), sometimes an
+   arbitrary expression so genuine div-by-zero traps get exercised *)
+and denom ctx d =
+  match Rng.int ctx.rng 100 with
+  | n when n < 55 -> e (Ast.Int (Rng.choice ctx.rng [| 2; 3; 5; 7; 8; 16; -3 |]))
+  | n when n < 85 -> e (Ast.Bin (Ast.BOr, iexpr ctx d, e (Ast.Int 1)))
+  | _ -> iexpr ctx d
+
+and index ctx d = e (Ast.Bin (Ast.BAnd, iexpr ctx d, e (Ast.Int array_mask)))
+
+and call ctx d ty =
+  match List.filter (fun (_, _, r) -> r = ty) ctx.helpers with
+  | [] -> None
+  | cands ->
+      let name, params, _ = Rng.choice ctx.rng (Array.of_list cands) in
+      let rec args = function
+        | [] -> []
+        | (_, pty) :: rest ->
+            let a =
+              match pty with
+              | Ast.Tint -> iexpr ctx (min d 2)
+              | Ast.Tfloat -> fexpr ctx (min d 2)
+            in
+            a :: args rest
+      in
+      Some (e (Ast.CallE (name, args params)))
+
+let expr_of_ty ctx ty d = match ty with Ast.Tint -> iexpr ctx d | Ast.Tfloat -> fexpr ctx d
+
+(* ---------------- statements ---------------- *)
+
+(* explicit recursion: evaluation order must be fixed (the rng is stateful) *)
+let rec stmts ctx ~depth n =
+  if n <= 0 then [] else
+    let first = stmt ctx ~depth in
+    first @ stmts ctx ~depth (n - 1)
+
+and stmt ctx ~depth : Ast.stmt list =
+  let d = 3 in
+  match Rng.int ctx.rng 100 with
+  | n when n < 24 ->
+      let ty = if pct ctx 60 then Ast.Tint else Ast.Tfloat in
+      let init = expr_of_ty ctx ty d in
+      let name = fresh ctx "v" in
+      let r = [ s (Ast.Let (name, (if Rng.bool ctx.rng then Some ty else None), init)) ] in
+      declare ctx name ty;
+      r
+  | n when n < 36 -> (
+      let ty = if Rng.bool ctx.rng then Ast.Tint else Ast.Tfloat in
+      match assignable ctx ty with
+      | [] -> out_stmt ctx d
+      | vs ->
+          [ s (Ast.Assign (Rng.choice ctx.rng (Array.of_list vs), expr_of_ty ctx ty d)) ])
+  | n when n < 48 ->
+      if pct ctx 65 then
+        let a = if Rng.bool ctx.rng then "gi" else "gj" in
+        [ s (Ast.AssignIdx (a, index ctx 2, iexpr ctx d)) ]
+      else [ s (Ast.AssignIdx ("gf", index ctx 2, fexpr ctx d)) ]
+  | n when n < 60 -> out_stmt ctx d
+  | n when n < 72 && depth > 0 ->
+      let c = iexpr ctx 2 in
+      push ctx;
+      let thn = stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 3) in
+      pop ctx;
+      let els =
+        if Rng.bool ctx.rng then begin
+          push ctx;
+          let x = stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 2) in
+          pop ctx;
+          x
+        end
+        else []
+      in
+      [ s (Ast.If (c, thn, els)) ]
+  | n when n < 86 && depth > 0 -> for_loop ctx ~depth
+  | n when n < 93 && depth > 0 -> while_loop ctx ~depth
+  | n when n < 96 ->
+      (* early return; lowering discards anything unreachable after it *)
+      [ s (Ast.Return (Some (expr_of_ty ctx ctx.ret_ty 2))) ]
+  | _ -> out_stmt ctx d
+
+and out_stmt ctx d =
+  if Rng.bool ctx.rng then [ s (Ast.Out (iexpr ctx d)) ] else [ s (Ast.Out (fexpr ctx d)) ]
+
+and for_loop ctx ~depth =
+  let iv = fresh ctx "i" in
+  let init = e (Ast.Int (Rng.int ctx.rng 3)) in
+  let cmp = if Rng.bool ctx.rng then Ast.Lt else Ast.Le in
+  let bound =
+    (* occasionally a masked variable bound (may be zero-trip) *)
+    if pct ctx 80 then e (Ast.Int (2 + Rng.int ctx.rng 9))
+    else e (Ast.Bin (Ast.BAnd, ileaf ctx, e (Ast.Int 7)))
+  in
+  let step = e (Ast.Int (1 + Rng.int ctx.rng 3)) in
+  push ctx;
+  declare ctx iv Ast.Tint;
+  ctx.protected <- iv :: ctx.protected;
+  let body = stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 3) in
+  ctx.protected <- List.filter (fun x -> x <> iv) ctx.protected;
+  pop ctx;
+  [ s (Ast.For (iv, init, cmp, bound, step, body)) ]
+
+and while_loop ctx ~depth =
+  (* [let w = K; while ((w > 0) && cond) { body; w = w - 1; }] — bounded by
+     construction because [w] is protected from random assignment *)
+  let w = fresh ctx "w" in
+  let k = 1 + Rng.int ctx.rng 7 in
+  declare ctx w Ast.Tint;
+  ctx.protected <- w :: ctx.protected;
+  let cond =
+    e (Ast.Bin (Ast.LAnd, e (Ast.Bin (Ast.Gt, e (Ast.Var w), e (Ast.Int 0))), iexpr ctx 2))
+  in
+  push ctx;
+  let body = stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 3) in
+  pop ctx;
+  ctx.protected <- List.filter (fun x -> x <> w) ctx.protected;
+  let dec = s (Ast.Assign (w, e (Ast.Bin (Ast.Sub, e (Ast.Var w), e (Ast.Int 1))))) in
+  [ s (Ast.Let (w, None, e (Ast.Int k))); s (Ast.While (cond, body @ [ dec ])) ]
+
+(* ---------------- functions ---------------- *)
+
+let gen_helper ctx i =
+  let name = Printf.sprintf "h%d" i in
+  let nparams = 1 + Rng.int ctx.rng 3 in
+  let params = ref [] in
+  for _ = 1 to nparams do
+    params := (fresh ctx "p", if pct ctx 65 then Ast.Tint else Ast.Tfloat) :: !params
+  done;
+  let params = List.rev !params in
+  let ret = if pct ctx 70 then Ast.Tint else Ast.Tfloat in
+  ctx.scopes <- [ params ];
+  ctx.protected <- [];
+  ctx.ret_ty <- ret;
+  let body = stmts ctx ~depth:2 (2 + Rng.int ctx.rng 4) in
+  let body = body @ [ s (Ast.Return (Some (expr_of_ty ctx ret 3))) ] in
+  ctx.helpers <- (name, params, ret) :: ctx.helpers;
+  { Ast.fn_name = name; fn_params = params; fn_ret = Some ret; fn_body = body; fn_pos = pos }
+
+let gen_main ctx =
+  ctx.scopes <- [ [] ];
+  ctx.protected <- [];
+  ctx.ret_ty <- Ast.Tint;
+  let body = stmts ctx ~depth:3 (4 + Rng.int ctx.rng 5) in
+  (* observe every top-level scalar and a few array cells so a wrong value
+     anywhere tends to surface in the output stream *)
+  let obs_vars =
+    List.map (fun (n, _) -> s (Ast.Out (e (Ast.Var n)))) (List.rev (List.hd ctx.scopes))
+  in
+  let cell a = s (Ast.Out (e (Ast.Index (a, e (Ast.Int (Rng.int ctx.rng 64)))))) in
+  let obs_cells = [ cell "gi"; cell "gi"; cell "gj"; cell "gf"; cell "gf" ] in
+  let body = body @ obs_vars @ obs_cells @ [ s (Ast.Return (Some (iexpr ctx 3))) ] in
+  { Ast.fn_name = "main"; fn_params = []; fn_ret = Some Ast.Tint; fn_body = body; fn_pos = pos }
+
+(** [program rng] draws one random well-typed MiniC program. Equal generator
+    states give equal programs. *)
+let program rng : Ast.program =
+  let ctx =
+    { rng; fresh = 0; scopes = [ [] ]; protected = []; helpers = []; ret_ty = Ast.Tint }
+  in
+  let n_helpers = Rng.int rng 3 in
+  let helpers = ref [] in
+  for i = 0 to n_helpers - 1 do
+    helpers := gen_helper ctx i :: !helpers
+  done;
+  let main = gen_main ctx in
+  { Ast.globals; funcs = List.rev !helpers @ [ main ] }

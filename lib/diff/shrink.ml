@@ -1,0 +1,188 @@
+(** Greedy structural shrinker for diverging MiniC programs.
+
+    Candidate mutations, roughly largest-cut first: drop an unused helper
+    function, drop a statement, splice a nested body ([if]/[while]/[for])
+    into its parent block, promote a sub-expression over its parent, replace
+    an expression with a literal leaf, and halve integer constants.
+    Candidates are {e not} guaranteed well-typed — the [diverges] predicate
+    is expected to return [false] for programs that fail to compile, which
+    rejects ill-typed mutants for free.
+
+    Shrinking is monotone in the lexicographic measure
+    [(AST nodes, constant weight)]: a candidate is accepted only when its
+    measure is strictly smaller, so the loop terminates and the result is
+    never bigger than the input. *)
+
+open Emc_lang
+
+(* ---------------- size measure ---------------- *)
+
+let rec expr_nodes (x : Ast.expr) =
+  match x.desc with
+  | Ast.Int _ | Ast.Float _ | Ast.Var _ -> 1
+  | Ast.Index (_, i) -> 1 + expr_nodes i
+  | Ast.Bin (_, a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Ast.Un (_, a) | Ast.CastInt a | Ast.CastFloat a -> 1 + expr_nodes a
+  | Ast.CallE (_, args) -> 1 + List.fold_left (fun s a -> s + expr_nodes a) 0 args
+
+let rec expr_weight (x : Ast.expr) =
+  match x.desc with
+  | Ast.Int v ->
+      let a = abs v in
+      if a < 0 (* abs min_int *) || a > 4096 then 4096 else a
+  | Ast.Float v -> if v = 0.0 then 0 else 1
+  | Ast.Var _ -> 0
+  | Ast.Index (_, i) -> expr_weight i
+  | Ast.Bin (_, a, b) -> expr_weight a + expr_weight b
+  | Ast.Un (_, a) | Ast.CastInt a | Ast.CastFloat a -> expr_weight a
+  | Ast.CallE (_, args) -> List.fold_left (fun s a -> s + expr_weight a) 0 args
+
+let rec stmt_fold fe (st : Ast.stmt) =
+  match st.sdesc with
+  | Ast.Let (_, _, e) | Ast.Assign (_, e) | Ast.Return (Some e) | Ast.ExprStmt e | Ast.Out e ->
+      1 + fe e
+  | Ast.Return None -> 1
+  | Ast.AssignIdx (_, i, e) -> 1 + fe i + fe e
+  | Ast.If (c, t, f) -> 1 + fe c + block_fold fe t + block_fold fe f
+  | Ast.While (c, b) -> 1 + fe c + block_fold fe b
+  | Ast.For (_, init, _, bound, step, b) -> 1 + fe init + fe bound + fe step + block_fold fe b
+
+and block_fold fe b = List.fold_left (fun s x -> s + stmt_fold fe x) 0 b
+
+let measure (p : Ast.program) =
+  let over fe = List.fold_left (fun s (f : Ast.func) -> s + 1 + block_fold fe f.fn_body) 0 p.funcs in
+  (over expr_nodes, over expr_weight)
+
+(* ---------------- candidates ---------------- *)
+
+(* every list obtained by rewriting exactly one element *)
+let one_hole shrink xs =
+  let rec go pre = function
+    | [] -> []
+    | x :: rest ->
+        List.map (fun x' -> List.rev_append pre (x' :: rest)) (shrink x) @ go (x :: pre) rest
+  in
+  go [] xs
+
+let rec shrink_expr (x : Ast.expr) : Ast.expr list =
+  let mk d = { x with Ast.desc = d } in
+  let subs =
+    match x.Ast.desc with
+    | Ast.Bin (_, a, b) -> [ a; b ]
+    | Ast.Un (_, a) | Ast.CastInt a | Ast.CastFloat a -> [ a ]
+    | Ast.Index (_, i) -> [ i ]
+    | Ast.CallE (_, args) -> args
+    | _ -> []
+  in
+  let leaves =
+    match x.Ast.desc with
+    | Ast.Int 0 -> []
+    | Ast.Int v -> [ mk (Ast.Int 0); mk (Ast.Int (v / 2)) ]
+    | Ast.Float v -> if v = 0.0 then [] else [ mk (Ast.Float 0.0) ]
+    | Ast.Var _ -> [ mk (Ast.Int 0); mk (Ast.Float 0.0) ]
+    | _ -> [ mk (Ast.Int 0); mk (Ast.Float 0.0); mk (Ast.Int 1) ]
+  in
+  let nested =
+    match x.Ast.desc with
+    | Ast.Bin (op, a, b) ->
+        List.map (fun a' -> mk (Ast.Bin (op, a', b))) (shrink_expr a)
+        @ List.map (fun b' -> mk (Ast.Bin (op, a, b'))) (shrink_expr b)
+    | Ast.Un (op, a) -> List.map (fun a' -> mk (Ast.Un (op, a'))) (shrink_expr a)
+    | Ast.CastInt a -> List.map (fun a' -> mk (Ast.CastInt a')) (shrink_expr a)
+    | Ast.CastFloat a -> List.map (fun a' -> mk (Ast.CastFloat a')) (shrink_expr a)
+    | Ast.Index (g, i) -> List.map (fun i' -> mk (Ast.Index (g, i'))) (shrink_expr i)
+    | Ast.CallE (f, args) ->
+        List.map (fun args' -> mk (Ast.CallE (f, args'))) (one_hole shrink_expr args)
+    | _ -> []
+  in
+  subs @ leaves @ nested
+
+let rec shrink_stmt (st : Ast.stmt) : Ast.stmt list =
+  let mk d = { st with Ast.sdesc = d } in
+  match st.Ast.sdesc with
+  | Ast.Let (n, a, e) -> List.map (fun e' -> mk (Ast.Let (n, a, e'))) (shrink_expr e)
+  | Ast.Assign (n, e) -> List.map (fun e' -> mk (Ast.Assign (n, e'))) (shrink_expr e)
+  | Ast.AssignIdx (g, i, e) ->
+      List.map (fun i' -> mk (Ast.AssignIdx (g, i', e))) (shrink_expr i)
+      @ List.map (fun e' -> mk (Ast.AssignIdx (g, i, e'))) (shrink_expr e)
+  | Ast.If (c, t, f) ->
+      List.map (fun c' -> mk (Ast.If (c', t, f))) (shrink_expr c)
+      @ List.map (fun t' -> mk (Ast.If (c, t', f))) (shrink_block t)
+      @ List.map (fun f' -> mk (Ast.If (c, t, f'))) (shrink_block f)
+  | Ast.While (c, b) ->
+      List.map (fun c' -> mk (Ast.While (c', b))) (shrink_expr c)
+      @ List.map (fun b' -> mk (Ast.While (c, b'))) (shrink_block b)
+  | Ast.For (iv, init, cmp, bound, step, b) ->
+      (* the step is left alone: it must remain a positive constant *)
+      List.map (fun bound' -> mk (Ast.For (iv, init, cmp, bound', step, b))) (shrink_expr bound)
+      @ List.map (fun init' -> mk (Ast.For (iv, init', cmp, bound, step, b))) (shrink_expr init)
+      @ List.map (fun b' -> mk (Ast.For (iv, init, cmp, bound, step, b'))) (shrink_block b)
+  | Ast.Return (Some e) -> List.map (fun e' -> mk (Ast.Return (Some e'))) (shrink_expr e)
+  | Ast.Return None -> []
+  | Ast.ExprStmt e -> List.map (fun e' -> mk (Ast.ExprStmt e')) (shrink_expr e)
+  | Ast.Out e -> List.map (fun e' -> mk (Ast.Out e')) (shrink_expr e)
+
+and shrink_block (b : Ast.stmt list) : Ast.stmt list list =
+  let rec drops pre = function
+    | [] -> []
+    | x :: rest -> List.rev_append pre rest :: drops (x :: pre) rest
+  in
+  let rec splices pre = function
+    | [] -> []
+    | x :: rest ->
+        let here =
+          match x.Ast.sdesc with
+          | Ast.If (_, t, f) -> [ List.rev_append pre (t @ f @ rest) ]
+          | Ast.While (_, b') -> [ List.rev_append pre (b' @ rest) ]
+          | Ast.For (_, _, _, _, _, b') -> [ List.rev_append pre (b' @ rest) ]
+          | _ -> []
+        in
+        here @ splices (x :: pre) rest
+  in
+  drops [] b @ splices [] b @ one_hole shrink_stmt b
+
+let candidates (p : Ast.program) : Ast.program list =
+  let drop_helpers =
+    (* dropping a helper only survives the compile check when it is unused *)
+    let rec go pre = function
+      | [] | [ _ ] -> [] (* never drop the last function (main) *)
+      | f :: rest -> { p with Ast.funcs = List.rev_append pre rest } :: go (f :: pre) rest
+    in
+    go [] p.Ast.funcs
+  in
+  let body_shrinks =
+    one_hole
+      (fun (f : Ast.func) ->
+        List.map (fun b -> { f with Ast.fn_body = b }) (shrink_block f.fn_body))
+      p.Ast.funcs
+    |> List.map (fun fs -> { p with Ast.funcs = fs })
+  in
+  drop_helpers @ body_shrinks
+
+(* ---------------- driver ---------------- *)
+
+(** [run ~diverges p] greedily minimizes [p] while [diverges] holds,
+    returning the minimized program and the number of accepted shrink
+    steps. [diverges] must return [false] for programs that do not
+    compile. At most [max_checks] predicate evaluations are spent. *)
+let run ?(max_checks = 1500) ~diverges (p : Ast.program) : Ast.program * int =
+  let checks = ref 0 in
+  let steps = ref 0 in
+  let rec go p m =
+    let next =
+      List.find_opt
+        (fun c ->
+          !checks < max_checks && measure c < m
+          &&
+          (incr checks;
+           diverges c))
+        (candidates p)
+    in
+    match next with
+    | Some c ->
+        incr steps;
+        go c (measure c)
+    | None -> p
+  in
+  let r = go p (measure p) in
+  (r, !steps)

@@ -1,11 +1,15 @@
 (** Reference interpreter for the IR.
 
-    Serves as the semantic oracle: tests check that every optimization level
-    and flag combination leaves program outputs unchanged by comparing the
-    machine-level functional simulation against this interpreter (and O0 IR
-    against optimized IR). Arithmetic uses the same 64-bit semantics as the
-    target ISA (OCaml native ints; shifts masked to 6 bits; division
-    truncates toward zero). *)
+    Serves as the semantic oracle: tests and the {!Emc_diff} differential
+    harness check that every optimization level and flag combination leaves
+    program outputs unchanged by comparing the machine-level functional
+    simulation against this interpreter (and O0 IR against optimized IR).
+    Arithmetic uses the same 64-bit semantics as the target ISA (OCaml
+    native ints; shifts masked to 6 bits; division truncates toward zero;
+    IEEE-754 float comparisons, so every ordered comparison involving NaN is
+    false and [Ne] is true; [FtoI] of NaN yields 0, matching the machine's
+    FTOI). Runtime faults raise the typed {!Trap.Trap} shared with the
+    simulators, so trap outcomes are comparable across levels. *)
 
 type value = VI of int | VF of float
 
@@ -24,7 +28,7 @@ type state = {
   mutable dyn : int;
 }
 
-exception Trap of string
+exception Trap = Trap.Trap
 
 let create program =
   let layout = Memlayout.compute program in
@@ -39,7 +43,7 @@ let create program =
   }
 
 let word addr =
-  if addr land 7 <> 0 then raise (Trap (Printf.sprintf "unaligned address %#x" addr));
+  if addr land 7 <> 0 then raise (Trap (Trap.Unaligned_access addr));
   addr lsr 3
 
 let global_base st name = Memlayout.base st.layout name
@@ -54,8 +58,8 @@ let eval_ibin op a b =
   | Ir.Add -> a + b
   | Ir.Sub -> a - b
   | Ir.Mul -> a * b
-  | Ir.Div -> if b = 0 then raise (Trap "division by zero") else a / b
-  | Ir.Rem -> if b = 0 then raise (Trap "remainder by zero") else a mod b
+  | Ir.Div -> if b = 0 then raise (Trap Trap.Div_by_zero) else a / b
+  | Ir.Rem -> if b = 0 then raise (Trap Trap.Rem_by_zero) else a mod b
   | Ir.And -> a land b
   | Ir.Or -> a lor b
   | Ir.Xor -> a lxor b
@@ -74,7 +78,32 @@ let eval_cmp op c = match op with
   | Ir.Eq -> c = 0 | Ir.Ne -> c <> 0 | Ir.Lt -> c < 0 | Ir.Le -> c <= 0 | Ir.Gt -> c > 0 | Ir.Ge -> c >= 0
 
 let icmp op a b = if eval_cmp op (compare (a : int) b) then 1 else 0
-let fcmp op a b = if eval_cmp op (compare (a : float) b) then 1 else 0
+
+(** Float-comparison semantics. [Ieee] (the default, and the machine's
+    behaviour) is the spec. [Total_order] is the quarantined pre-fix
+    behaviour — OCaml's total-order [compare], under which [NaN = NaN] and
+    [NaN < x] hold — kept only so the differential harness can demonstrate
+    against a live fixture that it finds and shrinks the divergence this
+    very module used to have (see test/test_diff.ml). Never use it for
+    real measurements. *)
+type fcmp_semantics = Ieee | Total_order
+
+let fcmp_ieee op (a : float) (b : float) =
+  let r =
+    match op with
+    | Ir.Eq -> a = b
+    | Ir.Ne -> a <> b
+    | Ir.Lt -> a < b
+    | Ir.Le -> a <= b
+    | Ir.Gt -> a > b
+    | Ir.Ge -> a >= b
+  in
+  if r then 1 else 0
+
+let fcmp semantics op (a : float) (b : float) =
+  match semantics with
+  | Ieee -> fcmp_ieee op a b
+  | Total_order -> if eval_cmp op (compare a b) then 1 else 0
 
 (* Register file per activation. *)
 type frame = { ints : (int, int) Hashtbl.t; flts : (int, float) Hashtbl.t }
@@ -82,16 +111,20 @@ type frame = { ints : (int, int) Hashtbl.t; flts : (int, float) Hashtbl.t }
 let geti fr r =
   match Hashtbl.find_opt fr.ints r with
   | Some v -> v
-  | None -> raise (Trap (Printf.sprintf "use of undefined int vreg v%d" r))
+  | None -> raise (Trap (Trap.Bad_program (Printf.sprintf "use of undefined int vreg v%d" r)))
 
 let getf fr r =
   match Hashtbl.find_opt fr.flts r with
   | Some v -> v
-  | None -> raise (Trap (Printf.sprintf "use of undefined float vreg v%d" r))
+  | None -> raise (Trap (Trap.Bad_program (Printf.sprintf "use of undefined float vreg v%d" r)))
 
 let operand fr = function Ir.Reg r -> geti fr r | Ir.Imm i -> i
 
-let run ?(fuel = 200_000_000) st ~func ~args =
+let run ?(fuel = 200_000_000) ?(fcmp_semantics = Ieee) st ~func ~args =
+  (* per-run state: a reused [state] must not see the previous run's
+     outputs or double-count its dynamic instructions *)
+  st.outputs <- [];
+  st.dyn <- 0;
   let fuel_left = ref fuel in
   let rec call_func (f : Ir.func) (args : value list) : value option =
     let fr = { ints = Hashtbl.create 32; flts = Hashtbl.create 16 } in
@@ -100,21 +133,21 @@ let run ?(fuel = 200_000_000) st ~func ~args =
         match (v, Ir.reg_type f p) with
         | VI i, Ir.I64 -> Hashtbl.replace fr.ints p i
         | VF x, Ir.F64 -> Hashtbl.replace fr.flts p x
-        | _ -> raise (Trap "argument type mismatch"))
+        | _ -> raise (Trap (Trap.Bad_program "argument type mismatch")))
       f.params args;
     let rec exec_block l =
       let b = f.blocks.(l) in
       List.iter (exec_instr fr) b.instrs;
       st.dyn <- st.dyn + List.length b.instrs + 1;
       fuel_left := !fuel_left - (List.length b.instrs + 1);
-      if !fuel_left <= 0 then raise (Trap "out of fuel");
+      if !fuel_left <= 0 then raise (Trap Trap.Out_of_fuel);
       match b.term with
       | Ir.Ret None -> None
       | Ir.Ret (Some r) -> (
           match f.ret_ty with
           | Some Ir.I64 -> Some (VI (geti fr r))
           | Some Ir.F64 -> Some (VF (getf fr r))
-          | None -> raise (Trap "ret with value in void function"))
+          | None -> raise (Trap (Trap.Bad_program "ret with value in void function")))
       | Ir.Br l' -> exec_block l'
       | Ir.CondBr (c, a, b') -> exec_block (if geti fr c <> 0 then a else b')
     and exec_instr fr instr =
@@ -124,7 +157,8 @@ let run ?(fuel = 200_000_000) st ~func ~args =
       | Ir.Ibin (op, d, a, b) -> Hashtbl.replace fr.ints d (eval_ibin op (operand fr a) (operand fr b))
       | Ir.Fbin (op, d, a, b) -> Hashtbl.replace fr.flts d (eval_fbin op (getf fr a) (getf fr b))
       | Ir.Icmp (op, d, a, b) -> Hashtbl.replace fr.ints d (icmp op (operand fr a) (operand fr b))
-      | Ir.Fcmp (op, d, a, b) -> Hashtbl.replace fr.ints d (fcmp op (getf fr a) (getf fr b))
+      | Ir.Fcmp (op, d, a, b) ->
+          Hashtbl.replace fr.ints d (fcmp fcmp_semantics op (getf fr a) (getf fr b))
       | Ir.Load (Ir.I64, d, a) -> Hashtbl.replace fr.ints d st.imem.(word (geti fr a))
       | Ir.Load (Ir.F64, d, a) -> Hashtbl.replace fr.flts d st.mem.(word (geti fr a))
       | Ir.Store (Ir.I64, a, s) -> st.imem.(word (geti fr a)) <- geti fr s
@@ -137,13 +171,15 @@ let run ?(fuel = 200_000_000) st ~func ~args =
                 match Ir.reg_type f a with Ir.I64 -> VI (geti fr a) | Ir.F64 -> VF (getf fr a)
               in
               st.outputs <- v :: st.outputs
-          | _ -> raise (Trap "__out expects one argument"));
-          (match d with Some _ -> raise (Trap "__out returns nothing") | None -> ())
+          | _ -> raise (Trap (Trap.Bad_program "__out expects one argument")));
+          (match d with
+          | Some _ -> raise (Trap (Trap.Bad_program "__out returns nothing"))
+          | None -> ())
       | Ir.Call (d, name, args) -> (
           let callee =
             match Ir.find_func st.program name with
             | Some c -> c
-            | None -> raise (Trap ("call to unknown function " ^ name))
+            | None -> raise (Trap (Trap.Bad_program ("call to unknown function " ^ name)))
           in
           let argv =
             List.map
@@ -155,12 +191,14 @@ let run ?(fuel = 200_000_000) st ~func ~args =
           | Some (VI v), Some d -> Hashtbl.replace fr.ints d v
           | Some (VF v), Some d -> Hashtbl.replace fr.flts d v
           | _, None -> ()
-          | None, Some _ -> raise (Trap ("void call result captured: " ^ name)))
+          | None, Some _ ->
+              raise (Trap (Trap.Bad_program ("void call result captured: " ^ name))))
       | Ir.ItoF (d, s) -> Hashtbl.replace fr.flts d (float_of_int (geti fr s))
       | Ir.FtoI (d, s) ->
+          (* NaN converts to 0, exactly as the machine's FTOI does; keeping
+             the conversion total keeps [FtoI] pure for the optimizer *)
           let x = getf fr s in
-          if Float.is_nan x then raise (Trap "ftoi of nan")
-          else Hashtbl.replace fr.ints d (int_of_float x)
+          Hashtbl.replace fr.ints d (if Float.is_nan x then 0 else int_of_float x)
       | Ir.Mov (Ir.I64, d, s) -> Hashtbl.replace fr.ints d (geti fr s)
       | Ir.Mov (Ir.F64, d, s) -> Hashtbl.replace fr.flts d (getf fr s)
     in
@@ -169,7 +207,7 @@ let run ?(fuel = 200_000_000) st ~func ~args =
   let f =
     match Ir.find_func st.program func with
     | Some f -> f
-    | None -> raise (Trap ("no such function: " ^ func))
+    | None -> raise (Trap (Trap.Bad_program ("no such function: " ^ func)))
   in
   let ret = call_func f args in
   { ret; outputs = List.rev st.outputs; dyn_instrs = st.dyn }

@@ -1,0 +1,42 @@
+(** Typed trap taxonomy shared by every execution level.
+
+    The IR interpreter, the functional (architectural) simulator and the
+    out-of-order timing model all signal runtime faults through the same
+    exception so that the differential oracle ({!Emc_diff}) can assert
+    {e trap-equivalence} across levels by comparing categories instead of
+    string-matching [Failure] messages. Two traps are considered equivalent
+    when their {!category} is equal: payloads (the faulting address, the
+    diagnostic text) are informational and may legitimately differ between
+    the IR-level and machine-level views of the same program. *)
+
+type cause =
+  | Div_by_zero  (** integer [Div] with zero divisor *)
+  | Rem_by_zero  (** integer [Rem] with zero divisor *)
+  | Unaligned_access of int  (** memory access at a non-8-byte-aligned byte address *)
+  | Out_of_fuel  (** execution budget exhausted (runaway program) *)
+  | Bad_program of string
+      (** malformed-program faults only the IR interpreter can detect:
+          undefined vregs, unknown callees, arity/type mismatches. Machine
+          code produced from verified IR never raises these. *)
+
+exception Trap of cause
+
+(** Stable comparison key: constructor name without payload. *)
+let category = function
+  | Div_by_zero -> "div-by-zero"
+  | Rem_by_zero -> "rem-by-zero"
+  | Unaligned_access _ -> "unaligned-access"
+  | Out_of_fuel -> "out-of-fuel"
+  | Bad_program _ -> "bad-program"
+
+let to_string = function
+  | Div_by_zero -> "division by zero"
+  | Rem_by_zero -> "remainder by zero"
+  | Unaligned_access a -> Printf.sprintf "unaligned access at %#x" a
+  | Out_of_fuel -> "out of fuel"
+  | Bad_program msg -> "bad program: " ^ msg
+
+let () =
+  Printexc.register_printer (function
+    | Trap c -> Some ("Trap: " ^ to_string c)
+    | _ -> None)

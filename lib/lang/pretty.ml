@@ -1,0 +1,184 @@
+(** MiniC pretty-printer: AST back to parseable source text.
+
+    [program] is the inverse of the frontend for every AST the frontend can
+    produce (and for the ASTs {!Emc_diff} generates): re-lexing, re-parsing
+    and re-typechecking the output yields the same program. Expressions are
+    fully parenthesized, so operator precedence never has to be reproduced;
+    [for] statements are printed in the exact canonical shape the parser
+    demands. The differential fuzzer relies on this round trip to drive
+    generated programs through the whole frontend, and reports
+    counterexamples as source text a human can re-run. *)
+
+let buf_add = Buffer.add_string
+
+(* A float literal the lexer accepts: digits '.' digits with an optional
+   exponent. [%.17g] round-trips doubles exactly but may print "1e+22"
+   (no dot) or "5" (integral), neither of which lexes as a FLOAT. *)
+let float_lit v =
+  if not (Float.is_finite v) then
+    invalid_arg "Pretty.float_lit: nan/infinite literals are not expressible in MiniC"
+  else
+    let s = Printf.sprintf "%.17g" v in
+    match String.index_opt s 'e' with
+    | Some e when not (String.contains s '.') ->
+        String.sub s 0 e ^ ".0" ^ String.sub s e (String.length s - e)
+    | _ -> if String.contains s '.' then s else s ^ ".0"
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Rem -> "%"
+  | Ast.BAnd -> "&" | Ast.BOr -> "|" | Ast.BXor -> "^" | Ast.Shl -> "<<" | Ast.Shr -> ">>"
+  | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">"
+  | Ast.Ge -> ">=" | Ast.LAnd -> "&&" | Ast.LOr -> "||"
+
+let rec expr b (e : Ast.expr) =
+  match e.desc with
+  | Ast.Int v ->
+      (* negative literals print through unary minus so the lexer sees a
+         plain digit token *)
+      if v < 0 then begin
+        buf_add b "(-";
+        buf_add b (string_of_int (abs v));
+        buf_add b ")"
+      end
+      else buf_add b (string_of_int v)
+  | Ast.Float v ->
+      if v < 0.0 || (v = 0.0 && 1.0 /. v < 0.0) then begin
+        buf_add b "(-";
+        buf_add b (float_lit (-.v));
+        buf_add b ")"
+      end
+      else buf_add b (float_lit v)
+  | Ast.Var n -> buf_add b n
+  | Ast.Index (a, i) ->
+      buf_add b a;
+      buf_add b "[";
+      expr b i;
+      buf_add b "]"
+  | Ast.Bin (op, x, y) ->
+      buf_add b "(";
+      expr b x;
+      buf_add b (" " ^ binop_str op ^ " ");
+      expr b y;
+      buf_add b ")"
+  | Ast.Un (Ast.Neg, x) ->
+      buf_add b "(-";
+      expr b x;
+      buf_add b ")"
+  | Ast.Un (Ast.Not, x) ->
+      buf_add b "(!";
+      expr b x;
+      buf_add b ")"
+  | Ast.CallE (f, args) ->
+      buf_add b f;
+      buf_add b "(";
+      List.iteri
+        (fun i a ->
+          if i > 0 then buf_add b ", ";
+          expr b a)
+        args;
+      buf_add b ")"
+  | Ast.CastInt x ->
+      buf_add b "int(";
+      expr b x;
+      buf_add b ")"
+  | Ast.CastFloat x ->
+      buf_add b "float(";
+      expr b x;
+      buf_add b ")"
+
+let ty_str = function Ast.Tint -> "int" | Ast.Tfloat -> "float"
+
+let indent b n = buf_add b (String.make (2 * n) ' ')
+
+let rec stmt b lvl (s : Ast.stmt) =
+  indent b lvl;
+  match s.sdesc with
+  | Ast.Let (n, ann, e) ->
+      buf_add b ("let " ^ n);
+      (match ann with Some t -> buf_add b (": " ^ ty_str t) | None -> ());
+      buf_add b " = ";
+      expr b e;
+      buf_add b ";\n"
+  | Ast.Assign (n, e) ->
+      buf_add b (n ^ " = ");
+      expr b e;
+      buf_add b ";\n"
+  | Ast.AssignIdx (a, i, e) ->
+      buf_add b a;
+      buf_add b "[";
+      expr b i;
+      buf_add b "] = ";
+      expr b e;
+      buf_add b ";\n"
+  | Ast.If (c, thn, els) ->
+      buf_add b "if (";
+      expr b c;
+      buf_add b ") {\n";
+      block b lvl thn;
+      indent b lvl;
+      buf_add b "}";
+      if els <> [] then begin
+        buf_add b " else {\n";
+        block b lvl els;
+        indent b lvl;
+        buf_add b "}"
+      end;
+      buf_add b "\n"
+  | Ast.While (c, body) ->
+      buf_add b "while (";
+      expr b c;
+      buf_add b ") {\n";
+      block b lvl body;
+      indent b lvl;
+      buf_add b "}\n"
+  | Ast.For (iv, init, cmp, bound, step, body) ->
+      buf_add b ("for (" ^ iv ^ " = ");
+      expr b init;
+      buf_add b ("; " ^ iv ^ " " ^ binop_str cmp ^ " ");
+      expr b bound;
+      buf_add b ("; " ^ iv ^ " = " ^ iv ^ " + ");
+      expr b step;
+      buf_add b ") {\n";
+      block b lvl body;
+      indent b lvl;
+      buf_add b "}\n"
+  | Ast.Return None -> buf_add b "return;\n"
+  | Ast.Return (Some e) ->
+      buf_add b "return ";
+      expr b e;
+      buf_add b ";\n"
+  | Ast.ExprStmt e ->
+      expr b e;
+      buf_add b ";\n"
+  | Ast.Out e ->
+      buf_add b "out(";
+      expr b e;
+      buf_add b ");\n"
+
+and block b lvl stmts = List.iter (stmt b (lvl + 1)) stmts
+
+let func b (f : Ast.func) =
+  buf_add b ("fn " ^ f.fn_name ^ "(");
+  List.iteri
+    (fun i (n, t) ->
+      if i > 0 then buf_add b ", ";
+      buf_add b (n ^ ": " ^ ty_str t))
+    f.fn_params;
+  buf_add b ")";
+  (match f.fn_ret with Some t -> buf_add b (" -> " ^ ty_str t) | None -> ());
+  buf_add b " {\n";
+  block b 0 f.fn_body;
+  buf_add b "}\n"
+
+let program (p : Ast.program) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (g : Ast.global) ->
+      buf_add b (Printf.sprintf "%s %s[%d];\n" (ty_str g.g_ty) g.g_name g.g_size))
+    p.globals;
+  List.iter
+    (fun f ->
+      buf_add b "\n";
+      func b f)
+    p.funcs;
+  Buffer.contents b

@@ -7,7 +7,10 @@ open Emc_isa
     model and the SMARTS functional-warming mode need. Integer values are
     OCaml native ints and floats are doubles, matching the IR interpreter's
     semantics, so outputs are comparable bit-for-bit across optimization
-    levels. *)
+    levels. Runtime faults (division by zero, unaligned access, fuel
+    exhaustion) raise the typed {!Emc_ir.Trap.Trap} with the same categories
+    the interpreter uses, so the differential oracle can assert
+    trap-equivalence across levels. *)
 
 type value = VI of int | VF of float
 
@@ -49,8 +52,10 @@ let create (prog : Isa.program) =
   t.regs.(Isa.r_sp) <- Emc_ir.Memlayout.stack_top prog.Isa.layout;
   t
 
+exception Trap = Emc_ir.Trap.Trap
+
 let word addr =
-  if addr land 7 <> 0 then failwith (Printf.sprintf "Func: unaligned access %#x" addr);
+  if addr land 7 <> 0 then raise (Trap (Emc_ir.Trap.Unaligned_access addr));
   addr lsr 3
 
 let set_global_int t name idx v = t.imem.(word (Isa.global_base t.prog name + (idx * 8))) <- v
@@ -86,10 +91,12 @@ let step t : dyn option =
     | MUL -> seti t i.rd (geti t i.rs1 * geti t i.rs2)
     | DIV ->
         let d = geti t i.rs2 in
-        if d = 0 then failwith "Func: division by zero" else seti t i.rd (geti t i.rs1 / d)
+        if d = 0 then raise (Trap Emc_ir.Trap.Div_by_zero)
+        else seti t i.rd (geti t i.rs1 / d)
     | REM ->
         let d = geti t i.rs2 in
-        if d = 0 then failwith "Func: remainder by zero" else seti t i.rd (geti t i.rs1 mod d)
+        if d = 0 then raise (Trap Emc_ir.Trap.Rem_by_zero)
+        else seti t i.rd (geti t i.rs1 mod d)
     | AND -> seti t i.rd (geti t i.rs1 land geti t i.rs2)
     | OR -> seti t i.rd (geti t i.rs1 lor geti t i.rs2)
     | XOR -> seti t i.rd (geti t i.rs1 lxor geti t i.rs2)
@@ -115,7 +122,11 @@ let step t : dyn option =
     | FCGT -> seti t i.rd (if getf t i.rs1 > getf t i.rs2 then 1 else 0)
     | FCGE -> seti t i.rd (if getf t i.rs1 >= getf t i.rs2 then 1 else 0)
     | ITOF -> setf t i.rd (float_of_int (geti t i.rs1))
-    | FTOI -> seti t i.rd (int_of_float (getf t i.rs1))
+    | FTOI ->
+        (* NaN converts to 0 (int_of_float's NaN result is unspecified);
+           the IR interpreter defines FtoI identically *)
+        let x = getf t i.rs1 in
+        seti t i.rd (if Float.is_nan x then 0 else int_of_float x)
     | LD ->
         let a = geti t i.rs1 + i.imm in
         addr := a;
@@ -174,5 +185,5 @@ let run ?(fuel = 1_000_000_000) t =
     ignore (step t);
     incr n
   done;
-  if not t.halted then failwith "Func.run: out of fuel";
+  if not t.halted then raise (Trap Emc_ir.Trap.Out_of_fuel);
   !n

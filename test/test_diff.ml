@@ -1,0 +1,221 @@
+(** Tests for the differential fuzzing subsystem (Emc_diff) and regression
+    tests for the cross-level divergences it was built to catch: NaN
+    comparison semantics, FTOI of NaN, interpreter state reuse, and the
+    unified trap taxonomy. *)
+
+open Emc_diff
+
+let nan_src op =
+  Printf.sprintf "fn main() -> int {\n  out((0.0 / 0.0) %s (0.0 / 0.0));\n  return 0;\n}\n" op
+
+(* The machine is the spec: every ordered comparison involving NaN is false,
+   [!=] is true — at every optimization level, at both execution levels. *)
+let test_nan_compare_ieee () =
+  List.iter
+    (fun (op, expected) ->
+      let outs = Helpers.interp_outputs (nan_src op) in
+      Alcotest.(check (list string)) ("interp " ^ op) [ string_of_int expected ] outs;
+      List.iter
+        (fun flags -> Helpers.check_flags_preserve_semantics ~what:("nan " ^ op) flags (nan_src op))
+        [ Emc_opt.Flags.o0; Emc_opt.Flags.o2; Diff.corner_max ])
+    [ ("==", 0); ("!=", 1); ("<", 0); ("<=", 0); (">", 0); (">=", 0) ]
+
+(* NaN also never equals an ordinary value, and ordinary comparisons still
+   work after the IEEE fix. *)
+let test_nan_vs_value_and_ordinary () =
+  let src cmp = Printf.sprintf "fn main() -> int { out((0.0 / 0.0) %s 1.5); out(2.5 %s 1.5); return 0; }" cmp cmp in
+  Alcotest.(check (list string)) "lt" [ "0"; "0" ] (Helpers.interp_outputs (src "<"));
+  Alcotest.(check (list string)) "gt" [ "0"; "1" ] (Helpers.interp_outputs (src ">"));
+  Alcotest.(check (list string)) "ne" [ "1"; "1" ] (Helpers.interp_outputs (src "!="))
+
+(* FTOI of NaN converts to 0 at both levels instead of trapping on one and
+   not the other. *)
+let test_ftoi_nan () =
+  let src = "fn main() -> int { out(int(0.0 / 0.0)); out(int(2.75)); return 0; }" in
+  let outs = Helpers.interp_outputs src in
+  Alcotest.(check (list string)) "interp" [ "0"; "2" ] outs;
+  List.iter
+    (fun flags -> Helpers.check_flags_preserve_semantics ~what:"ftoi nan" flags src)
+    [ Emc_opt.Flags.o0; Emc_opt.Flags.o3 ]
+
+(* A reused interpreter state must not leak outputs or dynamic instruction
+   counts from the previous run. *)
+let test_interp_state_reuse () =
+  let ir = Helpers.compile_ir "fn main() -> int { out(7); out(8); return 1; }" in
+  let st = Emc_ir.Interp.create ir in
+  let r1 = Emc_ir.Interp.run st ~func:"main" ~args:[] in
+  let r2 = Emc_ir.Interp.run st ~func:"main" ~args:[] in
+  Alcotest.(check (list string))
+    "outputs identical" (List.map Helpers.value_str r1.outputs)
+    (List.map Helpers.value_str r2.outputs);
+  Alcotest.(check int) "two outputs" 2 (List.length r2.outputs);
+  Alcotest.(check int) "dyn not accumulated" r1.dyn_instrs r2.dyn_instrs
+
+(* Interp and Func raise the same typed trap categories. *)
+let trap_category f =
+  match f () with
+  | exception Emc_ir.Trap.Trap c -> Some (Emc_ir.Trap.category c)
+  | _ -> None
+
+let machine_prog src =
+  Emc_codegen.Compiler.compile Emc_opt.Flags.o0 (Helpers.compile_ir src)
+
+let test_trap_categories () =
+  List.iter
+    (fun (what, src, cat) ->
+      let ir = Helpers.compile_ir src in
+      let icat =
+        trap_category (fun () ->
+            Emc_ir.Interp.run (Emc_ir.Interp.create ir) ~func:"main" ~args:[])
+      in
+      let fcat =
+        trap_category (fun () -> Emc_sim.Func.run (Emc_sim.Func.create (machine_prog src)))
+      in
+      Alcotest.(check (option string)) ("interp " ^ what) (Some cat) icat;
+      Alcotest.(check (option string)) ("func " ^ what) (Some cat) fcat)
+    [
+      ("div", "fn main() -> int { let z = 0; return 1 / z; }", "div-by-zero");
+      ("rem", "fn main() -> int { let z = 0; return 1 % z; }", "rem-by-zero");
+    ]
+
+let test_trap_out_of_fuel () =
+  let src = "fn main() -> int { let w = 1; while (w) { w = 1; } return 0; }" in
+  let ir = Helpers.compile_ir src in
+  let icat =
+    trap_category (fun () ->
+        Emc_ir.Interp.run ~fuel:10_000 (Emc_ir.Interp.create ir) ~func:"main" ~args:[])
+  in
+  let fcat =
+    trap_category (fun () ->
+        Emc_sim.Func.run ~fuel:10_000 (Emc_sim.Func.create (machine_prog src)))
+  in
+  Alcotest.(check (option string)) "interp fuel" (Some "out-of-fuel") icat;
+  Alcotest.(check (option string)) "func fuel" (Some "out-of-fuel") fcat
+
+(* The multi-level check agrees that a trapping program traps identically
+   everywhere (trap category compared, not trap timing). *)
+let test_check_source_trap_equivalence () =
+  let src = "fn main() -> int { out(3); let z = 0; out(1 / z); return 0; }" in
+  match Diff.check_source src with
+  | None -> ()
+  | Some (level, expected, got) ->
+      Alcotest.failf "unexpected divergence at %s: %s vs %s" level expected got
+
+(* Generator sanity: deterministic, and every generated program compiles. *)
+let test_gen_compiles () =
+  for seed = 0 to 49 do
+    let p1 = Gen.program (Emc_util.Rng.create seed) in
+    let p2 = Gen.program (Emc_util.Rng.create seed) in
+    let s1 = Emc_lang.Pretty.program p1 in
+    let s2 = Emc_lang.Pretty.program p2 in
+    Alcotest.(check string) (Printf.sprintf "deterministic seed %d" seed) s1 s2;
+    match Emc_lang.Minic.compile s1 with
+    | Ok _ -> ()
+    | Error e ->
+        Alcotest.failf "seed %d does not compile: %s\n%s" seed
+          (Format.asprintf "%a" Emc_lang.Minic.pp_error e)
+          s1
+  done
+
+(* A small fixed-seed fuzz budget must be divergence-free under IEEE
+   semantics (the full budget runs in CI via `emc fuzz`). *)
+let test_fuzz_clean () =
+  let report = Diff.fuzz ~jobs:1 ~seed:7 ~budget:25 () in
+  Alcotest.(check int) "programs" 25 report.Diff.programs;
+  (match report.Diff.divergences with
+  | [] -> ()
+  | d :: _ -> Alcotest.failf "divergence at %s:\n%s" d.Diff.level d.Diff.min_source);
+  Alcotest.(check bool) "checks counted" true (report.Diff.checks > 25)
+
+(* Acceptance: against the quarantined pre-fix total-order semantics the
+   harness must find the NaN-comparison divergence and shrink it while it
+   keeps diverging. *)
+let total_order = Emc_ir.Interp.Total_order
+
+let test_quarantine_detects_nan_divergence () =
+  match Diff.check_source ~semantics:total_order (nan_src "==") with
+  | None -> Alcotest.fail "total-order fcmp not detected as a divergence"
+  | Some (level, _, _) ->
+      Alcotest.(check bool)
+        ("divergence surfaces at the machine level: " ^ level)
+        true
+        (String.length level >= 5 && String.sub level 0 5 = "func[")
+
+let test_shrink_monotone_and_still_diverging () =
+  (* a diverging program padded with irrelevant code the shrinker should cut *)
+  let src =
+    "fn main() -> int {\n\
+     let a = 11;\n\
+     let b = a * 3 + 100;\n\
+     out(b);\n\
+     for (i = 0; i < 5; i = i + 1) { gi[i & 63] = i * 2; }\n\
+     out((0.0 / 0.0) == (0.0 / 0.0));\n\
+     out(gi[2]);\n\
+     return a + b;\n\
+     }\n"
+  in
+  let src = "int gi[64];\n" ^ src in
+  let ast =
+    match Emc_lang.Parser.parse_program src with
+    | p -> p
+  in
+  let diverges a =
+    match Emc_lang.Pretty.program a with
+    | exception Invalid_argument _ -> false
+    | s -> (
+        match Diff.check_source ~semantics:total_order s with
+        | None | Some ("frontend", _, _) -> false
+        | Some _ -> true)
+  in
+  Alcotest.(check bool) "original diverges" true (diverges ast);
+  let shrunk, steps = Shrink.run ~diverges ast in
+  Alcotest.(check bool) "made progress" true (steps > 0);
+  Alcotest.(check bool) "still diverges" true (diverges shrunk);
+  let n0, w0 = Shrink.measure ast in
+  let n1, w1 = Shrink.measure shrunk in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone measure: (%d,%d) -> (%d,%d)" n0 w0 n1 w1)
+    true
+    (n1 < n0 || (n1 = n0 && w1 < w0));
+  (* the minimized program must keep the essential NaN comparison *)
+  let s = Emc_lang.Pretty.program shrunk in
+  Alcotest.(check bool) "kept a float division" true
+    (let re = "0.0 / 0.0" in
+     let rec contains i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+(* End-to-end acceptance: a fuzz run against the quarantined semantics finds
+   at least one divergence and ships a minimized reproducer that still
+   diverges. *)
+let test_quarantine_fuzz_finds_and_shrinks () =
+  let report = Diff.fuzz ~jobs:1 ~semantics:total_order ~seed:3 ~budget:60 () in
+  match report.Diff.divergences with
+  | [] -> Alcotest.fail "quarantined total-order semantics survived 60 programs"
+  | d :: _ ->
+      let still =
+        match Emc_lang.Minic.compile d.Diff.min_source with
+        | Error _ -> false
+        | Ok _ -> Diff.check_source ~semantics:total_order d.Diff.min_source <> None
+      in
+      Alcotest.(check bool) "minimized reproducer still diverges" true still;
+      Alcotest.(check bool) "reproducer no bigger than original" true
+        (String.length d.Diff.min_source <= String.length d.Diff.source)
+
+let suite =
+  [
+    ("nan compare is IEEE at all levels", `Quick, test_nan_compare_ieee);
+    ("nan vs value / ordinary compare", `Quick, test_nan_vs_value_and_ordinary);
+    ("ftoi of nan is 0 at both levels", `Quick, test_ftoi_nan);
+    ("interp state reuse resets outputs/dyn", `Quick, test_interp_state_reuse);
+    ("trap categories match across levels", `Quick, test_trap_categories);
+    ("out-of-fuel trap matches across levels", `Quick, test_trap_out_of_fuel);
+    ("trapping program is trap-equivalent everywhere", `Quick, test_check_source_trap_equivalence);
+    ("generator is deterministic and well-typed", `Quick, test_gen_compiles);
+    ("fixed-seed fuzz is divergence-free", `Quick, test_fuzz_clean);
+    ("quarantined total-order fcmp is detected", `Quick, test_quarantine_detects_nan_divergence);
+    ("shrinking is monotone and preserves divergence", `Quick, test_shrink_monotone_and_still_diverging);
+    ("quarantine fuzz finds and shrinks a counterexample", `Quick, test_quarantine_fuzz_finds_and_shrinks);
+  ]

@@ -18,4 +18,5 @@ let () =
       ("par", Test_par.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
+      ("diff", Test_diff.suite);
     ]
