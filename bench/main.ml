@@ -8,7 +8,10 @@
     (see {!Emc_core.Scale}); quick is the default and completes in minutes.
 
     Pass [--bechamel-only] to skip the experiments, or [--no-bechamel] to
-    skip the micro-benchmarks. *)
+    skip the micro-benchmarks. [--filter SUB] restricts the micro-benchmarks
+    to kernels whose name contains SUB ([--filter sim] is the simulator-only
+    run CI tracks), and [--json PATH] writes the kernel timings as
+    machine-readable JSON (see BENCH_sim.json at the repo root). *)
 
 open Emc_core
 open Emc_regress
@@ -116,102 +119,192 @@ let ablation_search (ctx : Experiments.ctx) =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure kernel               *)
 
-let bechamel_suite (ctx : Experiments.ctx) =
-  let d = Experiments.prepare ctx (Registry.find "gzip") in
-  let train = d.Experiments.train and test = d.Experiments.test in
-  let rbf = Experiments.rbf_model d in
+(* Kernel dependencies are lazy so that a filtered run only pays for what
+   the selected kernels actually need: `--filter sim` in CI skips dataset
+   preparation and model fitting entirely and goes straight to the
+   simulator kernels. Each kernel builder forces its inputs *before*
+   staging the timed closure, so laziness never pollutes a measurement. *)
+let bechamel_suite ?filter ?json_path (ctx : Experiments.ctx) =
+  let gzip = Registry.find "gzip" in
+  let d = lazy (Experiments.prepare ctx gzip) in
+  let rbf = lazy (Experiments.rbf_model (Lazy.force d)) in
   let march = Emc_sim.Config.typical in
   let march_coded = Searcher.coded_march march in
   let rng = Emc_util.Rng.create 17 in
   let space = Params.space_all in
-  let candidates = Emc_doe.Doe.lhs rng space 200 in
-  let prog =
-    Measure.compile ctx.measure (Registry.find "gzip") Emc_opt.Flags.o2 ~issue_width:4
-  in
-  let arrays =
-    (Registry.find "gzip").Workload.arrays ~scale:0.05 ~variant:Workload.Train
-  in
+  let candidates = lazy (Emc_doe.Doe.lhs rng space 200) in
+  let prog = lazy (Measure.compile ctx.measure gzip Emc_opt.Flags.o2 ~issue_width:4) in
+  let arrays = lazy (gzip.Workload.arrays ~scale:0.05 ~variant:Workload.Train) in
   let art =
-    match
-      Artifact.of_model ~workload:"164.gzip" ~scale:ctx.scale.Scale.name ~seed:42
-        ~train_n:(Dataset.size train) rbf
-    with
-    | Ok a -> a
-    | Error e -> failwith e
+    lazy
+      (match
+         Artifact.of_model ~workload:"164.gzip" ~scale:ctx.scale.Scale.name ~seed:42
+           ~train_n:(Dataset.size (Lazy.force d).Experiments.train)
+           (Lazy.force rbf)
+       with
+      | Ok a -> a
+      | Error e -> failwith e)
   in
-  let art_text = Emc_obs.Json.to_string (Artifact.to_json art) in
+  let art_text = lazy (Emc_obs.Json.to_string (Artifact.to_json (Lazy.force art))) in
   let open Bechamel in
-  let tests =
+  let kernels =
     [
       (* Table 3 kernels: fitting each model family *)
-      Test.make ~name:"table3/fit-linear"
-        (Staged.stage (fun () -> ignore (Modeling.fit Modeling.Linear train)));
-      Test.make ~name:"table3/fit-rbf"
-        (Staged.stage (fun () -> ignore (Modeling.fit Modeling.Rbf train)));
+      ( "table3/fit-linear",
+        fun () ->
+          let train = (Lazy.force d).Experiments.train in
+          Staged.stage (fun () -> ignore (Modeling.fit Modeling.Linear train)) );
+      ( "table3/fit-rbf",
+        fun () ->
+          let train = (Lazy.force d).Experiments.train in
+          Staged.stage (fun () -> ignore (Modeling.fit Modeling.Rbf train)) );
       (* Table 4 kernel: effect extraction *)
-      Test.make ~name:"table4/effects"
-        (Staged.stage (fun () ->
-             ignore
-               (Effects.top_effects rbf.Model.predict ~dims:Params.n_all
-                  ~names:(Params.names Params.all_specs))));
+      ( "table4/effects",
+        fun () ->
+          let rbf = Lazy.force rbf in
+          Staged.stage (fun () ->
+              ignore
+                (Effects.top_effects rbf.Model.predict ~dims:Params.n_all
+                   ~names:(Params.names Params.all_specs))) );
       (* Figure 5/6 kernel: model evaluation over a test design *)
-      Test.make ~name:"fig5-6/predict-test-set"
-        (Staged.stage (fun () -> ignore (Metrics.mape rbf.Model.predict test)));
+      ( "fig5-6/predict-test-set",
+        fun () ->
+          let rbf = Lazy.force rbf and test = (Lazy.force d).Experiments.test in
+          Staged.stage (fun () -> ignore (Metrics.mape rbf.Model.predict test)) );
       (* Table 6 / Figure 7 kernel: GA fitness evaluations *)
-      Test.make ~name:"table6/ga-fitness-x100"
-        (Staged.stage (fun () ->
-             for _ = 1 to 100 do
-               ignore
-                 (rbf.Model.predict
-                    (Array.append (Emc_doe.Doe.random_point rng Params.space_compiler) march_coded))
-             done));
+      ( "table6/ga-fitness-x100",
+        fun () ->
+          let rbf = Lazy.force rbf in
+          Staged.stage (fun () ->
+              for _ = 1 to 100 do
+                ignore
+                  (rbf.Model.predict
+                     (Array.append
+                        (Emc_doe.Doe.random_point rng Params.space_compiler)
+                        march_coded))
+              done) );
       (* serving kernels: artifact text round-trip and served prediction *)
-      Test.make ~name:"serve/artifact-load"
-        (Staged.stage (fun () ->
-             match Result.bind (Emc_obs.Json.parse art_text) Artifact.of_json with
-             | Ok a -> ignore (Artifact.model a)
-             | Error e -> failwith e));
-      Test.make ~name:"serve/artifact-save"
-        (Staged.stage (fun () -> ignore (Emc_obs.Json.to_string (Artifact.to_json art))));
-      Test.make ~name:"serve/repr-eval-x100"
-        (Staged.stage (fun () ->
-             for _ = 1 to 100 do
-               ignore
-                 (Repr.eval art.Artifact.repr
-                    (Array.append (Emc_doe.Doe.random_point rng Params.space_compiler) march_coded))
-             done));
+      ( "serve/artifact-load",
+        fun () ->
+          let art_text = Lazy.force art_text in
+          Staged.stage (fun () ->
+              match Result.bind (Emc_obs.Json.parse art_text) Artifact.of_json with
+              | Ok a -> ignore (Artifact.model a)
+              | Error e -> failwith e) );
+      ( "serve/artifact-save",
+        fun () ->
+          let art = Lazy.force art in
+          Staged.stage (fun () -> ignore (Emc_obs.Json.to_string (Artifact.to_json art))) );
+      ( "serve/repr-eval-x100",
+        fun () ->
+          let art = Lazy.force art in
+          Staged.stage (fun () ->
+              for _ = 1 to 100 do
+                ignore
+                  (Repr.eval art.Artifact.repr
+                     (Array.append
+                        (Emc_doe.Doe.random_point rng Params.space_compiler)
+                        march_coded))
+              done) );
       (* §3 kernel: D-optimal exchange *)
-      Test.make ~name:"doe/d-optimal-n40"
-        (Staged.stage (fun () ->
-             ignore (Emc_doe.Doe.d_optimal ~sweeps:1 rng space ~n:40 ~candidates)));
+      ( "doe/d-optimal-n40",
+        fun () ->
+          let candidates = Lazy.force candidates in
+          Staged.stage (fun () ->
+              ignore (Emc_doe.Doe.d_optimal ~sweeps:1 rng space ~n:40 ~candidates)) );
       (* measurement kernels: compilation and simulation *)
-      Test.make ~name:"measure/compile-O3"
-        (Staged.stage (fun () ->
-             let ir = Emc_lang.Minic.compile_exn (Registry.find "gzip").Workload.source in
-             let opt = Emc_opt.Pipeline.optimize ~issue_width:4 Emc_opt.Flags.o3 ir in
-             ignore
-               (Emc_codegen.Codegen.emit_program ~omit_frame_pointer:true opt)));
-      Test.make ~name:"measure/simulate-50k-instrs"
-        (Staged.stage (fun () ->
-             let ooo = Emc_sim.Ooo.create march prog in
-             Emc_core.Measure.setup_func arrays (Emc_sim.Ooo.func ooo);
-             Emc_sim.Ooo.run_detailed ooo ~instrs:50_000));
+      ( "measure/compile-O3",
+        fun () ->
+          Staged.stage (fun () ->
+              let ir = Emc_lang.Minic.compile_exn gzip.Workload.source in
+              let opt = Emc_opt.Pipeline.optimize ~issue_width:4 Emc_opt.Flags.o3 ir in
+              ignore (Emc_codegen.Codegen.emit_program ~omit_frame_pointer:true opt)) );
+      ( "measure/simulate-50k-instrs",
+        fun () ->
+          let prog = Lazy.force prog and arrays = Lazy.force arrays in
+          Staged.stage (fun () ->
+              let ooo = Emc_sim.Ooo.create march prog in
+              Emc_core.Measure.setup_func arrays (Emc_sim.Ooo.func ooo);
+              Emc_sim.Ooo.run_detailed ooo ~instrs:50_000) );
+      ( "measure/simulate-warming-50k",
+        fun () ->
+          let prog = Lazy.force prog and arrays = Lazy.force arrays in
+          Staged.stage (fun () ->
+              let ooo = Emc_sim.Ooo.create march prog in
+              Emc_core.Measure.setup_func arrays (Emc_sim.Ooo.func ooo);
+              Emc_sim.Ooo.run_warming ooo ~instrs:50_000) );
     ]
   in
-  let test = Test.make_grouped ~name:"emc" ~fmt:"%s %s" tests in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  Printf.printf "  %-34s %16s\n" "kernel" "ns/run";
-  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
-  List.iter
-    (fun (name, o) ->
-      match Analyze.OLS.estimates o with
-      | Some (est :: _) -> Printf.printf "  %-34s %16.0f\n" name est
-      | _ -> Printf.printf "  %-34s %16s\n" name "n/a")
-    (List.sort compare rows);
-  Printf.printf "%!"
+  let selected =
+    match filter with
+    | None -> kernels
+    | Some sub ->
+        List.filter
+          (fun (name, _) ->
+            let len = String.length sub in
+            let n = String.length name in
+            let rec at i = i + len <= n && (String.sub name i len = sub || at (i + 1)) in
+            at 0)
+          kernels
+  in
+  if selected = [] then
+    Printf.printf "  no kernel matches filter %S\n%!" (Option.value filter ~default:"")
+  else begin
+    let tests = List.map (fun (name, mk) -> Test.make ~name (mk ())) selected in
+    let test = Test.make_grouped ~name:"emc" ~fmt:"%s %s" tests in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+    let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    Printf.printf "  %-34s %16s\n" "kernel" "ns/run";
+    let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+    let rows = List.sort compare rows in
+    let strip_group name =
+      let prefix = "emc " in
+      if String.length name > 4 && String.sub name 0 4 = prefix then
+        String.sub name 4 (String.length name - 4)
+      else name
+    in
+    let timings =
+      List.filter_map
+        (fun (name, o) ->
+          match Analyze.OLS.estimates o with
+          | Some (est :: _) ->
+              Printf.printf "  %-34s %16.0f\n" name est;
+              Some (strip_group name, est)
+          | _ ->
+              Printf.printf "  %-34s %16s\n" name "n/a";
+              None)
+        rows
+    in
+    Printf.printf "%!";
+    match json_path with
+    | None -> ()
+    | Some path ->
+        (* machine-readable kernel timings: the perf trajectory tracked in
+           BENCH_sim.json and uploaded by CI on every run *)
+        let j =
+          Emc_obs.Json.Obj
+            [
+              ("schema", Emc_obs.Json.Str "emc-bench/1");
+              ("scale", Emc_obs.Json.Str ctx.scale.Scale.name);
+              ("unix_time", Emc_obs.Json.Int (int_of_float (Unix.time ())));
+              ( "kernels",
+                Emc_obs.Json.List
+                  (List.map
+                     (fun (name, ns) ->
+                       Emc_obs.Json.Obj
+                         [ ("name", Emc_obs.Json.Str name);
+                           ("ns_per_run", Emc_obs.Json.Float ns) ])
+                     timings) );
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Emc_obs.Json.to_string j);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "  wrote %s\n%!" path
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -228,6 +321,16 @@ let () =
     | _ :: rest -> jobs_of rest
     | [] -> None
   in
+  (* --filter SUB runs only micro-benchmark kernels whose name contains SUB
+     (e.g. --filter sim for the simulator kernels); --json PATH additionally
+     writes the kernel timings as machine-readable JSON *)
+  let rec opt_of flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> opt_of flag rest
+    | [] -> None
+  in
+  let filter = opt_of "--filter" args in
+  let json_path = opt_of "--json" args in
   let t0 = Unix.gettimeofday () in
   let scale =
     match jobs_of args with
@@ -264,7 +367,7 @@ let () =
   end;
   if not no_bechamel then
     phase "Bechamel micro-benchmarks (kernels behind each table/figure)" (fun () ->
-        bechamel_suite ctx);
+        bechamel_suite ?filter ?json_path ctx);
   Printf.printf "\nTotal: %d simulator runs, %d compilations, %.1fs wall clock.\n"
     ctx.measure.Measure.simulations ctx.measure.Measure.compiles
     (Unix.gettimeofday () -. t0)

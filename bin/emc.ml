@@ -160,10 +160,17 @@ let simulate_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let cycles = Measure.cycles m w ~variant:Workload.Train flags march in
+        let wall = Unix.gettimeofday () -. t0 in
         Printf.printf "%s %s on %s: %.0f cycles (%.2fs wall, %d simulations)\n" w.name level
-          cname cycles
-          (Unix.gettimeofday () -. t0)
-          m.Measure.simulations)
+          cname cycles wall m.Measure.simulations;
+        (* detailed-mode engine throughput, comparable with BENCH_sim.json;
+           meaningless on a warm cache (zero simulations) *)
+        if m.Measure.simulations > 0 && wall > 0.0 then
+          match Emc_obs.Metrics.counter_value "sim.detail_instrs" with
+          | Some di when di > 0 ->
+              Printf.printf "  engine: %.2f M detailed instrs/s\n"
+                (float_of_int di /. wall /. 1e6)
+          | _ -> ())
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Compile and simulate one workload/flags/microarch combination.")

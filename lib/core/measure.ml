@@ -37,6 +37,12 @@ let m_simulations = Metrics.counter "measure.simulations"
 let m_result_hits = Metrics.counter "measure.result_cache_hits"
 let m_preloaded = Metrics.counter "measure.cache_preloaded"
 
+(* Wall-clock seconds per simulator run (cache misses only). The simulator
+   is the pipeline's dominant cost and the subject of its perf baseline
+   (BENCH_sim.json); exporting the distribution makes a regression visible
+   in any experiment's metrics dump, not just in the bench harness. *)
+let h_sim_seconds = Metrics.histogram "measure.sim_seconds"
+
 (* ---------------- persistent result cache ---------------- *)
 
 (* One JSON object per line. The value is a hex float literal (%h) rather
@@ -163,12 +169,14 @@ let run_sim t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t) (march : Emc_s
       let prog = compile t w flags ~issue_width:march.issue_width in
       let arrays = w.arrays ~scale:t.scale.Scale.workload_scale ~variant in
       let setup = setup_func arrays in
+      let t0 = Unix.gettimeofday () in
       let r =
         Trace.with_span ~cat:"sim" "simulate" (fun () ->
             match t.scale.Scale.smarts with
             | Some params -> Emc_sim.Smarts.run_sampled ~params march prog ~setup
             | None -> Emc_sim.Smarts.run_full march prog ~setup)
       in
+      Metrics.observe h_sim_seconds (Unix.gettimeofday () -. t0);
       t.simulations <- t.simulations + 1;
       Metrics.incr m_simulations;
       r)

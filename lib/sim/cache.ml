@@ -35,37 +35,38 @@ let create ~size_bytes ~assoc =
     misses = 0;
   }
 
+(* Tags store the full line number (redundant set bits included), so lookup
+   compares against [line] directly. Both loops below are tail-recursive and
+   allocation-free: this is the innermost function of the whole simulator
+   (every load, store, prefetch and I-fetch line crossing lands here). *)
+
+let rec find_way t base line w =
+  if w >= t.ways then -1
+  else if t.tags.(base + w) = line then w
+  else find_way t base line (w + 1)
+
+let rec lru_way t base best w =
+  if w >= t.ways then best
+  else lru_way t base (if t.stamp.(base + w) < t.stamp.(base + best) then w else best) (w + 1)
+
 (** [access t addr] returns [true] on hit. On miss the line is filled
     (evicting LRU). *)
 let access t addr =
   t.tick <- t.tick + 1;
   let line = addr lsr t.line_shift in
   let set = line land (t.sets - 1) in
-  let tag = line lsr 0 in
   let base = set * t.ways in
-  let hit = ref false in
-  (try
-     for w = 0 to t.ways - 1 do
-       if t.tags.(base + w) = tag then begin
-         t.stamp.(base + w) <- t.tick;
-         hit := true;
-         raise Exit
-       end
-     done
-   with Exit -> ());
-  if !hit then begin
+  let w = find_way t base line 0 in
+  if w >= 0 then begin
+    t.stamp.(base + w) <- t.tick;
     t.hits <- t.hits + 1;
     true
   end
   else begin
     t.misses <- t.misses + 1;
-    (* evict LRU way *)
-    let victim = ref base in
-    for w = 1 to t.ways - 1 do
-      if t.stamp.(base + w) < t.stamp.(!victim) then victim := base + w
-    done;
-    t.tags.(!victim) <- tag;
-    t.stamp.(!victim) <- t.tick;
+    let victim = base + lru_way t base 0 1 in
+    t.tags.(victim) <- line;
+    t.stamp.(victim) <- t.tick;
     false
   end
 

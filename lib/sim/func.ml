@@ -20,6 +20,19 @@ type dyn = {
   taken : bool;  (** outcome for conditional branches; true for jumps *)
 }
 
+(** Caller-owned buffer for the allocation-free {!step_into}. One [dynbuf]
+    is written in place per dynamic instruction, so the timing model's hot
+    loop performs no per-instruction allocation at all (the boxed {!dyn}
+    option of {!step} costs a heap block per instruction, which dominates
+    minor-GC pressure in long detailed runs). *)
+type dynbuf = {
+  mutable d_idx : int;
+  mutable d_addr : int;
+  mutable d_taken : bool;
+}
+
+let dynbuf () = { d_idx = 0; d_addr = -1; d_taken = false }
+
 type t = {
   prog : Isa.program;
   regs : int array;  (** 32 integer registers *)
@@ -31,6 +44,7 @@ type t = {
   mutable icount : int;
   mutable outputs : value list;  (** reversed *)
   class_counts : int array;  (** dynamic instructions per FU class, for the energy model *)
+  scratch : dynbuf;  (** backs the boxed {!step} wrapper *)
 }
 
 let create (prog : Isa.program) =
@@ -47,6 +61,7 @@ let create (prog : Isa.program) =
       icount = 0;
       outputs = [];
       class_counts = Array.make Isa.n_fu_classes 0;
+      scratch = dynbuf ();
     }
   in
   t.regs.(Isa.r_sp) <- Emc_ir.Memlayout.stack_top prog.Isa.layout;
@@ -72,17 +87,24 @@ let getf t r = t.fregs.(r - Isa.fp_base)
 let seti t r v = t.regs.(r) <- v
 let setf t r v = t.fregs.(r - Isa.fp_base) <- v
 
-let step t : dyn option =
-  if t.halted then None
+(** Execute one instruction, writing its dynamic record into [b]. Returns
+    [false] (and writes nothing) once the machine has halted. Allocation-free:
+    the control-flow and memory outcomes go into the caller-owned [b] and the
+    next pc is committed directly to [t.pc] (so after a mid-instruction trap
+    [t.pc] points past the trapping instruction; traps are not resumable, so
+    nothing observes that). *)
+let step_into t (b : dynbuf) : bool =
+  if t.halted then false
   else begin
     let pc = t.pc in
     let i = t.prog.Isa.insts.(pc) in
     t.icount <- t.icount + 1;
     let ci = Isa.fu_index (Isa.fu_of i.op) in
     t.class_counts.(ci) <- t.class_counts.(ci) + 1;
-    let next = ref (pc + 1) in
-    let addr = ref (-1) in
-    let taken = ref false in
+    b.d_idx <- pc;
+    b.d_addr <- -1;
+    b.d_taken <- false;
+    t.pc <- pc + 1;
     (match i.op with
     | LDI -> seti t i.rd i.imm
     | LFI -> setf t i.rd i.fimm
@@ -129,43 +151,43 @@ let step t : dyn option =
         seti t i.rd (if Float.is_nan x then 0 else int_of_float x)
     | LD ->
         let a = geti t i.rs1 + i.imm in
-        addr := a;
+        b.d_addr <- a;
         seti t i.rd t.imem.(word a)
     | FLD ->
         let a = geti t i.rs1 + i.imm in
-        addr := a;
+        b.d_addr <- a;
         setf t i.rd t.fmem.(word a)
     | ST ->
         let a = geti t i.rs1 + i.imm in
-        addr := a;
+        b.d_addr <- a;
         t.imem.(word a) <- geti t i.rs2
     | FST ->
         let a = geti t i.rs1 + i.imm in
-        addr := a;
+        b.d_addr <- a;
         t.fmem.(word a) <- getf t i.rs2
     | PREF ->
         let a = geti t i.rs1 + i.imm in
-        addr := a
+        b.d_addr <- a
     | BEQZ ->
         if geti t i.rs1 = 0 then begin
-          taken := true;
-          next := i.imm
+          b.d_taken <- true;
+          t.pc <- i.imm
         end
     | BNEZ ->
         if geti t i.rs1 <> 0 then begin
-          taken := true;
-          next := i.imm
+          b.d_taken <- true;
+          t.pc <- i.imm
         end
     | J ->
-        taken := true;
-        next := i.imm
+        b.d_taken <- true;
+        t.pc <- i.imm
     | CALL ->
-        taken := true;
+        b.d_taken <- true;
         seti t Isa.r_ra (pc + 1);
-        next := i.imm
+        t.pc <- i.imm
     | RET ->
-        taken := true;
-        next := geti t Isa.r_ra
+        b.d_taken <- true;
+        t.pc <- geti t Isa.r_ra
     | MOV -> seti t i.rd (geti t i.rs1)
     | FMOV -> setf t i.rd (getf t i.rs1)
     | OUT ->
@@ -173,16 +195,23 @@ let step t : dyn option =
         t.outputs <- v :: t.outputs
     | HALT -> t.halted <- true
     | NOP -> ());
-    t.pc <- !next;
-    Some { idx = pc; addr = !addr; taken = !taken }
+    true
   end
+
+(** Boxed convenience wrapper over {!step_into} — used by callers that want
+    the immutable record (differential testing, ad-hoc drivers); the timing
+    model's hot path calls {!step_into} directly. *)
+let step t : dyn option =
+  if step_into t t.scratch then
+    Some { idx = t.scratch.d_idx; addr = t.scratch.d_addr; taken = t.scratch.d_taken }
+  else None
 
 (** Run to completion with a fuel limit; returns the dynamic instruction
     count. *)
 let run ?(fuel = 1_000_000_000) t =
   let n = ref 0 in
   while (not t.halted) && !n < fuel do
-    ignore (step t);
+    ignore (step_into t t.scratch);
     incr n
   done;
   if not t.halted then raise (Trap Emc_ir.Trap.Out_of_fuel);

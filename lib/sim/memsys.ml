@@ -20,6 +20,11 @@ let create (c : Config.t) =
     mem_lat = c.mem_lat;
   }
 
+(** Worst-case latency any single access can bill (full miss to memory).
+    The timing model sizes its completion calendar from this so a wheel slot
+    can never hold an event more than one revolution away. *)
+let max_latency t = 1 + t.dcache_lat + t.l2_lat + t.mem_lat
+
 (** Instruction fetch: L1I is 1 cycle when hit (pipelined into fetch). *)
 let access_i t addr =
   if Cache.access t.l1i addr then 1

@@ -14,6 +14,10 @@ type t = {
 
 val create : Config.t -> t
 
+val max_latency : t -> int
+(** Worst-case latency a single access can bill (a full miss to memory).
+    The timing model sizes its completion calendar from this bound. *)
+
 val access_i : t -> int -> int
 (** Instruction fetch at a byte address: 1 cycle on an L1I hit (pipelined
     into fetch), otherwise 1 + L2 latency (+ memory latency on an L2

@@ -29,17 +29,53 @@ open Emc_isa
     The model is driven by the functional simulator's dynamic stream, so
     each run is tied to one binary and one input — IPC comparisons across
     different binaries are meaningless, which is exactly why the paper (and
-    this reproduction) measures whole-program cycles. *)
+    this reproduction) measures whole-program cycles.
+
+    {2 Scheduling data structures}
+
+    The per-cycle loop is scan-free; every stage runs in time proportional
+    to the work it actually performs, not to the RUU size. Cycle counts are
+    bit-identical to the straightforward scan-everything formulation (the
+    golden tests in [test_sim_golden] and the differential fuzzer enforce
+    this):
+
+    - {b completion calendar}: issuing an entry pushes [(seq, slot)] into a
+      power-of-two timing wheel bucket keyed by [complete_at]. Writeback
+      drains exactly the current cycle's bucket. The wheel is sized past the
+      worst memory round-trip ({!Memsys.max_latency}), so a live event is
+      never more than one revolution away. Events are validated against the
+      entry's [seq] on pop: a [flush_timing] can strand stale events in the
+      wheel and they must be ignored, not serviced.
+    - {b ready set}: a bitset over RUU slots holding dispatched entries
+      whose remaining producer count ([pending]) is zero. Completion wakes
+      consumers through per-producer edge lists ([cons_head]/[cons_next],
+      edge id = [slot*2 + operand]); dispatch only records edges to
+      producers that are still in flight, so each edge is drained exactly
+      once. In-order commit guarantees a consumer slot cannot be recycled
+      before its producers complete, which is what makes the raw slot in
+      the edge safe to dereference. Issue walks set bits oldest-first from
+      the RUU head; an entry that fails to launch (FU busy, store-set
+      conflict) keeps its bit and retries next cycle, exactly like the
+      old rescan.
+    - {b store index}: an open-addressing table maps word address → the
+      youngest in-flight store to that word, and each store links to the
+      previous same-word store ([st_prev_*]). A load walks that chain,
+      skipping stores younger than itself and validating [seq] (entries are
+      never deleted — commit and flush invalidate them implicitly). This
+      replaces the head-to-slot RUU walk per load per issue attempt.
+    - {b fetch ring}: the fetch queue is a preallocated ring of
+      [ifq_size] slots each embedding a {!Func.dynbuf}; together with
+      {!Func.step_into} the front end allocates nothing per instruction.
+
+    All ring/wheel arithmetic uses power-of-two masks or wrap compares —
+    there is no [mod]/[div] left on a per-cycle or per-instruction path. *)
 
 type entry = {
   mutable seq : int;
   mutable idx : int;  (** static instruction index *)
-  mutable fu : Isa.fu_class;
+  mutable fu : int;  (** index into {!t.fu_avail} (Branch/NoFu share) *)
   mutable dst : int;  (** arch register id or -1 *)
-  mutable dep1_slot : int;  (** RUU slot of producer 1, -1 if none *)
-  mutable dep1_seq : int;
-  mutable dep2_slot : int;
-  mutable dep2_seq : int;
+  mutable pending : int;  (** producers not yet complete (0..2) *)
   mutable addr : int;
   mutable is_load : bool;
   mutable is_store : bool;
@@ -52,9 +88,9 @@ type entry = {
 }
 
 let mispredict_extra = 3
-let ifq_size = 16
+let ifq_size = 16 (* power of two: the fetch queue is a ring *)
 
-type fetch_item = { fdyn : Func.dyn; fmispred : bool }
+type fetch_slot = { f_dyn : Func.dynbuf; mutable f_mispred : bool }
 
 type t = {
   cfg : Config.t;
@@ -64,10 +100,14 @@ type t = {
   func : Func.t;
   prog : Isa.program;
   ruu : entry array;
+  size : int;  (** [Array.length ruu], hoisted out of the wrap compares *)
   mutable head : int;
   mutable count : int;
   mutable seq : int;
-  ifq : fetch_item Queue.t;
+  (* fetch queue ring: slots [ifq_head, ifq_head+ifq_len) mod ifq_size *)
+  ifq : fetch_slot array;
+  mutable ifq_head : int;
+  mutable ifq_len : int;
   mutable fetch_blocked_until : int;  (** -1 means blocked on a branch resolution *)
   mutable last_fetch_line : int;
   mutable cycle : int;
@@ -76,6 +116,33 @@ type t = {
   (* per-arch-register producer tracking *)
   prod_slot : int array;  (** 64 entries; -1 when value is architectural *)
   prod_seq : int array;
+  (* ready set: bit per RUU slot, 32 bits per word *)
+  ready : int array;
+  (* completion calendar: wheel of buckets, index = complete_at land cal_mask;
+     events are (seq lsl slot_bits) lor slot, validated against the entry on
+     pop so events stranded by a flush are ignored *)
+  cal : int array array;
+  cal_len : int array;
+  cal_mask : int;
+  slot_bits : int;
+  slot_mask : int;
+  (* producer-to-consumer wakeup edges: cons_head.(producer slot) heads a
+     list through cons_next, edge id = (consumer slot)*2 + operand *)
+  cons_head : int array;
+  cons_next : int array;
+  (* in-flight store index: open-addressing word->(slot,seq) plus a per-slot
+     link to the previous same-word store; entries validated by seq, never
+     deleted (the table is rebuilt larger when half full) *)
+  mutable sq_key : int array;
+  mutable sq_slot : int array;
+  mutable sq_seq : int array;
+  mutable sq_mask : int;
+  mutable sq_used : int;
+  st_prev_slot : int array;
+  st_prev_seq : int array;
+  (* per-cycle FU budget, reset by [issue]; indexed by [entry.fu] *)
+  fu_avail : int array;
+  warm_buf : Func.dynbuf;  (** scratch for {!run_warming} *)
   mutable branch_mispredicts : int;
   mutable detail_instrs : int;
   (* per-run performance counters (see {!counters}): stall cycles are
@@ -89,25 +156,54 @@ type t = {
 
 let fresh_entry () =
   {
-    seq = -1; idx = 0; fu = Isa.IntAlu; dst = -1; dep1_slot = -1; dep1_seq = -1;
-    dep2_slot = -1; dep2_seq = -1; addr = -1; is_load = false; is_store = false;
-    is_pref = false; is_branch = false; mispred = false; state = 0; complete_at = 0;
-    valid = false;
+    seq = -1; idx = 0; fu = 0; dst = -1; pending = 0; addr = -1; is_load = false;
+    is_store = false; is_pref = false; is_branch = false; mispred = false; state = 0;
+    complete_at = 0; valid = false;
   }
 
+let next_pow2 n =
+  let r = ref 1 in
+  while !r < n do
+    r := !r * 2
+  done;
+  !r
+
+let bits_for n =
+  let b = ref 0 in
+  while 1 lsl !b < n do
+    incr b
+  done;
+  !b
+
+(* Branch and NoFu share the issue-width budget (slot 5); the other classes
+   map to their own counter. [Isa.fu_index] orders IntAlu..Branch as 0..5
+   with NoFu last. *)
+let fu_slot fu =
+  let i = Isa.fu_index fu in
+  if i > 5 then 5 else i
+
 let create (cfg : Config.t) (prog : Isa.program) =
+  let mem = Memsys.create cfg in
+  let size = cfg.ruu_size in
+  (* strictly larger than any single-event latency: loads bill at most the
+     full miss chain, ALU ops at most Isa.latency_of (<= 12) *)
+  let wheel = next_pow2 (max (Memsys.max_latency mem) 16 + 2) in
+  let slot_bits = max 1 (bits_for size) in
   {
     cfg;
     machine = Isa.machine_for_width cfg.issue_width;
-    mem = Memsys.create cfg;
+    mem;
     bpred = Bpred.create ~size:cfg.bpred_size;
     func = Func.create prog;
     prog;
-    ruu = Array.init cfg.ruu_size (fun _ -> fresh_entry ());
+    ruu = Array.init size (fun _ -> fresh_entry ());
+    size;
     head = 0;
     count = 0;
     seq = 0;
-    ifq = Queue.create ();
+    ifq = Array.init ifq_size (fun _ -> { f_dyn = Func.dynbuf (); f_mispred = false });
+    ifq_head = 0;
+    ifq_len = 0;
     fetch_blocked_until = 0;
     last_fetch_line = -1;
     cycle = 0;
@@ -115,6 +211,23 @@ let create (cfg : Config.t) (prog : Isa.program) =
     trace_done = false;
     prod_slot = Array.make 64 (-1);
     prod_seq = Array.make 64 (-1);
+    ready = Array.make ((size + 31) lsr 5) 0;
+    cal = Array.init wheel (fun _ -> Array.make 4 0);
+    cal_len = Array.make wheel 0;
+    cal_mask = wheel - 1;
+    slot_bits;
+    slot_mask = (1 lsl slot_bits) - 1;
+    cons_head = Array.make size (-1);
+    cons_next = Array.make (2 * size) (-1);
+    sq_key = Array.make 64 (-1);
+    sq_slot = Array.make 64 0;
+    sq_seq = Array.make 64 0;
+    sq_mask = 63;
+    sq_used = 0;
+    st_prev_slot = Array.make size (-1);
+    st_prev_seq = Array.make size (-1);
+    fu_avail = Array.make 6 0;
+    warm_buf = Func.dynbuf ();
     branch_mispredicts = 0;
     detail_instrs = 0;
     issued_total = 0;
@@ -125,34 +238,101 @@ let create (cfg : Config.t) (prog : Isa.program) =
 
 let func t = t.func
 
-(* sources of a static instruction, in the unified register namespace *)
-let sources (i : Isa.inst) =
-  match i.op with
-  | ST | FST -> (i.rs1, i.rs2)
-  | _ -> (i.rs1, i.rs2)
+(* ---------- ready-set bitset ---------- *)
 
-let dep_ready t slot seq =
-  slot < 0
-  ||
-  let e = t.ruu.(slot) in
-  (not e.valid) || e.seq <> seq || e.state = 2
+(* de Bruijn count-trailing-zeros over the low 32 bits (words of [t.ready]
+   only ever hold 32 bits) *)
+let debruijn32 =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
 
-let entry_ready t (e : entry) =
-  dep_ready t e.dep1_slot e.dep1_seq && dep_ready t e.dep2_slot e.dep2_seq
+let ctz32 x = debruijn32.((((x land (-x)) * 0x077CB531) land 0xFFFFFFFF) lsr 27)
+let set_ready t slot = t.ready.(slot lsr 5) <- t.ready.(slot lsr 5) lor (1 lsl (slot land 31))
 
-(* Is there an older in-flight store to the same word? Returns
-   [`Forward] when that store has executed (data available),
-   [`Conflict] when it has not, [`None] otherwise. *)
-let older_store_conflict t slot =
-  let result = ref `None in
-  let i = ref t.head in
-  while !i <> slot do
-    let e = t.ruu.(!i) in
-    if e.valid && e.is_store && e.addr lsr 3 = t.ruu.(slot).addr lsr 3 then
-      result := (if e.state = 2 then `Forward else `Conflict);
-    i := (!i + 1) mod Array.length t.ruu
+let clear_ready t slot =
+  t.ready.(slot lsr 5) <- t.ready.(slot lsr 5) land lnot (1 lsl (slot land 31))
+
+(* ---------- completion calendar ---------- *)
+
+let cal_push t at slot seq =
+  assert (at - t.cycle <= t.cal_mask);
+  let b = at land t.cal_mask in
+  let n = t.cal_len.(b) in
+  let bucket =
+    let bk = t.cal.(b) in
+    if n < Array.length bk then bk
+    else begin
+      let bigger = Array.make (2 * n) 0 in
+      Array.blit bk 0 bigger 0 n;
+      t.cal.(b) <- bigger;
+      bigger
+    end
+  in
+  bucket.(n) <- (seq lsl t.slot_bits) lor slot;
+  t.cal_len.(b) <- n + 1
+
+(* ---------- store index ---------- *)
+
+(* open-addressing probe: returns the slot holding [word] or the free slot
+   where it would go; the table never holds deleted keys *)
+let sq_probe t word =
+  let mask = t.sq_mask in
+  let i = ref ((word * 0x9E3779B1) land mask) in
+  while
+    let k = t.sq_key.(!i) in
+    k >= 0 && k <> word
+  do
+    i := (!i + 1) land mask
   done;
-  !result
+  !i
+
+let sq_grow t =
+  let old_key = t.sq_key and old_slot = t.sq_slot and old_seq = t.sq_seq in
+  let n = 2 * Array.length old_key in
+  t.sq_key <- Array.make n (-1);
+  t.sq_slot <- Array.make n 0;
+  t.sq_seq <- Array.make n 0;
+  t.sq_mask <- n - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = sq_probe t k in
+        t.sq_key.(j) <- k;
+        t.sq_slot.(j) <- old_slot.(i);
+        t.sq_seq.(j) <- old_seq.(i)
+      end)
+    old_key
+
+(* Is there an older in-flight store to the same word? Returns [`Forward]
+   when that store has executed (data available), [`Conflict] when it has
+   not, [`None] otherwise. Walks the same-word store chain youngest-first;
+   the first link that is stale (committed or flushed, detected by seq
+   mismatch) ends the walk — stores commit in order, so everything older on
+   the chain is gone too. Program order is compared by [seq]: RUU slot
+   numbers wrap, sequence numbers do not. *)
+let older_store_conflict t (load : entry) =
+  let j = sq_probe t (load.addr lsr 3) in
+  if t.sq_key.(j) < 0 then `None
+  else begin
+    let slot = ref t.sq_slot.(j) and sq = ref t.sq_seq.(j) in
+    let result = ref `None in
+    let continue_ = ref true in
+    while !continue_ do
+      let e = t.ruu.(!slot) in
+      if not (e.valid && e.is_store && e.seq = !sq) then continue_ := false
+      else if e.seq < load.seq then begin
+        result := (if e.state = 2 then `Forward else `Conflict);
+        continue_ := false
+      end
+      else begin
+        (* store younger than the load: skip to the previous same-word one *)
+        sq := t.st_prev_seq.(!slot);
+        slot := t.st_prev_slot.(!slot);
+        if !slot < 0 then continue_ := false
+      end
+    done;
+    !result
+  end
 
 (* ---------- pipeline stages ---------- *)
 
@@ -169,7 +349,8 @@ let commit t =
         t.prod_seq.(e.dst) <- -1
       end;
       e.valid <- false;
-      t.head <- (t.head + 1) mod Array.length t.ruu;
+      let h = t.head + 1 in
+      t.head <- (if h = t.size then 0 else h);
       t.count <- t.count - 1;
       t.committed <- t.committed + 1;
       incr n
@@ -177,158 +358,252 @@ let commit t =
     else continue_ := false
   done
 
-let writeback t =
-  let i = ref t.head in
-  for _ = 1 to t.count do
-    let e = t.ruu.(!i) in
-    if e.valid && e.state = 1 && e.complete_at <= t.cycle then begin
-      e.state <- 2;
-      if e.is_branch && e.mispred && t.fetch_blocked_until < 0 then
-        t.fetch_blocked_until <- t.cycle + mispredict_extra
-    end;
-    i := (!i + 1) mod Array.length t.ruu
+(* complete one issued entry: wake its consumers (each pending count drops
+   exactly once per recorded edge) and release a resolving mispredict *)
+let complete_entry t slot (e : entry) =
+  e.state <- 2;
+  if e.is_branch && e.mispred && t.fetch_blocked_until < 0 then
+    t.fetch_blocked_until <- t.cycle + mispredict_extra;
+  let edge = ref t.cons_head.(slot) in
+  t.cons_head.(slot) <- -1;
+  while !edge >= 0 do
+    let c = t.ruu.(!edge lsr 1) in
+    c.pending <- c.pending - 1;
+    if c.pending = 0 then set_ready t (!edge lsr 1);
+    edge := t.cons_next.(!edge)
   done
+
+let writeback t =
+  let b = t.cycle land t.cal_mask in
+  let n = t.cal_len.(b) in
+  if n > 0 then begin
+    let bucket = t.cal.(b) in
+    for k = 0 to n - 1 do
+      let ev = bucket.(k) in
+      let slot = ev land t.slot_mask in
+      let e = t.ruu.(slot) in
+      (* seq check drops events stranded by flush_timing or slot reuse *)
+      if e.valid && e.state = 1 && e.seq = ev lsr t.slot_bits then complete_entry t slot e
+    done;
+    t.cal_len.(b) <- 0
+  end
+
+(* try to launch one ready entry; returns true when it issued. FU budget is
+   checked before the load-conflict probe — same order as the old scan, so
+   cache state mutates identically. *)
+let try_issue t slot =
+  let e = t.ruu.(slot) in
+  if t.fu_avail.(e.fu) = 0 then false
+  else begin
+    let ok, lat =
+      if e.is_load then
+        match older_store_conflict t e with
+        | `Conflict -> (false, 0)
+        | `Forward -> (true, 1)
+        | `None -> (true, Memsys.access_d t.mem e.addr)
+      else if e.is_store then (true, 1)
+      else if e.is_pref then begin
+        Memsys.prefetch_d t.mem e.addr;
+        (true, 1)
+      end
+      else (true, Isa.latency_of t.prog.Isa.insts.(e.idx).Isa.op)
+    in
+    if ok then begin
+      t.fu_avail.(e.fu) <- t.fu_avail.(e.fu) - 1;
+      e.state <- 1;
+      e.complete_at <- t.cycle + lat;
+      clear_ready t slot;
+      cal_push t e.complete_at slot e.seq;
+      t.issued_total <- t.issued_total + 1
+    end;
+    ok
+  end
+
+(* issue ready slots in [lo, hi) in slot order, until [width] are away;
+   returns the updated issued count. Slot order from the head is age order,
+   so this visits candidates oldest-first like the old full scan. *)
+let issue_range t lo hi issued width =
+  let issued = ref issued in
+  if lo < hi then begin
+    let w0 = lo lsr 5 and w1 = (hi - 1) lsr 5 in
+    let w = ref w0 in
+    while !w <= w1 && !issued < width do
+      let word = ref t.ready.(!w) in
+      if !w = w0 then word := !word land ((-1) lsl (lo land 31));
+      if !w = w1 && hi land 31 <> 0 then word := !word land ((1 lsl (hi land 31)) - 1);
+      while !word <> 0 && !issued < width do
+        let bit = ctz32 !word in
+        word := !word land (!word - 1);
+        if try_issue t ((!w lsl 5) lor bit) then incr issued
+      done;
+      incr w
+    done
+  end;
+  !issued
 
 let issue t =
-  let avail_int_alu = ref t.machine.Isa.n_int_alu in
-  let avail_int_mul = ref t.machine.Isa.n_int_mul in
-  let avail_fp_alu = ref t.machine.Isa.n_fp_alu in
-  let avail_fp_mul = ref t.machine.Isa.n_fp_mul in
-  let avail_ldst = ref t.machine.Isa.n_ldst in
-  let avail_branch = ref t.machine.Isa.issue_width in
-  let counter = function
-    | Isa.IntAlu -> avail_int_alu
-    | Isa.IntMul -> avail_int_mul
-    | Isa.FpAlu -> avail_fp_alu
-    | Isa.FpMul -> avail_fp_mul
-    | Isa.LdSt -> avail_ldst
-    | Isa.Branch | Isa.NoFu -> avail_branch
-  in
-  let issued = ref 0 in
-  let slot = ref t.head in
-  let scanned = ref 0 in
-  while !scanned < t.count && !issued < t.machine.Isa.issue_width do
-    let e = t.ruu.(!slot) in
-    if e.valid && e.state = 0 && entry_ready t e then begin
-      let c = counter e.fu in
-      if !c > 0 then begin
-        let ok, lat =
-          if e.is_load then
-            match older_store_conflict t !slot with
-            | `Conflict -> (false, 0)
-            | `Forward -> (true, 1)
-            | _ -> (true, Memsys.access_d t.mem e.addr)
-          else if e.is_store then (true, 1)
-          else if e.is_pref then begin
-            Memsys.prefetch_d t.mem e.addr;
-            (true, 1)
-          end
-          else (true, Isa.latency_of t.prog.Isa.insts.(e.idx).Isa.op)
-        in
-        if ok then begin
-          decr c;
-          e.state <- 1;
-          e.complete_at <- t.cycle + lat;
-          incr issued;
-          t.issued_total <- t.issued_total + 1
-        end
-      end
-    end;
-    slot := (!slot + 1) mod Array.length t.ruu;
-    incr scanned
-  done
+  let m = t.machine in
+  t.fu_avail.(0) <- m.Isa.n_int_alu;
+  t.fu_avail.(1) <- m.Isa.n_int_mul;
+  t.fu_avail.(2) <- m.Isa.n_fp_alu;
+  t.fu_avail.(3) <- m.Isa.n_fp_mul;
+  t.fu_avail.(4) <- m.Isa.n_ldst;
+  t.fu_avail.(5) <- m.Isa.issue_width;
+  let width = m.Isa.issue_width in
+  let tail = t.head + t.count in
+  if tail <= t.size then ignore (issue_range t t.head tail 0 width)
+  else begin
+    let issued = issue_range t t.head t.size 0 width in
+    if issued < width then ignore (issue_range t 0 (tail - t.size) issued width)
+  end
 
 let dispatch t =
+  let insts = t.prog.Isa.insts in
   let n = ref 0 in
-  while !n < t.machine.Isa.issue_width && t.count < Array.length t.ruu
-        && not (Queue.is_empty t.ifq) do
-    let item = Queue.pop t.ifq in
-    let d = item.fdyn in
-    let i = t.prog.Isa.insts.(d.Func.idx) in
-    let slot = (t.head + t.count) mod Array.length t.ruu in
+  while !n < t.machine.Isa.issue_width && t.count < t.size && t.ifq_len > 0 do
+    let item = t.ifq.(t.ifq_head) in
+    t.ifq_head <- (t.ifq_head + 1) land (ifq_size - 1);
+    t.ifq_len <- t.ifq_len - 1;
+    let d = item.f_dyn in
+    let idx = d.Func.d_idx in
+    let i = insts.(idx) in
+    let slot =
+      let s = t.head + t.count in
+      if s >= t.size then s - t.size else s
+    in
     let e = t.ruu.(slot) in
     t.seq <- t.seq + 1;
     e.seq <- t.seq;
-    e.idx <- d.Func.idx;
-    e.fu <- Isa.fu_of i.Isa.op;
+    e.idx <- idx;
+    e.fu <- fu_slot (Isa.fu_of i.Isa.op);
     e.dst <- i.Isa.rd;
-    e.addr <- d.Func.addr;
+    e.addr <- d.Func.d_addr;
     e.is_load <- Isa.is_load i.Isa.op;
     e.is_store <- Isa.is_store i.Isa.op;
     e.is_pref <- i.Isa.op = Isa.PREF;
     e.is_branch <- Isa.is_branch i.Isa.op;
-    e.mispred <- item.fmispred;
+    e.mispred <- item.f_mispred;
     e.state <- 0;
     e.complete_at <- max_int;
     e.valid <- true;
-    let s1, s2 = sources i in
-    let dep r =
-      if r < 0 then (-1, -1)
-      else if t.prod_slot.(r) >= 0 then (t.prod_slot.(r), t.prod_seq.(r))
-      else (-1, -1)
+    e.pending <- 0;
+    t.cons_head.(slot) <- -1;
+    (* Register sources are exactly (rs1, rs2) for every opcode — stores
+       read their address base in rs1 and their data in rs2, loads leave
+       rs2 = -1 — so no opcode needs special-cased source handling (a match
+       distinguishing ST/FST here had identical arms and was collapsed).
+       Record a wakeup edge only for producers still in flight: a completed
+       or architecturally-committed producer imposes no wait, and skipping
+       it here is what guarantees each recorded edge is drained exactly
+       once at producer completion. *)
+    let dep operand r =
+      if r >= 0 then begin
+        let p = t.prod_slot.(r) in
+        if p >= 0 then begin
+          let pe = t.ruu.(p) in
+          if pe.valid && pe.seq = t.prod_seq.(r) && pe.state < 2 then begin
+            e.pending <- e.pending + 1;
+            let edge = (slot lsl 1) lor operand in
+            t.cons_next.(edge) <- t.cons_head.(p);
+            t.cons_head.(p) <- edge
+          end
+        end
+      end
     in
-    let d1, q1 = dep s1 in
-    let d2, q2 = dep s2 in
-    e.dep1_slot <- d1;
-    e.dep1_seq <- q1;
-    e.dep2_slot <- d2;
-    e.dep2_seq <- q2;
+    dep 0 i.Isa.rs1;
+    dep 1 i.Isa.rs2;
+    if e.is_store then begin
+      let j = sq_probe t (e.addr lsr 3) in
+      if t.sq_key.(j) >= 0 then begin
+        (* chain to the previous youngest same-word store; possibly stale,
+           validated by seq at lookup time *)
+        t.st_prev_slot.(slot) <- t.sq_slot.(j);
+        t.st_prev_seq.(slot) <- t.sq_seq.(j)
+      end
+      else begin
+        t.sq_key.(j) <- e.addr lsr 3;
+        t.sq_used <- t.sq_used + 1;
+        t.st_prev_slot.(slot) <- -1;
+        t.st_prev_seq.(slot) <- -1
+      end;
+      t.sq_slot.(j) <- slot;
+      t.sq_seq.(j) <- e.seq;
+      if 2 * t.sq_used >= Array.length t.sq_key then sq_grow t
+    end;
     if e.dst >= 0 then begin
       t.prod_slot.(e.dst) <- slot;
       t.prod_seq.(e.dst) <- e.seq
     end;
+    if e.pending = 0 then set_ready t slot;
     t.count <- t.count + 1;
     incr n
   done
 
-(* Fetch up to issue_width instructions; returns true while the trace has
-   instructions left. *)
+(* shared by detailed fetch and functional warming: account one I-cache
+   line access when the pc crosses into a new line, returning its latency
+   (1 when still within the current line). pc is an instruction index;
+   instructions are 4 bytes, so the byte address is pc lsl 2 and the line
+   is pc lsr (line_shift - 2). *)
+let pc_line_shift =
+  let rec log2 n = if n <= 1 then 0 else 1 + log2 (n lsr 1) in
+  log2 Cache.line_bytes - 2
+
+let ifetch_latency t pc =
+  let line = pc lsr pc_line_shift in
+  if line = t.last_fetch_line then 1
+  else begin
+    let lat = Memsys.access_i t.mem (pc lsl 2) in
+    t.last_fetch_line <- line;
+    lat
+  end
+
+(* Fetch up to issue_width instructions into the ring. *)
 let fetch t =
-  if t.fetch_blocked_until >= 0 && t.fetch_blocked_until <= t.cycle && not t.trace_done then begin
+  if t.fetch_blocked_until >= 0 && t.fetch_blocked_until <= t.cycle && not t.trace_done
+  then begin
+    let insts = t.prog.Isa.insts in
     let n = ref 0 in
     let stop = ref false in
-    while (not !stop) && !n < t.machine.Isa.issue_width && Queue.length t.ifq < ifq_size do
-      (* I-cache: account a line access when crossing into a new line *)
-      let pc = t.func.Func.pc in
-      let line = pc * 4 / Cache.line_bytes in
-      if line <> t.last_fetch_line then begin
-        let lat = Memsys.access_i t.mem (pc * 4) in
-        t.last_fetch_line <- line;
-        if lat > 1 then begin
-          t.fetch_blocked_until <- t.cycle + lat;
+    while (not !stop) && !n < t.machine.Isa.issue_width && t.ifq_len < ifq_size do
+      let lat = ifetch_latency t t.func.Func.pc in
+      if lat > 1 then begin
+        t.fetch_blocked_until <- t.cycle + lat;
+        stop := true
+      end
+      else begin
+        let item = t.ifq.((t.ifq_head + t.ifq_len) land (ifq_size - 1)) in
+        if not (Func.step_into t.func item.f_dyn) then begin
+          t.trace_done <- true;
           stop := true
         end
-      end;
-      if not !stop then begin
-        match Func.step t.func with
-        | None ->
+        else begin
+          t.detail_instrs <- t.detail_instrs + 1;
+          let d = item.f_dyn in
+          let i = insts.(d.Func.d_idx) in
+          if i.Isa.op = Isa.HALT then begin
             t.trace_done <- true;
             stop := true
-        | Some d ->
-            t.detail_instrs <- t.detail_instrs + 1;
-            let i = t.prog.Isa.insts.(d.Func.idx) in
-            if i.Isa.op = Isa.HALT then begin
-              t.trace_done <- true;
+          end
+          else begin
+            let mispred =
+              if Isa.is_cond_branch i.Isa.op then begin
+                let correct = Bpred.update t.bpred d.Func.d_idx d.Func.d_taken in
+                if not correct then t.branch_mispredicts <- t.branch_mispredicts + 1;
+                not correct
+              end
+              else false
+            in
+            item.f_mispred <- mispred;
+            t.ifq_len <- t.ifq_len + 1;
+            incr n;
+            if mispred then begin
+              (* block until the branch resolves *)
+              t.fetch_blocked_until <- -1;
               stop := true
             end
-            else begin
-              let mispred =
-                if Isa.is_cond_branch i.Isa.op then begin
-                  let correct = Bpred.update t.bpred d.Func.idx d.Func.taken in
-                  if not correct then t.branch_mispredicts <- t.branch_mispredicts + 1;
-                  not correct
-                end
-                else false
-              in
-              Queue.push { fdyn = d; fmispred = mispred } t.ifq;
-              incr n;
-              if mispred then begin
-                (* block until the branch resolves *)
-                t.fetch_blocked_until <- -1;
-                stop := true
-              end
-              else if d.Func.taken then stop := true (* taken branch ends the group *)
-            end
+            else if d.Func.d_taken then stop := true (* taken branch ends the group *)
+          end
+        end
       end
     done
   end
@@ -350,7 +625,7 @@ let step_cycle t =
     t.fetch_stall_cycles <- t.fetch_stall_cycles + 1;
   t.cycle <- t.cycle + 1
 
-let busy t = t.count > 0 || not (Queue.is_empty t.ifq) || not t.trace_done
+let busy t = t.count > 0 || t.ifq_len > 0 || not t.trace_done
 
 (** Per-run performance counters — the raw material of the telemetry layer
     ({!Smarts} folds them into the [sim.*] metrics after every run, and
@@ -385,14 +660,20 @@ let run_detailed t ~instrs =
     while keeping architectural state, caches and predictors. Used when
     SMARTS switches from a detailed window back to functional warming: the
     functional simulator already executed the in-flight instructions at
-    fetch, so only their timing bookkeeping must go. *)
+    fetch, so only their timing bookkeeping must go. The completion
+    calendar and store index are {e not} cleared — their stranded events
+    and entries carry sequence numbers of invalidated entries and are
+    skipped when encountered. [last_fetch_line] deliberately survives: the
+    front end is still on the same I-cache line after the flush. *)
 let flush_timing t =
-  Queue.clear t.ifq;
+  t.ifq_head <- 0;
+  t.ifq_len <- 0;
   Array.iter (fun e -> e.valid <- false) t.ruu;
   t.head <- 0;
   t.count <- 0;
   Array.fill t.prod_slot 0 64 (-1);
   Array.fill t.prod_seq 0 64 (-1);
+  Array.fill t.ready 0 (Array.length t.ready) 0;
   if t.fetch_blocked_until < 0 then t.fetch_blocked_until <- t.cycle
 
 (** Run the whole program in detailed mode; returns total cycles. *)
@@ -405,24 +686,23 @@ let run_to_completion t =
 (** Functional warming: advance [instrs] instructions updating caches and
     branch predictor without timing (the SMARTS fast-forward mode). *)
 let run_warming t ~instrs =
+  let func = t.func in
+  let insts = t.prog.Isa.insts in
+  let buf = t.warm_buf in
   let n = ref 0 in
   while !n < instrs && not t.trace_done do
-    let pc = t.func.Func.pc in
-    let line = pc * 4 / Cache.line_bytes in
-    if line <> t.last_fetch_line then begin
-      ignore (Memsys.access_i t.mem (pc * 4));
-      t.last_fetch_line <- line
+    ignore (ifetch_latency t func.Func.pc);
+    if not (Func.step_into func buf) then t.trace_done <- true
+    else begin
+      let i = insts.(buf.Func.d_idx) in
+      if i.Isa.op = Isa.HALT then t.trace_done <- true
+      else begin
+        if Isa.is_cond_branch i.Isa.op then
+          ignore (Bpred.update t.bpred buf.Func.d_idx buf.Func.d_taken);
+        if buf.Func.d_addr >= 0 then
+          if i.Isa.op = Isa.PREF then Memsys.prefetch_d t.mem buf.Func.d_addr
+          else ignore (Memsys.access_d t.mem buf.Func.d_addr)
+      end
     end;
-    (match Func.step t.func with
-    | None -> t.trace_done <- true
-    | Some d ->
-        let i = t.prog.Isa.insts.(d.Func.idx) in
-        if i.Isa.op = Isa.HALT then t.trace_done <- true
-        else begin
-          if Isa.is_cond_branch i.Isa.op then ignore (Bpred.update t.bpred d.Func.idx d.Func.taken);
-          if d.Func.addr >= 0 then
-            if i.Isa.op = Isa.PREF then Memsys.prefetch_d t.mem d.Func.addr
-            else ignore (Memsys.access_d t.mem d.Func.addr)
-        end);
     incr n
   done

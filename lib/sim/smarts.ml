@@ -53,11 +53,20 @@ let h_ci = Metrics.histogram "smarts.ci_rel"
 let g_ci = Metrics.gauge "smarts.last_ci_rel"
 let h_units = Metrics.histogram "smarts.sampled_units"
 
+(* The [sim.*] counter handles mirror [Ooo.counters]'s fixed key order.
+   Resolved once at the first run — re-doing the string concat + registry
+   lookup for all 14 handles on every simulation showed up in profiles of
+   GA searches, which complete thousands of short sampled runs. *)
+let sim_handles : Metrics.counter list ref = ref []
+
 (* Fold one finished run's simulator counters into the global registry and
    record the sampling quality actually achieved. *)
 let record_run ooo (r : result) =
   Metrics.incr m_runs;
-  List.iter (fun (k, v) -> Metrics.add (Metrics.counter ("sim." ^ k)) v) (Ooo.counters ooo);
+  let cs = Ooo.counters ooo in
+  if !sim_handles = [] then
+    sim_handles := List.map (fun (k, _) -> Metrics.counter ("sim." ^ k)) cs;
+  List.iter2 (fun (_, v) h -> Metrics.add h v) cs !sim_handles;
   Metrics.observe h_ci r.ci_rel;
   Metrics.set g_ci r.ci_rel;
   if not r.detailed then Metrics.observe h_units (float_of_int r.sampled_units);

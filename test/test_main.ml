@@ -8,6 +8,7 @@ let () =
       ("opt", Test_opt.suite);
       ("codegen", Test_codegen.suite);
       ("sim", Test_sim.suite);
+      ("sim-golden", Test_sim_golden.suite);
       ("isa", Test_isa.suite);
       ("doe", Test_doe.suite);
       ("regress", Test_regress.suite);

@@ -310,6 +310,48 @@ let test_ooo_ruu_size_effect () =
   cb (Printf.sprintf "ruu 128 (%d) < ruu 16 (%d)" large small) true
     (float_of_int large < 0.8 *. float_of_int small)
 
+let test_ooo_store_waits_for_data () =
+  (* A store's data register (rs2) is a real source: a store whose data
+     comes from a 12-cycle DIV must not issue — and the same-word load
+     behind it must not forward — until the DIV completes. Pins the
+     dependence semantics behind the collapsed [Ooo.sources] (every opcode's
+     sources are (rs1, rs2); stores need no special casing). *)
+  let prog data_op =
+    [
+      Isa.make LDI ~rd:1 ~imm:0x1000;
+      Isa.make LDI ~rd:2 ~imm:5;
+      data_op; (* r3 <- f(r2), fast or slow *)
+      Isa.make ST ~rs1:1 ~rs2:3 ~imm:0;
+      Isa.make LD ~rd:4 ~rs1:1 ~imm:0;
+      Isa.make OUT ~rs1:4;
+      Isa.make HALT;
+    ]
+  in
+  let fast = cycles_of (prog (Isa.make MOV ~rd:3 ~rs1:2)) in
+  let slow = cycles_of (prog (Isa.make DIV ~rd:3 ~rs1:2 ~rs2:2)) in
+  cb
+    (Printf.sprintf "store waits for DIV data (%d > %d + 8)" slow fast)
+    true
+    (slow > fast + 8)
+
+let test_ooo_flush_keeps_last_fetch_line () =
+  (* flush_timing discards timing state but the front end is still on the
+     same I-cache line afterwards: resuming must not account a second line
+     access. The whole program fits one 64-byte line (16 instructions), so
+     exactly one L1I access — the cold miss — may ever be recorded. *)
+  let prog =
+    Isa.make LDI ~rd:1 ~imm:1
+    :: List.init 10 (fun i -> Isa.make ADD ~rd:(2 + (i mod 4)) ~rs1:1 ~rs2:1)
+    @ [ Isa.make HALT ]
+  in
+  let ooo = Ooo.create Config.typical (mk_prog prog) in
+  Ooo.run_detailed ooo ~instrs:3;
+  Ooo.flush_timing ooo;
+  ignore (Ooo.run_to_completion ooo);
+  let counters = Ooo.counters ooo in
+  ci "single cold L1I miss" 1 (List.assoc "l1i_misses" counters);
+  ci "no re-access after flush" 0 (List.assoc "l1i_hits" counters)
+
 let test_ooo_commits_everything () =
   let n = 50 in
   let prog =
@@ -473,6 +515,8 @@ let suite =
     ("ooo memory latency", `Quick, test_ooo_memory_latency_effect);
     ("ooo store forwarding", `Quick, test_ooo_store_forwarding);
     ("ooo ruu size", `Quick, test_ooo_ruu_size_effect);
+    ("ooo store waits for data", `Quick, test_ooo_store_waits_for_data);
+    ("ooo flush keeps last fetch line", `Quick, test_ooo_flush_keeps_last_fetch_line);
     ("ooo commits everything", `Quick, test_ooo_commits_everything);
     ("ooo flush keeps arch state", `Quick, test_ooo_flush_timing_keeps_arch_state);
     ("branch prediction effect", `Quick, test_branch_prediction_effect);
