@@ -1,0 +1,177 @@
+(* Append one labeled run to an emc-bench-history/1 file (BENCH_sim.json,
+   BENCH_serve.json) without rewriting what's already there: the existing
+   entries are preserved byte-for-byte and the new entry is spliced in
+   front of the closing bracket of "runs". The result is re-parsed before
+   anything is written, and the write is atomic (tmp + rename), so a
+   malformed entry can never corrupt the history.
+
+     append_history.exe --history BENCH_serve.json \
+       --label "seed: closed loop, 4 workers" --entry /tmp/report.json
+
+   The entry file is any JSON object (a bench/main.exe --json snapshot,
+   an emc loadgen --json report); --label and a unix_time stamp are added
+   to it. When the history file does not exist yet it is created, with
+   --note / --kernel-filter recorded once at creation. *)
+
+module Json = Emc_obs.Json
+
+let history_schema = "emc-bench-history/1"
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("append_history: " ^ m); exit 1) fmt
+
+let read_file path =
+  let ic = try open_in_bin path with Sys_error e -> die "%s" e in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_atomic path text =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc text;
+  close_out oc;
+  Sys.rename tmp path
+
+(* A small pretty-printer (the shared Json.to_string is compact); history
+   files are read by humans as much as by CI. *)
+let rec pretty buf indent j =
+  let pad n = String.make n ' ' in
+  match j with
+  | Json.Obj [] -> Buffer.add_string buf "{}"
+  | Json.Obj fields ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          Buffer.add_string buf (Json.to_string (Json.Str k));
+          Buffer.add_string buf ": ";
+          pretty buf (indent + 2) v)
+        fields;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '}'
+  | Json.List [] -> Buffer.add_string buf "[]"
+  | Json.List items ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf (pad (indent + 2));
+          pretty buf (indent + 2) v)
+        items;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf ']'
+  | leaf -> Buffer.add_string buf (Json.to_string leaf)
+
+let pretty_string indent j =
+  let buf = Buffer.create 256 in
+  pretty buf indent j;
+  Buffer.contents buf
+
+let build_entry ~label entry_json =
+  let fields =
+    match entry_json with
+    | Json.Obj fields -> fields
+    | _ -> die "the entry must be a JSON object"
+  in
+  let fields = List.remove_assoc "label" fields in
+  let fields =
+    if List.mem_assoc "unix_time" fields then fields
+    else fields @ [ ("unix_time", Json.Int (int_of_float (Unix.time ()))) ]
+  in
+  Json.Obj (("label", Json.Str label) :: fields)
+
+(* Splice the new entry in front of the last "]" of the file — the close
+   of "runs", which is the document's final key. Old entries keep their
+   exact bytes. *)
+let append_to existing entry =
+  (match Json.parse existing with
+  | Error e -> die "existing history is not valid JSON: %s" e
+  | Ok j -> (
+      match Json.member "schema" j with
+      | Some (Json.Str s) when s = history_schema -> ()
+      | _ -> die "existing history does not carry schema %S" history_schema));
+  let close =
+    match String.rindex_opt existing ']' with
+    | Some i -> i
+    | None -> die "existing history has no runs array to append to"
+  in
+  let runs_empty =
+    (* nothing but whitespace between "[" and this "]"? *)
+    let rec back i =
+      if i < 0 then true
+      else
+        match existing.[i] with
+        | ' ' | '\n' | '\t' | '\r' -> back (i - 1)
+        | '[' -> true
+        | _ -> false
+    in
+    back (close - 1)
+  in
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && (match s.[!n - 1] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let spliced =
+    String.concat ""
+      [ rtrim (String.sub existing 0 close);
+        (if runs_empty then "" else ",");
+        "\n    ";
+        pretty_string 4 entry;
+        "\n  ";
+        String.sub existing close (String.length existing - close) ]
+  in
+  (match Json.parse spliced with
+  | Error e -> die "internal error: spliced history does not parse: %s" e
+  | Ok _ -> ());
+  spliced
+
+let create ~note ~kernel_filter entry =
+  let fields =
+    [ ("schema", Json.Str history_schema) ]
+    @ (match kernel_filter with Some f -> [ ("kernel_filter", Json.Str f) ] | None -> [])
+    @ (match note with Some n -> [ ("note", Json.Str n) ] | None -> [])
+    @ [ ("runs", Json.List [ entry ]) ]
+  in
+  pretty_string 0 (Json.Obj fields) ^ "\n"
+
+let () =
+  let history = ref "" in
+  let label = ref "" in
+  let entry_file = ref "" in
+  let note = ref None in
+  let kernel_filter = ref None in
+  let spec =
+    [ ("--history", Arg.Set_string history, "FILE emc-bench-history/1 file to append to");
+      ("--label", Arg.Set_string label, "STR label for this run");
+      ("--entry", Arg.Set_string entry_file, "FILE JSON object to append (- for stdin)");
+      ("--note", Arg.String (fun s -> note := Some s), "STR note recorded when creating FILE");
+      ("--kernel-filter",
+       Arg.String (fun s -> kernel_filter := Some s),
+       "STR kernel filter recorded when creating FILE") ]
+  in
+  let usage = "append_history --history FILE --label STR --entry FILE" in
+  Arg.parse spec (fun a -> die "unexpected argument %S" a) usage;
+  if !history = "" || !label = "" || !entry_file = "" then
+    die "--history, --label and --entry are all required";
+  let entry_text =
+    if !entry_file = "-" then In_channel.input_all stdin else read_file !entry_file
+  in
+  let entry_json =
+    match Json.parse entry_text with
+    | Ok j -> j
+    | Error e -> die "entry %s: %s" !entry_file e
+  in
+  let entry = build_entry ~label:!label entry_json in
+  let text =
+    if Sys.file_exists !history then append_to (read_file !history) entry
+    else create ~note:!note ~kernel_filter:!kernel_filter entry
+  in
+  write_atomic !history text;
+  Printf.printf "%s: appended %S\n" !history !label

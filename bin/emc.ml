@@ -348,7 +348,8 @@ let serve_cmd =
   let workers_arg =
     Arg.(value & opt int 1
          & info [ "workers" ] ~docv:"N"
-             ~doc:"Pre-forked accept workers. /metrics is per-worker; keep 1 for exact totals.")
+             ~doc:"Pre-forked accept workers. /metrics aggregates across all of them: \
+                   counters sum exactly and latency histograms merge bucket-wise.")
   in
   let max_body_arg =
     Arg.(value & opt int (1024 * 1024)
@@ -358,7 +359,13 @@ let serve_cmd =
     Arg.(value & opt float 10.0
          & info [ "read-timeout" ] ~docv:"SECONDS" ~doc:"Per-read socket timeout.")
   in
-  let run mfile port socket workers max_body read_timeout =
+  let access_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Append one JSONL record per request (id, status, sizes, per-phase \
+                   timings). Defaults to EMC_ACCESS_LOG.")
+  in
+  let run mfile port socket workers max_body read_timeout access_log =
     let a = load_artifact mfile in
     let listen =
       match (port, socket) with
@@ -367,13 +374,160 @@ let serve_cmd =
       | None, None -> die "give --port or --unix-socket"
       | Some _, Some _ -> die "give either --port or --unix-socket, not both"
     in
-    Emc_serve.Serve.run { listen; workers; max_body; read_timeout } a
+    let access_log =
+      match access_log with Some f -> Some f | None -> Sys.getenv_opt "EMC_ACCESS_LOG"
+    in
+    Emc_serve.Serve.run { listen; workers; max_body; read_timeout; access_log } a
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a saved model over HTTP: /predict, /rank, /search, /healthz, /metrics.")
     Term.(const run $ model_file_arg $ port_arg $ socket_arg $ workers_arg $ max_body_arg
-          $ timeout_arg)
+          $ timeout_arg $ access_log_arg)
+
+(* ---------------- loadgen ---------------- *)
+
+let loadgen_cmd =
+  let module Lg = Emc_loadgen.Loadgen in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~docv:"HOST" ~doc:"Target host for --port.")
+  in
+  let port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Drive a daemon on $(docv).")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "unix-socket" ] ~docv:"PATH" ~doc:"Drive a daemon on a Unix socket.")
+  in
+  let rps_arg =
+    Arg.(value & opt (some float) None
+         & info [ "rps" ] ~docv:"R"
+             ~doc:"Open-loop mode: schedule arrivals at $(docv) requests/second total \
+                   (Poisson, seeded) and measure latency from the scheduled arrival — a \
+                   stalled server is charged its queueing delay. Without --rps the run is \
+                   closed-loop: every connection issues requests back-to-back.")
+  in
+  let concurrency_arg =
+    Arg.(value & opt int 4
+         & info [ "c"; "concurrency" ] ~docv:"N"
+             ~doc:"Forked generator processes, one keep-alive connection each.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds of load.")
+  in
+  let mix_arg =
+    Arg.(value & opt (some string) None
+         & info [ "mix" ] ~docv:"SPEC"
+             ~doc:"Weighted endpoint mix, e.g. predict=8,predict_batch=1,healthz=1 \
+                   (endpoints: predict, predict_batch, rank, healthz).")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"N" ~doc:"Points per predict_batch request.")
+  in
+  let lg_timeout_arg =
+    Arg.(value & opt float 5.0
+         & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-response receive timeout.")
+  in
+  let slo_arg =
+    Arg.(value & opt_all string []
+         & info [ "slo" ] ~docv:"KEY=BOUND"
+             ~doc:"Assert an SLO against the report (repeatable); exit nonzero on \
+                   violation. Keys: p50 p90 p99 p999 mean max (latency seconds, upper \
+                   bound), rps (lower bound), error_rate errors 4xx 5xx timeouts (upper \
+                   bounds). Example: --slo p99=0.050 --slo 5xx=0.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the emc-loadgen-report/1 JSON report to $(docv) (- for stdout).")
+  in
+  let parse_mix spec =
+    String.split_on_char ',' spec
+    |> List.map (fun part ->
+           match String.index_opt part '=' with
+           | None -> die "bad mix entry %S: want name=weight" part
+           | Some i -> (
+               let name = String.sub part 0 i in
+               let w = String.sub part (i + 1) (String.length part - i - 1) in
+               match int_of_string_opt w with
+               | Some w -> (name, w)
+               | None -> die "bad mix weight %S in %S" w part))
+  in
+  let ms v = Printf.sprintf "%.3f ms" (v *. 1000.0) in
+  let run host port socket rps concurrency duration seed mix batch timeout slos json_out =
+    let target =
+      match (port, socket) with
+      | Some p, None -> Lg.Tcp (host, p)
+      | None, Some path -> Lg.Unix_sock path
+      | None, None -> die "give --port or --unix-socket"
+      | Some _, Some _ -> die "give either --port or --unix-socket, not both"
+    in
+    let mode = match rps with Some r -> Lg.Open_loop r | None -> Lg.Closed_loop in
+    let mix = match mix with None -> Lg.default_mix | Some s -> parse_mix s in
+    let slos =
+      List.map
+        (fun s -> match Lg.parse_slo s with Ok x -> x | Error e -> die "%s" e)
+        slos
+    in
+    let opts = { (Lg.default_opts target) with mode; concurrency; duration; seed; mix; batch; timeout } in
+    match Lg.run opts with
+    | Error e -> die "loadgen: %s" e
+    | Ok r ->
+        let open Lg in
+        Printf.printf "loadgen: %s, %d connection%s, %.1f s\n"
+          (match r.r_mode with
+          | Open_loop rps -> Printf.sprintf "open loop at %g rps" rps
+          | Closed_loop -> "closed loop")
+          r.r_concurrency
+          (if r.r_concurrency = 1 then "" else "s")
+          r.r_wall_s;
+        Printf.printf "  sent %d  responses %d  achieved %.1f rps\n" r.r_sent r.r_responses
+          r.r_achieved_rps;
+        (match r.r_latency with
+        | None -> print_string "  latency: nothing measured\n"
+        | Some _ ->
+            let p q = match percentile r q with Some v -> ms v | None -> "-" in
+            Printf.printf "  latency p50 %s  p90 %s  p99 %s  p99.9 %s\n" (p 50.0) (p 90.0)
+              (p 99.0) (p 99.9));
+        let errs = errors_total r in
+        if errs = 0 && r.r_id_mismatches = 0 then print_string "  errors: none\n"
+        else
+          Printf.printf
+            "  errors: connect=%d timeout=%d protocol=%d 4xx=%d 5xx=%d id_mismatch=%d\n"
+            r.r_connect_errors r.r_timeouts r.r_protocol_errors r.r_4xx r.r_5xx
+            r.r_id_mismatches;
+        (match json_out with
+        | None -> ()
+        | Some "-" -> print_endline (Emc_obs.Json.to_string (report_to_json r))
+        | Some file ->
+            let oc = open_out file in
+            output_string oc (Emc_obs.Json.to_string (report_to_json r));
+            output_char oc '\n';
+            close_out oc);
+        let violations =
+          List.filter
+            (fun slo ->
+              match check_slo r slo with
+              | None -> die "unknown SLO key %S" slo.slo_key
+              | Some (actual, ok) ->
+                  Printf.printf "  SLO %s=%g: actual %g  %s\n" slo.slo_key slo.slo_bound
+                    actual
+                    (if ok then "ok" else "VIOLATED");
+                  not ok)
+            slos
+        in
+        if violations <> [] then exit 4
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a serving daemon with open- or closed-loop load and check SLOs \
+             (exit 4 on violation).")
+    Term.(const run $ host_arg $ port_arg $ socket_arg $ rps_arg $ concurrency_arg
+          $ duration_arg $ seed_arg $ mix_arg $ batch_arg $ lg_timeout_arg $ slo_arg
+          $ json_arg)
 
 (* ---------------- search ---------------- *)
 
@@ -491,4 +645,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group ~default info
     [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
-      rank_cmd; serve_cmd; search_cmd; fuzz_cmd; experiment_cmd ]))
+      rank_cmd; serve_cmd; loadgen_cmd; search_cmd; fuzz_cmd; experiment_cmd ]))

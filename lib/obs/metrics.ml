@@ -1,10 +1,51 @@
 type counter = { cname : string; mutable count : int }
 type gauge = { gname : string; mutable gval : float; mutable gset : bool }
 
+(* ---------------- log-scale bucketing ----------------
+
+   Histograms keep a fixed array of log-spaced buckets instead of raw
+   samples: constant memory for any sample count, O(1) observe, and
+   bucket-wise mergeability across processes. Bucket i (1-based) covers
+   [2^(min_exp + (i-1)/bpo), 2^(min_exp + i/bpo)); index 0 is the
+   underflow bucket (values below 2^min_exp, including zero, negatives
+   and NaN) and index n_core+1 the overflow bucket. *)
+
+let buckets_per_octave = 32
+let min_exp = -30 (* 2^-30 ~ 9.3e-10 *)
+let max_exp = 50 (* 2^50  ~ 1.1e15 *)
+let n_core = (max_exp - min_exp) * buckets_per_octave
+let n_buckets = n_core + 2
+let lo_bound = Float.ldexp 1.0 min_exp
+let hi_bound = Float.ldexp 1.0 max_exp
+let inv_ln2 = 1.0 /. Float.log 2.0
+
+let bucket_of v =
+  if not (v >= lo_bound) then 0
+  else if v >= hi_bound then n_core + 1
+  else begin
+    let e =
+      (Float.log v *. inv_ln2 -. float_of_int min_exp) *. float_of_int buckets_per_octave
+    in
+    let i = int_of_float e in
+    1 + if i < 0 then 0 else if i >= n_core then n_core - 1 else i
+  end
+
+let bucket_upper i =
+  if i <= 0 then lo_bound
+  else if i > n_core then Float.infinity
+  else
+    Float.exp
+      (Float.log 2.0
+      *. (float_of_int min_exp +. (float_of_int i /. float_of_int buckets_per_octave)))
+
 type histogram = {
   hname : string;
-  mutable data : float array;
-  mutable len : int;
+  hbuckets : int array;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hsum_c : float; (* Kahan compensation, so sums stay exact-ish *)
+  mutable hmin : float;
+  mutable hmax : float;
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -53,18 +94,30 @@ let gauge_read g = if g.gset then Some g.gval else None
 let histogram name =
   register name
     (fun () ->
-      let h = { hname = name; data = [||]; len = 0 } in
+      let h =
+        {
+          hname = name;
+          hbuckets = Array.make n_buckets 0;
+          hcount = 0;
+          hsum = 0.0;
+          hsum_c = 0.0;
+          hmin = Float.infinity;
+          hmax = Float.neg_infinity;
+        }
+      in
       (H h, h))
     (function H h -> Some h | _ -> None)
 
 let observe h v =
-  if h.len = Array.length h.data then begin
-    let grown = Array.make (Stdlib.max 16 (2 * h.len)) 0.0 in
-    Array.blit h.data 0 grown 0 h.len;
-    h.data <- grown
-  end;
-  h.data.(h.len) <- v;
-  h.len <- h.len + 1
+  let i = bucket_of v in
+  h.hbuckets.(i) <- h.hbuckets.(i) + 1;
+  h.hcount <- h.hcount + 1;
+  let y = v -. h.hsum_c in
+  let t = h.hsum +. y in
+  h.hsum_c <- (t -. h.hsum) -. y;
+  h.hsum <- t;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
 
 type hstats = {
   count : int;
@@ -77,22 +130,54 @@ type hstats = {
   p99 : float;
 }
 
-let histogram_stats h =
-  if h.len = 0 then None
+(* Percentile over a cumulative walk of sparse (index, count) pairs:
+   the upper bound of the bucket holding the rank-th sample, clamped to
+   the exactly-tracked [min, max]. Accurate to one bucket width. *)
+let percentile_sparse sparse total mn mx q =
+  if total = 0 then Float.nan
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q /. 100.0 *. float_of_int total)) in
+      if r < 1 then 1 else if r > total then total else r
+    in
+    let rec go cum = function
+      | [] -> mx
+      | (i, c) :: rest ->
+          let cum = cum + c in
+          if cum >= rank then Float.min mx (Float.max mn (bucket_upper i)) else go cum rest
+    in
+    go 0 sparse
+  end
+
+let sparse_of_array a =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if a.(i) > 0 then out := (i, a.(i)) :: !out
+  done;
+  !out
+
+let stats_of_sparse sparse total sum mn mx =
+  if total = 0 then None
   else
-    let xs = Array.sub h.data 0 h.len in
-    let module S = Emc_util.Stats in
+    let p q = percentile_sparse sparse total mn mx q in
     Some
       {
-        count = h.len;
-        sum = S.sum xs;
-        mean = S.mean xs;
-        min = S.min xs;
-        max = S.max xs;
-        p50 = S.percentile xs 50.0;
-        p90 = S.percentile xs 90.0;
-        p99 = S.percentile xs 99.0;
+        count = total;
+        sum;
+        mean = sum /. float_of_int total;
+        min = mn;
+        max = mx;
+        p50 = p 50.0;
+        p90 = p 90.0;
+        p99 = p 99.0;
       }
+
+let histogram_stats h =
+  stats_of_sparse (sparse_of_array h.hbuckets) h.hcount h.hsum h.hmin h.hmax
+
+let histogram_percentile h q =
+  if h.hcount = 0 then None
+  else Some (percentile_sparse (sparse_of_array h.hbuckets) h.hcount h.hmin h.hmax q)
 
 let counter_value name =
   match Hashtbl.find_opt registry name with Some (C c) -> Some c.count | _ -> None
@@ -106,6 +191,210 @@ let stats_of name =
 let sorted_metrics () =
   let all = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
   List.sort (fun (a, _) (b, _) -> String.compare a b) all
+
+(* ---------------- snapshots: serialize + merge ---------------- *)
+
+type hsnap = {
+  s_count : int;
+  s_sum : float;
+  s_min : float; (* +inf when empty *)
+  s_max : float; (* -inf when empty *)
+  s_buckets : (int * int) list; (* sparse, ascending bucket index *)
+}
+
+type snapshot = {
+  counters : (string * int) list; (* all sorted by name *)
+  gauges : (string * float) list;
+  hists : (string * hsnap) list;
+}
+
+let snapshot_empty = { counters = []; gauges = []; hists = [] }
+
+let hsnap_of_histogram h =
+  {
+    s_count = h.hcount;
+    s_sum = h.hsum;
+    s_min = h.hmin;
+    s_max = h.hmax;
+    s_buckets = sparse_of_array h.hbuckets;
+  }
+
+let snapshot () =
+  List.fold_right
+    (fun (name, m) acc ->
+      match m with
+      | C c -> { acc with counters = (name, c.count) :: acc.counters }
+      | G g -> if g.gset then { acc with gauges = (name, g.gval) :: acc.gauges } else acc
+      | H h -> { acc with hists = (name, hsnap_of_histogram h) :: acc.hists })
+    (sorted_metrics ()) snapshot_empty
+
+let rec merge_sparse a b =
+  match (a, b) with
+  | [], x | x, [] -> x
+  | (ia, ca) :: ta, (ib, cb) :: tb ->
+      if ia = ib then (ia, ca + cb) :: merge_sparse ta tb
+      else if ia < ib then (ia, ca) :: merge_sparse ta b
+      else (ib, cb) :: merge_sparse a tb
+
+let merge_hsnap a b =
+  {
+    s_count = a.s_count + b.s_count;
+    s_sum = a.s_sum +. b.s_sum;
+    s_min = Float.min a.s_min b.s_min;
+    s_max = Float.max a.s_max b.s_max;
+    s_buckets = merge_sparse a.s_buckets b.s_buckets;
+  }
+
+(* Merge two sorted assoc lists, combining values under equal names. *)
+let rec merge_assoc combine a b =
+  match (a, b) with
+  | [], x | x, [] -> x
+  | (na, va) :: ta, (nb, vb) :: tb ->
+      let c = String.compare na nb in
+      if c = 0 then (na, combine va vb) :: merge_assoc combine ta tb
+      else if c < 0 then (na, va) :: merge_assoc combine ta b
+      else (nb, vb) :: merge_assoc combine a tb
+
+let merge a b =
+  {
+    counters = merge_assoc ( + ) a.counters b.counters;
+    gauges = merge_assoc (fun _ r -> r) a.gauges b.gauges;
+    hists = merge_assoc merge_hsnap a.hists b.hists;
+  }
+
+let snapshot_counters s = s.counters
+let snapshot_gauges s = s.gauges
+let snapshot_histograms s = s.hists
+
+let hsnap_stats h = stats_of_sparse h.s_buckets h.s_count h.s_sum h.s_min h.s_max
+
+let hsnap_percentile h q =
+  if h.s_count = 0 then None
+  else Some (percentile_sparse h.s_buckets h.s_count h.s_min h.s_max q)
+
+let hsnap_cumulative h =
+  let _, acc =
+    List.fold_left
+      (fun (cum, acc) (i, c) ->
+        let cum = cum + c in
+        (cum, (Float.min (bucket_upper i) h.s_max, cum) :: acc))
+      (0, []) h.s_buckets
+  in
+  List.rev acc
+
+let snapshot_to_json s =
+  Json.Obj
+    [
+      ("schema", Json.Str "emc-metrics-snapshot/1");
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, h) ->
+               ( n,
+                 Json.Obj
+                   ([ ("count", Json.Int h.s_count); ("sum", Json.Float h.s_sum) ]
+                   @ (if h.s_count > 0 then
+                        [ ("min", Json.Float h.s_min); ("max", Json.Float h.s_max) ]
+                      else [])
+                   @ [
+                       ( "buckets",
+                         Json.List
+                           (List.map
+                              (fun (i, c) -> Json.List [ Json.Int i; Json.Int c ])
+                              h.s_buckets) );
+                     ]) ))
+             s.hists) );
+    ]
+
+let snapshot_of_json j =
+  let ( let* ) r k = Result.bind r k in
+  let obj name = function
+    | Some (Json.Obj kvs) -> Ok kvs
+    | _ -> Error (Printf.sprintf "snapshot: %S must be an object" name)
+  in
+  let num name = function
+    | Json.Int i -> Ok (float_of_int i)
+    | Json.Float f -> Ok f
+    | Json.Null -> Ok Float.nan (* non-finite sums render as null *)
+    | _ -> Error (Printf.sprintf "snapshot: %S must be a number" name)
+  in
+  match j with
+  | Json.Obj kvs ->
+      let* () =
+        match List.assoc_opt "schema" kvs with
+        | Some (Json.Str "emc-metrics-snapshot/1") -> Ok ()
+        | _ -> Error "snapshot: missing or unsupported schema"
+      in
+      let* counters = obj "counters" (List.assoc_opt "counters" kvs) in
+      let* gauges = obj "gauges" (List.assoc_opt "gauges" kvs) in
+      let* hists = obj "histograms" (List.assoc_opt "histograms" kvs) in
+      let* counters =
+        List.fold_left
+          (fun acc (n, v) ->
+            let* acc = acc in
+            match v with
+            | Json.Int i -> Ok ((n, i) :: acc)
+            | _ -> Error (Printf.sprintf "snapshot: counter %S must be an integer" n))
+          (Ok []) counters
+      in
+      let* gauges =
+        List.fold_left
+          (fun acc (n, v) ->
+            let* acc = acc in
+            let* f = num n v in
+            Ok ((n, f) :: acc))
+          (Ok []) gauges
+      in
+      let* hists =
+        List.fold_left
+          (fun acc (n, v) ->
+            let* acc = acc in
+            let* fields = obj n (Some v) in
+            let* count =
+              match List.assoc_opt "count" fields with
+              | Some (Json.Int c) when c >= 0 -> Ok c
+              | _ -> Error (Printf.sprintf "snapshot: histogram %S lacks a count" n)
+            in
+            let* sum =
+              match List.assoc_opt "sum" fields with
+              | Some v -> num (n ^ ".sum") v
+              | None -> Error (Printf.sprintf "snapshot: histogram %S lacks a sum" n)
+            in
+            let fnum key default =
+              match List.assoc_opt key fields with
+              | Some v -> num (n ^ "." ^ key) v
+              | None -> Ok default
+            in
+            let* mn = fnum "min" Float.infinity in
+            let* mx = fnum "max" Float.neg_infinity in
+            let* buckets =
+              match List.assoc_opt "buckets" fields with
+              | Some (Json.List bs) ->
+                  List.fold_left
+                    (fun acc b ->
+                      let* acc = acc in
+                      match b with
+                      | Json.List [ Json.Int i; Json.Int c ]
+                        when i >= 0 && i < n_buckets && c > 0 ->
+                          Ok ((i, c) :: acc)
+                      | _ ->
+                          Error
+                            (Printf.sprintf "snapshot: histogram %S has a malformed bucket" n))
+                    (Ok []) bs
+              | _ -> Error (Printf.sprintf "snapshot: histogram %S lacks buckets" n)
+            in
+            let buckets = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev buckets) in
+            Ok ((n, { s_count = count; s_sum = sum; s_min = mn; s_max = mx; s_buckets = buckets })
+               :: acc))
+          (Ok []) hists
+      in
+      let sort l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+      Ok { counters = sort counters; gauges = sort gauges; hists = sort hists }
+  | _ -> Error "snapshot: expected a JSON object"
+
+(* ---------------- dumps ---------------- *)
 
 let dump_text () =
   let buf = Buffer.create 1024 in
@@ -161,5 +450,11 @@ let reset () =
       match m with
       | C c -> c.count <- 0
       | G g -> g.gset <- false
-      | H h -> h.len <- 0)
+      | H h ->
+          Array.fill h.hbuckets 0 n_buckets 0;
+          h.hcount <- 0;
+          h.hsum <- 0.0;
+          h.hsum_c <- 0.0;
+          h.hmin <- Float.infinity;
+          h.hmax <- Float.neg_infinity)
     registry

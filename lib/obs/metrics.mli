@@ -2,15 +2,41 @@
 
     Handles are obtained once (typically at module initialization) with
     {!counter} / {!gauge} / {!histogram}; updating through a handle is a
-    single field write, so the always-on instrumentation of the hot paths
-    (simulator runs, cache lookups, GA generations) costs nothing
-    measurable and produces no output until a dump is requested
-    ([emc ... --metrics], or {!dump_text} / {!to_json} from code).
+    few field writes, so the always-on instrumentation of the hot paths
+    (simulator runs, cache lookups, GA generations, served requests)
+    costs nothing measurable and produces no output until a dump is
+    requested ([emc ... --metrics], or {!dump_text} / {!to_json} from
+    code).
 
     Names are dotted lowercase paths, [<subsystem>.<what>] — e.g.
-    [sim.issue_stall_cycles], [smarts.refinements], [measure.compiles].
+    [sim.issue_stall_cycles], [smarts.refinements], [serve.requests].
     Registering the same name twice returns the same metric; registering it
-    as two different kinds raises [Invalid_argument]. *)
+    as two different kinds raises [Invalid_argument].
+
+    {2 Histogram representation}
+
+    Histograms are {e bounded}: samples land in a fixed array of
+    log-spaced buckets (32 per octave, covering [2^-30, 2^50) ~
+    [9.3e-10, 1.1e15), plus underflow/overflow edge buckets), so a
+    histogram costs constant memory no matter how many samples a
+    long-running daemon records. Count, sum (Kahan-compensated), min and
+    max are tracked exactly; percentiles are derived from the buckets and
+    are accurate to one bucket width — a relative error of at most
+    [2^(1/32) - 1 ~ 2.2%] — and always clamped into the exact
+    [[min, max]] range. Values outside the covered range (including
+    zero, negatives and NaN) count toward [count]/[sum] and land in the
+    edge buckets.
+
+    {2 Snapshots}
+
+    A {!snapshot} captures the whole registry as an immutable value that
+    can be serialized to JSON ([emc-metrics-snapshot/1]) and merged with
+    snapshots from other processes: counters sum exactly, histograms
+    merge bucket-wise (so merged percentiles are as accurate as if one
+    process had seen every sample), gauges take the last-merged value.
+    This is how the pre-forked serving daemon aggregates [/metrics]
+    across workers and how [emc loadgen] combines per-connection latency
+    recordings. *)
 
 type counter
 type gauge
@@ -31,9 +57,9 @@ val gauge_read : gauge -> float option
 val histogram : string -> histogram
 
 val observe : histogram -> float -> unit
-(** Record one sample. Samples are kept exactly (the registry is
-    process-local and runs are bounded), so dump-time percentiles are
-    exact order statistics, not sketch approximations. *)
+(** Record one sample into its log-scale bucket: O(1) time, no
+    allocation, constant total memory (see the module docs for the
+    bucket scheme and resolution). *)
 
 type hstats = {
   count : int;
@@ -47,13 +73,66 @@ type hstats = {
 }
 
 val histogram_stats : histogram -> hstats option
-(** [None] when the histogram has no samples. *)
+(** [None] when the histogram has no samples. [count]/[sum]/[min]/[max]
+    are exact; percentiles are bucket-resolution estimates (<= 2.2%
+    relative error), clamped into [[min, max]]. *)
+
+val histogram_percentile : histogram -> float -> float option
+(** [histogram_percentile h q] with [q] in [[0, 100]] — same estimator
+    as the percentiles in {!histogram_stats} (e.g. [99.9] for p99.9).
+    [None] when empty. *)
 
 (* -------- lookups by name (reporting, tests) -------- *)
 
 val counter_value : string -> int option
 val gauge_value : string -> float option
 val stats_of : string -> hstats option
+
+(* -------- snapshots: cross-process aggregation -------- *)
+
+type snapshot
+(** An immutable capture of the whole registry, mergeable and
+    JSON-serializable. *)
+
+type hsnap
+(** One histogram's state inside a snapshot. *)
+
+val snapshot : unit -> snapshot
+(** Capture every registered metric (unset gauges are omitted; empty
+    histograms are kept, so registration names survive aggregation). *)
+
+val snapshot_empty : snapshot
+(** The unit of {!merge}. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Union by metric name: counters add, histograms merge bucket-wise
+    (count/sum/min/max combine exactly), gauges keep the right-hand
+    value when both sides set one. *)
+
+val snapshot_to_json : snapshot -> Json.t
+(** Serialize as an [emc-metrics-snapshot/1] document. Bucket lists are
+    sparse, so idle registries serialize small. *)
+
+val snapshot_of_json : Json.t -> (snapshot, string) result
+(** Total inverse of {!snapshot_to_json} with one-line diagnostics. *)
+
+val snapshot_counters : snapshot -> (string * int) list
+(** Sorted by name; likewise the other two accessors. *)
+
+val snapshot_gauges : snapshot -> (string * float) list
+val snapshot_histograms : snapshot -> (string * hsnap) list
+
+val hsnap_stats : hsnap -> hstats option
+val hsnap_percentile : hsnap -> float -> float option
+(** As {!histogram_percentile}, over a (possibly merged) snapshot. *)
+
+val hsnap_cumulative : hsnap -> (float * int) list
+(** [(upper_bound, cumulative_count)] for each occupied bucket in
+    ascending order — the Prometheus [le=] bucket series (the final
+    upper bound is clamped to the exact max; the exporter adds
+    [le="+Inf"] from [count]). *)
+
+(* -------- dumps -------- *)
 
 val dump_text : unit -> string
 (** Human-readable dump of every registered metric, sorted by name, one

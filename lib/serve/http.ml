@@ -125,6 +125,19 @@ let read_body ~max_body fd ~already len =
     loop ()
   end
 
+let parse_headers header_lines =
+  List.filter_map
+    (fun l ->
+      if l = "" then None
+      else
+        match String.index_opt l ':' with
+        | Some i ->
+            Some
+              ( String.lowercase_ascii (trim (String.sub l 0 i)),
+                trim (String.sub l (i + 1) (String.length l - i - 1)) )
+        | None -> None)
+    header_lines
+
 let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
   match read_head ~max_header fd with
   | Error e -> Error e
@@ -135,19 +148,7 @@ let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
           match String.split_on_char ' ' request_line with
           | [ meth; target; version ]
             when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
-              let headers =
-                List.filter_map
-                  (fun l ->
-                    if l = "" then None
-                    else
-                      match String.index_opt l ':' with
-                      | Some i ->
-                          Some
-                            ( String.lowercase_ascii (trim (String.sub l 0 i)),
-                              trim (String.sub l (i + 1) (String.length l - i - 1)) )
-                      | None -> None)
-                  header_lines
-              in
+              let headers = parse_headers header_lines in
               let path, query =
                 match String.index_opt target '?' with
                 | Some i ->
@@ -175,6 +176,48 @@ let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
                         Ok { meth = String.uppercase_ascii meth; path; query; headers; body }))
           | _ -> Error (Bad "malformed request line")))
 
+(* The client half: read one response (for [emc loadgen] and tests). *)
+
+type response = {
+  status : int;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let response_header resp name =
+  List.assoc_opt (String.lowercase_ascii name) resp.resp_headers
+
+let read_response ?(max_header = 16 * 1024) ?(max_body = 8 * 1024 * 1024) fd =
+  match read_head ~max_header fd with
+  | Error e -> Error e
+  | Ok (head, rest) -> (
+      match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
+      | [] -> Error (Bad "empty response")
+      | status_line :: header_lines -> (
+          match String.split_on_char ' ' status_line with
+          | version :: code :: _
+            when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+              match int_of_string_opt code with
+              | None -> Error (Bad ("malformed status code: " ^ code))
+              | Some status -> (
+                  let headers = parse_headers header_lines in
+                  let len =
+                    match List.assoc_opt "content-length" headers with
+                    | None -> Ok 0
+                    | Some v -> (
+                        match int_of_string_opt (trim v) with
+                        | Some n when n >= 0 -> Ok n
+                        | _ -> Error (Bad ("malformed content-length: " ^ v)))
+                  in
+                  match len with
+                  | Error e -> Error e
+                  | Ok len -> (
+                      match read_body ~max_body fd ~already:rest len with
+                      | Error e -> Error e
+                      | Ok body ->
+                          Ok { status; resp_headers = headers; resp_body = body })))
+          | _ -> Error (Bad "malformed status line")))
+
 let write_all fd s =
   let n = String.length s in
   let rec go off =
@@ -185,11 +228,13 @@ let write_all fd s =
   in
   go 0
 
-let respond fd ~status ?(content_type = "application/json") ?(keep_alive = true) body =
+let respond fd ~status ?(content_type = "application/json") ?(keep_alive = true)
+    ?(headers = []) body =
   let b = Buffer.create (String.length body + 128) in
   Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
   Buffer.add_string b ("Content-Type: " ^ content_type ^ "\r\n");
   Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  List.iter (fun (k, v) -> Buffer.add_string b (k ^ ": " ^ v ^ "\r\n")) headers;
   Buffer.add_string b
     (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
   Buffer.add_string b "\r\n";

@@ -30,14 +30,31 @@ val read_request :
 (** Read one request. [max_header] defaults to 16 KiB, [max_body] to
     1 MiB. *)
 
+type response = {
+  status : int;
+  resp_headers : (string * string) list;  (** keys lowercased *)
+  resp_body : string;
+}
+
+val response_header : response -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val read_response :
+  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (response, error) result
+(** The client half: read one [Content-Length]-framed response from a
+    keep-alive connection (the [emc loadgen] driver and the tests).
+    [max_body] defaults to 8 MiB. *)
+
 val respond :
   Unix.file_descr ->
   status:int ->
   ?content_type:string ->
   ?keep_alive:bool ->
+  ?headers:(string * string) list ->
   string ->
   unit
-(** Write a complete response with [Content-Length]. [content_type]
+(** Write a complete response with [Content-Length]; [headers] adds
+    extra response headers (e.g. [X-Request-Id]). [content_type]
     defaults to ["application/json"]. Raises [Unix.Unix_error] on a dead
     peer (callers catch EPIPE/ECONNRESET). *)
 

@@ -1,6 +1,7 @@
 open Emc_core
 module Json = Emc_obs.Json
 module Metrics = Emc_obs.Metrics
+module Trace = Emc_obs.Trace
 
 (** The prediction/search serving daemon (see serve.mli). *)
 
@@ -11,9 +12,17 @@ type opts = {
   workers : int;
   max_body : int;
   read_timeout : float;
+  access_log : string option;
 }
 
-let default_opts listen = { listen; workers = 1; max_body = 1024 * 1024; read_timeout = 10.0 }
+let default_opts listen =
+  {
+    listen;
+    workers = 1;
+    max_body = 1024 * 1024;
+    read_timeout = 10.0;
+    access_log = Sys.getenv_opt "EMC_ACCESS_LOG";
+  }
 
 (* ---------------- metrics ---------------- *)
 
@@ -25,48 +34,168 @@ let endpoint_counter path = Metrics.counter ("serve.requests." ^ path)
 let status_counter status = Metrics.counter (Printf.sprintf "serve.errors.%d" status)
 let latency_hist path = Metrics.histogram ("serve.latency_seconds." ^ path)
 
-(* Prometheus text exposition of the whole registry: counters and gauges
-   map directly; histograms become summaries (count/sum + exact quantiles,
-   which the registry keeps precisely). *)
-let prometheus () =
+(* ---------------- cross-worker metrics aggregation ----------------
+
+   Each pre-forked worker publishes its whole registry as an atomic
+   snapshot file (write + rename) in a master-created runtime directory:
+   once after startup, then after every request *before* the response is
+   written, so any client that has received its response is guaranteed
+   visible to a subsequent scrape of any worker. [GET /metrics] merges
+   every worker's file — counters sum exactly, histograms merge
+   bucket-wise — so the scrape answers for the whole daemon no matter
+   which worker picked it up. *)
+
+let metrics_dir : string option ref = ref None
+let snapshot_file : string option ref = ref None
+
+let publish_snapshot () =
+  match !snapshot_file with
+  | None -> ()
+  | Some path -> (
+      try
+        let tmp = Printf.sprintf "%s.tmp" path in
+        let oc = open_out tmp in
+        output_string oc (Json.to_string (Metrics.snapshot_to_json (Metrics.snapshot ())));
+        output_char oc '\n';
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error msg ->
+        Emc_obs.Log.warn ~src:"serve" "cannot publish metrics snapshot: %s" msg)
+
+let read_snapshot_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+      match Result.bind (Json.parse (String.trim contents)) Metrics.snapshot_of_json with
+      | Ok s -> Some s
+      | Error e ->
+          Emc_obs.Log.warn ~src:"serve" "skipping malformed snapshot %s: %s" path e;
+          None)
+
+let merged_snapshots dir =
+  Sys.readdir dir |> Array.to_list |> List.sort String.compare
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f ".json" then read_snapshot_file (Filename.concat dir f)
+         else None)
+  |> List.fold_left Metrics.merge Metrics.snapshot_empty
+
+(* The scrape's own registry (request counters just bumped) goes through
+   the same file path as everyone else's: publish first, then merge all
+   files, so no worker is double-counted and none is stale. *)
+let aggregated_snapshot () =
+  match !metrics_dir with
+  | None -> Metrics.snapshot ()
+  | Some dir ->
+      publish_snapshot ();
+      merged_snapshots dir
+
+(* Prometheus text exposition: counters and gauges map directly;
+   histograms become real cumulative [le=]-bucket histograms (the
+   registry's log-scale buckets, occupied buckets only, plus +Inf). *)
+let prometheus_of_snapshot s =
   let b = Buffer.create 2048 in
   let name n =
     "emc_"
     ^ String.map (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' as c -> c | _ -> '_') n
   in
-  (match Metrics.to_json () with
-  | Json.Obj kvs ->
+  List.iter
+    (fun (raw, v) ->
+      let n = name raw in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (Metrics.snapshot_counters s);
+  List.iter
+    (fun (raw, v) ->
+      let n = name raw in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %.17g\n" n n v))
+    (Metrics.snapshot_gauges s);
+  List.iter
+    (fun (raw, h) ->
+      let n = name raw in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
       List.iter
-        (fun (raw, v) ->
-          let n = name raw in
-          match v with
-          | Json.Int i ->
-              Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n i)
-          | Json.Float f ->
-              Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %.17g\n" n n f)
-          | Json.Null -> ()
-          | Json.Obj fields ->
-              let get k = match List.assoc_opt k fields with
-                | Some (Json.Float f) -> Some f
-                | Some (Json.Int i) -> Some (float_of_int i)
-                | _ -> None
-              in
-              let count = match List.assoc_opt "count" fields with Some (Json.Int c) -> c | _ -> 0 in
-              Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
-              List.iter
-                (fun (q, k) ->
-                  match get k with
-                  | Some v -> Buffer.add_string b (Printf.sprintf "%s{quantile=\"%s\"} %.17g\n" n q v)
-                  | None -> ())
-                [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99") ];
-              (match get "sum" with
-              | Some s -> Buffer.add_string b (Printf.sprintf "%s_sum %.17g\n" n s)
-              | None -> ());
-              Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count)
-          | _ -> ())
-        kvs
-  | _ -> ());
+        (fun (le, cum) ->
+          Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"%.9g\"} %d\n" n le cum))
+        (Metrics.hsnap_cumulative h);
+      let stats = Metrics.hsnap_stats h in
+      let count, sum =
+        match stats with Some st -> (st.Metrics.count, st.Metrics.sum) | None -> (0, 0.0)
+      in
+      Buffer.add_string b (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" n count);
+      Buffer.add_string b (Printf.sprintf "%s_sum %.17g\n" n sum);
+      Buffer.add_string b (Printf.sprintf "%s_count %d\n" n count))
+    (Metrics.snapshot_histograms s);
   Buffer.contents b
+
+let prometheus () = prometheus_of_snapshot (Metrics.snapshot ())
+
+(* ---------------- request ids + access log ----------------
+
+   Every request gets an id: the client's X-Request-Id when it sends a
+   sane one, a generated one otherwise; either way the response echoes
+   it, and the JSONL access log (EMC_ACCESS_LOG / --access-log) carries
+   it with per-phase timings, so one request can be followed from client
+   through log to trace span. *)
+
+let rid_seq = ref 0
+
+let gen_request_id () =
+  Stdlib.incr rid_seq;
+  Printf.sprintf "%08x-%04x-%06x"
+    (Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1000.0)) land 0xffffffff)
+    (Unix.getpid () land 0xffff) (!rid_seq land 0xffffff)
+
+let valid_request_id id =
+  let n = String.length id in
+  n > 0 && n <= 128
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true | _ -> false)
+       id
+
+let request_id req =
+  match Http.header req "x-request-id" with
+  | Some id when valid_request_id id -> id
+  | _ -> gen_request_id ()
+
+let access_log_oc : out_channel option ref = ref None
+
+let open_access_log path =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc -> access_log_oc := Some oc
+  | exception Sys_error msg ->
+      Emc_obs.Log.err ~src:"serve" "cannot open access log %s: %s" path msg
+
+let close_access_log () =
+  match !access_log_oc with
+  | None -> ()
+  | Some oc ->
+      access_log_oc := None;
+      (try close_out oc with Sys_error _ -> ())
+
+let log_access ~id ~meth ~path ~status ~bytes_in ~bytes_out ~parse_s ~handle_s ~write_s =
+  match !access_log_oc with
+  | None -> ()
+  | Some oc ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("ts", Json.Float (Unix.gettimeofday ()));
+               ("id", Json.Str id);
+               ("worker", Json.Int (Unix.getpid ()));
+               ("meth", Json.Str meth);
+               ("path", Json.Str path);
+               ("status", Json.Int status);
+               ("bytes_in", Json.Int bytes_in);
+               ("bytes_out", Json.Int bytes_out);
+               ("parse_s", Json.Float parse_s);
+               ("handle_s", Json.Float handle_s);
+               ("write_s", Json.Float write_s);
+             ])
+      in
+      (* one write + flush per line: lines from concurrent workers
+         appending to the same file stay whole *)
+      output_string oc (line ^ "\n");
+      flush oc
 
 (* ---------------- request handling ---------------- *)
 
@@ -258,7 +387,8 @@ let dispatch art (req : Http.request) =
   | "GET", "/rank" | "POST", "/rank" -> handle_rank art req
   | "POST", "/search" -> handle_search art req
   | "GET", "/healthz" -> handle_healthz art req
-  | "GET", "/metrics" -> (200, "text/plain; version=0.0.4", prometheus ())
+  | "GET", "/metrics" ->
+      (200, "text/plain; version=0.0.4", prometheus_of_snapshot (aggregated_snapshot ()))
   | _, p when List.mem p endpoints ->
       error_body 405 "method_not_allowed" (req.Http.meth ^ " is not supported on " ^ p)
   | _, p -> error_body 404 "not_found" ("no such endpoint: " ^ p)
@@ -292,38 +422,70 @@ let count_error status =
   Metrics.incr m_errors;
   Metrics.incr (status_counter status)
 
+(* Per-request driver: parse / handle / write as separately timed phases
+   (spanned when EMC_TRACE is on, logged per request in the access log),
+   with the worker's snapshot republished between handle and write so a
+   client holding a response can trust any subsequent /metrics scrape. *)
+let serve_one art opts fd =
+  let now = Unix.gettimeofday in
+  let t0 = now () in
+  let parsed =
+    Trace.with_span ~cat:"serve" "parse" (fun () ->
+        Http.read_request ~max_body:opts.max_body fd)
+  in
+  let t_parsed = now () in
+  let parse_s = t_parsed -. t0 in
+  let protocol_error status code msg =
+    count_error status;
+    let id = gen_request_id () in
+    let body =
+      Json.to_string
+        (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]) ])
+    in
+    publish_snapshot ();
+    let t_write = now () in
+    Http.respond fd ~status ~keep_alive:false ~headers:[ ("X-Request-Id", id) ] body;
+    log_access ~id ~meth:"-" ~path:"-" ~status ~bytes_in:0 ~bytes_out:(String.length body)
+      ~parse_s ~handle_s:0.0 ~write_s:(now () -. t_write);
+    `Close
+  in
+  match parsed with
+  | Error Http.Closed -> `Close
+  | Error Http.Timeout -> protocol_error 408 "timeout" "request read timed out"
+  | Error (Http.Too_large what) ->
+      protocol_error 413 "too_large" (what ^ " exceed the configured limit")
+  | Error (Http.Bad msg) -> protocol_error 400 "bad_request" msg
+  | Ok req ->
+      let id = request_id req in
+      let status, content_type, body =
+        Trace.with_span ~cat:"serve" "handle"
+          ~args:(fun () ->
+            [ ("id", Json.Str id); ("method", Json.Str req.Http.meth);
+              ("path", Json.Str req.Http.path) ])
+          (fun () -> handle_request art req)
+      in
+      let t_handled = now () in
+      publish_snapshot ();
+      let keep_alive =
+        (not !stop)
+        && (match Http.header req "connection" with
+           | Some c -> String.lowercase_ascii c <> "close"
+           | None -> true)
+      in
+      let t_write = now () in
+      Trace.with_span ~cat:"serve" "write" (fun () ->
+          Http.respond fd ~status ~content_type ~keep_alive
+            ~headers:[ ("X-Request-Id", id) ]
+            body);
+      log_access ~id ~meth:req.Http.meth ~path:req.Http.path ~status
+        ~bytes_in:(String.length req.Http.body) ~bytes_out:(String.length body) ~parse_s
+        ~handle_s:(t_handled -. t_parsed) ~write_s:(now () -. t_write);
+      if keep_alive then `Keep_alive else `Close
+
 let handle_conn art opts fd =
   Metrics.incr m_connections;
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO opts.read_timeout;
-  let rec loop () =
-    match Http.read_request ~max_body:opts.max_body fd with
-    | Error Http.Closed -> ()
-    | Error Http.Timeout ->
-        count_error 408;
-        Http.respond fd ~status:408 ~keep_alive:false
-          (Json.to_string
-             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "timeout"); ("message", Json.Str "request read timed out") ]) ]))
-    | Error (Http.Too_large what) ->
-        count_error 413;
-        Http.respond fd ~status:413 ~keep_alive:false
-          (Json.to_string
-             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "too_large"); ("message", Json.Str (what ^ " exceed the configured limit")) ]) ]))
-    | Error (Http.Bad msg) ->
-        count_error 400;
-        Http.respond fd ~status:400 ~keep_alive:false
-          (Json.to_string
-             (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str "bad_request"); ("message", Json.Str msg) ]) ]))
-    | Ok req ->
-        let status, content_type, body = handle_request art req in
-        let keep_alive =
-          (not !stop)
-          && (match Http.header req "connection" with
-             | Some c -> String.lowercase_ascii c <> "close"
-             | None -> true)
-        in
-        Http.respond fd ~status ~content_type ~keep_alive body;
-        if keep_alive then loop ()
-  in
+  let rec loop () = match serve_one art opts fd with `Keep_alive -> loop () | `Close -> () in
   (try loop ()
    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
      ());
@@ -334,13 +496,33 @@ let worker art opts lsock =
   let quit = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigterm quit;
   Sys.set_signal Sys.sigint quit;
+  (* per-worker trace file: the parent's buffered events are dropped and
+     this worker's spans go to EMC_TRACE.<pid> (workers exit with _exit,
+     so the parent's at_exit flush never runs here) *)
+  (match Sys.getenv_opt "EMC_TRACE" with
+  | Some p when p <> "" -> Trace.enable (Printf.sprintf "%s.%d" p (Unix.getpid ()))
+  | _ -> ());
+  (match !metrics_dir with
+  | Some dir ->
+      (* each worker's registry must record only what this worker served:
+         counts inherited from the pre-fork parent would otherwise be
+         republished by every worker and multiply in the merge *)
+      Metrics.reset ();
+      snapshot_file := Some (Filename.concat dir (Printf.sprintf "worker-%d.json" (Unix.getpid ())));
+      publish_snapshot () (* visible to scrapes before the first request *)
+  | None -> ());
+  (match opts.access_log with Some path -> open_access_log path | None -> ());
   while not !stop do
     match Unix.accept lsock with
     | fd, _ -> handle_conn art opts fd
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  (* in-flight work is done (handle_conn returned); leave without running
-     the parent's at_exit handlers, as lib/par workers do *)
+  (* graceful drain: in-flight work is done (handle_conn returned); flush
+     the final snapshot, the access log and the trace, then leave without
+     running the parent's at_exit handlers, as lib/par workers do *)
+  publish_snapshot ();
+  close_access_log ();
+  Trace.flush ();
   Unix._exit 0
 
 let listen_description = function
@@ -362,10 +544,29 @@ let bind_listener = function
       Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
       (s, fun () -> ())
 
+let make_metrics_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emc-serve-%d.metrics" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700
+   with Unix.Unix_error (Unix.EEXIST, _, _) ->
+     (* leftover from a recycled pid: clear stale snapshots *)
+     Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir));
+  dir
+
+let remove_metrics_dir dir =
+  Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
 let run opts art =
   let lsock, cleanup = bind_listener opts.listen in
   Unix.listen lsock 64;
   let workers = max 1 opts.workers in
+  let dir = make_metrics_dir () in
+  metrics_dir := Some dir;
   let pids =
     List.init workers (fun _ -> match Unix.fork () with 0 -> worker art opts lsock | pid -> pid)
   in
@@ -388,11 +589,22 @@ let run opts art =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error (Unix.ECHILD, _, _) -> alive := []
   done;
-  (* graceful shutdown: workers finish their in-flight request, then exit *)
+  (* graceful shutdown: workers finish their in-flight request and flush
+     their final snapshot + access log, then exit; only after every
+     worker is down do we report totals, unlink and clean up *)
   List.iter (fun pid -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()) !alive;
   List.iter
     (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
     !alive;
+  let final = merged_snapshots dir in
+  let total name = Option.value ~default:0 (List.assoc_opt name (Metrics.snapshot_counters final)) in
   (try Unix.close lsock with Unix.Unix_error _ -> ());
   cleanup ();
-  Emc_obs.Log.info ~src:"serve" "server on %s stopped" (listen_description opts.listen)
+  remove_metrics_dir dir;
+  metrics_dir := None;
+  Emc_obs.Log.info ~src:"serve"
+    ~fields:
+      [ ("requests", Json.Int (total "serve.requests"));
+        ("errors", Json.Int (total "serve.errors")) ]
+    "server on %s stopped (%d requests, %d errors)" (listen_description opts.listen)
+    (total "serve.requests") (total "serve.errors")

@@ -17,34 +17,51 @@
       ["seed"], ["pop_size"], ["generations"]. Returns prescribed flags,
       predicted cycles and the GA evaluation count.
     - [GET /healthz] — liveness plus artifact identity.
-    - [GET /metrics] — Prometheus-style text dump of the process-wide
-      {!Emc_obs.Metrics} registry plus per-endpoint request counters and
-      latency histograms ([serve.*]).
+    - [GET /metrics] — Prometheus text exposition aggregated across
+      {e all} pre-forked workers: each worker publishes an atomic
+      registry-snapshot file after every request (before the response is
+      written), and the scrape merges them — counters sum exactly and
+      latency histograms merge bucket-wise into real cumulative
+      [le=]-bucket Prometheus histograms, whichever worker answers.
+
+    Observability: every request carries an id (the client's
+    [X-Request-Id] when it sends a sane one, generated otherwise) that is
+    echoed on the response; with [EMC_ACCESS_LOG=<file>] (or
+    [--access-log]) each request appends one JSONL record with the id,
+    status, sizes and per-phase parse/handle/write timings; with
+    [EMC_TRACE=<file>] each worker writes those same phases as Chrome
+    trace spans to [<file>.<pid>].
 
     Errors are structured JSON ([{"error": {"code", "message"}}]) with
     correct status codes (400/404/405/408/413/415/500); no exception
     escapes to a client. The daemon pre-forks [workers] accept processes
     (the [lib/par] fork pattern), enforces request-size and read-timeout
     limits, and shuts down gracefully on SIGINT/SIGTERM: in-flight
-    requests drain, workers exit, the Unix socket is unlinked. *)
+    requests drain, each worker flushes its final metrics snapshot and
+    the access log, workers exit, the Unix socket is unlinked. *)
 
 type listen = Port of int | Unix_socket of string
 
 type opts = {
   listen : listen;
-  workers : int;  (** pre-forked accept workers (>= 1). Metrics are
-                      per-worker; run one worker when scraping /metrics
-                      for exact totals. *)
+  workers : int;  (** pre-forked accept workers (>= 1) *)
   max_body : int;  (** request body cap in bytes *)
   read_timeout : float;  (** per-read socket timeout, seconds *)
+  access_log : string option;
+      (** JSONL access-log path (append); every worker writes to it,
+          one whole line per request *)
 }
 
 val default_opts : listen -> opts
-(** 1 worker, 1 MiB body cap, 10 s read timeout. *)
+(** 1 worker, 1 MiB body cap, 10 s read timeout, access log from
+    [EMC_ACCESS_LOG] when set. *)
 
 val prometheus : unit -> string
-(** The metrics registry rendered as Prometheus text exposition (also used
-    by [GET /metrics]). *)
+(** This process's registry rendered as Prometheus text exposition. *)
+
+val prometheus_of_snapshot : Emc_obs.Metrics.snapshot -> string
+(** Render an (aggregated) snapshot — what [GET /metrics] serves after
+    merging every worker's published snapshot. *)
 
 val handle_request : Emc_core.Artifact.t -> Http.request -> int * string * string
 (** [(status, content_type, body)] for one request — exposed for tests;

@@ -104,6 +104,137 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
+(* ---------------- bounded histograms and snapshots ---------------- *)
+
+(* Percentile estimates stay within the documented bucket resolution
+   (2^(1/32) - 1 ~ 2.2% relative) of the exact order statistics, over a
+   heavy-tailed stream spanning several orders of magnitude. *)
+let test_histogram_resolution () =
+  let h = Metrics.histogram "test.obs.res" in
+  let rng = Emc_util.Rng.create 11 in
+  let n = 5000 in
+  let samples = Array.init n (fun _ -> Float.exp (2.0 *. Emc_util.Rng.gaussian rng)) in
+  Array.iter (Metrics.observe h) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let exact q =
+    let rank = max 1 (int_of_float (ceil (q /. 100.0 *. float_of_int n))) in
+    sorted.(min (n - 1) (rank - 1))
+  in
+  List.iter
+    (fun q ->
+      let est = Option.get (Metrics.histogram_percentile h q) in
+      let ex = exact q in
+      cb (Printf.sprintf "p%g within bucket resolution" q) true
+        (Float.abs (est -. ex) <= (0.023 *. ex) +. 1e-12))
+    [ 50.0; 90.0; 99.0; 99.9 ];
+  (* clamping into [min, max] makes a single-sample histogram exact *)
+  let h1 = Metrics.histogram "test.obs.res.single" in
+  Metrics.observe h1 0.0123;
+  Alcotest.(check (float 0.0)) "single sample is exact" 0.0123
+    (Option.get (Metrics.histogram_percentile h1 99.0))
+
+(* Values outside the covered range (zero, negatives, huge) land in the
+   edge buckets but count/sum/min/max stay exact. *)
+let test_histogram_edge_buckets () =
+  let h = Metrics.histogram "test.obs.edges" in
+  List.iter (Metrics.observe h) [ 0.0; -3.0; 1e20; 1.0 ];
+  let s = Option.get (Metrics.histogram_stats h) in
+  ci "count includes out-of-range values" 4 s.Metrics.count;
+  Alcotest.(check (float 0.0)) "min exact" (-3.0) s.Metrics.min;
+  Alcotest.(check (float 0.0)) "max exact" 1e20 s.Metrics.max;
+  Alcotest.(check (float 1e-6)) "sum exact" (1e20 -. 2.0) s.Metrics.sum;
+  cb "percentiles clamped into [min, max]" true
+    (s.Metrics.p50 >= s.Metrics.min && s.Metrics.p99 <= s.Metrics.max)
+
+(* Run [f] in a forked child on a reset registry and ship the resulting
+   snapshot back through its JSON serialization — exactly what the
+   pre-forked daemon's cross-worker /metrics aggregation does. *)
+let snapshot_in_child f =
+  let rfd, wfd = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rfd;
+      Metrics.reset ();
+      f ();
+      let oc = Unix.out_channel_of_descr wfd in
+      output_string oc (Json.to_string (Metrics.snapshot_to_json (Metrics.snapshot ())));
+      flush oc;
+      Unix._exit 0
+  | pid -> (
+      Unix.close wfd;
+      let ic = Unix.in_channel_of_descr rfd in
+      let text = In_channel.input_all ic in
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      match Metrics.snapshot_of_json (Json.parse_exn text) with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "snapshot did not survive JSON: %s" e)
+
+(* The merge contract: merging per-process snapshots is equivalent to one
+   process having seen the combined stream — identical bucket counts, so
+   identical percentiles; counters sum exactly. *)
+let test_snapshot_merge_equals_combined () =
+  let rng = Emc_util.Rng.create 23 in
+  let streams =
+    List.map
+      (fun n -> Array.init n (fun _ -> Float.exp (1.5 *. Emc_util.Rng.gaussian rng)))
+      [ 400; 150; 900 ]
+  in
+  let observe_stream s =
+    let h = Metrics.histogram "test.obs.merge.h" in
+    let c = Metrics.counter "test.obs.merge.c" in
+    Array.iter
+      (fun v ->
+        Metrics.observe h v;
+        Metrics.incr c)
+      s
+  in
+  let parts = List.map (fun s -> snapshot_in_child (fun () -> observe_stream s)) streams in
+  let combined = snapshot_in_child (fun () -> List.iter observe_stream streams) in
+  let merged = List.fold_left Metrics.merge Metrics.snapshot_empty parts in
+  let counter_of s =
+    Option.value ~default:(-1) (List.assoc_opt "test.obs.merge.c" (Metrics.snapshot_counters s))
+  in
+  ci "merged counters sum exactly" (counter_of combined) (counter_of merged);
+  ci "total is the stream total" (400 + 150 + 900) (counter_of merged);
+  let hsnap_of s = List.assoc "test.obs.merge.h" (Metrics.snapshot_histograms s) in
+  let hm = hsnap_of merged and hc = hsnap_of combined in
+  let sm = Option.get (Metrics.hsnap_stats hm) and sc = Option.get (Metrics.hsnap_stats hc) in
+  ci "merged count" sc.Metrics.count sm.Metrics.count;
+  Alcotest.(check (float 0.0)) "merged min" sc.Metrics.min sm.Metrics.min;
+  Alcotest.(check (float 0.0)) "merged max" sc.Metrics.max sm.Metrics.max;
+  cb "merged sum within fp tolerance" true
+    (Float.abs (sm.Metrics.sum -. sc.Metrics.sum) <= 1e-9 *. Float.abs sc.Metrics.sum);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "merged p%g identical to combined-stream p%g" q q)
+        (Option.get (Metrics.hsnap_percentile hc q))
+        (Option.get (Metrics.hsnap_percentile hm q)))
+    [ 50.0; 90.0; 99.0; 99.9 ];
+  (* the Prometheus cumulative series agrees between the two *)
+  cb "cumulative le= series identical" true
+    (Metrics.hsnap_cumulative hc = Metrics.hsnap_cumulative hm);
+  (* snapshot_empty is the unit of merge *)
+  let m2 = Metrics.merge merged Metrics.snapshot_empty in
+  ci "merge with empty is identity (counters)" (counter_of merged) (counter_of m2);
+  cb "merge with empty is identity (cumulative)" true
+    (Metrics.hsnap_cumulative (hsnap_of m2) = Metrics.hsnap_cumulative hm)
+
+let test_snapshot_json_rejects_garbage () =
+  cb "wrong schema rejected" true
+    (Result.is_error (Metrics.snapshot_of_json (Json.parse_exn {|{"schema":"nope"}|})));
+  cb "non-object rejected" true (Result.is_error (Metrics.snapshot_of_json (Json.Int 3)));
+  (* gauges: right-hand side wins on merge *)
+  let a = snapshot_in_child (fun () -> Metrics.set (Metrics.gauge "test.obs.merge.g") 1.0) in
+  let b = snapshot_in_child (fun () -> Metrics.set (Metrics.gauge "test.obs.merge.g") 2.0) in
+  let m = Metrics.merge a b in
+  Alcotest.(check (float 0.0)) "gauge merge keeps the right value" 2.0
+    (List.assoc "test.obs.merge.g" (Metrics.snapshot_gauges m))
+
 let test_dump_and_reset () =
   let c = Metrics.counter "test.obs.dumpme" in
   Metrics.add c 3;
@@ -258,6 +389,14 @@ let suite =
     Alcotest.test_case "metrics: kind mismatch raises" `Quick test_kind_mismatch_raises;
     Alcotest.test_case "metrics: gauge and histogram" `Quick test_gauge_and_histogram;
     Alcotest.test_case "metrics: dump and reset" `Quick test_dump_and_reset;
+    Alcotest.test_case "metrics: percentiles within bucket resolution" `Quick
+      test_histogram_resolution;
+    Alcotest.test_case "metrics: edge buckets keep exact count/sum/min/max" `Quick
+      test_histogram_edge_buckets;
+    Alcotest.test_case "metrics: merging snapshots equals the combined stream" `Quick
+      test_snapshot_merge_equals_combined;
+    Alcotest.test_case "metrics: snapshot json validation and gauge merge" `Quick
+      test_snapshot_json_rejects_garbage;
     Alcotest.test_case "log: levels and parsing" `Quick test_log_levels;
     Alcotest.test_case "trace: spans nest in the json" `Quick test_trace_spans_nest;
     Alcotest.test_case "trace: exception tags the span" `Quick test_trace_span_records_exception;

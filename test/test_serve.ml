@@ -109,7 +109,7 @@ let sock_path () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "emc_serve_%d_%d.sock" (Unix.getpid ()) (Random.int 100000))
 
-let start_server ?(max_body = 4096) ?(read_timeout = 2.0) () =
+let start_server ?(workers = 1) ?(max_body = 4096) ?(read_timeout = 2.0) ?access_log () =
   let art = Lazy.force artifact in
   let path = sock_path () in
   match Unix.fork () with
@@ -117,7 +117,7 @@ let start_server ?(max_body = 4096) ?(read_timeout = 2.0) () =
       (* the daemon process: Serve.run returns after a signal *)
       (try
          Serve.run
-           { Serve.listen = Serve.Unix_socket path; workers = 1; max_body; read_timeout }
+           { Serve.listen = Serve.Unix_socket path; workers; max_body; read_timeout; access_log }
            art
        with _ -> Unix._exit 1);
       Unix._exit 0
@@ -143,8 +143,8 @@ let stop_server (pid, path) =
   let _, status = Unix.waitpid [] pid in
   (status, Sys.file_exists path)
 
-let with_server ?max_body ?read_timeout f =
-  let ((pid, _) as srv) = start_server ?max_body ?read_timeout () in
+let with_server ?workers ?max_body ?read_timeout ?access_log f =
+  let ((pid, _) as srv) = start_server ?workers ?max_body ?read_timeout ?access_log () in
   Fun.protect
     ~finally:(fun () ->
       if
@@ -358,6 +358,143 @@ let test_fuzz_and_shutdown () =
   cb "clean exit on SIGTERM" true (status = Unix.WEXITED 0);
   cb "socket unlinked on shutdown" false socket_left
 
+(* ---------------- request ids ---------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* One keep-alive exchange using the Http client half. *)
+let keepalive_request fd ?(headers = []) target =
+  let extra = String.concat "" (List.map (fun (k, v) -> k ^ ": " ^ v ^ "\r\n") headers) in
+  let text = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n%s\r\n" target extra in
+  write_all fd text 0 (String.length text);
+  match Http.read_response fd with
+  | Ok r -> r
+  | Error _ -> Alcotest.failf "no response for %s" target
+
+let test_request_ids () =
+  with_server (fun (_, path) ->
+      let fd = connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      (* a sane client id is echoed verbatim *)
+      let r = keepalive_request fd ~headers:[ ("X-Request-Id", "my-id_1.23") ] "/healthz" in
+      cb "client id echoed" true (Http.response_header r "x-request-id" = Some "my-id_1.23");
+      (* no id: the daemon generates one *)
+      let id_of r =
+        match Http.response_header r "x-request-id" with
+        | Some id -> id
+        | None -> Alcotest.fail "response carries no X-Request-Id"
+      in
+      let a = id_of (keepalive_request fd "/healthz") in
+      let b = id_of (keepalive_request fd "/healthz") in
+      cb "generated ids are nonempty" true (String.length a > 0);
+      cb "generated ids are unique" true (a <> b);
+      (* an insane client id (whitespace, header-breaking) is replaced *)
+      let bad = "spaces and\ttabs" in
+      let r = keepalive_request fd ~headers:[ ("X-Request-Id", bad) ] "/healthz" in
+      cb "insane id replaced" true (id_of r <> bad);
+      (* error responses carry an id too *)
+      let r = keepalive_request fd "/nope" in
+      ci "404 over keep-alive" 404 r.Http.status;
+      cb "error response has an id" true (String.length (id_of r) > 0))
+
+(* ---------------- cross-worker /metrics aggregation ---------------- *)
+
+(* Three workers, three concurrent keep-alive connections (each pinned to
+   its own worker), k requests apiece; a scrape through any one
+   connection must report the exact sum: every worker publishes its
+   snapshot before writing a response, so a request whose response we
+   hold is visible to every later scrape. *)
+let test_multiworker_metrics_sum () =
+  with_server ~workers:3 (fun (_, path) ->
+      let conns = List.init 3 (fun _ -> connect path) in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) conns)
+      @@ fun () ->
+      let k = 5 in
+      List.iter
+        (fun fd ->
+          for _ = 1 to k do
+            ci "healthz ok" 200 (keepalive_request fd "/healthz").Http.status
+          done)
+        conns;
+      let scrape = keepalive_request (List.nth conns 1) "/metrics" in
+      ci "metrics ok" 200 scrape.Http.status;
+      let value_of name =
+        let prefix = name ^ " " in
+        let line =
+          List.find_opt
+            (fun l -> String.length l > String.length prefix
+                      && String.sub l 0 (String.length prefix) = prefix)
+            (String.split_on_char '\n' scrape.Http.resp_body)
+        in
+        match line with
+        | Some l ->
+            int_of_string
+              (String.sub l (String.length prefix) (String.length l - String.length prefix))
+        | None -> Alcotest.failf "no %s in scrape" name
+      in
+      (* 3k healthz + the scrape itself, across all three workers *)
+      ci "requests counter is the exact sum" ((3 * k) + 1) (value_of "emc_serve_requests");
+      ci "healthz counter is the exact sum" (3 * k) (value_of "emc_serve_requests__healthz");
+      (* the merged latency histogram saw every healthz request *)
+      ci "histogram count equals requests" (3 * k)
+        (value_of "emc_serve_latency_seconds__healthz_count");
+      ci "le=+Inf bucket equals count" (3 * k)
+        (value_of "emc_serve_latency_seconds__healthz_bucket{le=\"+Inf\"}"))
+
+(* ---------------- access log ---------------- *)
+
+let test_access_log () =
+  let log = Filename.temp_file "emc_access" ".jsonl" in
+  Sys.remove log;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists log then Sys.remove log)
+  @@ fun () ->
+  with_server ~access_log:log (fun ((_, path) as srv) ->
+      let fd = connect path in
+      ci "healthz" 200
+        (keepalive_request fd ~headers:[ ("X-Request-Id", "log-me-1") ] "/healthz").Http.status;
+      ci "rank" 200
+        (keepalive_request fd ~headers:[ ("X-Request-Id", "log-me-2") ] "/rank?top=2").Http.status;
+      Unix.close fd;
+      (* graceful shutdown flushes the log before the daemon exits *)
+      let status, _ = stop_server srv in
+      cb "clean exit" true (status = Unix.WEXITED 0);
+      let ic = open_in log in
+      let lines = In_channel.input_lines ic in
+      close_in ic;
+      ci "one record per request" 2 (List.length lines);
+      let records = List.map json_of lines in
+      let field r name =
+        match Json.member name r with
+        | Some v -> v
+        | None -> Alcotest.failf "access record lacks %S" name
+      in
+      List.iteri
+        (fun i r ->
+          cb "status 200" true (field r "status" = Json.Int 200);
+          cb "id recorded" true
+            (field r "id" = Json.Str (Printf.sprintf "log-me-%d" (i + 1)));
+          cb "worker pid recorded" true (match field r "worker" with Json.Int p -> p > 0 | _ -> false);
+          cb "bytes_out positive" true
+            (match field r "bytes_out" with Json.Int n -> n > 0 | _ -> false);
+          List.iter
+            (fun phase ->
+              cb (phase ^ " timing recorded") true
+                (match field r phase with
+                | Json.Float t -> t >= 0.0
+                | Json.Int t -> t >= 0
+                | _ -> false))
+            [ "parse_s"; "handle_s"; "write_s" ])
+        records;
+      cb "paths recorded" true
+        (field (List.nth records 1) "path" = Json.Str "/rank"))
+
 let suite =
   [
     Alcotest.test_case "routing and structured errors (in-process)" `Quick
@@ -367,4 +504,8 @@ let suite =
     Alcotest.test_case "/search equals direct model-based search" `Quick
       test_search_matches_direct;
     Alcotest.test_case "survives fuzz; graceful shutdown" `Quick test_fuzz_and_shutdown;
+    Alcotest.test_case "request ids: echo, generate, replace" `Quick test_request_ids;
+    Alcotest.test_case "/metrics sums exactly across workers" `Quick
+      test_multiworker_metrics_sum;
+    Alcotest.test_case "access log: one JSONL record per request" `Quick test_access_log;
   ]
