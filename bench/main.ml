@@ -206,6 +206,32 @@ let bechamel_suite ?filter ?json_path (ctx : Experiments.ctx) =
                         (Emc_doe.Doe.random_point rng Params.space_compiler)
                         march_coded))
               done) );
+      (* ranking-model fit over the training design *)
+      ( "regress/rank-fit",
+        fun () ->
+          let train = (Lazy.force d).Experiments.train in
+          Staged.stage (fun () ->
+              ignore
+                (Rank.fit ~rng:(Emc_util.Rng.create 17)
+                   ~names:(Params.names Params.all_specs) train)) );
+      (* multi-objective search: one full NSGA-II run at a small budget *)
+      ( "search/pareto-front",
+        fun () ->
+          let rbf = Lazy.force rbf in
+          (* a monotone-decreasing transform of the same model: a perfect
+             trade-off, so the front (and the crowding machinery) is
+             exercised at full population size *)
+          let energy =
+            { rbf with Model.technique = "energy";
+              predict = (fun x -> 1e12 /. rbf.Model.predict x) }
+          in
+          let params =
+            { Emc_search.Ga.default_params with pop_size = 24; generations = 8 }
+          in
+          Staged.stage (fun () ->
+              ignore
+                (Searcher.search_pareto ~params ~rng:(Emc_util.Rng.create 17)
+                   ~cycles_model:rbf ~energy_model:energy ~march ())) );
       (* §3 kernel: D-optimal exchange *)
       ( "doe/d-optimal-n40",
         fun () ->

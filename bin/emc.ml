@@ -216,6 +216,19 @@ let parse_technique = function
   | "rbf" -> Modeling.Rbf
   | s -> failwith ("unknown technique: " ^ s)
 
+(* Accuracy and rank quality of one fitted family on the held-out test
+   design: RMSE/MAPE grade the predicted magnitudes, Spearman and the
+   top-K metrics grade the induced order — what the model-based search
+   actually consumes. *)
+let report_model_metrics ~test (m : Emc_regress.Model.t) =
+  let open Emc_regress in
+  let p = m.Model.predict in
+  Printf.printf
+    "  %-18s rmse=%-12.5g mape=%7.2f%%  spearman=%+.3f  top5_regret=%7.2f%%  p@5=%.2f\n"
+    m.Model.technique (Metrics.rmse p test) (Metrics.mape p test) (Metrics.spearman p test)
+    (Metrics.top_k_regret ~k:5 p test)
+    (Metrics.precision_at_k ~k:5 p test)
+
 let model_cmd =
   let run wname tname scale seed jobs cache trace metrics =
     with_obs trace metrics (fun () ->
@@ -229,6 +242,18 @@ let model_cmd =
           (Modeling.technique_name technique)
           (Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test)
           m.Emc_regress.Model.n_params;
+        Printf.printf "all families on the %d-point test design:\n"
+          (Emc_regress.Dataset.size d.Experiments.test);
+        List.iter
+          (fun t -> report_model_metrics ~test:d.Experiments.test (Experiments.model_of d t))
+          Modeling.all_techniques;
+        let rank_m =
+          Emc_regress.Rank.fit
+            ~names:(Params.names Params.all_specs)
+            ~rng:(Emc_util.Rng.create (seed + 2))
+            d.Experiments.train
+        in
+        report_model_metrics ~test:d.Experiments.test rank_m;
         let names = Params.names Params.all_specs in
         let effects =
           Emc_regress.Effects.top_effects m.Emc_regress.Model.predict ~dims:Params.n_all ~names
@@ -257,32 +282,53 @@ let train_cmd =
     let doc = "Write the model artifact (JSON) to $(docv)." in
     Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run wname tname scale seed jobs cache out trace metrics =
+  let energy_arg =
+    let doc =
+      "Also fit an energy-response model on the same training design (zero extra \
+       simulations — the simulator memoizes every response) and embed it in the artifact, \
+       enabling $(b,emc pareto --model) and the daemon's /pareto endpoint."
+    in
+    Arg.(value & flag & info [ "energy" ] ~doc)
+  in
+  let run wname tname scale seed jobs cache out energy trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let scale = parse_scale ?jobs scale in
         let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
         let d = Experiments.prepare ctx w in
-        let m = Experiments.model_of d (parse_technique tname) in
+        let technique = parse_technique tname in
+        let m = Experiments.model_of d technique in
         let test_mape =
           Emc_regress.Metrics.mape m.Emc_regress.Model.predict d.Experiments.test
+        in
+        let extra =
+          if not energy then []
+          else
+            let em = Modeling.fit technique (Experiments.energy_train ctx d) in
+            match em.Emc_regress.Model.repr with
+            | Some r -> [ ("energy", r) ]
+            | None -> die "energy model for %s has no serializable representation" tname
         in
         match
           Artifact.of_model ~workload:w.name ~scale:scale.Scale.name ~seed
             ~train_n:(Emc_regress.Dataset.size d.Experiments.train)
-            ~test_mape m
+            ~test_mape ~extra m
         with
         | Error e -> die "%s" e
         | Ok a ->
             Artifact.save a out;
-            Printf.printf "%s / %s: test MAPE = %.2f%%, %d params -> %s\n" w.name
-              a.Artifact.technique test_mape m.Emc_regress.Model.n_params out)
+            Printf.printf "%s / %s: test MAPE = %.2f%%, %d params -> %s%s\n" w.name
+              a.Artifact.technique test_mape m.Emc_regress.Model.n_params out
+              (if energy then " (+energy response)" else "");
+            Printf.printf "rank quality on the %d-point test design:\n"
+              (Emc_regress.Dataset.size d.Experiments.test);
+            report_model_metrics ~test:d.Experiments.test m)
   in
   Cmd.v
     (Cmd.info "train"
        ~doc:"Build an empirical model and persist it as a reusable artifact file.")
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
-          $ cache_arg $ out_arg $ trace_arg $ metrics_arg)
+          $ cache_arg $ out_arg $ energy_arg $ trace_arg $ metrics_arg)
 
 let predict_cmd =
   let raw_arg =
@@ -327,7 +373,8 @@ let rank_cmd =
     Printf.printf "%s / %s (test MAPE %s):\n" a.Artifact.workload a.Artifact.technique
       (match a.Artifact.test_mape with Some m -> Printf.sprintf "%.2f%%" m | None -> "n/a");
     a.Artifact.terms
-    |> List.sort (fun (_, x) (_, y) -> compare (Float.abs y) (Float.abs x))
+    (* NaN-safe: polymorphic compare would place NaN coefficients anywhere *)
+    |> List.sort Emc_regress.Metrics.strength_order
     |> List.iteri (fun i (n, c) -> if i < top then Printf.printf "  %-40s %+.4g\n" n c)
   in
   Cmd.v
@@ -381,7 +428,8 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve a saved model over HTTP: /predict, /rank, /search, /healthz, /metrics.")
+       ~doc:"Serve a saved model over HTTP: /predict, /rank, /search, /pareto, /healthz, \
+             /metrics.")
     Term.(const run $ model_file_arg $ port_arg $ socket_arg $ workers_arg $ max_body_arg
           $ timeout_arg $ access_log_arg)
 
@@ -578,6 +626,103 @@ let search_cmd =
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
           $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
 
+(* ---------------- pareto ---------------- *)
+
+let pareto_cmd =
+  let model_opt_arg =
+    let doc = "Search over a saved two-response artifact ($(b,emc train --energy)) instead \
+               of training in-process — zero simulator invocations."
+    in
+    Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the front as JSON — byte-identical to the daemon's /pareto response \
+                   at the same seed and parameters.")
+  in
+  let pop_arg =
+    Arg.(value & opt (some int) None
+         & info [ "pop-size" ] ~docv:"N" ~doc:"NSGA-II population size.")
+  in
+  let gens_arg =
+    Arg.(value & opt (some int) None
+         & info [ "generations" ] ~docv:"N" ~doc:"NSGA-II generation count.")
+  in
+  let run wname cname scale seed jobs cache mfile pop gens json trace metrics =
+    with_obs trace metrics (fun () ->
+        let march = parse_config cname in
+        (* same defaults as the daemon's /pareto (not --scale's GA budget),
+           so served and in-process runs are comparable bit for bit *)
+        let dflt = Emc_search.Ga.default_params in
+        let params =
+          { dflt with
+            Emc_search.Ga.pop_size = Option.value pop ~default:dflt.Emc_search.Ga.pop_size;
+            generations = Option.value gens ~default:dflt.Emc_search.Ga.generations }
+        in
+        let wname_shown, cycles_model, energy_model =
+          match mfile with
+          | Some path -> (
+              let a = load_artifact path in
+              match Artifact.extra_repr a "energy" with
+              | None ->
+                  die "%s carries no \"energy\" response model; retrain with emc train --energy"
+                    path
+              | Some r ->
+                  ( a.Artifact.workload,
+                    Artifact.model a,
+                    { Emc_regress.Model.technique = "energy";
+                      predict = Emc_regress.Repr.eval r; n_params = 0; terms = [];
+                      repr = Some r } ))
+          | None ->
+              let w = Registry.find wname in
+              let scale = parse_scale ?jobs scale in
+              let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+              let d = Experiments.prepare ctx w in
+              ( w.Workload.name,
+                Experiments.rbf_model d,
+                Modeling.fit Modeling.Rbf (Experiments.energy_train ctx d) )
+        in
+        let evals_before =
+          Option.value ~default:0 (Emc_obs.Metrics.counter_value "pareto.evaluations")
+        in
+        let front =
+          Searcher.search_pareto ~params ~rng:(Emc_util.Rng.create seed) ~cycles_model
+            ~energy_model ~march ()
+        in
+        let evals =
+          Option.value ~default:0 (Emc_obs.Metrics.counter_value "pareto.evaluations")
+          - evals_before
+        in
+        let objs =
+          Array.of_list
+            (List.map (fun p -> [| p.Searcher.p_cycles; p.Searcher.p_energy |]) front)
+        in
+        if front = [] then die "search returned an empty front";
+        if not (Emc_search.Pareto.is_front objs) then
+          die "internal error: returned front contains dominated points";
+        if json then
+          print_endline
+            (Emc_obs.Json.to_string (Searcher.pareto_to_json ~seed ~evaluations:evals front))
+        else begin
+          Printf.printf "%s on %s: cycles x energy trade-off (seed %d, %d evaluations)\n"
+            wname_shown cname seed evals;
+          List.iteri
+            (fun i p ->
+              Printf.printf "  %2d: cycles=%14.0f  energy=%14.6g nJ  %s\n" (i + 1)
+                p.Searcher.p_cycles p.Searcher.p_energy
+                (Emc_opt.Flags.to_string p.Searcher.p_flags))
+            front;
+          Printf.printf "front verified non-dominated (%d points)\n" (List.length front)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:"Multi-objective model-based search: the non-dominated front over predicted \
+             cycles and predicted energy (NSGA-II over the compiler parameters).")
+    Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
+          $ model_opt_arg $ pop_arg $ gens_arg $ json_arg $ trace_arg $ metrics_arg)
+
 (* ---------------- experiment ---------------- *)
 
 let experiment_cmd =
@@ -645,4 +790,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group ~default info
     [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
-      rank_cmd; serve_cmd; loadgen_cmd; search_cmd; fuzz_cmd; experiment_cmd ]))
+      rank_cmd; serve_cmd; loadgen_cmd; search_cmd; pareto_cmd; fuzz_cmd; experiment_cmd ]))

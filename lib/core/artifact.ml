@@ -18,12 +18,13 @@ type t = {
   repr : Repr.t;
   n_params : int;
   terms : (string * float) list;
+  extra : (string * Repr.t) list;
 }
 
 let dims a = Array.length a.specs
 
 let of_model ~workload ~scale ~seed ~train_n ?test_mape ?(specs = Params.all_specs)
-    (m : Model.t) =
+    ?(extra = []) (m : Model.t) =
   match m.Model.repr with
   | None ->
       Error
@@ -32,7 +33,9 @@ let of_model ~workload ~scale ~seed ~train_n ?test_mape ?(specs = Params.all_spe
   | Some repr ->
       Ok
         { workload; technique = m.Model.technique; scale; seed; train_n; test_mape; specs;
-          repr; n_params = m.Model.n_params; terms = m.Model.terms }
+          repr; n_params = m.Model.n_params; terms = m.Model.terms; extra }
+
+let extra_repr a name = List.assoc_opt name a.extra
 
 let model a : Model.t =
   {
@@ -66,7 +69,7 @@ let spec_to_json (s : Params.spec) =
 
 let to_json a =
   Json.Obj
-    [ ("format", Json.Str format_name);
+    ([ ("format", Json.Str format_name);
       ("version", Json.Int current_version);
       ("workload", Json.Str a.workload);
       ("technique", Json.Str a.technique);
@@ -80,6 +83,13 @@ let to_json a =
        Json.List
          (List.map (fun (n, c) -> Json.Obj [ ("term", Json.Str n); ("coef", jfloat c) ]) a.terms));
       ("repr", Repr.to_json a.repr) ]
+    @
+    (* Extra named responses are emitted only when present, so artifacts
+       without them stay byte-identical to what older builds wrote. *)
+    (match a.extra with
+    | [] -> []
+    | extra ->
+        [ ("extra", Json.Obj (List.map (fun (name, r) -> (name, Repr.to_json r)) extra)) ]))
 
 let ( let* ) = Result.bind
 
@@ -159,11 +169,23 @@ let of_json j =
   let* tl = Result.bind (field "terms" j) as_list in
   let* terms = map_result term_of_json tl in
   let* repr = Result.bind (field "repr" j) Repr.of_json in
+  let* extra =
+    match Json.member "extra" j with
+    | None | Some Json.Null -> Ok []
+    | Some (Json.Obj fields) ->
+        map_result
+          (fun (name, rj) ->
+            match Repr.of_json rj with
+            | Ok r -> Ok (name, r)
+            | Error e -> Error (Printf.sprintf "extra response %S: %s" name e))
+          fields
+    | Some _ -> Error "expected an object for field \"extra\""
+  in
   if specs = [] then Error "artifact has an empty parameter schema"
   else
     Ok
       { workload; technique; scale; seed; train_n; test_mape; specs = Array.of_list specs;
-        repr; n_params; terms }
+        repr; n_params; terms; extra }
 
 let save a path =
   Out_channel.with_open_bin path (fun oc ->

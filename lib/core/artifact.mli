@@ -22,6 +22,11 @@ type t = {
   repr : Emc_regress.Repr.t;
   n_params : int;
   terms : (string * float) list;
+  extra : (string * Emc_regress.Repr.t) list;
+      (** Additional named response models over the same parameter schema
+          (e.g. ["energy"], used by the Pareto search). Empty for
+          single-response artifacts; the JSON field is omitted when empty,
+          so such artifacts are byte-identical to pre-[extra] ones. *)
 }
 
 val current_version : int
@@ -37,10 +42,16 @@ val of_model :
   train_n:int ->
   ?test_mape:float ->
   ?specs:Params.spec array ->
+  ?extra:(string * Emc_regress.Repr.t) list ->
   Emc_regress.Model.t ->
   (t, string) result
 (** [Error] when the model carries no serializable repr (stubs, trees).
-    [specs] defaults to {!Params.all_specs} (the 25-parameter space). *)
+    [specs] defaults to {!Params.all_specs} (the 25-parameter space);
+    [extra] (named additional response reprs) defaults to []. *)
+
+val extra_repr : t -> string -> Emc_regress.Repr.t option
+(** Look up an additional named response model, e.g.
+    [extra_repr a "energy"]. *)
 
 val model : t -> Emc_regress.Model.t
 (** Reconstruct the model. Its [predict] is bit-identical to the fitted

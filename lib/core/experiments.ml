@@ -76,6 +76,17 @@ let model_of d technique = List.assoc technique d.models
 
 let rbf_model d = model_of d Modeling.Rbf
 
+(** The training design re-labelled with the energy response. The
+    simulator memoizes all responses of a run, so after {!prepare} this
+    costs zero additional simulations — it only re-reads the cache at the
+    same design points. *)
+let energy_train ctx d =
+  let ys =
+    Measure.respond_coded_many ~response:Measure.Energy ctx.measure d.workload
+      ~variant:Workload.Train d.train.Dataset.x
+  in
+  Dataset.create (Array.map Array.copy d.train.Dataset.x) ys
+
 (* ------------------------------------------------------------------ *)
 (* Tables 1/2 and 5: parameter listings                                 *)
 

@@ -1,7 +1,18 @@
-(** Model-quality metrics (paper §4.4 and §6.1). *)
+(** Model-quality metrics (paper §4.4 and §6.1), plus rank-quality metrics
+    for the search consumer (§6.3), which only needs the {e order} of
+    design points. *)
 
 val mape : (float array -> float) -> Dataset.t -> float
-(** Mean absolute percentage error — the paper's Table-3 metric. *)
+(** Mean absolute percentage error — the paper's Table-3 metric. Samples
+    with [y = 0] are undefined under APE and are skipped (see
+    {!mape_with_skipped}); NaN if every sample was skipped. *)
+
+val mape_with_skipped : (float array -> float) -> Dataset.t -> float * int
+(** [(mape, skipped)]: the error averaged over the samples with [|y| > 0]
+    and the count of zero-response samples excluded. The skip-with-count
+    policy keeps a single zero (possible for Energy/CodeSize responses)
+    from poisoning the whole metric with infinity, while still surfacing
+    how much of the test set was unusable. *)
 
 val rmse : (float array -> float) -> Dataset.t -> float
 
@@ -16,3 +27,46 @@ val bic : samples:int -> params:int -> sse:float -> float
 val gcv : samples:int -> effective_params:float -> sse:float -> float
 (** Generalized cross-validation (Friedman '91), used by the MARS backward
     pass: [SSE/n / (1 − C/n)²]. *)
+
+(** {2 Rank-quality metrics}
+
+    The model-based search minimizes the predicted response, so what it
+    needs from a model is a faithful {e ordering} of design points. These
+    metrics score that directly. All of them sort NaN predictions last
+    (the {!Ga.optimize} convention: a broken prediction must not look
+    optimal) and break ties deterministically by sample index. *)
+
+val nan_last : float -> float -> int
+(** Ascending [Float.compare] with NaN ordered after every number. *)
+
+val strength_order : string * float -> string * float -> int
+(** Descending-|coefficient| order over [(term, coef)] pairs,
+    NaN-coefficient terms last — the Table-4 term ranking shared by
+    [emc rank] and the serving daemon's /rank endpoint (polymorphic
+    [compare] on [Float.abs] would sort NaN coefficients {e first}). *)
+
+val average_ranks : float array -> float array
+(** Fractional ranks (1-based); tied values receive the average of the
+    positions they span, the standard Spearman tie treatment. *)
+
+val spearman_arrays : float array -> float array -> float
+(** Spearman rank correlation with tie handling (Pearson correlation of
+    {!average_ranks}). 1 = identical order, -1 = inverted, 0 when either
+    side is constant. Raises [Invalid_argument] on mismatched lengths or
+    fewer than 2 samples. *)
+
+val spearman : (float array -> float) -> Dataset.t -> float
+(** {!spearman_arrays} of the model's predictions against the measured
+    responses — order agreement between model and simulator. *)
+
+val top_k_regret : k:int -> (float array -> float) -> Dataset.t -> float
+(** How much worse the best of the model's top-[k] picks (smallest
+    predicted response) is than the true optimum, as a percentage of the
+    true optimum: 0 means the model's shortlist contains the best point.
+    Absolute difference when the true optimum is 0. [k] is clamped to the
+    dataset size. *)
+
+val precision_at_k : k:int -> (float array -> float) -> Dataset.t -> float
+(** Fraction of the model's top-[k] picks that are in the true top-[k]
+    (the HW-AutoTuning top-K score). [k] is clamped to the dataset
+    size. *)

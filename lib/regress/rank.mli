@@ -1,0 +1,26 @@
+(** Pairwise ranking model family: a linear scorer over the {!Repr.expand}
+    coded-feature row, trained by stochastic gradient ascent on the
+    pairwise logistic (RankNet) likelihood. The fitted model's [predict]
+    returns a {e unitless} score — higher means predicted-worse response —
+    so it plugs into the minimizing search and the rank metrics unchanged,
+    but its outputs are not cycles. *)
+
+val technique : string
+(** ["rank-pairwise"], the technique string carried by fitted models and
+    artifacts. *)
+
+val fit :
+  ?interactions:bool ->
+  ?epochs:int ->
+  ?lr:float ->
+  ?pairs_per_epoch:int ->
+  ?names:string array ->
+  rng:Emc_util.Rng.t ->
+  Dataset.t ->
+  Model.t
+(** Defaults: [interactions = true] (the 351-feature expansion on the
+    25-parameter space), [epochs = 60], [lr = 0.05], [pairs_per_epoch =
+    4 × samples]. Pairs with a NaN or tied response are skipped — they
+    carry no order information. Deterministic for a given [rng] state; the
+    returned model carries a serializable {!Repr.Rank} repr, so it can be
+    saved, loaded and served like the regression families. *)

@@ -20,12 +20,14 @@ type t =
       mu : float;
       sd : float;
     }
+  | Rank of { interactions : bool; beta : float array }
   | Clamp of { lo : float; hi : float; body : t }
 
 let rec family = function
   | Linear _ -> "linear"
   | Mars _ -> "mars"
   | Rbf _ -> "rbf"
+  | Rank _ -> "rank"
   | Clamp { body; _ } -> family body
 
 let kernel_name = function
@@ -97,6 +99,13 @@ let rec eval r x =
         (fun j c -> acc := !acc +. (weights.(j + 1) *. eval_kernel kernel ~r:radii.(j) (dist2 x c)))
         centers;
       (!acc *. sd) +. mu
+  | Rank { interactions; beta } ->
+      (* a unitless ranking score over the same feature expansion as
+         Linear, without response standardization: only order matters *)
+      let f = expand ~interactions x in
+      let acc = ref 0.0 in
+      Array.iteri (fun i v -> acc := !acc +. (v *. beta.(i))) f;
+      !acc
   | Clamp { lo; hi; body } -> Float.max lo (Float.min hi (eval body x))
 
 (* ---------------- JSON ---------------- *)
@@ -129,6 +138,10 @@ let rec to_json = function
           ("centers", Json.List (Array.to_list (Array.map jfloats centers)));
           ("radii", jfloats radii); ("weights", jfloats weights); ("mu", jfloat mu);
           ("sd", jfloat sd) ]
+  | Rank { interactions; beta } ->
+      Json.Obj
+        [ ("family", Json.Str "rank"); ("interactions", Json.Bool interactions);
+          ("beta", jfloats beta) ]
   | Clamp { lo; hi; body } ->
       Json.Obj
         [ ("family", Json.Str "clamp"); ("lo", jfloat lo); ("hi", jfloat hi);
@@ -227,6 +240,11 @@ let rec of_json j =
           (Printf.sprintf "rbf: %d weights for %d centers (want centers + bias)"
              (Array.length weights) (Array.length centers))
       else Ok (Rbf { kernel; centers; radii; weights; mu; sd })
+  | "rank" ->
+      let* interactions = Result.bind (field "interactions" j) as_bool in
+      let* beta = float_array "beta" j in
+      if Array.length beta = 0 then Error "rank model with no coefficients"
+      else Ok (Rank { interactions; beta })
   | "clamp" ->
       let* lo = ffield "lo" j in
       let* hi = ffield "hi" j in

@@ -32,11 +32,17 @@ type t =
       mu : float;
       sd : float;
     }
+  | Rank of { interactions : bool; beta : float array }
+      (** {!Rank.fit}'s pairwise ranking scorer: a {e unitless} score over
+          the same {!expand} feature row as [Linear], without response
+          standardization — only the induced order of design points is
+          meaningful, not the magnitude. *)
   | Clamp of { lo : float; hi : float; body : t }
       (** {!Emc_core.Modeling.fit}'s response-envelope clamp. *)
 
 val family : t -> string
-(** ["linear"], ["mars"], ["rbf"] or the clamped body's family. *)
+(** ["linear"], ["mars"], ["rbf"], ["rank"] or the clamped body's
+    family. *)
 
 val kernel_name : kernel -> string
 

@@ -298,14 +298,21 @@ let handle_predict art (req : Http.request) =
         (Json.Obj [ ("predictions", Json.List (List.map (fun x -> Json.Float (predict x)) xs)) ])
 
 let handle_rank art (req : Http.request) =
-  let top =
+  let* top =
+    (* a malformed or non-positive ?top must not silently mean "all" *)
     match List.assoc_opt "top" req.Http.query with
-    | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> max_int)
-    | None -> max_int
+    | None -> Ok max_int
+    | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n > 0 -> Ok n
+        | _ ->
+            Error
+              (400, "bad_request",
+               Printf.sprintf "query parameter \"top\" must be a positive integer, got %S" v))
   in
-  let terms =
-    List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) art.Artifact.terms
-  in
+  (* NaN-safe strongest-first order: polymorphic compare on floats would
+     order NaN coefficients arbitrarily; strength_order pins them last *)
+  let terms = List.sort Emc_regress.Metrics.strength_order art.Artifact.terms in
   let terms = List.filteri (fun i _ -> i < top) terms in
   json_body 200
     (Json.Obj
@@ -322,37 +329,50 @@ let named_config = function
   | "aggressive" -> Some Emc_sim.Config.aggressive
   | _ -> None
 
+(* Shared by /search and /pareto: target microarchitecture from the body
+   (a named config, raw "march" values, or the typical default). *)
+let march_of_body j =
+  match (Json.member "config" j, Json.member "march" j) with
+  | Some (Json.Str name), None -> (
+      match named_config name with
+      | Some c -> Ok c
+      | None ->
+          Error (400, "bad_request", Printf.sprintf "unknown config %S (want constrained|typical|aggressive)" name))
+  | None, Some m -> (
+      match point_of_json m with
+      | Error e -> Error (400, "bad_request", e)
+      | Ok vals ->
+          if Array.length vals <> Params.n_march then
+            Error (400, "bad_request", Printf.sprintf "\"march\" wants %d raw values, got %d" Params.n_march (Array.length vals))
+          else Ok (Params.to_march (Array.append (Array.make Params.n_compiler 0.0) vals)))
+  | None, None -> Ok Emc_sim.Config.typical
+  | _ -> Error (400, "bad_request", "give either \"config\" or \"march\", not both")
+
+let int_field j name default =
+  match Json.member name j with
+  | None -> Ok default
+  | Some (Json.Int v) when v > 0 -> Ok v
+  | Some _ -> Error (400, "bad_request", Printf.sprintf "%S must be a positive integer" name)
+
+(* Search budget shared by /search and /pareto: seed + GA parameters. *)
+let search_params j =
+  match int_field j "seed" 42 with
+  | Error e -> Error e
+  | Ok seed -> (
+      match int_field j "pop_size" Emc_search.Ga.default_params.Emc_search.Ga.pop_size with
+      | Error e -> Error e
+      | Ok pop_size -> (
+          match
+            int_field j "generations" Emc_search.Ga.default_params.Emc_search.Ga.generations
+          with
+          | Error e -> Error e
+          | Ok generations ->
+              Ok (seed, { Emc_search.Ga.default_params with pop_size; generations })))
+
 let handle_search art (req : Http.request) =
   let* j = parse_json_body req in
-  let* march =
-    match (Json.member "config" j, Json.member "march" j) with
-    | Some (Json.Str name), None -> (
-        match named_config name with
-        | Some c -> Ok c
-        | None ->
-            Error (400, "bad_request", Printf.sprintf "unknown config %S (want constrained|typical|aggressive)" name))
-    | None, Some m -> (
-        match point_of_json m with
-        | Error e -> Error (400, "bad_request", e)
-        | Ok vals ->
-            if Array.length vals <> Params.n_march then
-              Error (400, "bad_request", Printf.sprintf "\"march\" wants %d raw values, got %d" Params.n_march (Array.length vals))
-            else Ok (Params.to_march (Array.append (Array.make Params.n_compiler 0.0) vals)))
-    | None, None -> Ok Emc_sim.Config.typical
-    | _ -> Error (400, "bad_request", "give either \"config\" or \"march\", not both")
-  in
-  let int_field name default =
-    match Json.member name j with
-    | None -> Ok default
-    | Some (Json.Int v) when v > 0 -> Ok v
-    | Some _ -> Error (400, "bad_request", Printf.sprintf "%S must be a positive integer" name)
-  in
-  let* seed = int_field "seed" 42 in
-  let* pop_size = int_field "pop_size" Emc_search.Ga.default_params.Emc_search.Ga.pop_size in
-  let* generations =
-    int_field "generations" Emc_search.Ga.default_params.Emc_search.Ga.generations
-  in
-  let params = { Emc_search.Ga.default_params with pop_size; generations } in
+  let* march = march_of_body j in
+  let* seed, params = search_params j in
   let evals_before = Option.value ~default:0 (Metrics.counter_value "ga.evaluations") in
   let r =
     Searcher.search ~params ~rng:(Emc_util.Rng.create seed) ~model:(Artifact.model art) ~march ()
@@ -370,6 +390,32 @@ let handle_search art (req : Http.request) =
          ("evaluations", Json.Int evals);
          ("seed", Json.Int seed) ])
 
+let handle_pareto art (req : Http.request) =
+  let* j = parse_json_body req in
+  let* energy_repr =
+    match Artifact.extra_repr art "energy" with
+    | Some r -> Ok r
+    | None ->
+        Error
+          (409, "no_energy_response",
+           "artifact carries no \"energy\" response model; retrain with emc train --energy")
+  in
+  let* march = march_of_body j in
+  let* seed, params = search_params j in
+  let energy_model =
+    { Emc_regress.Model.technique = "energy"; predict = Emc_regress.Repr.eval energy_repr;
+      n_params = 0; terms = []; repr = Some energy_repr }
+  in
+  let evals_before = Option.value ~default:0 (Metrics.counter_value "pareto.evaluations") in
+  let front =
+    Searcher.search_pareto ~params ~rng:(Emc_util.Rng.create seed)
+      ~cycles_model:(Artifact.model art) ~energy_model ~march ()
+  in
+  let evals =
+    Option.value ~default:0 (Metrics.counter_value "pareto.evaluations") - evals_before
+  in
+  json_body 200 (Searcher.pareto_to_json ~seed ~evaluations:evals front)
+
 let handle_healthz art (_req : Http.request) =
   json_body 200
     (Json.Obj
@@ -379,13 +425,14 @@ let handle_healthz art (_req : Http.request) =
          ("dims", Json.Int (Artifact.dims art));
          ("format_version", Json.Int Artifact.current_version) ])
 
-let endpoints = [ "/predict"; "/rank"; "/search"; "/healthz"; "/metrics" ]
+let endpoints = [ "/predict"; "/rank"; "/search"; "/pareto"; "/healthz"; "/metrics" ]
 
 let dispatch art (req : Http.request) =
   match (req.Http.meth, req.Http.path) with
   | "POST", "/predict" -> handle_predict art req
   | "GET", "/rank" | "POST", "/rank" -> handle_rank art req
   | "POST", "/search" -> handle_search art req
+  | "POST", "/pareto" -> handle_pareto art req
   | "GET", "/healthz" -> handle_healthz art req
   | "GET", "/metrics" ->
       (200, "text/plain; version=0.0.4", prometheus_of_snapshot (aggregated_snapshot ()))

@@ -10,12 +10,20 @@
       the artifact's schema). Points are validated against the schema's
       arity. Responses: [{"prediction": p}] / [{"predictions": [...]}],
       bit-identical to the in-process model.
-    - [GET /rank?top=N] — significant terms sorted by |coefficient| (the
-      paper's Table-4 reading), for all three families.
+    - [GET /rank?top=N] — significant terms sorted by |coefficient|
+      strongest first, NaN coefficients last (the paper's Table-4
+      reading), for every family. A malformed or non-positive [top] is a
+      structured 400, never silently "all terms".
     - [POST /search] — GA over the served model (paper §6.3): body
       [{"config": "typical"}] or [{"march": [11 raw values]}], optional
       ["seed"], ["pop_size"], ["generations"]. Returns prescribed flags,
       predicted cycles and the GA evaluation count.
+    - [POST /pareto] — NSGA-II cycles × energy front over a two-response
+      artifact (trained with [emc train --energy]); same body as
+      [/search]. Returns [{"front": [...], "size", "evaluations",
+      "seed"}], byte-identical to [emc pareto --json] at the same seed
+      and parameters; 409 [no_energy_response] when the artifact has no
+      energy model.
     - [GET /healthz] — liveness plus artifact identity.
     - [GET /metrics] — Prometheus text exposition aggregated across
       {e all} pre-forked workers: each worker publishes an atomic

@@ -51,6 +51,12 @@ type breakdown = {
     a SMARTS estimate; all other counts are exact, since functional warming
     updates the same structures as detailed simulation. *)
 let estimate ?(coeffs = default) (ooo : Ooo.t) ~cycles : breakdown =
+  (* The leakage term multiplies [cycles]: a NaN or infinite estimate would
+     silently poison the whole energy response (and every dataset built from
+     it). Like Stats.min/max on empty input, that is a caller bug — fail
+     loudly at the source instead of producing a poisoned number. *)
+  if not (Float.is_finite cycles) then
+    invalid_arg (Printf.sprintf "Energy.estimate: non-finite cycle count (%h)" cycles);
   let func = Ooo.func ooo in
   let dynamic_fu =
     Array.fold_left ( +. ) 0.0

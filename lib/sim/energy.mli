@@ -27,4 +27,8 @@ type breakdown = {
 val estimate : ?coeffs:coefficients -> Ooo.t -> cycles:float -> breakdown
 (** Energy for a finished (or SMARTS-sampled) simulation; [cycles] may be an
     estimate — every other count is exact, since functional warming updates
-    the same cache/predictor structures as detailed simulation. *)
+    the same cache/predictor structures as detailed simulation.
+
+    Raises [Invalid_argument] on a non-finite [cycles]: the leakage term
+    multiplies it, so a NaN or infinity here would silently poison the
+    energy response and every dataset built from it. *)

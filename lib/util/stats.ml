@@ -35,8 +35,17 @@ let sample_variance xs =
 let stddev xs = sqrt (variance xs)
 let sample_stddev xs = sqrt (sample_variance xs)
 
-let min xs = Array.fold_left Float.min infinity xs
-let max xs = Array.fold_left Float.max neg_infinity xs
+(* Folding from infinity would silently report infinity/neg_infinity for an
+   empty array — a value that then flows into clamp envelopes and response
+   scaling as if it were data. Empty input is a caller bug; fail loudly,
+   like [percentile] does. *)
+let min xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min: empty array";
+  Array.fold_left Float.min infinity xs
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty array";
+  Array.fold_left Float.max neg_infinity xs
 
 (* Sort with Float.compare, not polymorphic compare: unboxed comparisons on
    the (hot) histogram path, and explicit NaN ordering (NaNs sort first). *)

@@ -13,13 +13,24 @@ val stddev : float array -> float
 val sample_stddev : float array -> float
 
 val min : float array -> float
+(** Smallest element ([Float.min] semantics: NaN propagates). Raises
+    [Invalid_argument] on an empty array — it used to silently return
+    [infinity], which then flowed into clamp envelopes as if it were data. *)
+
 val max : float array -> float
+(** Largest element ([Float.max] semantics: NaN propagates). Raises
+    [Invalid_argument] on an empty array (previously a silent
+    [neg_infinity]). *)
 
 val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
-    order statistics. *)
+    order statistics. Sorting uses [Float.compare], which places NaNs
+    {e before} every number: NaNs in the input occupy the lowest ranks, so
+    low percentiles of NaN-contaminated data are NaN while high percentiles
+    ignore them. Filter NaNs first if that is not what you want. Raises
+    [Invalid_argument] on an empty array or [p] outside the range. *)
 
 val quantiles : float array -> int -> float array
 (** [quantiles xs k] returns the k-1 interior quantile cut points. *)

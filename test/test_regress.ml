@@ -242,6 +242,116 @@ let prop_tree_predicts_leaf_means =
           p >= lo -. 1e-9 && p <= hi +. 1e-9)
         d.Dataset.x)
 
+(* ---------------- mape zero-response policy ---------------- *)
+
+let test_mape_skip_policy () =
+  (* |y| = 0 points are skipped and counted, not divided by *)
+  let d = Dataset.create [| [| 0.0 |]; [| 1.0 |]; [| 2.0 |] |] [| 0.0; 10.0; 20.0 |] in
+  let predict x = (x.(0) *. 10.0) +. 1.0 in
+  let m, skipped = Metrics.mape_with_skipped predict d in
+  Alcotest.(check int) "one point skipped" 1 skipped;
+  cf "mape over the used points" 7.5 m;
+  cf "mape is the same value" m (Metrics.mape predict d);
+  (* every response zero: NaN with everything skipped, never an exception *)
+  let dz = Dataset.create [| [| 0.0 |]; [| 1.0 |] |] [| 0.0; 0.0 |] in
+  let mz, sz = Metrics.mape_with_skipped predict dz in
+  cb "all-zero responses give NaN" true (Float.is_nan mz);
+  Alcotest.(check int) "all points skipped" 2 sz
+
+(* ---------------- rank-quality metrics ---------------- *)
+
+let test_nan_last_orders () =
+  cb "numbers ascend" true (Metrics.nan_last 1.0 2.0 < 0);
+  cb "nan sorts after numbers" true (Metrics.nan_last Float.nan 1e30 > 0);
+  cb "number before nan" true (Metrics.nan_last (-1e30) Float.nan < 0);
+  Alcotest.(check int) "nan ties nan" 0 (Metrics.nan_last Float.nan Float.nan);
+  (* strength_order: descending |coef|, NaN-coefficient terms last *)
+  let sorted =
+    List.sort Metrics.strength_order
+      [ ("small", 1.0); ("nan", Float.nan); ("big-neg", -9.0); ("mid", 4.0) ]
+  in
+  Alcotest.(check (list string)) "strongest first, NaN last"
+    [ "big-neg"; "mid"; "small"; "nan" ]
+    (List.map fst sorted)
+
+let test_average_ranks_ties () =
+  let r = Metrics.average_ranks [| 10.0; 20.0; 10.0; 30.0 |] in
+  Alcotest.(check (array (float 1e-9))) "tied values share the mean position"
+    [| 1.5; 3.0; 1.5; 4.0 |] r;
+  let r = Metrics.average_ranks [| Float.nan; 5.0 |] in
+  cf "NaN ranks last" 2.0 r.(0);
+  cf "finite value ranks first" 1.0 r.(1)
+
+let test_spearman_orders () =
+  let ys = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  let d = Dataset.create (Array.map (fun v -> [| v |]) ys) ys in
+  cf "perfect order" 1.0 (Metrics.spearman (fun x -> x.(0)) d);
+  cf "inverted order" (-1.0) (Metrics.spearman (fun x -> -.x.(0)) d);
+  (* Spearman only sees ranks: any monotone transform scores 1 *)
+  cf "monotone transform" 1.0 (Metrics.spearman (fun x -> exp (x.(0) /. 10.0)) d);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Metrics.spearman: length mismatch") (fun () ->
+      ignore (Metrics.spearman_arrays [| 1.0 |] [| 1.0; 2.0 |]));
+  Alcotest.check_raises "too few samples"
+    (Invalid_argument "Metrics.spearman: need >= 2 samples") (fun () ->
+      ignore (Metrics.spearman_arrays [| 1.0 |] [| 1.0 |]))
+
+let test_top_k_metrics () =
+  let ys = [| 40.0; 10.0; 30.0; 20.0 |] in
+  let d = Dataset.create (Array.map (fun v -> [| v |]) ys) ys in
+  (* a perfect ranker always captures the actual best point *)
+  cf "perfect regret" 0.0 (Metrics.top_k_regret ~k:1 (fun x -> x.(0)) d);
+  cf "perfect precision" 1.0 (Metrics.precision_at_k ~k:2 (fun x -> x.(0)) d);
+  (* an inverted ranker's top-1 is the actual worst: regret (40-10)/10 *)
+  cf "inverted regret" 300.0 (Metrics.top_k_regret ~k:1 (fun x -> -.x.(0)) d);
+  cf "inverted precision" 0.0 (Metrics.precision_at_k ~k:2 (fun x -> -.x.(0)) d);
+  (* k beyond the dataset clamps: every point is in the top, regret 0 *)
+  cf "k clamps" 0.0 (Metrics.top_k_regret ~k:100 (fun x -> -.x.(0)) d);
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Metrics.top_k_regret: k must be >= 1") (fun () ->
+      ignore (Metrics.top_k_regret ~k:0 (fun x -> x.(0)) d))
+
+(* Spearman is a function of the joint order only: permuting the sample
+   rows (predictions and responses together) must not change it. *)
+let prop_spearman_permutation_invariant =
+  QCheck.Test.make ~name:"spearman permutation invariance" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 30) (pair (float_range (-100.) 100.) (float_range (-100.) 100.)))
+    (fun pairs ->
+      let a = Array.of_list (List.map fst pairs) in
+      let b = Array.of_list (List.map snd pairs) in
+      let n = Array.length a in
+      let rot k arr = Array.init n (fun i -> arr.((i + k) mod n)) in
+      let r0 = Metrics.spearman_arrays a b in
+      let r1 = Metrics.spearman_arrays (rot (n / 2) a) (rot (n / 2) b) in
+      (Float.is_nan r0 && Float.is_nan r1) || Float.abs (r0 -. r1) < 1e-9)
+
+(* ---------------- pairwise ranking model ---------------- *)
+
+let test_rank_fit_recovers_order () =
+  let rng = rng0 () in
+  let d = sample rng 3 60 (fun x -> (2.0 *. x.(0)) -. x.(1) +. (0.3 *. x.(0) *. x.(2))) in
+  let m = Rank.fit ~rng:(rng0 ()) d in
+  Alcotest.(check string) "technique" "rank-pairwise" m.Model.technique;
+  cb "score order tracks the response" true (Metrics.spearman m.Model.predict d > 0.9);
+  (* deterministic: same rng state, same coefficients *)
+  let m2 = Rank.fit ~rng:(rng0 ()) d in
+  Array.iter
+    (fun x -> cf "same prediction" (m.Model.predict x) (m2.Model.predict x))
+    (Array.sub d.Dataset.x 0 5)
+
+let test_rank_fit_skips_nan_responses () =
+  let rng = rng0 () in
+  let d = sample rng 2 40 (fun x -> x.(0) -. (2.0 *. x.(1))) in
+  let y = Array.copy d.Dataset.y in
+  y.(3) <- Float.nan;
+  y.(17) <- Float.nan;
+  let dn = Dataset.create d.Dataset.x y in
+  let m = Rank.fit ~rng:(rng0 ()) dn in
+  (* NaN responses carry no order information and must not poison the fit *)
+  cb "finite scores" true
+    (Array.for_all (fun x -> Float.is_finite (m.Model.predict x)) dn.Dataset.x);
+  cb "still ranks the finite points" true (Metrics.spearman m.Model.predict d > 0.85)
+
 let suite =
   [
     ("dataset basics", `Quick, test_dataset_basics);
@@ -268,5 +378,13 @@ let suite =
     ("rbf explicit size grid", `Quick, test_rbf_explicit_size_grid);
     ("dataset append", `Quick, test_dataset_append);
     ("metrics perfect predictor", `Quick, test_metrics_perfect_predictor);
+    ("mape zero-response policy", `Quick, test_mape_skip_policy);
+    ("nan_last / strength_order", `Quick, test_nan_last_orders);
+    ("average ranks with ties", `Quick, test_average_ranks_ties);
+    ("spearman orders", `Quick, test_spearman_orders);
+    ("top-k regret and precision", `Quick, test_top_k_metrics);
+    ("rank fit recovers order", `Quick, test_rank_fit_recovers_order);
+    ("rank fit skips NaN responses", `Quick, test_rank_fit_skips_nan_responses);
     QCheck_alcotest.to_alcotest prop_tree_predicts_leaf_means;
+    QCheck_alcotest.to_alcotest prop_spearman_permutation_invariant;
   ]

@@ -57,6 +57,18 @@ let test_linear_roundtrip () =
   check_roundtrip ~what:"linear" (Linear.fit ~interactions:false d) 3;
   check_roundtrip ~what:"linear+interactions" (Linear.fit ~interactions:true d) 3
 
+let test_rank_roundtrip () =
+  let d = sample (rng0 ()) 3 60 f3 in
+  check_roundtrip ~what:"rank" (Rank.fit ~rng:(rng0 ()) d) 3;
+  check_roundtrip ~what:"rank no-interactions" (Rank.fit ~interactions:false ~rng:(rng0 ()) d) 3;
+  (* strictness: a rank repr with no coefficients must not load *)
+  let bad =
+    Json.Obj
+      [ ("family", Json.Str "rank"); ("interactions", Json.Bool true);
+        ("beta", Json.List []) ]
+  in
+  cb "empty beta rejected" true (Result.is_error (Repr.of_json bad))
+
 let test_mars_roundtrip () =
   let d = sample (rng0 ()) 3 120 f3 in
   check_roundtrip ~what:"mars" (Mars.fit d) 3
@@ -134,6 +146,39 @@ let test_artifact_save_load_bits () =
             (Int64.bits_of_float (m.Emc_regress.Model.predict x))
             (Int64.bits_of_float (reloaded.Emc_regress.Model.predict x)))
         (probes 3)
+
+(* Two-response artifacts: the "extra" reprs round-trip bit-exactly, and
+   artifacts without them serialize byte-identically to the pre-extra
+   format (no stray field). *)
+let test_artifact_extra_responses () =
+  let d = sample (rng0 ()) 3 80 f3 in
+  let m = Modeling.fit Modeling.Rbf d in
+  let energy = Modeling.fit Modeling.Linear d in
+  let er = Option.get energy.Emc_regress.Model.repr in
+  (match
+     Artifact.of_model ~workload:"synthetic" ~scale:"tiny" ~seed:42 ~train_n:80
+       ~specs:specs3 ~extra:[ ("energy", er) ] m
+   with
+  | Error e -> Alcotest.failf "of_model: %s" e
+  | Ok a -> (
+      let path = tmpfile () in
+      Artifact.save a path;
+      match Artifact.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok b ->
+          Sys.remove path;
+          let r = Option.get (Artifact.extra_repr b "energy") in
+          cb "unknown extra name is None" true (Artifact.extra_repr b "area" = None);
+          Array.iter
+            (fun x ->
+              Alcotest.(check int64) "extra response round-trips bit-exactly"
+                (Int64.bits_of_float (energy.Emc_regress.Model.predict x))
+                (Int64.bits_of_float (Repr.eval r x)))
+            (probes 3)));
+  (* absence of extras leaves the serialized form without the field *)
+  let _, plain = artifact_of_fit () in
+  cb "no extra field when empty" true
+    (Json.member "extra" (Artifact.to_json plain) = None)
 
 let test_artifact_validation () =
   let _, a = artifact_of_fit () in
@@ -227,10 +272,13 @@ let suite =
   [
     Alcotest.test_case "linear round-trips bit-for-bit" `Quick test_linear_roundtrip;
     Alcotest.test_case "mars round-trips bit-for-bit" `Quick test_mars_roundtrip;
+    Alcotest.test_case "rank round-trips bit-for-bit" `Quick test_rank_roundtrip;
     Alcotest.test_case "rbf round-trips bit-for-bit (all kernels)" `Quick test_rbf_roundtrip;
     Alcotest.test_case "clamped models round-trip bit-for-bit" `Quick test_clamped_roundtrip;
     Alcotest.test_case "predict is Repr.eval" `Quick test_eval_matches_predict_exactly;
     Alcotest.test_case "artifact save/load is bit-exact" `Quick test_artifact_save_load_bits;
+    Alcotest.test_case "artifact extra responses round-trip" `Quick
+      test_artifact_extra_responses;
     Alcotest.test_case "artifact validates points" `Quick test_artifact_validation;
     Alcotest.test_case "artifact rejects repr-less models" `Quick
       test_artifact_rejects_reprless_model;

@@ -124,6 +124,116 @@ let test_searcher_guards_nonphysical_predictions () =
   let r = Emc_core.Searcher.search ~rng ~model ~march:Emc_sim.Config.typical () in
   cb "prescribed point is physical" true (r.Emc_core.Searcher.predicted_cycles > 0.0)
 
+(* ---------------- GA degenerate-fitness landscapes ---------------- *)
+
+let generations () = Option.value ~default:0 (Emc_obs.Metrics.counter_value "ga.generations")
+
+let test_ga_all_nan_terminates_by_stagnation () =
+  (* a fully-NaN landscape never improves: the stagnation exit must fire
+     long before the generation budget, not grind through all of it *)
+  let before = generations () in
+  let rng = Emc_util.Rng.create 23 in
+  let params = { Ga.default_params with generations = 500; stagnation_limit = 10 } in
+  let _, fit = Ga.optimize ~params rng (grid5 3) ~fitness:(fun _ -> Float.nan) in
+  cb "returns NaN honestly" true (Float.is_nan fit);
+  let ran = generations () - before in
+  cb (Printf.sprintf "stopped after %d generations" ran) true
+    (ran <= params.Ga.stagnation_limit + 1)
+
+let test_ga_mixed_nan_crowns_finite () =
+  (* one single finite cell in an otherwise-NaN landscape: the GA must
+     never crown a NaN genome when any finite fitness was seen *)
+  let f x = if x.(0) = 1.0 && x.(1) = -1.0 then 7.0 else Float.nan in
+  let rng = Emc_util.Rng.create 24 in
+  let best, fit = Ga.optimize rng (grid5 2) ~fitness:f in
+  Alcotest.(check (float 0.0)) "finite optimum found" 7.0 fit;
+  Alcotest.(check (float 0.0)) "genome of the finite cell" 1.0 best.(0)
+
+(* ---------------- Pareto: non-dominated sort + crowding ---------------- *)
+
+let test_pareto_dominates () =
+  cb "strictly better" true (Pareto.dominates [| 1.0; 1.0 |] [| 2.0; 2.0 |]);
+  cb "better on one, equal on other" true (Pareto.dominates [| 1.0; 2.0 |] [| 2.0; 2.0 |]);
+  cb "trade-off does not dominate" false (Pareto.dominates [| 1.0; 3.0 |] [| 2.0; 2.0 |]);
+  cb "equal does not dominate" false (Pareto.dominates [| 1.0; 1.0 |] [| 1.0; 1.0 |]);
+  (* NaN is worse than anything: a NaN objective can never help dominate *)
+  cb "nan loses" true (Pareto.dominates [| 1.0; 1.0 |] [| 1.0; Float.nan |]);
+  cb "nan cannot dominate" false (Pareto.dominates [| 1.0; Float.nan |] [| 1.0; 1.0 |])
+
+let test_pareto_non_dominated_sort () =
+  (* hand-checkable: points 0 and 2 form the first front; 1 is dominated
+     by both; 3 is dominated by everything *)
+  let objs = [| [| 1.0; 4.0 |]; [| 2.0; 5.0 |]; [| 3.0; 1.0 |]; [| 4.0; 6.0 |] |] in
+  (match Pareto.non_dominated_sort objs with
+  | [ f0; f1; f2 ] ->
+      Alcotest.(check (array int)) "front 0" [| 0; 2 |] f0;
+      Alcotest.(check (array int)) "front 1" [| 1 |] f1;
+      Alcotest.(check (array int)) "front 2" [| 3 |] f2
+  | fronts -> Alcotest.failf "expected 3 fronts, got %d" (List.length fronts));
+  cb "first front is a front" true (Pareto.is_front [| [| 1.0; 4.0 |]; [| 3.0; 1.0 |] |]);
+  cb "dominated set is not a front" false (Pareto.is_front objs);
+  Alcotest.(check int) "empty input has no fronts" 0
+    (List.length (Pareto.non_dominated_sort [||]))
+
+let test_pareto_crowding_distance () =
+  let objs = [| [| 0.0; 3.0 |]; [| 1.0; 2.0 |]; [| 3.0; 0.0 |] |] in
+  let cd = Pareto.crowding_distance objs [| 0; 1; 2 |] in
+  cb "boundary points are infinite" true (cd.(0) = infinity && cd.(2) = infinity);
+  (* interior: (3-0)/3 + (3-0)/3 = 2 *)
+  Alcotest.(check (float 1e-9)) "interior normalized gaps" 2.0 cd.(1)
+
+let test_pareto_optimize_biobjective () =
+  (* minimize (sum (x - 0.5)^2, sum (x + 0.5)^2): the true front is the
+     segment between the two single-objective optima *)
+  let f1 x = Array.fold_left (fun a v -> a +. ((v -. 0.5) ** 2.0)) 0.0 x in
+  let f2 x = Array.fold_left (fun a v -> a +. ((v +. 0.5) ** 2.0)) 0.0 x in
+  let fitness x = [| f1 x; f2 x |] in
+  let run () = Pareto.optimize (Emc_util.Rng.create 11) (grid5 4) ~fitness in
+  let front = run () in
+  cb "non-empty front" true (Array.length front > 1);
+  cb "returned front is mutually non-dominated" true
+    (Pareto.is_front (Array.map (fun p -> p.Pareto.objectives) front));
+  (* both single-objective optima are on the front *)
+  let has pred = Array.exists (fun p -> pred p.Pareto.objectives) front in
+  cb "f1 optimum reached" true (has (fun o -> o.(0) < 1e-9));
+  cb "f2 optimum reached" true (has (fun o -> o.(1) < 1e-9));
+  (* deterministic for a given seed, including order *)
+  let front2 = run () in
+  Alcotest.(check int) "same front size" (Array.length front) (Array.length front2);
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check (array (float 0.0))) "same genomes in the same order" p.Pareto.genome
+        front2.(i).Pareto.genome)
+    front
+
+let test_pareto_optimize_avoids_nan_region () =
+  (* NaN objectives in half the space: no NaN point may survive to the
+     returned front when finite alternatives exist *)
+  let fitness x =
+    if x.(0) > 0.0 then [| Float.nan; Float.nan |]
+    else [| separable x; Array.fold_left (fun a v -> a +. (v *. v)) 0.0 x |]
+  in
+  let front = Pareto.optimize (Emc_util.Rng.create 12) (grid5 3) ~fitness in
+  cb "non-empty" true (Array.length front > 0);
+  Array.iter
+    (fun p ->
+      cb "no NaN objectives on the front" true
+        (Array.for_all (fun v -> not (Float.is_nan v)) p.Pareto.objectives))
+    front
+
+let test_pareto_counters () =
+  let evals () =
+    Option.value ~default:0 (Emc_obs.Metrics.counter_value "pareto.evaluations")
+  in
+  let before = evals () in
+  let params = { Ga.default_params with pop_size = 10; generations = 5 } in
+  let _ =
+    Pareto.optimize ~params (Emc_util.Rng.create 13) (grid5 2)
+      ~fitness:(fun x -> [| x.(0); x.(1) |])
+  in
+  (* initial population + one offspring population per generation *)
+  Alcotest.(check int) "evaluation accounting" (10 * 6) (evals () - before)
+
 let suite =
   [
     ("ga separable optimum", `Quick, test_ga_finds_separable_optimum);
@@ -136,4 +246,12 @@ let suite =
     ("ga vs random", `Quick, test_ga_beats_small_random_budget);
     ("searcher freezes march", `Quick, test_searcher_freezes_march);
     ("searcher guards non-physical", `Quick, test_searcher_guards_nonphysical_predictions);
+    ("ga all-NaN stagnates out", `Quick, test_ga_all_nan_terminates_by_stagnation);
+    ("ga crowns finite over NaN", `Quick, test_ga_mixed_nan_crowns_finite);
+    ("pareto dominance", `Quick, test_pareto_dominates);
+    ("pareto non-dominated sort", `Quick, test_pareto_non_dominated_sort);
+    ("pareto crowding distance", `Quick, test_pareto_crowding_distance);
+    ("pareto biobjective front", `Quick, test_pareto_optimize_biobjective);
+    ("pareto avoids NaN region", `Quick, test_pareto_optimize_avoids_nan_region);
+    ("pareto evaluation accounting", `Quick, test_pareto_counters);
   ]

@@ -169,6 +169,100 @@ let test_routing_no_socket () =
   let status, _, _ = Serve.handle_request art (req "GET" "/healthz") in
   ci "healthz is 200" 200 status
 
+let mkreq ?(meth = "GET") ?(query = []) ?(body = "") path =
+  { Http.meth; path; query; headers = []; body }
+
+let test_rank_top_validation () =
+  (* a malformed or non-positive ?top must be a structured 400, never a
+     silent "return everything" *)
+  let art = Lazy.force artifact in
+  List.iter
+    (fun v ->
+      let status, _, body = Serve.handle_request art (mkreq "/rank" ~query:[ ("top", v) ]) in
+      ci (Printf.sprintf "top=%S is 400" v) 400 status;
+      cb (Printf.sprintf "top=%S carries code bad_request" v) true
+        (match Json.member "error" (json_of body) with
+        | Some e -> Json.member "code" e = Some (Json.Str "bad_request")
+        | None -> false))
+    [ "abc"; "0"; "-5"; "1.5"; "" ];
+  (* sane values still work *)
+  let status, _, _ = Serve.handle_request art (mkreq "/rank" ~query:[ ("top", "2") ]) in
+  ci "top=2 is 200" 200 status
+
+let test_rank_nan_coef_last () =
+  (* polymorphic compare would order a NaN coefficient arbitrarily (and on
+     this sort direction, first); the contract is strongest-first with NaN
+     pinned last *)
+  let art = Lazy.force artifact in
+  let art =
+    { art with
+      Artifact.terms = [ ("tiny", 0.5); ("broken", Float.nan); ("big", -9.0); ("mid", 3.0) ] }
+  in
+  let status, _, body = Serve.handle_request art (mkreq "/rank") in
+  ci "rank status" 200 status;
+  match Json.member "terms" (json_of body) with
+  | Some (Json.List terms) ->
+      let names =
+        List.map
+          (fun t -> match Json.member "term" t with Some (Json.Str s) -> s | _ -> "?")
+          terms
+      in
+      Alcotest.(check (list string)) "NaN coefficient ranks last, not first"
+        [ "big"; "mid"; "tiny"; "broken" ] names
+  | _ -> Alcotest.failf "no terms in %S" body
+
+(* ---------------- /pareto (in-process) ---------------- *)
+
+let test_pareto_requires_energy () =
+  let art = Lazy.force artifact in
+  let status, _, body =
+    Serve.handle_request art (mkreq ~meth:"POST" ~body:{|{"config":"typical"}|} "/pareto")
+  in
+  ci "no energy response is 409" 409 status;
+  cb "code no_energy_response" true
+    (match Json.member "error" (json_of body) with
+    | Some e -> Json.member "code" e = Some (Json.Str "no_energy_response")
+    | None -> false)
+
+let test_pareto_matches_direct () =
+  (* an artifact with a second "energy" response: the served front must be
+     byte-identical to the in-process search with the same seed/params *)
+  let art = Lazy.force artifact in
+  let rng = Emc_util.Rng.create 6 in
+  let g x =
+    2.0 +. (0.4 *. x.(3)) +. (0.9 *. x.(0) *. x.(0)) -. (0.2 *. x.(11))
+  in
+  let x =
+    Array.init 60 (fun _ ->
+        Array.init Params.n_all (fun _ -> Emc_util.Rng.float rng 2.0 -. 1.0))
+  in
+  let energy = Emc_regress.Rbf.fit ~size_grid:[ 6 ] (Emc_regress.Dataset.create x (Array.map g x)) in
+  let energy_repr = Option.get energy.Emc_regress.Model.repr in
+  let art = { art with Artifact.extra = [ ("energy", energy_repr) ] } in
+  let body_in = {|{"config":"typical","seed":3,"pop_size":16,"generations":6}|} in
+  let status, _, served = Serve.handle_request art (mkreq ~meth:"POST" ~body:body_in "/pareto") in
+  ci "pareto status" 200 status;
+  let params = { Emc_search.Ga.default_params with pop_size = 16; generations = 6 } in
+  let energy_model =
+    { Emc_regress.Model.technique = "energy";
+      predict = Emc_regress.Repr.eval energy_repr;
+      n_params = 0; terms = []; repr = Some energy_repr }
+  in
+  let evals_before =
+    Option.value ~default:0 (Emc_obs.Metrics.counter_value "pareto.evaluations")
+  in
+  let front =
+    Searcher.search_pareto ~params ~rng:(Emc_util.Rng.create 3)
+      ~cycles_model:(Artifact.model art) ~energy_model ~march:Emc_sim.Config.typical ()
+  in
+  let evals =
+    Option.value ~default:0 (Emc_obs.Metrics.counter_value "pareto.evaluations") - evals_before
+  in
+  cb "front is non-empty" true (List.length front > 0);
+  Alcotest.(check string) "served /pareto body is byte-identical to the direct search"
+    (Json.to_string (Searcher.pareto_to_json ~seed:3 ~evaluations:evals front) ^ "\n")
+    served
+
 let coded_point () = Array.init Params.n_all (fun i -> Float.of_int (i mod 3) /. 4.0)
 
 let point_json x =
@@ -499,6 +593,12 @@ let suite =
   [
     Alcotest.test_case "routing and structured errors (in-process)" `Quick
       test_routing_no_socket;
+    Alcotest.test_case "/rank rejects malformed ?top" `Quick test_rank_top_validation;
+    Alcotest.test_case "/rank orders NaN coefficients last" `Quick test_rank_nan_coef_last;
+    Alcotest.test_case "/pareto without energy response is 409" `Quick
+      test_pareto_requires_energy;
+    Alcotest.test_case "/pareto equals direct bi-objective search" `Quick
+      test_pareto_matches_direct;
     Alcotest.test_case "endpoints over a unix socket" `Quick test_endpoints;
     Alcotest.test_case "input validation status codes" `Quick test_validation;
     Alcotest.test_case "/search equals direct model-based search" `Quick

@@ -186,6 +186,24 @@ let prop_percentile_monotone =
       let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Emc_util.Stats.percentile xs lo <= Emc_util.Stats.percentile xs hi +. 1e-9)
 
+(* min/max on an empty array used to fold from ±infinity and silently
+   report that as data; now it must fail loudly, like percentile. *)
+let test_min_max_empty () =
+  Alcotest.check_raises "min []" (Invalid_argument "Stats.min: empty array") (fun () ->
+      ignore (Emc_util.Stats.min [||]));
+  Alcotest.check_raises "max []" (Invalid_argument "Stats.max: empty array") (fun () ->
+      ignore (Emc_util.Stats.max [||]));
+  Alcotest.(check (float 0.0)) "singleton min" 3.5 (Emc_util.Stats.min [| 3.5 |]);
+  Alcotest.(check (float 0.0)) "singleton max" 3.5 (Emc_util.Stats.max [| 3.5 |])
+
+(* percentile sorts NaNs first (Float.compare), so they occupy the lowest
+   ranks: low percentiles of NaN-contaminated data are NaN, high
+   percentiles ignore the NaNs. Pin that documented behavior down. *)
+let test_percentile_nan_sorts_first () =
+  let xs = [| 5.0; Float.nan; 1.0; 3.0 |] in
+  Alcotest.(check bool) "p0 is NaN" true (Float.is_nan (Emc_util.Stats.percentile xs 0.0));
+  Alcotest.(check (float 1e-9)) "p100 ignores NaN" 5.0 (Emc_util.Stats.percentile xs 100.0)
+
 let prop_mean_bounds =
   QCheck.Test.make ~name:"min <= mean <= max" ~count:300
     QCheck.(list_of_size (Gen.int_range 1 40) (float_range (-1e6) 1e6))
@@ -215,6 +233,8 @@ let suite =
     ("stats geomean", `Quick, test_geomean);
     ("stats correlation", `Quick, test_correlation);
     ("stats quantiles", `Quick, test_quantiles);
+    ("stats min/max empty raise", `Quick, test_min_max_empty);
+    ("stats percentile NaNs sort first", `Quick, test_percentile_nan_sorts_first);
     ("transform to_unit", `Quick, test_to_unit);
     ("transform round_to_levels", `Quick, test_round_to_levels);
     ("transform is_pow2", `Quick, test_is_pow2);
