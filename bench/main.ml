@@ -259,6 +259,27 @@ let bechamel_suite ?filter ?json_path (ctx : Experiments.ctx) =
               let ooo = Emc_sim.Ooo.create march prog in
               Emc_core.Measure.setup_func arrays (Emc_sim.Ooo.func ooo);
               Emc_sim.Ooo.run_warming ooo ~instrs:50_000) );
+      (* fleet wire format: the bit-exact hex-float JSONL record shared by
+         --cache files, run journals and the store — encode plus reparse,
+         the per-result overhead of distributing a measurement *)
+      ( "fleet/cache-line-roundtrip-x100",
+        fun () ->
+          Staged.stage (fun () ->
+              for i = 1 to 100 do
+                let line =
+                  Emc_core.Measure.cache_line
+                    (Printf.sprintf "Cycles|164.gzip|train|O%d|typical" (i mod 4))
+                    (1.0 /. float_of_int i)
+                in
+                match
+                  Result.bind (Emc_obs.Json.parse line) (fun j ->
+                      match Option.bind (Emc_obs.Json.member "v" j) Emc_obs.Json.hex_of with
+                      | Some f -> Ok f
+                      | None -> Error "bad record")
+                with
+                | Ok f -> ignore f
+                | Error e -> failwith e
+              done) );
     ]
   in
   let selected =

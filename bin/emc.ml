@@ -11,6 +11,7 @@
 open Cmdliner
 open Emc_core
 open Emc_workloads
+module Fleet = Emc_fleet.Fleet
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -62,6 +63,23 @@ let cache_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
 
+let fleet_arg =
+  let doc =
+    "Comma-separated $(b,emc fleet-worker) addresses (host:port, :port, or unix-socket \
+     paths): shard measurement batches across remote workers instead of local forks. \
+     Results are bit-identical to a single-process --jobs 1 run regardless of worker \
+     count, chunking, retries or arrival order. Defaults to EMC_FLEET."
+  in
+  Arg.(value & opt (some string) None & info [ "fleet" ] ~docv:"ADDRS" ~doc)
+
+let run_id_arg =
+  let doc =
+    "Resumable run: journal every completed measurement to EMC_RUN_DIR/$(docv).jsonl and \
+     preload that journal on startup, so re-running a killed run with the same id \
+     re-simulates nothing ($(b,emc fleet-resume) inspects or re-executes a journal)."
+  in
+  Arg.(value & opt (some string) None & info [ "run-id" ] ~docv:"ID" ~doc)
+
 (* Wrap a subcommand body with the observability plumbing: enable tracing
    first (so spans cover the whole run), dump metrics last. *)
 let with_obs trace metrics f =
@@ -69,6 +87,26 @@ let with_obs trace metrics f =
   let r = f () in
   if metrics then print_string (Emc_obs.Metrics.dump_text ());
   r
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("emc: " ^ msg); exit 1) fmt
+
+let parse_fleet_spec spec =
+  match Fleet.parse_fleet spec with Ok addrs -> addrs | Error e -> die "--fleet: %s" e
+
+(* Experiment-context setup shared by every measuring subcommand: resolve
+   --run-id into a preloaded journal, then point the measure at the fleet
+   when one is configured. *)
+let make_ctx ~seed ~scale ?cache_file ~fleet ~run_id () =
+  let journal_file =
+    Option.map (fun id -> Fleet.journal_init ~run_id:id ~argv:Sys.argv) run_id
+  in
+  let ctx = Experiments.create ~seed ~scale ?cache_file ?journal_file () in
+  (match
+     match fleet with Some s -> Some s | None -> Sys.getenv_opt "EMC_FLEET"
+   with
+  | None | Some "" -> ()
+  | Some spec -> Fleet.attach ctx.Experiments.measure (parse_fleet_spec spec));
+  ctx
 
 let parse_config = function
   | "constrained" -> Emc_sim.Config.constrained
@@ -230,11 +268,11 @@ let report_model_metrics ~test (m : Emc_regress.Model.t) =
     (Metrics.precision_at_k ~k:5 p test)
 
 let model_cmd =
-  let run wname tname scale seed jobs cache trace metrics =
+  let run wname tname scale seed jobs cache fleet run_id trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let scale = parse_scale ?jobs scale in
-        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+        let ctx = make_ctx ~seed ~scale ?cache_file:cache ~fleet ~run_id () in
         let d = Experiments.prepare ctx w in
         let technique = parse_technique tname in
         let m = Experiments.model_of d technique in
@@ -264,11 +302,9 @@ let model_cmd =
   Cmd.v
     (Cmd.info "model" ~doc:"Build an empirical model for a workload and report its accuracy.")
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
-          $ cache_arg $ trace_arg $ metrics_arg)
+          $ cache_arg $ fleet_arg $ run_id_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- artifacts: train / predict / rank / serve ---------------- *)
-
-let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("emc: " ^ msg); exit 1) fmt
 
 let load_artifact path =
   match Artifact.load path with Ok a -> a | Error e -> die "%s" e
@@ -290,11 +326,11 @@ let train_cmd =
     in
     Arg.(value & flag & info [ "energy" ] ~doc)
   in
-  let run wname tname scale seed jobs cache out energy trace metrics =
+  let run wname tname scale seed jobs cache fleet run_id out energy trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let scale = parse_scale ?jobs scale in
-        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+        let ctx = make_ctx ~seed ~scale ?cache_file:cache ~fleet ~run_id () in
         let d = Experiments.prepare ctx w in
         let technique = parse_technique tname in
         let m = Experiments.model_of d technique in
@@ -328,7 +364,8 @@ let train_cmd =
     (Cmd.info "train"
        ~doc:"Build an empirical model and persist it as a reusable artifact file.")
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
-          $ cache_arg $ out_arg $ energy_arg $ trace_arg $ metrics_arg)
+          $ cache_arg $ fleet_arg $ run_id_arg $ out_arg $ energy_arg $ trace_arg
+          $ metrics_arg)
 
 let predict_cmd =
   let raw_arg =
@@ -589,7 +626,7 @@ let search_cmd =
     in
     Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
   in
-  let run wname cname scale seed jobs cache mfile validate trace metrics =
+  let run wname cname scale seed jobs cache fleet run_id mfile validate trace metrics =
     with_obs trace metrics (fun () ->
         let w = Registry.find wname in
         let march = parse_config cname in
@@ -601,7 +638,7 @@ let search_cmd =
                  lazily if --validate asks for real measurements *)
               (lazy (Measure.create ?cache_file:cache scale), Artifact.model (load_artifact path))
           | None ->
-              let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+              let ctx = make_ctx ~seed ~scale ?cache_file:cache ~fleet ~run_id () in
               let d = Experiments.prepare ctx w in
               (lazy ctx.Experiments.measure, Experiments.rbf_model d)
         in
@@ -624,7 +661,7 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-          $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
+          $ fleet_arg $ run_id_arg $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
 
 (* ---------------- pareto ---------------- *)
 
@@ -649,7 +686,7 @@ let pareto_cmd =
     Arg.(value & opt (some int) None
          & info [ "generations" ] ~docv:"N" ~doc:"NSGA-II generation count.")
   in
-  let run wname cname scale seed jobs cache mfile pop gens json trace metrics =
+  let run wname cname scale seed jobs cache fleet run_id mfile pop gens json trace metrics =
     with_obs trace metrics (fun () ->
         let march = parse_config cname in
         (* same defaults as the daemon's /pareto (not --scale's GA budget),
@@ -677,7 +714,7 @@ let pareto_cmd =
           | None ->
               let w = Registry.find wname in
               let scale = parse_scale ?jobs scale in
-              let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+              let ctx = make_ctx ~seed ~scale ?cache_file:cache ~fleet ~run_id () in
               let d = Experiments.prepare ctx w in
               ( w.Workload.name,
                 Experiments.rbf_model d,
@@ -721,7 +758,8 @@ let pareto_cmd =
        ~doc:"Multi-objective model-based search: the non-dominated front over predicted \
              cycles and predicted energy (NSGA-II over the compiler parameters).")
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-          $ model_opt_arg $ pop_arg $ gens_arg $ json_arg $ trace_arg $ metrics_arg)
+          $ fleet_arg $ run_id_arg $ model_opt_arg $ pop_arg $ gens_arg $ json_arg
+          $ trace_arg $ metrics_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -730,10 +768,10 @@ let experiment_cmd =
     Arg.(value & pos 0 string "table3"
          & info [] ~docv:"EXP" ~doc:"One of: table3 table4 table5 table6 table7 fig3 fig5 fig6 fig7.")
   in
-  let run which scale seed jobs cache trace metrics =
+  let run which scale seed jobs cache fleet run_id trace metrics =
     with_obs trace metrics (fun () ->
         let scale = parse_scale ?jobs scale in
-        let ctx = Experiments.create ~seed ~scale ?cache_file:cache () in
+        let ctx = make_ctx ~seed ~scale ?cache_file:cache ~fleet ~run_id () in
         Emc_obs.Trace.with_span ~cat:"phase" which (fun () ->
             match which with
             | "table3" -> ignore (Experiments.table3 ctx)
@@ -748,8 +786,8 @@ let experiment_cmd =
             | s -> failwith ("unknown experiment: " ^ s)))
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure from the paper.")
-    Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ fleet_arg
+          $ run_id_arg $ trace_arg $ metrics_arg)
 
 let fuzz_cmd =
   let budget_arg =
@@ -783,6 +821,140 @@ let fuzz_cmd =
           stream. Exits non-zero on any divergence, after shrinking the reproducer.")
     Term.(const run $ seed_arg $ budget_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
+(* ---------------- fleet daemons / cache maintenance ---------------- *)
+
+let fleet_listen port socket =
+  match (port, socket) with
+  | Some p, None -> Fleet.Tcp ("127.0.0.1", p)
+  | None, Some path -> Fleet.Unix_sock path
+  | None, None -> die "give --port or --unix-socket"
+  | Some _, Some _ -> die "give either --port or --unix-socket, not both"
+
+let daemon_port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Listen on 127.0.0.1:$(docv).")
+
+let daemon_socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "unix-socket" ] ~docv:"PATH" ~doc:"Listen on a Unix domain socket at $(docv).")
+
+let fleet_worker_cmd =
+  let store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"ADDR"
+             ~doc:"Shared result store ($(b,emc fleet-store) address): consulted before and \
+                   fed after every batch, so workers never re-simulate what any of them \
+                   already measured. Store failures are logged and simulated through.")
+  in
+  let run port socket jobs store cache trace metrics =
+    with_obs trace metrics (fun () ->
+        let listen = fleet_listen port socket in
+        let store =
+          Option.map
+            (fun s ->
+              match Fleet.parse_addr s with Ok a -> a | Error e -> die "--store: %s" e)
+            store
+        in
+        let jobs = match jobs with Some j -> j | None -> Scale.jobs_of_env () in
+        Fleet.run_worker ~jobs ?store ?cache_file:cache ~listen ())
+  in
+  Cmd.v
+    (Cmd.info "fleet-worker"
+       ~doc:"Run a measurement worker daemon: POST /measure (a batch of design points in, \
+             all three responses per point out, bit-exact hex floats), /healthz, /metrics.")
+    Term.(const run $ daemon_port_arg $ daemon_socket_arg $ jobs_arg $ store_arg $ cache_arg
+          $ trace_arg $ metrics_arg)
+
+let fleet_store_cmd =
+  let file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "file" ] ~docv:"FILE"
+             ~doc:"Persist the store in --cache JSONL format: loaded on start, appended per \
+                   new key — a store file is also a valid --cache / $(b,emc cache) target.")
+  in
+  let run port socket file trace metrics =
+    with_obs trace metrics (fun () ->
+        Fleet.run_store ?file ~listen:(fleet_listen port socket) ())
+  in
+  Cmd.v
+    (Cmd.info "fleet-store"
+       ~doc:"Run the content-addressed result store: POST /lookup, POST /put, GET /get?k=, \
+             keyed by the measurement result key shared with --cache files and run journals.")
+    Term.(const run $ daemon_port_arg $ daemon_socket_arg $ file_arg $ trace_arg $ metrics_arg)
+
+let fleet_resume_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"RUN_ID" ~doc:"Run id previously given to --run-id.")
+  in
+  let exec_arg =
+    Arg.(value & flag
+         & info [ "exec" ]
+             ~doc:"Re-execute the run's recorded command line. The journal preloads first, \
+                   so completed measurements are not re-simulated.")
+  in
+  let run id exec =
+    match Fleet.journal_info id with
+    | Error e -> die "%s" e
+    | Ok ji ->
+        Printf.printf "run %s: %d completed measurement%s (%d skipped line%s)\n"
+          ji.Fleet.ji_run_id ji.Fleet.ji_entries
+          (if ji.Fleet.ji_entries = 1 then "" else "s")
+          ji.Fleet.ji_skipped
+          (if ji.Fleet.ji_skipped = 1 then "" else "s");
+        Printf.printf "  journal: %s\n  argv: %s\n" ji.Fleet.ji_path
+          (String.concat " " ji.Fleet.ji_argv);
+        if exec then
+          match ji.Fleet.ji_argv with
+          | [] -> die "journal records no command line to re-execute"
+          | argv0 :: _ -> (
+              try Unix.execv argv0 (Array.of_list ji.Fleet.ji_argv)
+              with Unix.Unix_error (e, _, _) ->
+                die "exec %s: %s" argv0 (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "fleet-resume"
+       ~doc:"Inspect a --run-id journal (completed measurements, recorded command line) and \
+             optionally re-execute the run; preloading makes the resume re-simulate nothing.")
+    Term.(const run $ id_arg $ exec_arg)
+
+let cache_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"A --cache / run-journal / fleet-store JSONL file.")
+  in
+  let compact_arg =
+    Arg.(value & flag
+         & info [ "compact" ]
+             ~doc:"Rewrite the file in place (tmp + rename), keeping schema headers and the \
+                   first occurrence of each key and dropping duplicates, malformed lines and \
+                   any torn trailing write.")
+  in
+  let run file compact =
+    let st = if compact then Measure.cache_compact file else Measure.cache_stats file in
+    Printf.printf "%s%s:\n" file (if compact then " (before compaction)" else "");
+    Printf.printf
+      "  lines %d  entries %d  unique %d  duplicates %d  headers %d  malformed %d%s\n"
+      st.Measure.cs_lines st.Measure.cs_entries st.Measure.cs_unique st.Measure.cs_duplicates
+      st.Measure.cs_headers st.Measure.cs_malformed
+      (if st.Measure.cs_torn then "  (torn trailing line)" else "");
+    if st.Measure.cs_top_duplicates <> [] then begin
+      print_string "  hottest keys:\n";
+      List.iter
+        (fun (k, n) -> Printf.printf "    %4dx %s\n" n k)
+        st.Measure.cs_top_duplicates
+    end;
+    if compact then
+      Printf.printf "  compacted to %d line%s\n"
+        (st.Measure.cs_headers + st.Measure.cs_unique)
+        (if st.Measure.cs_headers + st.Measure.cs_unique = 1 then "" else "s")
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Report on (and optionally compact) a JSONL measurement cache: entry/duplicate/\
+             malformed counts, hit-key statistics, torn-tail detection.")
+    Term.(const run $ file_arg $ compact_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info = Cmd.info "emc" ~version:"1.0.0"
@@ -790,4 +962,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group ~default info
     [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
-      rank_cmd; serve_cmd; loadgen_cmd; search_cmd; pareto_cmd; fuzz_cmd; experiment_cmd ]))
+      rank_cmd; serve_cmd; loadgen_cmd; search_cmd; pareto_cmd; fuzz_cmd; experiment_cmd;
+      fleet_worker_cmd; fleet_store_cmd; fleet_resume_cmd; cache_cmd ]))

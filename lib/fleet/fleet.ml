@@ -1,0 +1,860 @@
+open Emc_core
+open Emc_workloads
+module Json = Emc_obs.Json
+module Log = Emc_obs.Log
+module Metrics = Emc_obs.Metrics
+module Http = Emc_serve.Http
+
+(** Distributed measurement over the serve substrate (see fleet.mli). *)
+
+exception Fleet_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Fleet_error msg)) fmt
+
+(* ---------------- addresses ---------------- *)
+
+type addr = Tcp of string * int | Unix_sock of string
+
+let addr_to_string = function
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  | Unix_sock p -> p
+
+let parse_addr s =
+  let s = String.trim s in
+  if s = "" then Error "empty worker address"
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Error (Printf.sprintf "%S: want host:port or a unix-socket path" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+        | _ -> Error (Printf.sprintf "%S: bad port %S" s port))
+
+let parse_fleet s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty fleet specification"
+  else
+    List.fold_right
+      (fun part acc ->
+        match (acc, parse_addr part) with
+        | Error _, _ -> acc
+        | _, Error e -> Error e
+        | Ok addrs, Ok a -> Ok (a :: addrs))
+      parts (Ok [])
+
+let sockaddr_of_addr = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Unix.ADDR_INET (ip, port)
+      | exception Failure _ -> (
+          match (Unix.gethostbyname host).Unix.h_addr_list with
+          | [||] -> fail "cannot resolve %s" host
+          | ips -> Unix.ADDR_INET (ips.(0), port)
+          | exception Not_found -> fail "cannot resolve %s" host))
+
+(* ---------------- metrics ---------------- *)
+
+(* coordinator side *)
+let m_dispatched = Metrics.counter "fleet.dispatched"
+let m_points = Metrics.counter "fleet.points_dispatched"
+let m_retried = Metrics.counter "fleet.retried"
+let m_failures = Metrics.counter "fleet.worker_failures"
+let m_steals = Metrics.counter "fleet.steals"
+
+(* worker side *)
+let m_requests = Metrics.counter "fleet.requests"
+let m_measured = Metrics.counter "fleet.points_measured"
+let m_store_hits = Metrics.counter "fleet.store_hits"
+let m_store_puts = Metrics.counter "fleet.store_puts"
+
+(* store side *)
+let m_lookup_hits = Metrics.counter "fleet.store.lookup_hits"
+let m_lookup_misses = Metrics.counter "fleet.store.lookup_misses"
+let m_added = Metrics.counter "fleet.store.added"
+let g_keys = Metrics.gauge "fleet.store.keys"
+
+(* ---------------- wire codec ---------------- *)
+
+(* Design points travel as the raw 25-vector of [Params.raw_of] (every
+   flag/march field, including off-grid values like fig3's custom
+   heuristics) and every float as a %h hex literal — both lossless, which
+   is what makes remote measurement bit-identical to local. *)
+
+let measure_schema = "emc-fleet-measure/1"
+let result_schema = "emc-fleet-result/1"
+
+let point_to_json (flags, march) =
+  Json.List (Array.to_list (Array.map Json.hex (Params.raw_of flags march)))
+
+let floats_of_json = function
+  | Json.List xs -> (
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | x :: rest -> (
+            match Json.hex_of x with Some f -> go (f :: acc) rest | None -> None)
+      in
+      go [] xs)
+  | _ -> None
+
+let point_of_json j =
+  match floats_of_json j with
+  | Some raw when List.length raw = Params.n_all ->
+      Ok (Params.split_raw (Array.of_list raw))
+  | Some raw ->
+      Error (Printf.sprintf "point has %d values; want %d" (List.length raw) Params.n_all)
+  | None -> Error "point must be a list of (hex-float) numbers"
+
+let smarts_to_json = function
+  | None -> Json.Null
+  | Some (p : Emc_sim.Smarts.params) ->
+      Json.Obj
+        [ ("unit_size", Json.Int p.Emc_sim.Smarts.unit_size);
+          ("warmup", Json.Int p.Emc_sim.Smarts.warmup);
+          ("interval", Json.Int p.Emc_sim.Smarts.interval);
+          ("target_ci", Json.hex p.Emc_sim.Smarts.target_ci);
+          ("max_refinements", Json.Int p.Emc_sim.Smarts.max_refinements) ]
+
+let smarts_of_json j =
+  match j with
+  | Json.Null -> Ok None
+  | Json.Obj _ -> (
+      let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+      let flt k = Option.bind (Json.member k j) Json.hex_of in
+      match (int "unit_size", int "warmup", int "interval", flt "target_ci",
+             int "max_refinements")
+      with
+      | Some unit_size, Some warmup, Some interval, Some target_ci, Some max_refinements ->
+          Ok
+            (Some
+               { Emc_sim.Smarts.unit_size; warmup; interval; target_ci; max_refinements })
+      | _ -> Error "malformed smarts parameters")
+  | _ -> Error "smarts must be an object or null"
+
+let measure_body (w : Workload.t) ~variant ~workload_scale ~smarts points =
+  Json.to_string
+    (Json.Obj
+       [ ("schema", Json.Str measure_schema);
+         ("workload", Json.Str w.Workload.name);
+         ("variant", Json.Str (Workload.variant_name variant));
+         ("workload_scale", Json.hex workload_scale);
+         ("smarts", smarts_to_json smarts);
+         ("points", Json.List (Array.to_list (Array.map point_to_json points))) ])
+
+type measure_request = {
+  mr_workload : string;
+  mr_variant : Workload.variant;
+  mr_workload_scale : float;
+  mr_smarts : Emc_sim.Smarts.params option;
+  mr_points : (Emc_opt.Flags.t * Emc_sim.Config.t) array;
+}
+
+let ( let* ) r f = Result.bind r f
+
+let measure_request_of_body body =
+  let* j = Json.parse body in
+  let* () =
+    match Json.member "schema" j with
+    | Some (Json.Str s) when s = measure_schema -> Ok ()
+    | Some (Json.Str s) -> Error (Printf.sprintf "unsupported schema %S" s)
+    | _ -> Error (Printf.sprintf "missing schema (want %S)" measure_schema)
+  in
+  let* mr_workload =
+    match Json.member "workload" j with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error "missing workload"
+  in
+  let* mr_variant =
+    match Json.member "variant" j with
+    | Some (Json.Str "train") -> Ok Workload.Train
+    | Some (Json.Str "ref") -> Ok Workload.Ref
+    | Some (Json.Str s) -> Error (Printf.sprintf "unknown variant %S" s)
+    | _ -> Error "missing variant"
+  in
+  let* mr_workload_scale =
+    match Option.bind (Json.member "workload_scale" j) Json.hex_of with
+    | Some f when f > 0.0 -> Ok f
+    | _ -> Error "missing/invalid workload_scale"
+  in
+  let* mr_smarts =
+    smarts_of_json (Option.value ~default:Json.Null (Json.member "smarts" j))
+  in
+  let* points =
+    match Json.member "points" j with
+    | Some (Json.List pts) ->
+        List.fold_right
+          (fun p acc ->
+            let* acc = acc in
+            let* pt = point_of_json p in
+            Ok (pt :: acc))
+          pts (Ok [])
+    | _ -> Error "missing points"
+  in
+  if points = [] then Error "empty points"
+  else
+    Ok { mr_workload; mr_variant; mr_workload_scale; mr_smarts;
+         mr_points = Array.of_list points }
+
+let triple_to_json (t : Measure.triple) =
+  Json.Obj
+    [ ("cycles", Json.hex t.Measure.t_cycles);
+      ("energy", Json.hex t.Measure.t_energy);
+      ("code_size", Json.hex t.Measure.t_code_size) ]
+
+let triple_of_json j =
+  let f k = Option.bind (Json.member k j) Json.hex_of in
+  match (f "cycles", f "energy", f "code_size") with
+  | Some t_cycles, Some t_energy, Some t_code_size ->
+      Ok { Measure.t_cycles; t_energy; t_code_size }
+  | _ -> Error "malformed result triple"
+
+let result_body triples =
+  Json.to_string
+    (Json.Obj
+       [ ("schema", Json.Str result_schema);
+         ("results", Json.List (Array.to_list (Array.map triple_to_json triples))) ])
+
+let triples_of_body ~expect body =
+  let* j = Json.parse body in
+  let* results =
+    match Json.member "results" j with
+    | Some (Json.List rs) ->
+        List.fold_right
+          (fun r acc ->
+            let* acc = acc in
+            let* t = triple_of_json r in
+            Ok (t :: acc))
+          rs (Ok [])
+    | _ -> Error "missing results"
+  in
+  if List.length results <> expect then
+    Error (Printf.sprintf "%d results for %d points" (List.length results) expect)
+  else Ok (Array.of_list results)
+
+(* ---------------- minimal daemon scaffolding ---------------- *)
+
+let error_json code msg =
+  Json.to_string
+    (Json.Obj
+       [ ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]) ])
+
+let json_body status j = (status, "application/json", Json.to_string j)
+let error_body status code msg = (status, "application/json", error_json code msg)
+
+let listener_of_addr addr =
+  match addr with
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> fail "listen address must be an IP, not %S" host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      fd
+  | Unix_sock path ->
+      if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      fd
+
+let stop = ref false
+
+(* Sequential accept loop with keep-alive — measurement chunks are
+   long-running and CPU-bound, so one connection at a time per daemon is
+   the natural unit; parallelism comes from running more workers (and
+   each worker's own --jobs fan-out). *)
+let serve_loop ~name ~listen ~read_timeout handler =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  stop := false;
+  let quit = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigterm quit;
+  Sys.set_signal Sys.sigint quit;
+  let lsock = listener_of_addr listen in
+  Log.info ~src:name
+    ~fields:[ ("listen", Json.Str (addr_to_string listen)) ]
+    "%s listening on %s" name (addr_to_string listen);
+  while not !stop do
+    match Unix.accept lsock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
+         with Unix.Unix_error _ -> ());
+        let rec conn () =
+          match Http.read_request ~max_body:(64 * 1024 * 1024) fd with
+          | Error (Http.Closed | Http.Timeout) -> ()
+          | Error e ->
+              Http.respond fd ~status:400 ~keep_alive:false
+                (error_json "bad_request" (Http.error_to_string e))
+          | Ok req ->
+              let status, content_type, body =
+                try handler req
+                with e ->
+                  Log.warn ~src:name "request handler raised: %s" (Printexc.to_string e);
+                  error_body 500 "internal" "internal error; see server log"
+              in
+              Http.respond fd ~status ~content_type ~keep_alive:(not !stop) body;
+              if not !stop then conn ()
+        in
+        (try conn ()
+         with Unix.Unix_error
+                ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+           ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close lsock with Unix.Unix_error _ -> ());
+  (match listen with
+  | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Log.info ~src:name "%s on %s: graceful shutdown" name (addr_to_string listen)
+
+(* ---------------- content-addressed result store ---------------- *)
+
+let run_store ?file ~listen () =
+  let table : (string, float) Hashtbl.t = Hashtbl.create 4096 in
+  (match file with
+  | None -> ()
+  | Some path ->
+      let loaded, skipped = Measure.cache_load table path in
+      Log.info ~src:"fleet-store"
+        ~fields:[ ("file", Json.Str path); ("keys", Json.Int (Hashtbl.length table)) ]
+        "store file %s: %d entries loaded, %d skipped" path loaded skipped);
+  let persist = Option.map Measure.cache_open_append file in
+  Metrics.set g_keys (float_of_int (Hashtbl.length table));
+  let handle (req : Http.request) =
+    match (req.Http.meth, req.Http.path) with
+    | "POST", "/lookup" -> (
+        let parsed =
+          let* j = Json.parse req.Http.body in
+          match Json.member "keys" j with
+          | Some (Json.List ks) ->
+              List.fold_right
+                (fun k acc ->
+                  let* acc = acc in
+                  match k with
+                  | Json.Str s -> Ok (s :: acc)
+                  | _ -> Error "keys must be strings")
+                ks (Ok [])
+          | _ -> Error "missing keys"
+        in
+        match parsed with
+        | Error msg -> error_body 400 "bad_request" msg
+        | Ok keys ->
+            let hits =
+              List.filter_map
+                (fun k ->
+                  match Hashtbl.find_opt table k with
+                  | Some v ->
+                      Metrics.incr m_lookup_hits;
+                      Some (k, Json.hex v)
+                  | None ->
+                      Metrics.incr m_lookup_misses;
+                      None)
+                keys
+            in
+            json_body 200 (Json.Obj [ ("results", Json.Obj hits) ]))
+    | "POST", "/put" -> (
+        let parsed =
+          let* j = Json.parse req.Http.body in
+          match Json.member "entries" j with
+          | Some (Json.List es) ->
+              List.fold_right
+                (fun e acc ->
+                  let* acc = acc in
+                  match (Json.member "k" e, Option.bind (Json.member "v" e) Json.hex_of) with
+                  | Some (Json.Str k), Some v -> Ok ((k, v) :: acc)
+                  | _ -> Error "entries must be {\"k\":KEY,\"v\":HEXFLOAT}")
+                es (Ok [])
+          | _ -> Error "missing entries"
+        in
+        match parsed with
+        | Error msg -> error_body 400 "bad_request" msg
+        | Ok entries ->
+            let added =
+              List.fold_left
+                (fun n (k, v) ->
+                  if Hashtbl.mem table k then n
+                  else begin
+                    Hashtbl.replace table k v;
+                    (match persist with
+                    | Some oc ->
+                        output_string oc (Measure.cache_line k v);
+                        output_char oc '\n'
+                    | None -> ());
+                    n + 1
+                  end)
+                0 entries
+            in
+            (match persist with Some oc -> flush oc | None -> ());
+            Metrics.add m_added added;
+            Metrics.set g_keys (float_of_int (Hashtbl.length table));
+            json_body 200 (Json.Obj [ ("added", Json.Int added) ]))
+    | "GET", "/get" -> (
+        match List.assoc_opt "k" req.Http.query with
+        | None -> error_body 400 "bad_request" "missing ?k="
+        | Some k -> (
+            match Hashtbl.find_opt table k with
+            | Some v ->
+                Metrics.incr m_lookup_hits;
+                json_body 200 (Json.Obj [ ("k", Json.Str k); ("v", Json.hex v) ])
+            | None ->
+                Metrics.incr m_lookup_misses;
+                error_body 404 "not_found" ("no result under key " ^ k)))
+    | "GET", "/healthz" ->
+        json_body 200
+          (Json.Obj
+             [ ("status", Json.Str "ok"); ("role", Json.Str "store");
+               ("keys", Json.Int (Hashtbl.length table)) ])
+    | "GET", "/metrics" -> (200, "text/plain; version=0.0.4", Emc_serve.Serve.prometheus ())
+    | _, p -> error_body 404 "not_found" ("no such endpoint: " ^ p)
+  in
+  serve_loop ~name:"fleet-store" ~listen ~read_timeout:30.0 handle;
+  match persist with Some oc -> close_out oc | None -> ()
+
+(* ---------------- store client (used by workers) ---------------- *)
+
+let store_rpc ~timeout addr ~path ~body =
+  match Http.connect ~timeout (sockaddr_of_addr addr) with
+  | Error e -> Error (Http.error_to_string e)
+  | Ok fd ->
+      let r =
+        match
+          Http.write_request fd ~meth:"POST" ~path
+            ~headers:[ ("Content-Type", "application/json") ]
+            ~body ()
+        with
+        | Error e -> Error (Http.error_to_string e)
+        | Ok () -> (
+            match Http.read_response fd with
+            | Error e -> Error (Http.error_to_string e)
+            | Ok resp when resp.Http.status = 200 -> Ok resp.Http.resp_body
+            | Ok resp -> Error (Printf.sprintf "store returned HTTP %d" resp.Http.status))
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+
+let store_lookup ~timeout addr keys =
+  let body =
+    Json.to_string
+      (Json.Obj [ ("keys", Json.List (List.map (fun k -> Json.Str k) keys)) ])
+  in
+  let* body = store_rpc ~timeout addr ~path:"/lookup" ~body in
+  let* j = Json.parse body in
+  match Json.member "results" j with
+  | Some (Json.Obj kvs) ->
+      Ok (List.filter_map (fun (k, v) -> Option.map (fun f -> (k, f)) (Json.hex_of v)) kvs)
+  | _ -> Error "store lookup: missing results"
+
+let store_put ~timeout addr entries =
+  let body =
+    Json.to_string
+      (Json.Obj
+         [ ( "entries",
+             Json.List
+               (List.map
+                  (fun (k, v) -> Json.Obj [ ("k", Json.Str k); ("v", Json.hex v) ])
+                  entries) ) ])
+  in
+  let* body = store_rpc ~timeout addr ~path:"/put" ~body in
+  let* j = Json.parse body in
+  match Json.member "added" j with
+  | Some (Json.Int n) -> Ok n
+  | _ -> Error "store put: missing added"
+
+(* ---------------- worker daemon ---------------- *)
+
+let all_keys (w : Workload.t) ~variant points =
+  Array.to_list points
+  |> List.concat_map (fun (flags, march) ->
+         List.map
+           (fun r -> Measure.result_key r w ~variant flags march)
+           [ Measure.Cycles; Measure.Energy; Measure.CodeSize ])
+
+let run_worker ?(jobs = 1) ?store ?(store_timeout = 10.0) ?cache_file ~listen () =
+  (* one Measure per (workload_scale, smarts) signature: the memo persists
+     across requests, so repeated corner points across batches and the
+     energy/code-size re-reads cost nothing *)
+  let measures : (string, Measure.t) Hashtbl.t = Hashtbl.create 4 in
+  let measure_for ~workload_scale ~smarts =
+    let key =
+      Json.to_string
+        (Json.Obj
+           [ ("ws", Json.hex workload_scale); ("smarts", smarts_to_json smarts) ])
+    in
+    match Hashtbl.find_opt measures key with
+    | Some m -> m
+    | None ->
+        let scale =
+          { Scale.quick with Scale.name = "fleet"; workload_scale; smarts; jobs }
+        in
+        let m = Measure.create ?cache_file scale in
+        Hashtbl.replace measures key m;
+        m
+  in
+  let handle_measure (req : Http.request) =
+    match measure_request_of_body req.Http.body with
+    | Error msg -> error_body 400 "bad_request" msg
+    | Ok mr -> (
+        match Registry.find mr.mr_workload with
+        | exception Invalid_argument msg -> error_body 400 "unknown_workload" msg
+        | w ->
+            Metrics.incr m_requests;
+            Metrics.add m_measured (Array.length mr.mr_points);
+            let m =
+              measure_for ~workload_scale:mr.mr_workload_scale ~smarts:mr.mr_smarts
+            in
+            let variant = mr.mr_variant in
+            (* consult the shared store for anything we don't already know;
+               a store failure only costs us the simulation *)
+            (match store with
+            | None -> ()
+            | Some saddr -> (
+                let missing =
+                  all_keys w ~variant mr.mr_points
+                  |> List.filter (fun k -> not (Hashtbl.mem m.Measure.results k))
+                in
+                if missing <> [] then
+                  match store_lookup ~timeout:store_timeout saddr missing with
+                  | Ok hits -> Metrics.add m_store_hits (Measure.preload m hits)
+                  | Error e ->
+                      Log.warn ~src:"fleet-worker" "store lookup failed: %s" e));
+            let cycles = Measure.respond_many ~response:Cycles m w ~variant mr.mr_points in
+            let energy = Measure.respond_many ~response:Energy m w ~variant mr.mr_points in
+            let code = Measure.respond_many ~response:CodeSize m w ~variant mr.mr_points in
+            let triples =
+              Array.init (Array.length mr.mr_points) (fun i ->
+                  { Measure.t_cycles = cycles.(i); t_energy = energy.(i);
+                    t_code_size = code.(i) })
+            in
+            (* feed everything back; the store dedupes, so re-putting
+               store-served keys is harmless *)
+            (match store with
+            | None -> ()
+            | Some saddr -> (
+                let entries =
+                  all_keys w ~variant mr.mr_points
+                  |> List.filter_map (fun k ->
+                         Option.map (fun v -> (k, v)) (Hashtbl.find_opt m.Measure.results k))
+                in
+                match store_put ~timeout:store_timeout saddr entries with
+                | Ok added -> Metrics.add m_store_puts added
+                | Error e -> Log.warn ~src:"fleet-worker" "store put failed: %s" e));
+            (200, "application/json", result_body triples))
+  in
+  let handle (req : Http.request) =
+    match (req.Http.meth, req.Http.path) with
+    | "POST", "/measure" -> handle_measure req
+    | "GET", "/healthz" ->
+        json_body 200
+          (Json.Obj
+             [ ("status", Json.Str "ok"); ("role", Json.Str "worker");
+               ("jobs", Json.Int jobs);
+               ("workloads", Json.List (List.map (fun n -> Json.Str n) Registry.names)) ])
+    | "GET", "/metrics" -> (200, "text/plain; version=0.0.4", Emc_serve.Serve.prometheus ())
+    | _, p -> error_body 404 "not_found" ("no such endpoint: " ^ p)
+  in
+  (* measurement chunks can run for minutes: a long read timeout keeps an
+     idle keep-alive coordinator connection from being dropped mid-run *)
+  serve_loop ~name:"fleet-worker" ~listen ~read_timeout:3600.0 handle
+
+(* ---------------- coordinator ---------------- *)
+
+type options = {
+  chunk : int;
+  connect_timeout : float;
+  read_timeout : float;
+  steal_after : float;
+  max_attempts : int;
+}
+
+let default_options =
+  { chunk = 0; connect_timeout = 5.0; read_timeout = 600.0; steal_after = 30.0;
+    max_attempts = 3 }
+
+type chunk_state = {
+  c_id : int;
+  c_start : int;  (** offset of this chunk's slice in the work array *)
+  c_points : (Emc_opt.Flags.t * Emc_sim.Config.t) array;
+  c_body : string;  (** the serialized /measure request, built once *)
+  mutable c_done : bool;
+  mutable c_attempts : int;  (** dispatches so far (retries + steals included) *)
+  mutable c_running : int;  (** live dispatches (2 while a steal races the original) *)
+}
+
+type worker_state = {
+  w_addr : addr;
+  mutable w_fd : Unix.file_descr option;  (** kept alive across chunks *)
+  mutable w_job : (chunk_state * float) option;  (** running chunk, dispatch time *)
+  mutable w_dead : bool;
+}
+
+(* Shard one respond_many miss batch across the fleet. [work] is already
+   deduplicated in first-occurrence order by Measure.respond_many; chunks
+   are fixed slices of it, so every result lands at its input index and
+   the merged array is independent of scheduling. *)
+let respond_batch opts addrs (scale : Scale.t) (w : Workload.t) ~variant
+    (work : (Emc_opt.Flags.t * Emc_sim.Config.t) array) =
+  let n = Array.length work in
+  let results : Measure.triple option array = Array.make n None in
+  let workers =
+    List.map (fun a -> { w_addr = a; w_fd = None; w_job = None; w_dead = false }) addrs
+  in
+  let nworkers = List.length workers in
+  if nworkers = 0 then fail "empty fleet";
+  (* auto chunk size: ~4 chunks per worker bounds the straggler tail
+     without drowning small batches in per-request overhead *)
+  let csize =
+    if opts.chunk > 0 then opts.chunk
+    else max 1 (min 32 ((n + (4 * nworkers) - 1) / (4 * nworkers)))
+  in
+  let chunks =
+    List.init
+      ((n + csize - 1) / csize)
+      (fun i ->
+        let start = i * csize in
+        let points = Array.sub work start (min csize (n - start)) in
+        { c_id = i; c_start = start; c_points = points;
+          c_body =
+            measure_body w ~variant ~workload_scale:scale.Scale.workload_scale
+              ~smarts:scale.Scale.smarts points;
+          c_done = false; c_attempts = 0; c_running = 0 })
+  in
+  let total = List.length chunks in
+  let completed = ref 0 in
+  let pending = Queue.create () in
+  List.iter (fun c -> Queue.push c pending) chunks;
+  let close_fd wk =
+    (match wk.w_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    wk.w_fd <- None
+  in
+  let fail_worker wk reason =
+    Log.warn ~src:"fleet"
+      ~fields:[ ("worker", Json.Str (addr_to_string wk.w_addr)) ]
+      "worker %s failed: %s" (addr_to_string wk.w_addr) reason;
+    close_fd wk;
+    wk.w_dead <- true;
+    Metrics.incr m_failures;
+    match wk.w_job with
+    | None -> ()
+    | Some (c, _) ->
+        wk.w_job <- None;
+        c.c_running <- c.c_running - 1;
+        (* requeue only when no duplicate is still racing; if the twin
+           later fails too, it requeues then *)
+        if (not c.c_done) && c.c_running = 0 then begin
+          if c.c_attempts >= opts.max_attempts then
+            fail "chunk %d failed %d times (last worker: %s: %s); giving up" c.c_id
+              c.c_attempts (addr_to_string wk.w_addr) reason;
+          Metrics.incr m_retried;
+          Queue.push c pending
+        end
+  in
+  let dispatch wk c =
+    c.c_attempts <- c.c_attempts + 1;
+    c.c_running <- c.c_running + 1;
+    wk.w_job <- Some (c, Unix.gettimeofday ());
+    Metrics.incr m_dispatched;
+    Metrics.add m_points (Array.length c.c_points);
+    let conn =
+      match wk.w_fd with
+      | Some fd -> Ok fd
+      | None -> Http.connect ~timeout:opts.connect_timeout (sockaddr_of_addr wk.w_addr)
+    in
+    match conn with
+    | Error e -> fail_worker wk ("connect: " ^ Http.error_to_string e)
+    | Ok fd -> (
+        wk.w_fd <- Some fd;
+        match
+          Http.write_request fd ~meth:"POST" ~path:"/measure"
+            ~headers:[ ("Content-Type", "application/json") ]
+            ~body:c.c_body ()
+        with
+        | Ok () -> ()
+        | Error e -> fail_worker wk ("request: " ^ Http.error_to_string e))
+  in
+  let collect wk fd =
+    let c, _ = Option.get wk.w_job in
+    match Http.read_response ~max_body:(64 * 1024 * 1024) fd with
+    | Error e -> fail_worker wk (Http.error_to_string e)
+    | Ok resp when resp.Http.status = 200 -> (
+        match triples_of_body ~expect:(Array.length c.c_points) resp.Http.resp_body with
+        | Error msg -> fail_worker wk ("bad response: " ^ msg)
+        | Ok triples ->
+            wk.w_job <- None;
+            c.c_running <- c.c_running - 1;
+            (* first completion wins; a stolen twin's duplicate is
+               identical (deterministic simulator) and discarded *)
+            if not c.c_done then begin
+              c.c_done <- true;
+              incr completed;
+              Array.iteri (fun i t -> results.(c.c_start + i) <- Some t) triples
+            end)
+    | Ok resp ->
+        (* the request is deterministic: a structured rejection would
+           repeat on every worker, so fail the batch loudly instead of
+           retrying it to death *)
+        fail "worker %s rejected the batch: HTTP %d %s" (addr_to_string wk.w_addr)
+          resp.Http.status
+          (String.sub resp.Http.resp_body 0 (min 200 (String.length resp.Http.resp_body)))
+  in
+  let finally () = List.iter close_fd workers in
+  Fun.protect ~finally (fun () ->
+      while !completed < total do
+        if not (List.exists (fun wk -> not wk.w_dead) workers) then
+          fail "all %d fleet workers failed with %d/%d chunks incomplete" nworkers
+            (total - !completed) total;
+        (* dispatch pending chunks to idle live workers *)
+        List.iter
+          (fun wk ->
+            if (not wk.w_dead) && wk.w_job = None then
+              let rec next () =
+                if Queue.is_empty pending then None
+                else
+                  let c = Queue.pop pending in
+                  if c.c_done then next () else Some c
+              in
+              match next () with None -> () | Some c -> dispatch wk c)
+          workers;
+        (* wait for responses *)
+        let busy =
+          List.filter_map
+            (fun wk ->
+              match (wk.w_job, wk.w_fd) with
+              | Some _, Some fd -> Some (wk, fd)
+              | _ -> None)
+            workers
+        in
+        (match busy with
+        | [] -> ()
+        | _ -> (
+            match Unix.select (List.map snd busy) [] [] 0.05 with
+            | readable, _, _ ->
+                List.iter (fun (wk, fd) -> if List.memq fd readable then collect wk fd) busy
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+        let now = Unix.gettimeofday () in
+        (* hard per-chunk deadline *)
+        List.iter
+          (fun wk ->
+            match wk.w_job with
+            | Some (_, started) when now -. started > opts.read_timeout ->
+                fail_worker wk (Printf.sprintf "no response in %.0fs" opts.read_timeout)
+            | _ -> ())
+          workers;
+        (* work stealing: queue drained, an idle worker free, and a chunk
+           has been running past the straggler threshold without a twin —
+           re-dispatch it; first completion wins *)
+        if Queue.is_empty pending then begin
+          let idle =
+            List.filter (fun wk -> (not wk.w_dead) && wk.w_job = None) workers
+          in
+          let stragglers =
+            List.filter_map
+              (fun wk ->
+                match wk.w_job with
+                | Some (c, started)
+                  when (not c.c_done) && c.c_running = 1
+                       && now -. started > opts.steal_after ->
+                    Some (c, started)
+                | _ -> None)
+              workers
+            |> List.sort (fun (_, s1) (_, s2) -> compare s1 s2)
+          in
+          let rec steal idle stragglers =
+            match (idle, stragglers) with
+            | wk :: idle, (c, _) :: stragglers ->
+                Metrics.incr m_steals;
+                Log.info ~src:"fleet"
+                  ~fields:[ ("chunk", Json.Int c.c_id);
+                            ("worker", Json.Str (addr_to_string wk.w_addr)) ]
+                  "stealing chunk %d onto %s" c.c_id (addr_to_string wk.w_addr);
+                dispatch wk c;
+                steal idle stragglers
+            | _ -> ()
+          in
+          steal idle stragglers
+        end
+      done);
+  Array.map
+    (function Some t -> t | None -> fail "internal: incomplete batch")
+    results
+
+let attach ?(options = default_options) (m : Measure.t) addrs =
+  if addrs = [] then fail "empty fleet";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Measure.set_remote m (fun w ~variant work ->
+      respond_batch options addrs m.Measure.scale w ~variant work)
+
+(* ---------------- run journals ---------------- *)
+
+let journal_schema = "emc-run-journal/1"
+
+let run_dir () =
+  match Sys.getenv_opt "EMC_RUN_DIR" with Some d when d <> "" -> d | _ -> "emc-runs"
+
+let journal_path run_id = Filename.concat (run_dir ()) (run_id ^ ".jsonl")
+
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let journal_init ~run_id ~argv =
+  mkdir_p (run_dir ());
+  let path = journal_path run_id in
+  if not (Sys.file_exists path) then begin
+    let oc = open_out path in
+    output_string oc
+      (Json.to_string
+         (Json.Obj
+            [ ("schema", Json.Str journal_schema); ("run_id", Json.Str run_id);
+              ("argv", Json.List (List.map (fun s -> Json.Str s) (Array.to_list argv)));
+              ("started", Json.Float (Unix.time ())) ]));
+    output_char oc '\n';
+    close_out oc
+  end;
+  path
+
+type journal_info = {
+  ji_path : string;
+  ji_run_id : string;
+  ji_argv : string list;
+  ji_entries : int;
+  ji_skipped : int;
+}
+
+let journal_info run_id =
+  let path = journal_path run_id in
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no journal at %s (known runs live under %s/)" path (run_dir ()))
+  else begin
+    let header =
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      let* j = Json.parse line in
+      match (Json.member "schema" j, Json.member "run_id" j, Json.member "argv" j) with
+      | Some (Json.Str s), Some (Json.Str id), Some (Json.List argv) when s = journal_schema ->
+          Ok
+            ( id,
+              List.filter_map (function Json.Str a -> Some a | _ -> None) argv )
+      | Some (Json.Str s), _, _ when s <> journal_schema ->
+          Error (Printf.sprintf "%s: unsupported schema %S" path s)
+      | _ -> Error (Printf.sprintf "%s: missing emc-run-journal header line" path)
+    in
+    let* ji_run_id, ji_argv = header in
+    let table = Hashtbl.create 1024 in
+    let loaded, skipped = Measure.cache_load table path in
+    Ok { ji_path = path; ji_run_id; ji_argv; ji_entries = loaded; ji_skipped = skipped }
+  end

@@ -1,0 +1,128 @@
+(** Distributed measurement over the serve substrate.
+
+    [lib/par] fans a {!Emc_core.Measure.respond_many} batch out over forked
+    workers on one box; this module fans it out over {e machines}. Three
+    pieces, all speaking the dependency-free HTTP/1.1 of [lib/serve]:
+
+    - a {b worker daemon} ([emc fleet-worker], {!run_worker}) exposing
+      [POST /measure] — a batch of design points in, all three responses
+      per point out — plus [/healthz] and [/metrics];
+    - a {b coordinator} ({!attach}) installed behind
+      [Measure.respond_many] via [--fleet HOST:PORT,...] / [EMC_FLEET]:
+      it chunks each batch, dispatches chunks to workers over keep-alive
+      connections, retries chunks whose worker crashed, and work-steals
+      stragglers by re-dispatching their chunk to an idle worker — first
+      completion wins;
+    - a {b content-addressed result store} ([emc fleet-store],
+      {!run_store}): GET/PUT keyed by [Measure.result_key], persisted in
+      the exact JSONL [--cache] line format, so workers share results and
+      a killed run resumes with zero re-simulation.
+
+    {b The bit-identity contract.} Results merged in first-occurrence
+    order must be bit-identical to [--jobs 1] on one box — same values,
+    same [measure.*] counters, same cache/journal bytes — regardless of
+    worker count, chunk size, retries, steals, or arrival order. The
+    protocol guarantees it by construction: design points travel as the
+    raw 25-vector of [Params.raw_of] and every measured value travels as
+    an OCaml [%h] hex-float literal, both lossless; chunks map onto fixed
+    slices of the deduplicated work array, so results land at their input
+    index no matter which worker produced them or in what order; and a
+    duplicate (stolen) completion is identical to the first because the
+    simulator is deterministic, so whichever arrives first is kept and
+    the other discarded. Coordinator-side scheduling telemetry lands in
+    separate [fleet.*] counters (dispatched, points_dispatched, retried,
+    worker_failures, steals) so [measure.*] stays comparable.
+
+    Resumability: [--run-id ID] journals every measurement to
+    [EMC_RUN_DIR/ID.jsonl] (header line + [--cache]-format records);
+    re-running with the same id preloads the journal and re-simulates
+    nothing ([emc fleet-resume] inspects or re-executes a journal). *)
+
+exception Fleet_error of string
+(** A batch that cannot complete: every worker dead with work pending, a
+    chunk over its retry budget, or a worker rejecting the (deterministic)
+    request outright. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Tcp of string * int
+  | Unix_sock of string  (** distinguished from host:port by containing '/' *)
+
+val addr_to_string : addr -> string
+
+val parse_addr : string -> (addr, string) result
+(** ["host:port"], [":port"] (localhost), or a Unix-socket path (anything
+    containing '/'). *)
+
+val parse_fleet : string -> (addr list, string) result
+(** Comma-separated {!parse_addr} list — the [--fleet]/[EMC_FLEET]
+    format. *)
+
+(** {1 Coordinator} *)
+
+type options = {
+  chunk : int;  (** design points per dispatch; 0 = auto from batch size *)
+  connect_timeout : float;  (** seconds to establish a worker connection *)
+  read_timeout : float;  (** hard per-chunk deadline before the worker is failed *)
+  steal_after : float;
+      (** with the queue drained and an idle worker available, a chunk
+          running longer than this is re-dispatched to the idle worker *)
+  max_attempts : int;  (** dispatch budget per chunk before {!Fleet_error} *)
+}
+
+val default_options : options
+(** chunk auto, 5 s connect, 600 s read, 30 s steal, 3 attempts. *)
+
+val attach : ?options:options -> Emc_core.Measure.t -> addr list -> unit
+(** Route the measure's batch cache misses through the fleet
+    ([Measure.set_remote]). Raises {!Fleet_error} immediately on an empty
+    address list; later batch failures raise it from inside
+    [respond_many]. *)
+
+(** {1 Daemons} (block until SIGTERM/SIGINT, then clean up) *)
+
+val run_worker :
+  ?jobs:int ->
+  ?store:addr ->
+  ?store_timeout:float ->
+  ?cache_file:string ->
+  listen:addr ->
+  unit ->
+  unit
+(** One measurement worker. [jobs] fans each received chunk out over
+    local forked processes ([lib/par]); [store] consults/feeds a shared
+    result store around every batch (store failures are logged and
+    ignored — the worker simulates instead); [cache_file] is the worker's
+    own persistent JSONL cache. *)
+
+val run_store : ?file:string -> listen:addr -> unit -> unit
+(** The content-addressed result store. [file] persists the table in
+    [--cache] JSONL format (loaded on start, appended per new key), so a
+    store file is also a valid [--cache]/[emc cache] target. Endpoints:
+    [POST /lookup] (keys in, hits out), [POST /put] (entries in, count of
+    new keys out), [GET /get?k=], [/healthz], [/metrics]. *)
+
+(** {1 Run journals ([--run-id] / [emc fleet-resume])} *)
+
+val run_dir : unit -> string
+(** [EMC_RUN_DIR] or ["emc-runs"]. *)
+
+val journal_path : string -> string
+(** [run_dir ^ "/" ^ run_id ^ ".jsonl"]. *)
+
+val journal_init : run_id:string -> argv:string array -> string
+(** Ensure the journal exists (creating {!run_dir} and writing the
+    [emc-run-journal/1] header line recording [argv] if new) and return
+    its path — passed to [Measure.create ?journal_file]. *)
+
+type journal_info = {
+  ji_path : string;
+  ji_run_id : string;
+  ji_argv : string list;  (** argv recorded by the run that created it *)
+  ji_entries : int;  (** completed measurements on file *)
+  ji_skipped : int;  (** malformed/torn lines *)
+}
+
+val journal_info : string -> (journal_info, string) result
+(** Read a journal's header and count its records ([emc fleet-resume]). *)

@@ -217,3 +217,15 @@ let parse_exn s =
 let member k = function
   | Obj kvs -> List.assoc_opt k kvs
   | _ -> None
+
+(* Bit-exact float transport: JSON numbers round through decimal printing,
+   so values that must round-trip exactly (measurement caches, the fleet
+   wire protocol) travel as OCaml %h hex-float literals inside strings. *)
+
+let hex f = Str (Printf.sprintf "%h" f)
+
+let hex_of = function
+  | Str s -> float_of_string_opt s
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None

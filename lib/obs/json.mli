@@ -29,3 +29,11 @@ val parse_exn : string -> t
 
 val member : string -> t -> t option
 (** [member k j] is the value under key [k] when [j] is an [Obj]. *)
+
+val hex : float -> t
+(** The value as a [Str] holding an OCaml [%h] hex-float literal — the
+    bit-exact transport used by the measurement cache and the fleet wire
+    protocol (plain JSON numbers round through lossy decimal printing). *)
+
+val hex_of : t -> float option
+(** Read a float written by {!hex}; plain JSON numbers are also accepted. *)

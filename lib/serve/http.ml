@@ -13,6 +13,7 @@ type error =
   | Timeout
   | Too_large of string
   | Bad of string
+  | Refused of string
 
 let header req name =
   List.assoc_opt (String.lowercase_ascii name) req.headers
@@ -227,6 +228,70 @@ let write_all fd s =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
+
+(* ---------------- client half: connect + request ---------------- *)
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Timeout -> "timed out"
+  | Too_large what -> what ^ " too large"
+  | Bad msg -> msg
+  | Refused msg -> msg
+
+(* A typed connect so a dead peer is an [error], never an escaping
+   [Unix_error]: the fleet coordinator leans on this to tell a crashed
+   worker (Refused/Closed) from a straggler (Timeout). The connect itself
+   is raced against [timeout] via a non-blocking socket + select; the
+   returned descriptor then carries [timeout] as its send/receive timeout,
+   so every subsequent read honors it too. *)
+let connect ?(timeout = 10.0) sockaddr =
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  let fail e =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error e
+  in
+  let refused err = Refused ("connect: " ^ Unix.error_message err) in
+  let finish () =
+    Unix.clear_nonblock fd;
+    (* Unix-domain sockets reject SO_RCVTIMEO on some systems; timeouts
+       there come from the select-guarded connect and the peer's behavior *)
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+     with Unix.Unix_error _ -> ());
+    Ok fd
+  in
+  match
+    Unix.set_nonblock fd;
+    Unix.connect fd sockaddr
+  with
+  | () -> finish ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      let rec wait () =
+        match Unix.select [] [ fd ] [] timeout with
+        | _, [], _ -> fail Timeout
+        | _, _ :: _, _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> finish ()
+            | Some err -> fail (refused err))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ())
+  | exception Unix.Unix_error (err, _, _) -> fail (refused err)
+
+let write_request fd ~meth ~path ?(headers = []) ?(body = "") () =
+  let b = Buffer.create (String.length body + 128) in
+  Buffer.add_string b (Printf.sprintf "%s %s HTTP/1.1\r\n" meth path);
+  if not (List.exists (fun (k, _) -> String.lowercase_ascii k = "host") headers) then
+    Buffer.add_string b "Host: localhost\r\n";
+  List.iter (fun (k, v) -> Buffer.add_string b (k ^ ": " ^ v ^ "\r\n")) headers;
+  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n\r\n" (String.length body));
+  Buffer.add_string b body;
+  match write_all fd (Buffer.contents b) with
+  | () -> Ok ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED), _, _) ->
+      Error (Refused "peer reset the connection during the request write")
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
 
 let respond fd ~status ?(content_type = "application/json") ?(keep_alive = true)
     ?(headers = []) body =

@@ -18,9 +18,14 @@ type request = {
 
 type error =
   | Closed  (** clean EOF before any request byte — peer is done *)
-  | Timeout  (** the socket's receive timeout expired mid-request *)
+  | Timeout  (** the socket's receive timeout (or connect timeout) expired *)
   | Too_large of string  (** headers or declared body over the cap; names which *)
   | Bad of string  (** malformed request line/headers or truncated body *)
+  | Refused of string
+      (** client side only: the peer refused or reset the connection — the
+          fleet coordinator's signal that a worker has died *)
+
+val error_to_string : error -> string
 
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
@@ -44,6 +49,25 @@ val read_response :
 (** The client half: read one [Content-Length]-framed response from a
     keep-alive connection (the [emc loadgen] driver and the tests).
     [max_body] defaults to 8 MiB. *)
+
+val connect : ?timeout:float -> Unix.sockaddr -> (Unix.file_descr, error) result
+(** Open a stream connection with a connect timeout (default 10 s), mapping
+    a refused/unreachable peer to {!Refused} and a slow one to {!Timeout}
+    instead of letting [Unix_error] escape. On success the descriptor's
+    send/receive timeouts are set to [timeout], so subsequent
+    {!read_response} calls honor it as a read timeout. *)
+
+val write_request :
+  Unix.file_descr ->
+  meth:string ->
+  path:string ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  unit ->
+  (unit, error) result
+(** Write one [Content-Length]-framed request; a reset mid-write is
+    {!Refused}, a send-timeout expiry is {!Timeout}. Callers should ignore
+    SIGPIPE. *)
 
 val respond :
   Unix.file_descr ->

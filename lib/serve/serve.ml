@@ -502,6 +502,8 @@ let serve_one art opts fd =
   | Error (Http.Too_large what) ->
       protocol_error 413 "too_large" (what ^ " exceed the configured limit")
   | Error (Http.Bad msg) -> protocol_error 400 "bad_request" msg
+  (* client-side-only error; read_request never produces it *)
+  | Error (Http.Refused msg) -> protocol_error 400 "bad_request" msg
   | Ok req ->
       let id = request_id req in
       let status, content_type, body =

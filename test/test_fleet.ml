@@ -1,0 +1,477 @@
+(** The distributed measurement subsystem, end to end: address parsing,
+    bit-exact hex-float transport, the content-addressed result store and
+    the worker daemon as real forked processes on temp Unix sockets, the
+    coordinator's bit-identity contract against a sequential in-process
+    run (values and [measure.*] counters), crash retry against dead and
+    connection-dropping workers, run-journal resume with zero
+    re-simulation, and the [emc cache] maintenance pass. *)
+
+open Emc_core
+module Fleet = Emc_fleet.Fleet
+module Json = Emc_obs.Json
+module Metrics = Emc_obs.Metrics
+module Http = Emc_serve.Http
+
+let cb = Alcotest.(check bool)
+let ci = Alcotest.(check int)
+let cs = Alcotest.(check string)
+
+(* the coordinator client path can hit closed sockets *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let counter name = Option.value ~default:0 (Metrics.counter_value name)
+
+(* ---------------- addresses ---------------- *)
+
+let test_parse_addr () =
+  cb "host:port" true (Fleet.parse_addr "box1:9001" = Ok (Fleet.Tcp ("box1", 9001)));
+  cb ":port is localhost" true
+    (Fleet.parse_addr ":9001" = Ok (Fleet.Tcp ("127.0.0.1", 9001)));
+  cb "a path is a unix socket" true
+    (Fleet.parse_addr "/tmp/w.sock" = Ok (Fleet.Unix_sock "/tmp/w.sock"));
+  cb "surrounding space trimmed" true
+    (Fleet.parse_addr " box1:80 " = Ok (Fleet.Tcp ("box1", 80)));
+  List.iter
+    (fun bad ->
+      cb (Printf.sprintf "%S rejected" bad) true
+        (match Fleet.parse_addr bad with Error _ -> true | Ok _ -> false))
+    [ ""; "box1"; "box1:"; "box1:nope"; "box1:0"; "box1:70000" ];
+  match Fleet.parse_fleet "a:1, b:2 ,/tmp/w.sock" with
+  | Ok [ Fleet.Tcp ("a", 1); Fleet.Tcp ("b", 2); Fleet.Unix_sock "/tmp/w.sock" ] -> ()
+  | other ->
+      Alcotest.failf "parse_fleet: %s"
+        (match other with
+        | Ok l -> String.concat ";" (List.map Fleet.addr_to_string l)
+        | Error e -> "error " ^ e)
+
+let test_parse_fleet_errors () =
+  cb "empty spec rejected" true
+    (match Fleet.parse_fleet " , ," with Error _ -> true | Ok _ -> false);
+  cb "one bad entry poisons the list" true
+    (match Fleet.parse_fleet "a:1,bogus" with Error _ -> true | Ok _ -> false)
+
+(* ---------------- hex-float transport ---------------- *)
+
+let test_hex_float_roundtrip () =
+  (* the wire format for every measured value and design-point coordinate:
+     a %h literal through JSON must come back bit-identical, including
+     values no decimal round trip preserves *)
+  List.iter
+    (fun f ->
+      let j =
+        match Json.parse (Json.to_string (Json.Obj [ ("v", Json.hex f) ])) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "reparse failed: %s" e
+      in
+      match Option.bind (Json.member "v" j) Json.hex_of with
+      | Some g ->
+          Alcotest.(check int64)
+            (Printf.sprintf "%h survives the wire" f)
+            (Int64.bits_of_float f) (Int64.bits_of_float g)
+      | None -> Alcotest.failf "%h did not decode" f)
+    [ 0.0; -0.0; 1.0; 0.1; Float.pi; 1.0 /. 3.0; 1e300; -1e-300; 4e-324;
+      Float.max_float; Float.min_float; 9007199254740993.0 ]
+
+(* ---------------- daemon scaffolding ---------------- *)
+
+let sock_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "emc_fleet_%s_%d_%d.sock" tag (Unix.getpid ()) (Random.int 1_000_000))
+
+let fork_daemon run =
+  match Unix.fork () with
+  | 0 ->
+      (* the child inherits this test process's metrics registry; a real
+         daemon starts from zero, so its /metrics must too *)
+      Metrics.reset ();
+      (try run () with _ -> Unix._exit 1);
+      Unix._exit 0
+  | pid -> pid
+
+let wait_sock path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () > deadline then
+          Alcotest.failf "daemon did not come up on %s" path
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+  in
+  go ()
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let with_daemons specs f =
+  let daemons = List.map (fun run -> let path = sock_path "d" in (path, fork_daemon (run path))) specs in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (_, pid) -> stop_daemon pid) daemons)
+    (fun () ->
+      List.iter (fun (path, _) -> wait_sock path) daemons;
+      f (List.map fst daemons))
+
+let with_worker ?store f =
+  with_daemons
+    [ (fun path () -> Fleet.run_worker ?store ~listen:(Fleet.Unix_sock path) ()) ]
+    (function [ path ] -> f path | _ -> assert false)
+
+(* ---------------- store daemon ---------------- *)
+
+let rpc path ~meth ~target ?(body = "") () =
+  match Http.connect (Unix.ADDR_UNIX path) with
+  | Error e -> Alcotest.failf "connect %s: %s" path (Http.error_to_string e)
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (match Http.write_request fd ~meth ~path:target ~body () with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "write %s: %s" target (Http.error_to_string e));
+          match Http.read_response fd with
+          | Ok r -> (r.Http.status, r.Http.resp_body)
+          | Error e -> Alcotest.failf "read %s: %s" target (Http.error_to_string e))
+
+let json_of body =
+  match Json.parse (String.trim body) with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "not JSON (%s): %S" e body
+
+let test_store_daemon () =
+  let file = Filename.temp_file "emc_store" ".jsonl" in
+  Sys.remove file;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists file then Sys.remove file)
+  @@ fun () ->
+  let with_store f =
+    with_daemons
+      [ (fun path () -> Fleet.run_store ~file ~listen:(Fleet.Unix_sock path) ()) ]
+      (function [ path ] -> f path | _ -> assert false)
+  in
+  with_store (fun path ->
+      (* put two entries; re-putting one is deduplicated *)
+      let put body = rpc path ~meth:"POST" ~target:"/put" ~body () in
+      let status, body =
+        put {|{"entries":[{"k":"ka","v":"0x1.8p+0"},{"k":"kb","v":"0x1.2p+1"}]}|}
+      in
+      ci "put status" 200 status;
+      cb "two added" true (Json.member "added" (json_of body) = Some (Json.Int 2));
+      let _, body = put {|{"entries":[{"k":"ka","v":"0x1.8p+0"}]}|} in
+      cb "duplicate put adds nothing" true
+        (Json.member "added" (json_of body) = Some (Json.Int 0));
+      (* lookup returns only the hits *)
+      let status, body =
+        rpc path ~meth:"POST" ~target:"/lookup" ~body:{|{"keys":["ka","missing","kb"]}|} ()
+      in
+      ci "lookup status" 200 status;
+      (match Json.member "results" (json_of body) with
+      | Some (Json.Obj kvs) ->
+          ci "two hits" 2 (List.length kvs);
+          cb "ka value exact" true
+            (Option.bind (List.assoc_opt "ka" kvs) Json.hex_of = Some 1.5)
+      | _ -> Alcotest.failf "no results in %S" body);
+      (* single-key GET, hit and miss *)
+      let status, body = rpc path ~meth:"GET" ~target:"/get?k=kb" () in
+      ci "get hit" 200 status;
+      cb "get value exact" true
+        (Option.bind (Json.member "v" (json_of body)) Json.hex_of = Some 2.25);
+      ci "get miss is 404" 404 (fst (rpc path ~meth:"GET" ~target:"/get?k=nope" ()));
+      ci "healthz" 200 (fst (rpc path ~meth:"GET" ~target:"/healthz" ()));
+      ci "unknown endpoint 404" 404 (fst (rpc path ~meth:"GET" ~target:"/bogus" ())));
+  (* a restarted store reloads its file: the table survives the process *)
+  with_store (fun path ->
+      let _, body =
+        rpc path ~meth:"POST" ~target:"/lookup" ~body:{|{"keys":["ka","kb"]}|} ()
+      in
+      match Json.member "results" (json_of body) with
+      | Some (Json.Obj kvs) -> ci "persisted across restart" 2 (List.length kvs)
+      | _ -> Alcotest.failf "no results in %S" body)
+
+(* ---------------- measurement through the fleet ---------------- *)
+
+let small_scale jobs = { Scale.tiny with Scale.workload_scale = 0.05; jobs }
+
+let design_points n =
+  let rng = Emc_util.Rng.create 123 in
+  Emc_doe.Doe.lhs rng Params.space_all n
+
+let check_counters what (a : Measure.t) (b : Measure.t) =
+  ci (what ^ ": simulations") a.Measure.simulations b.Measure.simulations;
+  ci (what ^ ": result hits") a.Measure.result_hits b.Measure.result_hits;
+  ci (what ^ ": compiles") a.Measure.compiles b.Measure.compiles;
+  ci (what ^ ": binary hits") a.Measure.binary_hits b.Measure.binary_hits
+
+let run_through addrs =
+  let w = Emc_workloads.Registry.find "mcf" in
+  let variant = Emc_workloads.Workload.Train in
+  let points = design_points 7 in
+  (* duplicate a point so the dedup/result-hit path is exercised too *)
+  let points = Array.append points [| points.(0) |] in
+  let m_local = Measure.create (small_scale 1) in
+  let y_local = Measure.cycles_coded_many m_local w ~variant points in
+  let e_local = Measure.respond_coded_many ~response:Measure.Energy m_local w ~variant points in
+  let m_fleet = Measure.create (small_scale 1) in
+  Fleet.attach
+    ~options:{ Fleet.default_options with Fleet.chunk = 3 }
+    m_fleet
+    (List.map
+       (fun a -> match Fleet.parse_addr a with Ok a -> a | Error e -> failwith e)
+       addrs);
+  let y_fleet = Measure.cycles_coded_many m_fleet w ~variant points in
+  let e_fleet = Measure.respond_coded_many ~response:Measure.Energy m_fleet w ~variant points in
+  Alcotest.(check (array (float 0.0))) "cycles bit-identical to jobs=1" y_local y_fleet;
+  Alcotest.(check (array (float 0.0))) "energy bit-identical to jobs=1" e_local e_fleet;
+  check_counters "fleet = local" m_local m_fleet
+
+let test_fleet_bit_identity () = with_worker (fun path -> run_through [ path ])
+
+let test_fleet_two_workers () =
+  with_daemons
+    [ (fun path () -> Fleet.run_worker ~listen:(Fleet.Unix_sock path) ());
+      (fun path () -> Fleet.run_worker ~listen:(Fleet.Unix_sock path) ()) ]
+    run_through
+
+let test_fleet_retries_dead_worker () =
+  (* first address is a socket nobody listens on: every dispatch to it
+     fails at connect, the chunk is retried on the live worker, and the
+     result is still bit-identical *)
+  let failures0 = counter "fleet.worker_failures" in
+  let retried0 = counter "fleet.retried" in
+  with_worker (fun live -> run_through [ sock_path "dead"; live ]);
+  cb "dead worker counted" true (counter "fleet.worker_failures" > failures0);
+  cb "its chunk was retried" true (counter "fleet.retried" > retried0)
+
+let test_fleet_retries_dropped_connection () =
+  (* a worker that accepts and immediately drops the connection: the
+     coordinator sees a closed response stream mid-chunk (not a connect
+     failure) and must retry elsewhere *)
+  let flaky = sock_path "flaky" in
+  let pid =
+    fork_daemon (fun () ->
+        let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind lsock (Unix.ADDR_UNIX flaky);
+        Unix.listen lsock 8;
+        while true do
+          match Unix.accept lsock with
+          | fd, _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      if Sys.file_exists flaky then Sys.remove flaky)
+  @@ fun () ->
+  wait_sock flaky;
+  let failures0 = counter "fleet.worker_failures" in
+  with_worker (fun live -> run_through [ flaky; live ]);
+  cb "dropped connection counted as worker failure" true
+    (counter "fleet.worker_failures" > failures0)
+
+let test_all_workers_dead () =
+  let m = Measure.create (small_scale 1) in
+  Fleet.attach m [ Fleet.Unix_sock (sock_path "dead1"); Fleet.Unix_sock (sock_path "dead2") ];
+  let w = Emc_workloads.Registry.find "mcf" in
+  match Measure.cycles_coded_many m w ~variant:Emc_workloads.Workload.Train (design_points 3) with
+  | _ -> Alcotest.fail "expected Fleet_error"
+  | exception Fleet.Fleet_error msg ->
+      cb (Printf.sprintf "failure names the problem (%s)" msg) true (String.length msg > 0)
+
+let test_worker_feeds_store () =
+  (* run once through a worker wired to a store, then serve a fresh worker
+     (empty memo) from that store: zero simulations anywhere the second
+     time, still bit-identical *)
+  let store_file = Filename.temp_file "emc_store2" ".jsonl" in
+  Sys.remove store_file;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists store_file then Sys.remove store_file)
+  @@ fun () ->
+  let store_path = sock_path "store" in
+  let store_pid =
+    fork_daemon (fun () ->
+        Fleet.run_store ~file:store_file ~listen:(Fleet.Unix_sock store_path) ())
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon store_pid)
+  @@ fun () ->
+  wait_sock store_path;
+  let store = Fleet.Unix_sock store_path in
+  let w = Emc_workloads.Registry.find "gzip" in
+  let variant = Emc_workloads.Workload.Train in
+  let points = design_points 4 in
+  let y1 = ref [||] in
+  with_worker ~store (fun path ->
+      let m = Measure.create (small_scale 1) in
+      Fleet.attach m [ Option.get (Result.to_option (Fleet.parse_addr path)) ];
+      y1 := Measure.cycles_coded_many m w ~variant points);
+  cb "store persisted results" true (Sys.file_exists store_file);
+  with_worker ~store (fun path ->
+      let m = Measure.create (small_scale 1) in
+      Fleet.attach m [ Option.get (Result.to_option (Fleet.parse_addr path)) ];
+      let y2 = Measure.cycles_coded_many m w ~variant points in
+      Alcotest.(check (array (float 0.0))) "store-served run bit-identical" !y1 y2;
+      (* the fresh worker's own /metrics must report zero simulator runs *)
+      let _, metrics = rpc path ~meth:"GET" ~target:"/metrics" () in
+      let has sub =
+        let n = String.length metrics and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub metrics i m = sub || go (i + 1)) in
+        go 0
+      in
+      cb "fresh worker simulated nothing" true (has "emc_measure_simulations 0");
+      cb "store hits recorded" true (has "emc_fleet_store_hits 12"))
+
+(* ---------------- run journals ---------------- *)
+
+let with_run_dir f =
+  let dir = Filename.temp_file "emc_runs" "" in
+  Sys.remove dir;
+  let old = Sys.getenv_opt "EMC_RUN_DIR" in
+  Unix.putenv "EMC_RUN_DIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "EMC_RUN_DIR" (Option.value ~default:"" old);
+      if Sys.file_exists dir then
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      if Sys.file_exists dir then Unix.rmdir dir)
+    (fun () -> f dir)
+
+let test_journal_resume () =
+  with_run_dir @@ fun dir ->
+  let path = Fleet.journal_init ~run_id:"t1" ~argv:[| "emc"; "model"; "-w"; "mcf" |] in
+  cb "journal under EMC_RUN_DIR" true (Filename.dirname path = dir);
+  let w = Emc_workloads.Registry.find "mcf" in
+  let variant = Emc_workloads.Workload.Train in
+  let points = design_points 5 in
+  let m1 = Measure.create ~journal_file:path (small_scale 1) in
+  let y1 = Measure.cycles_coded_many m1 w ~variant points in
+  ci "cold run simulates" (Array.length points) m1.Measure.simulations;
+  (* a second init is a no-op on an existing journal *)
+  cs "re-init returns the same path" path
+    (Fleet.journal_init ~run_id:"t1" ~argv:[| "other" |]);
+  (* the resumed run preloads everything: zero re-simulation *)
+  let m2 = Measure.create ~journal_file:path (small_scale 1) in
+  cb "journal preloaded" true (m2.Measure.preloaded > 0);
+  let y2 = Measure.cycles_coded_many m2 w ~variant points in
+  Alcotest.(check (array (float 0.0))) "resumed run bit-identical" y1 y2;
+  ci "resumed run: zero simulations" 0 m2.Measure.simulations;
+  (* journal_info reads the header and counts the records *)
+  match Fleet.journal_info "t1" with
+  | Error e -> Alcotest.failf "journal_info: %s" e
+  | Ok ji ->
+      cs "run id" "t1" ji.Fleet.ji_run_id;
+      Alcotest.(check (list string)) "argv preserved (first writer wins)"
+        [ "emc"; "model"; "-w"; "mcf" ] ji.Fleet.ji_argv;
+      (* one simulation journals all three responses *)
+      ci "entry count" (3 * m1.Measure.simulations) ji.Fleet.ji_entries;
+      ci "nothing skipped" 0 ji.Fleet.ji_skipped
+
+let test_journal_info_missing () =
+  with_run_dir @@ fun _ ->
+  cb "unknown run id is an error" true
+    (match Fleet.journal_info "no-such-run" with Error _ -> true | Ok _ -> false)
+
+(* ---------------- cache maintenance ---------------- *)
+
+let test_cache_stats_and_compact () =
+  let path = Filename.temp_file "emc_cachestats" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"emc-run-journal/1\",\"run_id\":\"x\"}\n";
+  output_string oc (Measure.cache_line "ka" 1.5 ^ "\n");
+  output_string oc (Measure.cache_line "kb" 2.25 ^ "\n");
+  output_string oc (Measure.cache_line "ka" 1.5 ^ "\n");
+  output_string oc "garbage line\n";
+  output_string oc "{\"k\":\"torn";  (* no newline: a killed writer *)
+  close_out oc;
+  let st = Measure.cache_stats path in
+  ci "lines" 6 st.Measure.cs_lines;
+  ci "entries" 3 st.Measure.cs_entries;
+  ci "unique" 2 st.Measure.cs_unique;
+  ci "duplicates" 1 st.Measure.cs_duplicates;
+  ci "headers" 1 st.Measure.cs_headers;
+  ci "malformed" 2 st.Measure.cs_malformed;
+  cb "torn tail detected" true st.Measure.cs_torn;
+  cb "hit keys reported" true (st.Measure.cs_top_duplicates = [ ("ka", 2) ]);
+  (* compacting keeps the header and first occurrences, drops the rest *)
+  let before = Measure.cache_compact path in
+  ci "compact reports pre-compaction stats" 6 before.Measure.cs_lines;
+  let st = Measure.cache_stats path in
+  ci "compacted lines" 3 st.Measure.cs_lines;
+  ci "compacted unique" 2 st.Measure.cs_unique;
+  ci "no duplicates left" 0 st.Measure.cs_duplicates;
+  ci "no malformed left" 0 st.Measure.cs_malformed;
+  cb "no torn tail left" false st.Measure.cs_torn;
+  (* the compacted file still loads, values intact *)
+  let table = Hashtbl.create 8 in
+  let loaded, skipped = Measure.cache_load table path in
+  ci "loads cleanly" 2 loaded;
+  ci "nothing skipped" 0 skipped;
+  cb "values intact" true
+    (Hashtbl.find_opt table "ka" = Some 1.5 && Hashtbl.find_opt table "kb" = Some 2.25)
+
+let test_cache_stats_missing_file () =
+  let st = Measure.cache_stats "/nonexistent/emc_nope.jsonl" in
+  ci "missing file is empty" 0 st.Measure.cs_lines;
+  cb "missing file is not torn" false st.Measure.cs_torn
+
+let test_torn_tail_repaired_on_append () =
+  (* a killed run leaves a torn tail; the next writer must not glue its
+     first record onto it *)
+  let path = Filename.temp_file "emc_torn" ".jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc (Measure.cache_line "ka" 1.5 ^ "\n");
+  output_string oc "{\"k\":\"to";
+  close_out oc;
+  let oc = Measure.cache_open_append path in
+  output_string oc (Measure.cache_line "kb" 2.25 ^ "\n");
+  close_out oc;
+  let table = Hashtbl.create 8 in
+  let loaded, skipped = Measure.cache_load table path in
+  ci "both whole records load" 2 loaded;
+  ci "only the torn line is skipped" 1 skipped;
+  cb "appended record intact, not glued" true (Hashtbl.find_opt table "kb" = Some 2.25)
+
+(* ---------------- typed client errors ---------------- *)
+
+let test_connect_refused_is_typed () =
+  (* nothing listens here: the client path must yield a typed Refused, not
+     leak a raw Unix_error *)
+  (match Http.connect (Unix.ADDR_UNIX (sock_path "nobody")) with
+  | Error (Http.Refused _) -> ()
+  | Error e -> Alcotest.failf "want Refused, got %s" (Http.error_to_string e)
+  | Ok _ -> Alcotest.fail "connect to nobody succeeded");
+  (* TCP variant: a port in TIME_WAIT-free reserved space *)
+  match Http.connect (Unix.ADDR_INET (Unix.inet_addr_loopback, 1)) with
+  | Error (Http.Refused _) | Error Http.Timeout -> ()
+  | Error e -> Alcotest.failf "want Refused/Timeout, got %s" (Http.error_to_string e)
+  | Ok fd ->
+      Unix.close fd;
+      Alcotest.fail "connect to port 1 succeeded"
+
+let suite =
+  [
+    ("parse_addr forms", `Quick, test_parse_addr);
+    ("parse_fleet errors", `Quick, test_parse_fleet_errors);
+    ("hex floats survive the wire", `Quick, test_hex_float_roundtrip);
+    ("store daemon: put/lookup/get/persist", `Quick, test_store_daemon);
+    ("one worker bit-identical to jobs=1", `Slow, test_fleet_bit_identity);
+    ("two workers bit-identical to jobs=1", `Slow, test_fleet_two_workers);
+    ("dead worker: chunk retried elsewhere", `Slow, test_fleet_retries_dead_worker);
+    ("dropped connection: chunk retried", `Slow, test_fleet_retries_dropped_connection);
+    ("all workers dead raises Fleet_error", `Quick, test_all_workers_dead);
+    ("shared store: fresh worker, zero simulations", `Slow, test_worker_feeds_store);
+    ("journal resume: zero re-simulation", `Slow, test_journal_resume);
+    ("journal_info on unknown id", `Quick, test_journal_info_missing);
+    ("cache stats and compaction", `Quick, test_cache_stats_and_compact);
+    ("cache stats on a missing file", `Quick, test_cache_stats_missing_file);
+    ("torn tail repaired before append", `Quick, test_torn_tail_repaired_on_append);
+    ("connection refused is typed", `Quick, test_connect_refused_is_typed);
+  ]

@@ -18,6 +18,7 @@ let () =
       ("loadgen", Test_loadgen.suite);
       ("workloads", Test_workloads.suite);
       ("par", Test_par.suite);
+      ("fleet", Test_fleet.suite);
       ("core", Test_core.suite);
       ("obs", Test_obs.suite);
       ("diff", Test_diff.suite);

@@ -52,6 +52,41 @@ let test_worker_crash_raises () =
   | exception Par.Worker_error msg ->
       cb (Printf.sprintf "crash reported (%s)" msg) true (String.length msg > 0)
 
+let test_worker_killed_mid_batch () =
+  (* a worker killed by a signal (not a clean exit) mid-batch: the parent
+     must report the kill, not hang on the dead pipe or return a partial
+     array *)
+  let f i =
+    if i = 5 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    i * 2
+  in
+  match Par.map ~jobs:3 f (Array.init 12 Fun.id) with
+  | _ -> Alcotest.fail "expected Worker_error"
+  | exception Par.Worker_error msg ->
+      cb (Printf.sprintf "kill reported (%s)" msg) true (String.length msg > 0)
+
+let test_crash_leaves_counters_consistent () =
+  (* metrics merged from workers that did complete must still be exact:
+     a crashed batch contributes nothing, and a subsequent successful
+     batch on the same tables merges its counters exactly once *)
+  let w = Emc_workloads.Registry.find "mcf" in
+  let points =
+    let rng = Emc_util.Rng.create 99 in
+    Emc_doe.Doe.lhs rng Params.space_all 4
+  in
+  let m = Measure.create { Scale.tiny with Scale.workload_scale = 0.05; jobs = 3 } in
+  let sims0 = m.Measure.simulations in
+  (* same points through a crashing Par.map first: Measure state untouched *)
+  (match Par.map ~jobs:2 (fun _ -> Unix._exit 7) (Array.init 4 Fun.id) with
+  | _ -> Alcotest.fail "expected Worker_error"
+  | exception Par.Worker_error _ -> ());
+  ci "no simulations leaked from the crashed batch" sims0 m.Measure.simulations;
+  let y = Measure.cycles_coded_many m w ~variant:Emc_workloads.Workload.Train points in
+  ci "successful batch merges once" (Array.length points) (m.Measure.simulations - sims0);
+  let m_seq = Measure.create { Scale.tiny with Scale.workload_scale = 0.05; jobs = 1 } in
+  let y_seq = Measure.cycles_coded_many m_seq w ~variant:Emc_workloads.Workload.Train points in
+  Alcotest.(check (array (float 0.0))) "values unaffected by the earlier crash" y_seq y
+
 let test_default_jobs_env () =
   cb "default_jobs is positive" true (Par.default_jobs () >= 1)
 
@@ -137,6 +172,8 @@ let suite =
     ("par.map preserves order", `Quick, test_map_preserves_order);
     ("worker exception surfaces", `Quick, test_worker_exception_surfaces);
     ("worker crash raises", `Quick, test_worker_crash_raises);
+    ("worker killed mid-batch raises", `Quick, test_worker_killed_mid_batch);
+    ("crash leaves counters consistent", `Slow, test_crash_leaves_counters_consistent);
     ("default jobs from env", `Quick, test_default_jobs_env);
     ("parallel dataset bit-identical", `Slow, test_parallel_dataset_bit_identical);
     ("parallel dedups repeats", `Quick, test_parallel_dedups_repeated_points);
