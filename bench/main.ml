@@ -280,6 +280,31 @@ let bechamel_suite ?filter ?json_path (ctx : Experiments.ctx) =
                 | Ok f -> ignore f
                 | Error e -> failwith e
               done) );
+      (* the full coordinator↔worker codec for one 32-point chunk:
+         serialize the /measure request, parse it as the worker does,
+         serialize the result triples, parse them back — the per-chunk
+         CPU cost of pipelined dispatch, everything but the socket *)
+      ( "fleet/dispatch-pipeline",
+        fun () ->
+          let points = Array.make 32 (Emc_opt.Flags.o3, march) in
+          let triples =
+            Array.init 32 (fun i ->
+                { Emc_core.Measure.t_cycles = 1.0e6 +. float_of_int i;
+                  t_energy = 3.5e5 +. float_of_int i;
+                  t_code_size = 512.0 })
+          in
+          Staged.stage (fun () ->
+              let body =
+                Emc_fleet.Fleet.measure_body gzip ~variant:Workload.Train
+                  ~workload_scale:0.05 ~smarts:None points
+              in
+              (match Emc_fleet.Fleet.measure_request_of_body body with
+              | Ok mr -> assert (Array.length mr.Emc_fleet.Fleet.mr_points = 32)
+              | Error e -> failwith e);
+              let rbody = Emc_fleet.Fleet.result_body triples in
+              match Emc_fleet.Fleet.triples_of_body ~expect:32 rbody with
+              | Ok ts -> ignore ts
+              | Error e -> failwith e) );
     ]
   in
   let selected =

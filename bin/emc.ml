@@ -67,10 +67,34 @@ let fleet_arg =
   let doc =
     "Comma-separated $(b,emc fleet-worker) addresses (host:port, :port, or unix-socket \
      paths): shard measurement batches across remote workers instead of local forks. \
-     Results are bit-identical to a single-process --jobs 1 run regardless of worker \
-     count, chunking, retries or arrival order. Defaults to EMC_FLEET."
+     Prefix an address with @ to treat it as an $(b,emc fleet-store) whose registered \
+     workers form an elastic fleet: workers joining mid-run (fleet-worker --register) \
+     pick up pending chunks, drained or dead workers age out and their chunks requeue. \
+     Results are bit-identical to a single-process --jobs 1 run regardless of \
+     membership, chunking, pipelining, retries or arrival order. Defaults to EMC_FLEET."
   in
   Arg.(value & opt (some string) None & info [ "fleet" ] ~docv:"ADDRS" ~doc)
+
+let chunk_arg =
+  let doc =
+    "Design points per fleet dispatch. Must be positive; omit it entirely for automatic \
+     sizing (~4 chunks per worker)."
+  in
+  Arg.(value & opt (some int) None & info [ "chunk" ] ~docv:"N" ~doc)
+
+let depth_arg =
+  let doc =
+    "Outstanding chunks pipelined per fleet worker connection (default 1). Depth > 1 \
+     hides dispatch latency — a worker starts its next chunk without a coordinator \
+     round-trip; results stay bit-identical."
+  in
+  Arg.(value & opt (some int) None & info [ "depth" ] ~docv:"N" ~doc)
+
+(* The three fleet knobs travel as one term so every measuring subcommand
+   picks them up with a single $ application. *)
+let fleet_opts_arg =
+  Term.(const (fun fleet chunk depth -> (fleet, chunk, depth))
+        $ fleet_arg $ chunk_arg $ depth_arg)
 
 let run_id_arg =
   let doc =
@@ -95,8 +119,15 @@ let parse_fleet_spec spec =
 
 (* Experiment-context setup shared by every measuring subcommand: resolve
    --run-id into a preloaded journal, then point the measure at the fleet
-   when one is configured. *)
-let make_ctx ~seed ~scale ?cache_file ~fleet ~run_id () =
+   when one is configured. [fleet] is the (--fleet, --chunk, --depth)
+   triple from fleet_opts_arg. *)
+let make_ctx ~seed ~scale ?cache_file ~fleet:(fleet, chunk, depth) ~run_id () =
+  (match chunk with
+  | Some c when c <= 0 -> die "--chunk must be positive (omit it for auto sizing), not %d" c
+  | _ -> ());
+  (match depth with
+  | Some d when d < 1 -> die "--depth must be at least 1, not %d" d
+  | _ -> ());
   let journal_file =
     Option.map (fun id -> Fleet.journal_init ~run_id:id ~argv:Sys.argv) run_id
   in
@@ -105,7 +136,13 @@ let make_ctx ~seed ~scale ?cache_file ~fleet ~run_id () =
      match fleet with Some s -> Some s | None -> Sys.getenv_opt "EMC_FLEET"
    with
   | None | Some "" -> ()
-  | Some spec -> Fleet.attach ctx.Experiments.measure (parse_fleet_spec spec));
+  | Some spec ->
+      let options =
+        { Fleet.default_options with
+          Fleet.chunk = Option.value chunk ~default:Fleet.default_options.Fleet.chunk;
+          Fleet.depth = Option.value depth ~default:Fleet.default_options.Fleet.depth }
+      in
+      Fleet.attach ~options ctx.Experiments.measure (parse_fleet_spec spec));
   ctx
 
 let parse_config = function
@@ -302,7 +339,7 @@ let model_cmd =
   Cmd.v
     (Cmd.info "model" ~doc:"Build an empirical model for a workload and report its accuracy.")
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
-          $ cache_arg $ fleet_arg $ run_id_arg $ trace_arg $ metrics_arg)
+          $ cache_arg $ fleet_opts_arg $ run_id_arg $ trace_arg $ metrics_arg)
 
 (* ---------------- artifacts: train / predict / rank / serve ---------------- *)
 
@@ -364,7 +401,7 @@ let train_cmd =
     (Cmd.info "train"
        ~doc:"Build an empirical model and persist it as a reusable artifact file.")
     Term.(const run $ workload_arg $ technique_arg $ scale_arg $ seed_arg $ jobs_arg
-          $ cache_arg $ fleet_arg $ run_id_arg $ out_arg $ energy_arg $ trace_arg
+          $ cache_arg $ fleet_opts_arg $ run_id_arg $ out_arg $ energy_arg $ trace_arg
           $ metrics_arg)
 
 let predict_cmd =
@@ -661,7 +698,7 @@ let search_cmd =
     (Cmd.info "search"
        ~doc:"Model-based search for platform-specific optimization settings (paper, section 6.3).")
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-          $ fleet_arg $ run_id_arg $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
+          $ fleet_opts_arg $ run_id_arg $ model_opt_arg $ validate $ trace_arg $ metrics_arg)
 
 (* ---------------- pareto ---------------- *)
 
@@ -758,7 +795,7 @@ let pareto_cmd =
        ~doc:"Multi-objective model-based search: the non-dominated front over predicted \
              cycles and predicted energy (NSGA-II over the compiler parameters).")
     Term.(const run $ workload_arg $ config_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg
-          $ fleet_arg $ run_id_arg $ model_opt_arg $ pop_arg $ gens_arg $ json_arg
+          $ fleet_opts_arg $ run_id_arg $ model_opt_arg $ pop_arg $ gens_arg $ json_arg
           $ trace_arg $ metrics_arg)
 
 (* ---------------- experiment ---------------- *)
@@ -786,7 +823,7 @@ let experiment_cmd =
             | s -> failwith ("unknown experiment: " ^ s)))
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one table or figure from the paper.")
-    Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ fleet_arg
+    Term.(const run $ which_arg $ scale_arg $ seed_arg $ jobs_arg $ cache_arg $ fleet_opts_arg
           $ run_id_arg $ trace_arg $ metrics_arg)
 
 let fuzz_cmd =
@@ -846,24 +883,100 @@ let fleet_worker_cmd =
                    fed after every batch, so workers never re-simulate what any of them \
                    already measured. Store failures are logged and simulated through.")
   in
-  let run port socket jobs store cache trace metrics =
+  let register_arg =
+    Arg.(value & opt (some string) None
+         & info [ "register" ] ~docv:"ADDR"
+             ~doc:"Enroll in a store's membership table (heartbeat every --heartbeat \
+                   seconds, TTL of three beats) so @$(docv) coordinators discover this \
+                   worker mid-run; deregisters on graceful shutdown. When --store is \
+                   absent, $(docv) doubles as the result store.")
+  in
+  let advertise_arg =
+    Arg.(value & opt (some string) None
+         & info [ "advertise" ] ~docv:"ADDR"
+             ~doc:"Address to publish in the membership table (default: the listen \
+                   address). Set it when coordinators reach this worker through a \
+                   different host/port than it binds.")
+  in
+  let heartbeat_arg =
+    Arg.(value & opt float 2.0
+         & info [ "heartbeat" ] ~docv:"SECONDS" ~doc:"Seconds between membership heartbeats.")
+  in
+  let pidfile_arg =
+    Arg.(value & opt (some string) None
+         & info [ "pidfile" ] ~docv:"FILE"
+             ~doc:"Write the daemon pid to $(docv) (default: <socket>.pid for Unix-socket \
+                   listeners) — the handle --drain uses.")
+  in
+  let drain_arg =
+    Arg.(value & flag
+         & info [ "drain" ]
+             ~doc:"Instead of starting a daemon, gracefully drain the one whose pidfile \
+                   matches these options: SIGTERM, wait for in-flight requests to finish \
+                   and the pidfile to disappear, then exit 0.")
+  in
+  let run port socket jobs store cache register advertise heartbeat pidfile drain trace
+      metrics =
     with_obs trace metrics (fun () ->
         let listen = fleet_listen port socket in
-        let store =
-          Option.map
-            (fun s ->
-              match Fleet.parse_addr s with Ok a -> a | Error e -> die "--store: %s" e)
-            store
-        in
-        let jobs = match jobs with Some j -> j | None -> Scale.jobs_of_env () in
-        Fleet.run_worker ~jobs ?store ?cache_file:cache ~listen ())
+        if drain then begin
+          let pidfile =
+            match pidfile with
+            | Some p -> p
+            | None -> (
+                match listen with
+                | Fleet.Unix_sock p -> p ^ ".pid"
+                | Fleet.Tcp _ -> die "--drain needs --pidfile with a TCP listener")
+          in
+          match Fleet.drain ~pidfile () with
+          | Ok pid -> Printf.printf "drained worker (pid %d)\n" pid
+          | Error e -> die "--drain: %s" e
+        end
+        else begin
+          let parse_daemon_addr flag s =
+            match Fleet.parse_addr s with Ok a -> a | Error e -> die "%s: %s" flag e
+          in
+          let store = Option.map (parse_daemon_addr "--store") store in
+          let register = Option.map (parse_daemon_addr "--register") register in
+          if heartbeat <= 0.0 then die "--heartbeat must be positive";
+          (* a register address is a store: share results through it too
+             unless the operator pointed --store elsewhere *)
+          let store = match store with Some _ -> store | None -> register in
+          let jobs = match jobs with Some j -> j | None -> Scale.jobs_of_env () in
+          Fleet.run_worker ~jobs ?store ?cache_file:cache ?register ?advertise ~heartbeat
+            ?pidfile ~listen ()
+        end)
   in
   Cmd.v
     (Cmd.info "fleet-worker"
        ~doc:"Run a measurement worker daemon: POST /measure (a batch of design points in, \
-             all three responses per point out, bit-exact hex floats), /healthz, /metrics.")
+             all three responses per point out, bit-exact hex floats), /healthz, /metrics. \
+             With --register it joins an elastic fleet; with --drain it gracefully stops \
+             a running one.")
     Term.(const run $ daemon_port_arg $ daemon_socket_arg $ jobs_arg $ store_arg $ cache_arg
+          $ register_arg $ advertise_arg $ heartbeat_arg $ pidfile_arg $ drain_arg
           $ trace_arg $ metrics_arg)
+
+let fleet_members_cmd =
+  let addr_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ADDR" ~doc:"An $(b,emc fleet-store) address.")
+  in
+  let run addr =
+    match Fleet.parse_addr addr with
+    | Error e -> die "%s" e
+    | Ok a -> (
+        match Fleet.members a with
+        | Error e -> die "members: %s" e
+        | Ok ms ->
+            List.iter (fun (w, age) -> Printf.printf "%s\tlast heartbeat %.1fs ago\n" w age) ms;
+            Printf.printf "%d worker%s registered\n" (List.length ms)
+              (if List.length ms = 1 then "" else "s"))
+  in
+  Cmd.v
+    (Cmd.info "fleet-members"
+       ~doc:"List the workers currently registered in a fleet store's membership table.")
+    Term.(const run $ addr_arg)
 
 let fleet_store_cmd =
   let file_arg =
@@ -963,4 +1076,4 @@ let () =
   exit (Cmd.eval (Cmd.group ~default info
     [ params_cmd; compile_cmd; simulate_cmd; design_cmd; model_cmd; train_cmd; predict_cmd;
       rank_cmd; serve_cmd; loadgen_cmd; search_cmd; pareto_cmd; fuzz_cmd; experiment_cmd;
-      fleet_worker_cmd; fleet_store_cmd; fleet_resume_cmd; cache_cmd ]))
+      fleet_worker_cmd; fleet_store_cmd; fleet_members_cmd; fleet_resume_cmd; cache_cmd ]))

@@ -249,6 +249,15 @@ let result_key response (w : Workload.t) ~variant (flags : Emc_opt.Flags.t)
     (Workload.variant_name variant) (Emc_opt.Flags.to_string flags)
     (Emc_sim.Config.to_string march)
 
+(* All three content addresses of one design point, in the fixed storage
+   order. This is the batched pre-filter hook: the fleet coordinator maps
+   it over a whole work array to build one /lookup for every key of every
+   point, resolving fully-stored points before anything is dispatched. *)
+let triple_keys (w : Workload.t) ~variant ((flags : Emc_opt.Flags.t), (march : Emc_sim.Config.t)) =
+  ( result_key Cycles w ~variant flags march,
+    result_key Energy w ~variant flags march,
+    result_key CodeSize w ~variant flags march )
+
 let run_sim t (w : Workload.t) ~variant (flags : Emc_opt.Flags.t) (march : Emc_sim.Config.t) =
   Trace.with_span ~cat:"measure"
     ~args:(fun () ->

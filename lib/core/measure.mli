@@ -99,6 +99,17 @@ val result_key :
     [response|workload|variant|flags|march] — used by the memo, the JSONL
     cache, the run journal, and the fleet's shared result store. *)
 
+val triple_keys :
+  Emc_workloads.Workload.t ->
+  variant:Emc_workloads.Workload.variant ->
+  Emc_opt.Flags.t * Emc_sim.Config.t ->
+  string * string * string
+(** The (cycles, energy, code-size) content addresses of one design point,
+    in the fixed order {!store_triple} persists them. The batched key
+    pre-filter hook: the fleet coordinator maps it over a work array to
+    look every key up in the shared store with a single RPC and strip
+    fully-stored points from dispatch. *)
+
 val cache_line : string -> float -> string
 (** One JSONL cache record [{"k":KEY,"v":"0x...p..."}] (bit-exact hex
     float) — the line format shared by [--cache] files, run journals, and

@@ -34,6 +34,20 @@ let parse_addr s =
         | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
         | _ -> Error (Printf.sprintf "%S: bad port %S" s port))
 
+(* A fleet entry is either one worker's address or, prefixed with '@', a
+   membership endpoint (a fleet-store) the coordinator polls for workers
+   that register themselves — elastic membership instead of a static
+   list. *)
+type source = Worker of addr | Members of addr
+
+let parse_source s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '@' then
+    match parse_addr (String.sub s 1 (String.length s - 1)) with
+    | Ok a -> Ok (Members a)
+    | Error e -> Error ("membership endpoint " ^ e)
+  else Result.map (fun a -> Worker a) (parse_addr s)
+
 let parse_fleet s =
   let parts =
     String.split_on_char ',' s |> List.map String.trim |> List.filter (fun p -> p <> "")
@@ -42,10 +56,10 @@ let parse_fleet s =
   else
     List.fold_right
       (fun part acc ->
-        match (acc, parse_addr part) with
+        match (acc, parse_source part) with
         | Error _, _ -> acc
         | _, Error e -> Error e
-        | Ok addrs, Ok a -> Ok (a :: addrs))
+        | Ok srcs, Ok a -> Ok (a :: srcs))
       parts (Ok [])
 
 let sockaddr_of_addr = function
@@ -67,18 +81,25 @@ let m_points = Metrics.counter "fleet.points_dispatched"
 let m_retried = Metrics.counter "fleet.retried"
 let m_failures = Metrics.counter "fleet.worker_failures"
 let m_steals = Metrics.counter "fleet.steals"
+let m_joined = Metrics.counter "fleet.workers_joined"
+let m_lost = Metrics.counter "fleet.workers_lost"
+let m_prefilled = Metrics.counter "fleet.store_prefilled"
 
 (* worker side *)
 let m_requests = Metrics.counter "fleet.requests"
 let m_measured = Metrics.counter "fleet.points_measured"
 let m_store_hits = Metrics.counter "fleet.store_hits"
 let m_store_puts = Metrics.counter "fleet.store_puts"
+let m_heartbeats = Metrics.counter "fleet.heartbeats"
 
 (* store side *)
 let m_lookup_hits = Metrics.counter "fleet.store.lookup_hits"
 let m_lookup_misses = Metrics.counter "fleet.store.lookup_misses"
 let m_added = Metrics.counter "fleet.store.added"
 let g_keys = Metrics.gauge "fleet.store.keys"
+let m_registered = Metrics.counter "fleet.store.registrations"
+let m_expired = Metrics.counter "fleet.store.members_expired"
+let g_members = Metrics.gauge "fleet.store.members"
 
 (* ---------------- wire codec ---------------- *)
 
@@ -271,8 +292,19 @@ let stop = ref false
 (* Sequential accept loop with keep-alive — measurement chunks are
    long-running and CPU-bound, so one connection at a time per daemon is
    the natural unit; parallelism comes from running more workers (and
-   each worker's own --jobs fan-out). *)
-let serve_loop ~name ~listen ~read_timeout handler =
+   each worker's own --jobs fan-out). A coordinator pipelines multiple
+   requests down the one connection; they are answered strictly in order,
+   each response echoing the request's X-Chunk-Id so the coordinator can
+   verify the pairing.
+
+   Drain semantics (SIGTERM/SIGINT, which is what `fleet-worker --drain`
+   sends): finish the request currently being handled, answer it with
+   Connection: close, run [on_stop] (deregister from the membership
+   endpoint), and exit 0. Between requests the loop waits in short
+   selects rather than blocking in read, so an idle daemon drains
+   promptly instead of after its next request. *)
+let serve_loop ?(ready = fun () -> ()) ?(on_stop = fun () -> ()) ~name ~listen ~read_timeout
+    handler =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   stop := false;
   let quit = Sys.Signal_handle (fun _ -> stop := true) in
@@ -282,27 +314,56 @@ let serve_loop ~name ~listen ~read_timeout handler =
   Log.info ~src:name
     ~fields:[ ("listen", Json.Str (addr_to_string listen)) ]
     "%s listening on %s" name (addr_to_string listen);
+  ready ();
   while not !stop do
     match Unix.accept lsock with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | fd, _ ->
         (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout
          with Unix.Unix_error _ -> ());
+        (* Per-connection pipelining buffer: a pipelined client may send
+           request N+1 glued to request N's bytes, in which case it sits
+           here and the socket never becomes readable again. *)
+        let carry = ref "" in
+        (* true when request bytes arrive before the idle deadline; false
+           on stop or an idle keep-alive connection going quiet *)
+        let await_request () =
+          let idle_deadline = Unix.gettimeofday () +. read_timeout in
+          let rec go () =
+            if !carry <> "" then true
+            else if !stop then false
+            else if Unix.gettimeofday () > idle_deadline then false
+            else
+              match Unix.select [ fd ] [] [] 0.25 with
+              | [], _, _ -> go ()
+              | _ -> true
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          in
+          go ()
+        in
         let rec conn () =
-          match Http.read_request ~max_body:(64 * 1024 * 1024) fd with
-          | Error (Http.Closed | Http.Timeout) -> ()
-          | Error e ->
-              Http.respond fd ~status:400 ~keep_alive:false
-                (error_json "bad_request" (Http.error_to_string e))
-          | Ok req ->
-              let status, content_type, body =
-                try handler req
-                with e ->
-                  Log.warn ~src:name "request handler raised: %s" (Printexc.to_string e);
-                  error_body 500 "internal" "internal error; see server log"
-              in
-              Http.respond fd ~status ~content_type ~keep_alive:(not !stop) body;
-              if not !stop then conn ()
+          if await_request () then
+            match
+              Http.read_request ~max_body:(64 * 1024 * 1024) ~timeout:read_timeout ~carry fd
+            with
+            | Error (Http.Closed | Http.Timeout) -> ()
+            | Error e ->
+                Http.respond fd ~status:400 ~keep_alive:false
+                  (error_json "bad_request" (Http.error_to_string e))
+            | Ok req ->
+                let status, content_type, body =
+                  try handler req
+                  with e ->
+                    Log.warn ~src:name "request handler raised: %s" (Printexc.to_string e);
+                    error_body 500 "internal" "internal error; see server log"
+                in
+                let headers =
+                  match Http.header req "x-chunk-id" with
+                  | Some id -> [ ("X-Chunk-Id", id) ]
+                  | None -> []
+                in
+                Http.respond fd ~status ~content_type ~headers ~keep_alive:(not !stop) body;
+                if not !stop then conn ()
         in
         (try conn ()
          with Unix.Unix_error
@@ -314,6 +375,7 @@ let serve_loop ~name ~listen ~read_timeout handler =
   (match listen with
   | Unix_sock path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());
+  on_stop ();
   Log.info ~src:name "%s on %s: graceful shutdown" name (addr_to_string listen)
 
 (* ---------------- content-addressed result store ---------------- *)
@@ -329,8 +391,79 @@ let run_store ?file ~listen () =
         "store file %s: %d entries loaded, %d skipped" path loaded skipped);
   let persist = Option.map Measure.cache_open_append file in
   Metrics.set g_keys (float_of_int (Hashtbl.length table));
+  (* Elastic membership: workers heartbeat POST /register with their
+     advertised address and a TTL; the coordinator polls GET /members. A
+     worker whose heartbeats stop (SIGKILL, network loss) ages out after
+     its TTL; a draining worker removes itself with POST /deregister.
+     Membership is in-memory only — a restarted store starts empty and the
+     next round of heartbeats (one per worker per couple of seconds)
+     repopulates it. *)
+  let members : (string, float * float) Hashtbl.t = Hashtbl.create 16 in
+  let expire_members now =
+    let dead =
+      Hashtbl.fold
+        (fun a (beat, ttl) acc -> if now -. beat > ttl then a :: acc else acc)
+        members []
+    in
+    List.iter
+      (fun a ->
+        Hashtbl.remove members a;
+        Metrics.incr m_expired;
+        Log.info ~src:"fleet-store"
+          ~fields:[ ("worker", Json.Str a) ]
+          "member %s aged out (missed heartbeats)" a)
+      dead;
+    Metrics.set g_members (float_of_int (Hashtbl.length members))
+  in
   let handle (req : Http.request) =
     match (req.Http.meth, req.Http.path) with
+    | "POST", "/register" -> (
+        let parsed =
+          let* j = Json.parse req.Http.body in
+          match (Json.member "addr" j, Option.bind (Json.member "ttl" j) Json.hex_of) with
+          | Some (Json.Str a), Some ttl when a <> "" && ttl > 0.0 && ttl <= 3600.0 ->
+              Ok (a, ttl)
+          | Some (Json.Str a), None when a <> "" -> Ok (a, 6.0)
+          | _ -> Error "want {\"addr\":ADDR,\"ttl\":HEXSECONDS} with 0 < ttl <= 3600"
+        in
+        match parsed with
+        | Error msg -> error_body 400 "bad_request" msg
+        | Ok (addr, ttl) ->
+            let now = Unix.gettimeofday () in
+            if not (Hashtbl.mem members addr) then
+              Log.info ~src:"fleet-store" ~fields:[ ("worker", Json.Str addr) ]
+                "member %s registered (ttl %.1fs)" addr ttl;
+            Hashtbl.replace members addr (now, ttl);
+            Metrics.incr m_registered;
+            expire_members now;
+            json_body 200 (Json.Obj [ ("members", Json.Int (Hashtbl.length members)) ]))
+    | "POST", "/deregister" -> (
+        let parsed =
+          let* j = Json.parse req.Http.body in
+          match Json.member "addr" j with
+          | Some (Json.Str a) when a <> "" -> Ok a
+          | _ -> Error "want {\"addr\":ADDR}"
+        in
+        match parsed with
+        | Error msg -> error_body 400 "bad_request" msg
+        | Ok addr ->
+            let removed = Hashtbl.mem members addr in
+            Hashtbl.remove members addr;
+            if removed then
+              Log.info ~src:"fleet-store" ~fields:[ ("worker", Json.Str addr) ]
+                "member %s deregistered" addr;
+            Metrics.set g_members (float_of_int (Hashtbl.length members));
+            json_body 200 (Json.Obj [ ("removed", Json.Bool removed) ]))
+    | "GET", "/members" ->
+        let now = Unix.gettimeofday () in
+        expire_members now;
+        let workers =
+          Hashtbl.fold (fun a (beat, _) acc -> (a, now -. beat) :: acc) members []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> List.map (fun (a, age) ->
+                 Json.Obj [ ("addr", Json.Str a); ("age", Json.hex age) ])
+        in
+        json_body 200 (Json.Obj [ ("workers", Json.List workers) ])
     | "POST", "/lookup" -> (
         let parsed =
           let* j = Json.parse req.Http.body in
@@ -421,19 +554,19 @@ let run_store ?file ~listen () =
 
 (* ---------------- store client (used by workers) ---------------- *)
 
-let store_rpc ~timeout addr ~path ~body =
+let store_rpc ?(meth = "POST") ~timeout addr ~path ~body =
   match Http.connect ~timeout (sockaddr_of_addr addr) with
   | Error e -> Error (Http.error_to_string e)
   | Ok fd ->
       let r =
         match
-          Http.write_request fd ~meth:"POST" ~path
+          Http.write_request fd ~meth ~path
             ~headers:[ ("Content-Type", "application/json") ]
             ~body ()
         with
         | Error e -> Error (Http.error_to_string e)
         | Ok () -> (
-            match Http.read_response fd with
+            match Http.read_response ~timeout fd with
             | Error e -> Error (Http.error_to_string e)
             | Ok resp when resp.Http.status = 200 -> Ok resp.Http.resp_body
             | Ok resp -> Error (Printf.sprintf "store returned HTTP %d" resp.Http.status))
@@ -469,16 +602,71 @@ let store_put ~timeout addr entries =
   | Some (Json.Int n) -> Ok n
   | _ -> Error "store put: missing added"
 
+(* ---------------- membership client ---------------- *)
+
+let register_rpc ~timeout addr ~advertise ~ttl =
+  let body =
+    Json.to_string (Json.Obj [ ("addr", Json.Str advertise); ("ttl", Json.hex ttl) ])
+  in
+  Result.map (fun _ -> ()) (store_rpc ~timeout addr ~path:"/register" ~body)
+
+let deregister_rpc ~timeout addr ~advertise =
+  let body = Json.to_string (Json.Obj [ ("addr", Json.Str advertise) ]) in
+  Result.map (fun _ -> ()) (store_rpc ~timeout addr ~path:"/deregister" ~body)
+
+let members ?(timeout = 10.0) addr =
+  let* body = store_rpc ~meth:"GET" ~timeout addr ~path:"/members" ~body:"" in
+  let* j = Json.parse body in
+  match Json.member "workers" j with
+  | Some (Json.List ws) ->
+      List.fold_right
+        (fun w acc ->
+          let* acc = acc in
+          match Json.member "addr" w with
+          | Some (Json.Str a) ->
+              let age = Option.value ~default:0.0 (Option.bind (Json.member "age" w) Json.hex_of) in
+              Ok ((a, age) :: acc)
+          | _ -> Error "members: entries must carry addr")
+        ws (Ok [])
+  | _ -> Error "members: missing workers"
+
 (* ---------------- worker daemon ---------------- *)
 
 let all_keys (w : Workload.t) ~variant points =
   Array.to_list points
-  |> List.concat_map (fun (flags, march) ->
-         List.map
-           (fun r -> Measure.result_key r w ~variant flags march)
-           [ Measure.Cycles; Measure.Energy; Measure.CodeSize ])
+  |> List.concat_map (fun p ->
+         let kc, ke, ks = Measure.triple_keys w ~variant p in
+         [ kc; ke; ks ])
 
-let run_worker ?(jobs = 1) ?store ?(store_timeout = 10.0) ?cache_file ~listen () =
+(* The heartbeater: a tiny forked child that re-registers the worker with
+   the membership endpoint every [interval] seconds (TTL 3x that), so the
+   registration survives while the worker is deep in a long chunk. It
+   exits by itself when orphaned — a SIGKILLed worker must age out of the
+   membership, not be kept alive by a zombie heartbeat. *)
+let start_heartbeater ~store ~advertise ~interval ~timeout =
+  let parent = Unix.getpid () in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      let rec loop () =
+        if Unix.getppid () <> parent then Unix._exit 0;
+        (match register_rpc ~timeout store ~advertise ~ttl:(3.0 *. interval) with
+        | Ok () -> Metrics.incr m_heartbeats
+        | Error e ->
+            Log.warn ~src:"fleet-worker" "heartbeat to %s failed: %s" (addr_to_string store) e);
+        (try ignore (Unix.select [] [] [] interval)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        loop ()
+      in
+      (try loop () with _ -> ());
+      Unix._exit 0
+  | pid -> pid
+
+let default_pidfile = function Unix_sock p -> Some (p ^ ".pid") | Tcp _ -> None
+
+let run_worker ?(jobs = 1) ?store ?(store_timeout = 10.0) ?cache_file ?register ?advertise
+    ?(heartbeat = 2.0) ?pidfile ~listen () =
   (* one Measure per (workload_scale, smarts) signature: the memo persists
      across requests, so repeated corner points across batches and the
      energy/code-size re-reads cost nothing *)
@@ -561,27 +749,142 @@ let run_worker ?(jobs = 1) ?store ?(store_timeout = 10.0) ?cache_file ~listen ()
     | "GET", "/metrics" -> (200, "text/plain; version=0.0.4", Emc_serve.Serve.prometheus ())
     | _, p -> error_body 404 "not_found" ("no such endpoint: " ^ p)
   in
+  let advertise = match advertise with Some a -> a | None -> addr_to_string listen in
+  let pidfile = match pidfile with Some _ as p -> p | None -> default_pidfile listen in
+  let hb = ref None in
+  let ready () =
+    (match pidfile with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (string_of_int (Unix.getpid ()));
+        output_char oc '\n';
+        close_out oc);
+    match register with
+    | None -> ()
+    | Some saddr ->
+        hb := Some (start_heartbeater ~store:saddr ~advertise ~interval:heartbeat
+                      ~timeout:store_timeout)
+  in
+  let on_stop () =
+    (match !hb with
+    | None -> ()
+    | Some pid ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()));
+    (match register with
+    | None -> ()
+    | Some saddr -> (
+        match deregister_rpc ~timeout:store_timeout saddr ~advertise with
+        | Ok () -> ()
+        | Error e -> Log.warn ~src:"fleet-worker" "deregister failed: %s" e));
+    match pidfile with
+    | None -> ()
+    | Some path -> ( try Sys.remove path with Sys_error _ -> ())
+  in
   (* measurement chunks can run for minutes: a long read timeout keeps an
      idle keep-alive coordinator connection from being dropped mid-run *)
-  serve_loop ~name:"fleet-worker" ~listen ~read_timeout:3600.0 handle
+  serve_loop ~ready ~on_stop ~name:"fleet-worker" ~listen ~read_timeout:3600.0 handle
+
+(* Graceful scale-down, the client side of `fleet-worker --drain`: SIGTERM
+   the worker named by its pidfile and wait for the process to exit. The
+   worker finishes its in-flight request, deregisters, removes its pidfile
+   and exits 0; any chunks still pipelined behind the in-flight one are
+   requeued by the coordinator when the connection closes — nothing is
+   lost, the membership just shrinks by one. *)
+let drain ?(timeout = 120.0) ~pidfile () =
+  match open_in pidfile with
+  | exception Sys_error e -> Error (Printf.sprintf "no worker pidfile: %s" e)
+  | ic -> (
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      match int_of_string_opt (String.trim line) with
+      | None -> Error (Printf.sprintf "%s: malformed pid %S" pidfile line)
+      | Some pid -> (
+          match Unix.kill pid Sys.sigterm with
+          | exception Unix.Unix_error (Unix.ESRCH, _, _) ->
+              Error (Printf.sprintf "no such process %d (stale pidfile %s)" pid pidfile)
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Printf.sprintf "kill %d: %s" pid (Unix.error_message e))
+          | () ->
+              let deadline = Unix.gettimeofday () +. timeout in
+              let rec wait () =
+                match Unix.kill pid 0 with
+                | exception Unix.Unix_error (Unix.ESRCH, _, _) -> Ok pid
+                | _ | (exception Unix.Unix_error _) ->
+                    if Unix.gettimeofday () > deadline then
+                      Error
+                        (Printf.sprintf "worker %d still running after %.0fs" pid timeout)
+                    else begin
+                      (try ignore (Unix.select [] [] [] 0.05)
+                       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                      wait ()
+                    end
+              in
+              wait ()))
 
 (* ---------------- coordinator ---------------- *)
 
 type options = {
   chunk : int;
+  depth : int;
   connect_timeout : float;
   read_timeout : float;
   steal_after : float;
   max_attempts : int;
+  poll_interval : float;
+  store_timeout : float;
 }
 
 let default_options =
-  { chunk = 0; connect_timeout = 5.0; read_timeout = 600.0; steal_after = 30.0;
-    max_attempts = 3 }
+  { chunk = 0; depth = 1; connect_timeout = 5.0; read_timeout = 600.0; steal_after = 30.0;
+    max_attempts = 3; poll_interval = 1.0; store_timeout = 10.0 }
+
+(* Fixed-slice chunk plan over [n] work items: (start, length) slices in
+   order, every index covered exactly once, no empty chunks, for every
+   degenerate shape — n smaller than the worker count, n = 1, a requested
+   chunk size larger than n. [chunk = 0] sizes automatically: ~4 chunks
+   per worker bounds the straggler tail without drowning small batches in
+   per-request overhead. A negative chunk is a caller bug, loudly. *)
+let chunk_plan ~chunk ~nworkers ~n =
+  if chunk < 0 then fail "chunk size must be positive, not %d (0 = auto)" chunk;
+  if n < 0 then fail "negative work array length %d" n;
+  if n = 0 then []
+  else begin
+    let nworkers = max 1 nworkers in
+    let csize =
+      if chunk > 0 then chunk
+      else max 1 (min 32 ((n + (4 * nworkers) - 1) / (4 * nworkers)))
+    in
+    List.init ((n + csize - 1) / csize) (fun i ->
+        let start = i * csize in
+        (start, min csize (n - start)))
+  end
+
+(* How long the coordinator may sleep: until the nearest head-of-pipeline
+   chunk deadline or steal timer, or the next membership poll — computed,
+   never a fixed busy-poll tick (an idle-but-waiting coordinator used to
+   spin at 20 Hz re-deciding nothing). [heads] are the start times of each
+   worker's head-of-pipeline dispatch; only heads have ticking clocks.
+   Events already due resolve to a short wake so the caller handles them
+   on the next iteration; an event that is due but cannot fire (a steal
+   timer with no idle worker) drops out of the candidate set rather than
+   clamping every sleep to near zero. *)
+let next_wake ~now ~read_timeout ~steal_after ?poll_at heads =
+  let cands =
+    (match poll_at with Some t -> [ t ] | None -> [])
+    @ List.concat_map (fun s -> [ s +. read_timeout; s +. steal_after ]) heads
+  in
+  match cands with
+  | [] -> 60.0
+  | _ -> (
+      match List.filter (fun t -> t > now) cands with
+      | [] -> 0.05
+      | future -> min 60.0 (max 0.001 (List.fold_left min infinity future -. now)))
 
 type chunk_state = {
   c_id : int;
-  c_start : int;  (** offset of this chunk's slice in the work array *)
+  c_slots : int array;  (** result index of each of this chunk's points *)
   c_points : (Emc_opt.Flags.t * Emc_sim.Config.t) array;
   c_body : string;  (** the serialized /measure request, built once *)
   mutable c_done : bool;
@@ -589,80 +892,149 @@ type chunk_state = {
   mutable c_running : int;  (** live dispatches (2 while a steal races the original) *)
 }
 
+(* One outstanding request on a worker's pipeline. Deadlines and steal
+   timers consult [d_started], which is reset when the dispatch reaches
+   the head of the pipeline: a request queued behind a long chunk is not
+   running yet, and timing it from dispatch would fail healthy workers
+   under head-of-line blocking. *)
+type dispatch = { d_chunk : chunk_state; mutable d_started : float }
+
 type worker_state = {
   w_addr : addr;
+  w_key : string;  (** [addr_to_string w_addr] — identity for membership *)
+  w_from_members : bool;  (** discovered via a membership poll, not --fleet *)
   mutable w_fd : Unix.file_descr option;  (** kept alive across chunks *)
-  mutable w_job : (chunk_state * float) option;  (** running chunk, dispatch time *)
+  w_inflight : dispatch Queue.t;  (** pipelined dispatches, response order *)
+  w_carry : string ref;
+      (** pipelining read buffer: bytes of the next response that arrived
+          glued to the previous one ([Http.read_response ?carry]). A
+          worker with a non-empty carry must be collected without waiting
+          for its socket — the buffered response never makes it readable *)
   mutable w_dead : bool;
 }
 
 (* Shard one respond_many miss batch across the fleet. [work] is already
    deduplicated in first-occurrence order by Measure.respond_many; chunks
-   are fixed slices of it, so every result lands at its input index and
-   the merged array is independent of scheduling. *)
-let respond_batch opts addrs (scale : Scale.t) (w : Workload.t) ~variant
+   carry the result index of every point ([c_slots]), so every result
+   lands at its input index and the merged array is independent of
+   membership, chunking, and arrival order.
+
+   Three things happen before any dispatch: membership sources are polled
+   once (so an elastic fleet's initial worker set is known), the shared
+   store is consulted once for every key of every point (fully-stored
+   points never reach a worker), and the remaining points are sliced into
+   chunks. The dispatch loop then keeps up to [opts.depth] requests
+   outstanding per worker, re-polls membership every [opts.poll_interval],
+   and sleeps exactly until the next deadline/steal/poll event. *)
+let respond_batch ?store opts sources (scale : Scale.t) (w : Workload.t) ~variant
     (work : (Emc_opt.Flags.t * Emc_sim.Config.t) array) =
+  if opts.depth < 1 then fail "pipeline depth must be at least 1, not %d" opts.depth;
   let n = Array.length work in
   let results : Measure.triple option array = Array.make n None in
-  let workers =
-    List.map (fun a -> { w_addr = a; w_fd = None; w_job = None; w_dead = false }) addrs
+  let static_addrs =
+    List.filter_map (function Worker a -> Some a | Members _ -> None) sources
   in
-  let nworkers = List.length workers in
-  if nworkers = 0 then fail "empty fleet";
-  (* auto chunk size: ~4 chunks per worker bounds the straggler tail
-     without drowning small batches in per-request overhead *)
-  let csize =
-    if opts.chunk > 0 then opts.chunk
-    else max 1 (min 32 ((n + (4 * nworkers) - 1) / (4 * nworkers)))
+  let member_sources =
+    List.filter_map (function Members a -> Some a | Worker _ -> None) sources
   in
-  let chunks =
-    List.init
-      ((n + csize - 1) / csize)
-      (fun i ->
-        let start = i * csize in
-        let points = Array.sub work start (min csize (n - start)) in
-        { c_id = i; c_start = start; c_points = points;
-          c_body =
-            measure_body w ~variant ~workload_scale:scale.Scale.workload_scale
-              ~smarts:scale.Scale.smarts points;
-          c_done = false; c_attempts = 0; c_running = 0 })
+  let store =
+    match store with
+    | Some _ as s -> s
+    | None -> ( match member_sources with a :: _ -> Some a | [] -> None)
   in
-  let total = List.length chunks in
+  let workers = ref [] in
+  let known : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let add_worker ~from_members a =
+    let key = addr_to_string a in
+    if not (Hashtbl.mem known key) then begin
+      (* never revive an addr within a batch: a worker that failed and
+         re-registered before the next poll would silently burn the
+         retry budget of every chunk it keeps failing *)
+      Hashtbl.add known key ();
+      workers :=
+        !workers
+        @ [ { w_addr = a; w_key = key; w_from_members = from_members; w_fd = None;
+              w_inflight = Queue.create (); w_carry = ref ""; w_dead = false } ];
+      if from_members then begin
+        Metrics.incr m_joined;
+        Log.info ~src:"fleet" ~fields:[ ("worker", Json.Str key) ] "worker %s joined" key
+      end
+    end
+  in
+  List.iter (add_worker ~from_members:false) static_addrs;
+  let total = ref 0 in
   let completed = ref 0 in
-  let pending = Queue.create () in
-  List.iter (fun c -> Queue.push c pending) chunks;
+  let pending : chunk_state Queue.t = Queue.create () in
   let close_fd wk =
     (match wk.w_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
     | None -> ());
-    wk.w_fd <- None
+    wk.w_fd <- None;
+    wk.w_carry := ""
   in
   let fail_worker wk reason =
-    Log.warn ~src:"fleet"
-      ~fields:[ ("worker", Json.Str (addr_to_string wk.w_addr)) ]
-      "worker %s failed: %s" (addr_to_string wk.w_addr) reason;
+    Log.warn ~src:"fleet" ~fields:[ ("worker", Json.Str wk.w_key) ]
+      "worker %s failed: %s" wk.w_key reason;
     close_fd wk;
     wk.w_dead <- true;
     Metrics.incr m_failures;
-    match wk.w_job with
-    | None -> ()
-    | Some (c, _) ->
-        wk.w_job <- None;
-        c.c_running <- c.c_running - 1;
-        (* requeue only when no duplicate is still racing; if the twin
-           later fails too, it requeues then *)
-        if (not c.c_done) && c.c_running = 0 then begin
-          if c.c_attempts >= opts.max_attempts then
-            fail "chunk %d failed %d times (last worker: %s: %s); giving up" c.c_id
-              c.c_attempts (addr_to_string wk.w_addr) reason;
-          Metrics.incr m_retried;
-          Queue.push c pending
-        end
+    (* the whole pipeline dies with the connection: responses are matched
+       to dispatches by queue order, so nothing behind a failure is
+       trustworthy. Each chunk requeues only when no twin is racing; if
+       the twin later fails too, it requeues then. *)
+    while not (Queue.is_empty wk.w_inflight) do
+      let d = Queue.pop wk.w_inflight in
+      let c = d.d_chunk in
+      c.c_running <- c.c_running - 1;
+      if (not c.c_done) && c.c_running = 0 then begin
+        if c.c_attempts >= opts.max_attempts then
+          fail "chunk %d failed %d times (last worker: %s: %s); giving up" c.c_id
+            c.c_attempts wk.w_key reason;
+        Metrics.incr m_retried;
+        Queue.push c pending
+      end
+    done
+  in
+  (* Elastic membership: the union of every source's register table is the
+     fleet. New addrs join mid-batch and immediately soak up pending
+     chunks; a members-sourced worker absent from a fully successful poll
+     has drained or aged out — fail it so its in-flight chunks requeue.
+     Leave detection is skipped when any poll failed (a flaky store must
+     not look like a mass worker death); static --fleet workers are never
+     removed by polling. *)
+  let refresh_members () =
+    let union : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+    let all_ok = ref true in
+    List.iter
+      (fun src ->
+        match members ~timeout:opts.store_timeout src with
+        | Error e ->
+            all_ok := false;
+            Log.warn ~src:"fleet" "membership poll of %s failed: %s" (addr_to_string src) e
+        | Ok ms -> List.iter (fun (a, _) -> Hashtbl.replace union a ()) ms)
+      member_sources;
+    Hashtbl.iter
+      (fun a () ->
+        match parse_addr a with
+        | Ok addr -> add_worker ~from_members:true addr
+        | Error e -> Log.warn ~src:"fleet" "ignoring advertised worker %S: %s" a e)
+      union;
+    if !all_ok then
+      List.iter
+        (fun wk ->
+          if wk.w_from_members && (not wk.w_dead) && not (Hashtbl.mem union wk.w_key)
+          then begin
+            Metrics.incr m_lost;
+            fail_worker wk "deregistered or aged out of membership"
+          end)
+        !workers
   in
   let dispatch wk c =
     c.c_attempts <- c.c_attempts + 1;
     c.c_running <- c.c_running + 1;
-    wk.w_job <- Some (c, Unix.gettimeofday ());
+    (* queue the dispatch before writing: a failed write reaches
+       fail_worker with the chunk already in flight, so it requeues *)
+    Queue.push { d_chunk = c; d_started = Unix.gettimeofday () } wk.w_inflight;
     Metrics.incr m_dispatched;
     Metrics.add m_points (Array.length c.c_points);
     let conn =
@@ -676,97 +1048,204 @@ let respond_batch opts addrs (scale : Scale.t) (w : Workload.t) ~variant
         wk.w_fd <- Some fd;
         match
           Http.write_request fd ~meth:"POST" ~path:"/measure"
-            ~headers:[ ("Content-Type", "application/json") ]
+            ~headers:
+              [ ("Content-Type", "application/json");
+                ("X-Chunk-Id", string_of_int c.c_id) ]
             ~body:c.c_body ()
         with
         | Ok () -> ()
         | Error e -> fail_worker wk ("request: " ^ Http.error_to_string e))
   in
   let collect wk fd =
-    let c, _ = Option.get wk.w_job in
-    match Http.read_response ~max_body:(64 * 1024 * 1024) fd with
+    let d = Queue.peek wk.w_inflight in
+    let c = d.d_chunk in
+    let budget = max 0.05 (d.d_started +. opts.read_timeout -. Unix.gettimeofday ()) in
+    match
+      Http.read_response ~max_body:(64 * 1024 * 1024) ~timeout:budget ~carry:wk.w_carry fd
+    with
     | Error e -> fail_worker wk (Http.error_to_string e)
     | Ok resp when resp.Http.status = 200 -> (
-        match triples_of_body ~expect:(Array.length c.c_points) resp.Http.resp_body with
-        | Error msg -> fail_worker wk ("bad response: " ^ msg)
-        | Ok triples ->
-            wk.w_job <- None;
-            c.c_running <- c.c_running - 1;
-            (* first completion wins; a stolen twin's duplicate is
-               identical (deterministic simulator) and discarded *)
-            if not c.c_done then begin
-              c.c_done <- true;
-              incr completed;
-              Array.iteri (fun i t -> results.(c.c_start + i) <- Some t) triples
-            end)
+        match Http.response_header resp "x-chunk-id" with
+        | Some id when id <> string_of_int c.c_id ->
+            (* the worker echoes the request's chunk id; a mismatch means
+               the pipeline lost sync and every queued pairing is suspect *)
+            fail_worker wk
+              (Printf.sprintf "pipeline desync: got chunk %s, expected %d" id c.c_id)
+        | _ -> (
+            match triples_of_body ~expect:(Array.length c.c_points) resp.Http.resp_body with
+            | Error msg -> fail_worker wk ("bad response: " ^ msg)
+            | Ok triples ->
+                ignore (Queue.pop wk.w_inflight);
+                c.c_running <- c.c_running - 1;
+                (* the next pipelined dispatch is only now running: start
+                   its deadline/steal clock here, not at dispatch time *)
+                (match Queue.peek_opt wk.w_inflight with
+                | Some next -> next.d_started <- Unix.gettimeofday ()
+                | None -> ());
+                (* first completion wins; a stolen twin's duplicate is
+                   identical (deterministic simulator) and discarded *)
+                if not c.c_done then begin
+                  c.c_done <- true;
+                  incr completed;
+                  Array.iteri (fun j t -> results.(c.c_slots.(j)) <- Some t) triples
+                end))
     | Ok resp ->
         (* the request is deterministic: a structured rejection would
            repeat on every worker, so fail the batch loudly instead of
            retrying it to death *)
-        fail "worker %s rejected the batch: HTTP %d %s" (addr_to_string wk.w_addr)
-          resp.Http.status
+        fail "worker %s rejected the batch: HTTP %d %s" wk.w_key resp.Http.status
           (String.sub resp.Http.resp_body 0 (min 200 (String.length resp.Http.resp_body)))
   in
-  let finally () = List.iter close_fd workers in
+  let finally () = List.iter close_fd !workers in
   Fun.protect ~finally (fun () ->
-      while !completed < total do
-        if not (List.exists (fun wk -> not wk.w_dead) workers) then
-          fail "all %d fleet workers failed with %d/%d chunks incomplete" nworkers
-            (total - !completed) total;
-        (* dispatch pending chunks to idle live workers *)
+      if member_sources <> [] then refresh_members ();
+      (* store pre-filter: one /lookup for every key of every point.
+         Fully-stored points are merged exactly as a dispatched result
+         would be — Measure.merge_batch counts them as simulations either
+         way (someone once paid a simulator run for them), so counters and
+         bytes match a store-less run. A failed lookup degrades to
+         dispatching everything. *)
+      (match store with
+      | Some saddr when n > 0 -> (
+          match store_lookup ~timeout:opts.store_timeout saddr (all_keys w ~variant work) with
+          | Error e -> Log.warn ~src:"fleet" "store pre-filter lookup failed: %s" e
+          | Ok hits ->
+              let tbl = Hashtbl.create (List.length hits) in
+              List.iter (fun (k, v) -> Hashtbl.replace tbl k v) hits;
+              Array.iteri
+                (fun i p ->
+                  let kc, ke, ks = Measure.triple_keys w ~variant p in
+                  match
+                    (Hashtbl.find_opt tbl kc, Hashtbl.find_opt tbl ke, Hashtbl.find_opt tbl ks)
+                  with
+                  | Some c, Some e, Some s ->
+                      results.(i) <-
+                        Some { Measure.t_cycles = c; t_energy = e; t_code_size = s };
+                      Metrics.incr m_prefilled
+                  | _ -> ())
+                work)
+      | _ -> ());
+      let todo =
+        Array.of_list (List.filter (fun i -> results.(i) = None) (List.init n (fun i -> i)))
+      in
+      let todo_points = Array.map (fun i -> work.(i)) todo in
+      let live_count = List.length (List.filter (fun wk -> not wk.w_dead) !workers) in
+      let chunks =
+        chunk_plan ~chunk:opts.chunk ~nworkers:live_count ~n:(Array.length todo)
+        |> List.mapi (fun i (start, len) ->
+               let points = Array.sub todo_points start len in
+               { c_id = i; c_slots = Array.sub todo start len; c_points = points;
+                 c_body =
+                   measure_body w ~variant ~workload_scale:scale.Scale.workload_scale
+                     ~smarts:scale.Scale.smarts points;
+                 c_done = false; c_attempts = 0; c_running = 0 })
+      in
+      total := List.length chunks;
+      List.iter (fun c -> Queue.push c pending) chunks;
+      let next_poll = ref (Unix.gettimeofday () +. opts.poll_interval) in
+      let empty_since = ref None in
+      while !completed < !total do
+        let now = Unix.gettimeofday () in
+        if member_sources <> [] && now >= !next_poll then begin
+          refresh_members ();
+          next_poll := Unix.gettimeofday () +. opts.poll_interval
+        end;
+        let live = List.filter (fun wk -> not wk.w_dead) !workers in
+        (match live with
+        | [] ->
+            if member_sources = [] then
+              fail "all %d fleet workers failed with %d/%d chunks incomplete"
+                (List.length !workers) (!total - !completed) !total
+            else begin
+              (* an elastic fleet may be momentarily empty (scale-down
+                 before scale-up); wait for a join, but not forever *)
+              (match !empty_since with
+              | None -> empty_since := Some now
+              | Some t0 when now -. t0 > opts.read_timeout ->
+                  fail "no live fleet workers for %.0fs with %d/%d chunks incomplete"
+                    (now -. t0) (!total - !completed) !total
+              | Some _ -> ());
+              let t = max 0.01 (!next_poll -. Unix.gettimeofday ()) in
+              try ignore (Unix.select [] [] [] (min t 1.0))
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            end
+        | _ -> empty_since := None);
+        (* fill every live worker's pipeline up to depth *)
         List.iter
           (fun wk ->
-            if (not wk.w_dead) && wk.w_job = None then
-              let rec next () =
-                if Queue.is_empty pending then None
-                else
-                  let c = Queue.pop pending in
-                  if c.c_done then next () else Some c
-              in
-              match next () with None -> () | Some c -> dispatch wk c)
-          workers;
-        (* wait for responses *)
+            while
+              (not wk.w_dead)
+              && Queue.length wk.w_inflight < opts.depth
+              && not (Queue.is_empty pending)
+            do
+              let c = Queue.pop pending in
+              if not c.c_done then dispatch wk c
+            done)
+          !workers;
+        (* wait for responses — sleep until the nearest event, not a tick *)
         let busy =
           List.filter_map
             (fun wk ->
-              match (wk.w_job, wk.w_fd) with
-              | Some _, Some fd -> Some (wk, fd)
+              match wk.w_fd with
+              | Some fd when (not wk.w_dead) && not (Queue.is_empty wk.w_inflight) ->
+                  Some (wk, fd)
               | _ -> None)
-            workers
+            !workers
         in
-        (match busy with
+        (* a worker whose carry already buffers (the start of) the next
+           pipelined response must be collected now — those bytes are off
+           the socket, so select would never report it readable *)
+        let carried, waiting = List.partition (fun (wk, _) -> !(wk.w_carry) <> "") busy in
+        List.iter (fun (wk, fd) -> collect wk fd) carried;
+        (match waiting with
         | [] -> ()
         | _ -> (
-            match Unix.select (List.map snd busy) [] [] 0.05 with
+            let now = Unix.gettimeofday () in
+            let heads =
+              List.map (fun (wk, _) -> (Queue.peek wk.w_inflight).d_started) waiting
+            in
+            let poll_at = if member_sources = [] then None else Some !next_poll in
+            let timeout =
+              if carried <> [] then 0.0
+              else
+                next_wake ~now ~read_timeout:opts.read_timeout
+                  ~steal_after:opts.steal_after ?poll_at heads
+            in
+            match Unix.select (List.map snd waiting) [] [] timeout with
             | readable, _, _ ->
-                List.iter (fun (wk, fd) -> if List.memq fd readable then collect wk fd) busy
+                List.iter (fun (wk, fd) -> if List.memq fd readable then collect wk fd) waiting
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
         let now = Unix.gettimeofday () in
-        (* hard per-chunk deadline *)
+        (* hard per-dispatch deadline, head of pipeline only: a queued
+           dispatch is not running, its clock starts at promotion *)
         List.iter
           (fun wk ->
-            match wk.w_job with
-            | Some (_, started) when now -. started > opts.read_timeout ->
-                fail_worker wk (Printf.sprintf "no response in %.0fs" opts.read_timeout)
-            | _ -> ())
-          workers;
-        (* work stealing: queue drained, an idle worker free, and a chunk
-           has been running past the straggler threshold without a twin —
+            if not wk.w_dead then
+              match Queue.peek_opt wk.w_inflight with
+              | Some d when now -. d.d_started > opts.read_timeout ->
+                  fail_worker wk (Printf.sprintf "no response in %.0fs" opts.read_timeout)
+              | _ -> ())
+          !workers;
+        (* work stealing: queue drained, an idle worker free, and a head
+           chunk running past the straggler threshold without a twin —
            re-dispatch it; first completion wins *)
         if Queue.is_empty pending then begin
           let idle =
-            List.filter (fun wk -> (not wk.w_dead) && wk.w_job = None) workers
+            List.filter (fun wk -> (not wk.w_dead) && Queue.is_empty wk.w_inflight) !workers
           in
           let stragglers =
             List.filter_map
               (fun wk ->
-                match wk.w_job with
-                | Some (c, started)
-                  when (not c.c_done) && c.c_running = 1
-                       && now -. started > opts.steal_after ->
-                    Some (c, started)
-                | _ -> None)
-              workers
+                if wk.w_dead then None
+                else
+                  match Queue.peek_opt wk.w_inflight with
+                  | Some d
+                    when (not d.d_chunk.c_done)
+                         && d.d_chunk.c_running = 1
+                         && now -. d.d_started > opts.steal_after ->
+                      Some (d.d_chunk, d.d_started)
+                  | _ -> None)
+              !workers
             |> List.sort (fun (_, s1) (_, s2) -> compare s1 s2)
           in
           let rec steal idle stragglers =
@@ -774,9 +1253,8 @@ let respond_batch opts addrs (scale : Scale.t) (w : Workload.t) ~variant
             | wk :: idle, (c, _) :: stragglers ->
                 Metrics.incr m_steals;
                 Log.info ~src:"fleet"
-                  ~fields:[ ("chunk", Json.Int c.c_id);
-                            ("worker", Json.Str (addr_to_string wk.w_addr)) ]
-                  "stealing chunk %d onto %s" c.c_id (addr_to_string wk.w_addr);
+                  ~fields:[ ("chunk", Json.Int c.c_id); ("worker", Json.Str wk.w_key) ]
+                  "stealing chunk %d onto %s" c.c_id wk.w_key;
                 dispatch wk c;
                 steal idle stragglers
             | _ -> ()
@@ -788,11 +1266,15 @@ let respond_batch opts addrs (scale : Scale.t) (w : Workload.t) ~variant
     (function Some t -> t | None -> fail "internal: incomplete batch")
     results
 
-let attach ?(options = default_options) (m : Measure.t) addrs =
-  if addrs = [] then fail "empty fleet";
+let attach ?(options = default_options) ?store (m : Measure.t) sources =
+  if sources = [] then fail "empty fleet";
+  if options.depth < 1 then
+    fail "pipeline depth must be at least 1, not %d" options.depth;
+  if options.chunk < 0 then
+    fail "chunk size must be positive, not %d (0 = auto)" options.chunk;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Measure.set_remote m (fun w ~variant work ->
-      respond_batch options addrs m.Measure.scale w ~variant work)
+      respond_batch ?store options sources m.Measure.scale w ~variant work)
 
 (* ---------------- run journals ---------------- *)
 

@@ -69,10 +69,31 @@ let parse_query q =
 
 let trim = String.trim
 
+(* Absolute-deadline wait for readability. EINTR recomputes the remaining
+   budget instead of restarting the full timeout — a signal-heavy process
+   (interval timers, child reaping) would otherwise restart [select] with
+   the whole window on every signal and never time out at all. Likewise a
+   spurious early wakeup just loops: only the clock decides Timeout. *)
+let wait_readable fd deadline =
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then Error Timeout
+    else
+      match Unix.select [ fd ] [] [] remaining with
+      | [], _, _ -> go ()
+      | _ -> Ok ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
 (* Read until the header terminator appears; any extra bytes already read
-   belong to the body and are returned alongside. *)
-let read_head ~max_header fd =
+   belong to the body and are returned alongside. When [deadline] is set it
+   bounds the {e whole} head, not each individual read — a peer dribbling
+   one byte per interval can otherwise hold a reader forever while every
+   per-read timeout happily resets. *)
+let read_head ?deadline ?(already = "") ~max_header fd =
   let buf = Buffer.create 1024 in
+  Buffer.add_string buf already;
   let chunk = Bytes.create 4096 in
   let find_terminator () =
     let s = Buffer.contents buf in
@@ -92,36 +113,59 @@ let read_head ~max_header fd =
     | None ->
         if Buffer.length buf > max_header then Error (Too_large "headers")
         else (
-          match Unix.read fd chunk 0 (Bytes.length chunk) with
-          | 0 -> if Buffer.length buf = 0 then Error Closed else Error (Bad "truncated request")
-          | n ->
-              Buffer.add_subbytes buf chunk 0 n;
-              loop ()
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
-              if Buffer.length buf = 0 then Error Closed else Error (Bad "connection reset"))
+          match
+            match deadline with
+            | None -> Ok ()
+            | Some d -> wait_readable fd d
+          with
+          | Error e -> Error e
+          | Ok () -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 ->
+                  if Buffer.length buf = 0 then Error Closed else Error (Bad "truncated request")
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  loop ()
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                  Error Timeout
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  if Buffer.length buf = 0 then Error Closed else Error (Bad "connection reset")))
   in
   loop ()
 
-let read_body ~max_body fd ~already len =
+(* Returns the body plus any surplus bytes that followed it. The reads
+   themselves never overshoot (capped at [len]); surplus can only come
+   from [already] — head-reading having slurped past the terminator. On a
+   pipelined connection that surplus is the start of the next message and
+   must be carried over, not dropped. *)
+let read_body ?deadline ~max_body fd ~already len =
   if len > max_body then Error (Too_large "body")
-  else if String.length already >= len then Ok (String.sub already 0 len)
+  else if String.length already >= len then
+    Ok (String.sub already 0 len, String.sub already len (String.length already - len))
   else begin
     let buf = Buffer.create len in
     Buffer.add_string buf already;
     let chunk = Bytes.create 4096 in
     let rec loop () =
-      if Buffer.length buf >= len then Ok (Buffer.contents buf)
+      if Buffer.length buf >= len then Ok (Buffer.contents buf, "")
       else (
-        match Unix.read fd chunk 0 (min (Bytes.length chunk) (len - Buffer.length buf)) with
-        | 0 -> Error (Bad "truncated body")
-        | n ->
-            Buffer.add_subbytes buf chunk 0 n;
-            loop ()
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error (Bad "connection reset"))
+        match
+          match deadline with None -> Ok () | Some d -> wait_readable fd d
+        with
+        | Error e -> Error e
+        | Ok () -> (
+            match
+              Unix.read fd chunk 0 (min (Bytes.length chunk) (len - Buffer.length buf))
+            with
+            | 0 -> Error (Bad "truncated body")
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                loop ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                Error Timeout
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+            | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error (Bad "connection reset")))
     in
     loop ()
   end
@@ -139,8 +183,23 @@ let parse_headers header_lines =
         | None -> None)
     header_lines
 
-let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
-  match read_head ~max_header fd with
+(* [carry] is the per-connection pipelining buffer: bytes read past the
+   end of the previous message seed this one, and this one's surplus is
+   put back. Without it a second in-flight request's first bytes are
+   silently discarded with the preceding body's read-ahead. *)
+let take_carry = function
+  | None -> ""
+  | Some r ->
+      let s = !r in
+      r := "";
+      s
+
+let put_carry carry surplus =
+  match carry with Some r -> r := surplus | None -> ()
+
+let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) ?timeout ?carry fd =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  match read_head ?deadline ~already:(take_carry carry) ~max_header fd with
   | Error e -> Error e
   | Ok (head, rest) -> (
       match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
@@ -171,9 +230,10 @@ let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) fd =
                 match len with
                 | Error e -> Error e
                 | Ok len -> (
-                    match read_body ~max_body fd ~already:rest len with
+                    match read_body ?deadline ~max_body fd ~already:rest len with
                     | Error e -> Error e
-                    | Ok body ->
+                    | Ok (body, surplus) ->
+                        put_carry carry surplus;
                         Ok { meth = String.uppercase_ascii meth; path; query; headers; body }))
           | _ -> Error (Bad "malformed request line")))
 
@@ -188,8 +248,9 @@ type response = {
 let response_header resp name =
   List.assoc_opt (String.lowercase_ascii name) resp.resp_headers
 
-let read_response ?(max_header = 16 * 1024) ?(max_body = 8 * 1024 * 1024) fd =
-  match read_head ~max_header fd with
+let read_response ?(max_header = 16 * 1024) ?(max_body = 8 * 1024 * 1024) ?timeout ?carry fd =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  match read_head ?deadline ~already:(take_carry carry) ~max_header fd with
   | Error e -> Error e
   | Ok (head, rest) -> (
       match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
@@ -213,9 +274,10 @@ let read_response ?(max_header = 16 * 1024) ?(max_body = 8 * 1024 * 1024) fd =
                   match len with
                   | Error e -> Error e
                   | Ok len -> (
-                      match read_body ~max_body fd ~already:rest len with
+                      match read_body ?deadline ~max_body fd ~already:rest len with
                       | Error e -> Error e
-                      | Ok body ->
+                      | Ok (body, surplus) ->
+                          put_carry carry surplus;
                           Ok { status; resp_headers = headers; resp_body = body })))
           | _ -> Error (Bad "malformed status line")))
 
@@ -267,14 +329,20 @@ let connect ?(timeout = 10.0) sockaddr =
   with
   | () -> finish ()
   | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+      (* a deadline, not a per-select timeout: EINTR (or an early wakeup)
+         re-waits with the remaining budget rather than the full window *)
+      let deadline = Unix.gettimeofday () +. timeout in
       let rec wait () =
-        match Unix.select [] [ fd ] [] timeout with
-        | _, [], _ -> fail Timeout
-        | _, _ :: _, _ -> (
-            match Unix.getsockopt_error fd with
-            | None -> finish ()
-            | Some err -> fail (refused err))
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then fail Timeout
+        else
+          match Unix.select [] [ fd ] [] remaining with
+          | _, [], _ -> wait ()
+          | _, _ :: _, _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> finish ()
+              | Some err -> fail (refused err))
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
       in
       wait ())
   | exception Unix.Unix_error (err, _, _) -> fail (refused err)

@@ -1,7 +1,9 @@
 (** A deliberately small HTTP/1.1 reader/writer over [Unix] file
     descriptors — just enough protocol for the model-serving daemon: one
-    request line, headers, an optional [Content-Length] body, keep-alive.
-    No chunked encoding, no TLS, no pipelining beyond sequential reuse.
+    request line, headers, an optional [Content-Length] body, keep-alive,
+    and in-order pipelining via a per-connection carry buffer (the fleet
+    coordinator keeps several requests in flight per worker). No chunked
+    encoding, no TLS.
 
     Robustness is the point: header and body sizes are capped, reads honor
     the socket's receive timeout, and every malformed input is a typed
@@ -31,9 +33,26 @@ val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
 
 val read_request :
-  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (request, error) result
+  ?max_header:int ->
+  ?max_body:int ->
+  ?timeout:float ->
+  ?carry:string ref ->
+  Unix.file_descr ->
+  (request, error) result
 (** Read one request. [max_header] defaults to 16 KiB, [max_body] to
-    1 MiB. *)
+    1 MiB. [timeout] bounds the {e whole} request (head + body) against an
+    absolute deadline — without it, only the socket's receive timeout
+    applies, which resets on every read and so never fires against a peer
+    that dribbles bytes. EINTR never restarts the budget.
+
+    [carry] makes pipelining correct: reads pull from the socket in
+    chunks, so bytes of the {e next} pipelined message may arrive glued
+    to this one's body. Pass one [ref] per connection — its contents are
+    consumed before reading the socket and, on success, it is refilled
+    with the surplus. Without [carry], such surplus is discarded (fine
+    for strict request/response lockstep, fatal for pipelining). A caller
+    holding a non-empty carry must not wait for socket readability —
+    the next message may already be fully buffered. *)
 
 type response = {
   status : int;
@@ -45,17 +64,30 @@ val response_header : response -> string -> string option
 (** Case-insensitive header lookup. *)
 
 val read_response :
-  ?max_header:int -> ?max_body:int -> Unix.file_descr -> (response, error) result
+  ?max_header:int ->
+  ?max_body:int ->
+  ?timeout:float ->
+  ?carry:string ref ->
+  Unix.file_descr ->
+  (response, error) result
 (** The client half: read one [Content-Length]-framed response from a
-    keep-alive connection (the [emc loadgen] driver and the tests).
-    [max_body] defaults to 8 MiB. *)
+    keep-alive connection (the [emc loadgen] driver, the fleet coordinator
+    and the tests). [max_body] defaults to 8 MiB. [timeout] bounds the
+    whole response against an absolute deadline (see {!read_request});
+    the fleet coordinator passes its per-dispatch budget here so a worker
+    dribbling a response cannot stall the run past its chunk deadline.
+    [carry] is the per-connection pipelining buffer (see
+    {!read_request}) — the coordinator passes one per worker connection
+    when [depth > 1]. *)
 
 val connect : ?timeout:float -> Unix.sockaddr -> (Unix.file_descr, error) result
 (** Open a stream connection with a connect timeout (default 10 s), mapping
     a refused/unreachable peer to {!Refused} and a slow one to {!Timeout}
-    instead of letting [Unix_error] escape. On success the descriptor's
-    send/receive timeouts are set to [timeout], so subsequent
-    {!read_response} calls honor it as a read timeout. *)
+    instead of letting [Unix_error] escape. The timeout is enforced as an
+    absolute deadline (EINTR re-waits with the remaining budget, never the
+    full window). On success the descriptor's send/receive timeouts are set
+    to [timeout], so subsequent {!read_response} calls honor it as a
+    per-read backstop; pass [?timeout] there to bound whole responses. *)
 
 val write_request :
   Unix.file_descr ->

@@ -37,18 +37,89 @@ let test_parse_addr () =
         (match Fleet.parse_addr bad with Error _ -> true | Ok _ -> false))
     [ ""; "box1"; "box1:"; "box1:nope"; "box1:0"; "box1:70000" ];
   match Fleet.parse_fleet "a:1, b:2 ,/tmp/w.sock" with
-  | Ok [ Fleet.Tcp ("a", 1); Fleet.Tcp ("b", 2); Fleet.Unix_sock "/tmp/w.sock" ] -> ()
-  | other ->
-      Alcotest.failf "parse_fleet: %s"
-        (match other with
-        | Ok l -> String.concat ";" (List.map Fleet.addr_to_string l)
-        | Error e -> "error " ^ e)
+  | Ok
+      [ Fleet.Worker (Fleet.Tcp ("a", 1)); Fleet.Worker (Fleet.Tcp ("b", 2));
+        Fleet.Worker (Fleet.Unix_sock "/tmp/w.sock") ] ->
+      ()
+  | Ok _ -> Alcotest.fail "parse_fleet: wrong sources"
+  | Error e -> Alcotest.failf "parse_fleet: error %s" e
+
+let test_parse_sources () =
+  (* the @ prefix marks an elastic membership source (a store address) *)
+  cb "@addr is a members source" true
+    (Fleet.parse_source "@box1:9001" = Ok (Fleet.Members (Fleet.Tcp ("box1", 9001))));
+  cb "@path is a members source" true
+    (Fleet.parse_source " @/run/store.sock " = Ok (Fleet.Members (Fleet.Unix_sock "/run/store.sock")));
+  cb "plain addr is a fixed worker" true
+    (Fleet.parse_source "box1:9001" = Ok (Fleet.Worker (Fleet.Tcp ("box1", 9001))));
+  cb "bare @ rejected" true
+    (match Fleet.parse_source "@" with Error _ -> true | Ok _ -> false);
+  match Fleet.parse_fleet "a:1,@b:2" with
+  | Ok [ Fleet.Worker (Fleet.Tcp ("a", 1)); Fleet.Members (Fleet.Tcp ("b", 2)) ] -> ()
+  | Ok _ -> Alcotest.fail "mixed spec: wrong sources"
+  | Error e -> Alcotest.failf "mixed spec: error %s" e
 
 let test_parse_fleet_errors () =
   cb "empty spec rejected" true
     (match Fleet.parse_fleet " , ," with Error _ -> true | Ok _ -> false);
   cb "one bad entry poisons the list" true
     (match Fleet.parse_fleet "a:1,bogus" with Error _ -> true | Ok _ -> false)
+
+(* ---------------- pure scheduler pieces ---------------- *)
+
+let test_chunk_plan () =
+  let cover what plan n =
+    (* every index covered exactly once, no empty chunks *)
+    let seen = Array.make n 0 in
+    List.iter
+      (fun (start, len) ->
+        cb (what ^ ": chunk non-empty") true (len > 0);
+        for i = start to start + len - 1 do
+          seen.(i) <- seen.(i) + 1
+        done)
+      plan;
+    Array.iteri (fun i c -> ci (Printf.sprintf "%s: index %d covered once" what i) 1 c) seen
+  in
+  cover "n=1" (Fleet.chunk_plan ~chunk:0 ~nworkers:4 ~n:1) 1;
+  cover "n<nworkers" (Fleet.chunk_plan ~chunk:0 ~nworkers:16 ~n:5) 5;
+  cover "chunk>n" (Fleet.chunk_plan ~chunk:100 ~nworkers:2 ~n:7) 7;
+  cover "prime n, explicit chunk" (Fleet.chunk_plan ~chunk:3 ~nworkers:2 ~n:13) 13;
+  cover "auto, large" (Fleet.chunk_plan ~chunk:0 ~nworkers:3 ~n:997) 997;
+  cover "zero workers still plans" (Fleet.chunk_plan ~chunk:0 ~nworkers:0 ~n:9) 9;
+  cb "n=0 is an empty plan" true (Fleet.chunk_plan ~chunk:0 ~nworkers:4 ~n:0 = []);
+  ci "explicit chunk honored" 5
+    (List.length (Fleet.chunk_plan ~chunk:2 ~nworkers:1 ~n:10));
+  cb "negative chunk fails loudly" true
+    (match Fleet.chunk_plan ~chunk:(-1) ~nworkers:1 ~n:4 with
+    | exception Fleet.Fleet_error _ -> true
+    | _ -> false)
+
+let test_next_wake () =
+  let cf = Alcotest.(check (float 1e-9)) in
+  (* nothing to wait for: a long fallback, not a busy tick *)
+  cf "no events sleeps long" 60.0
+    (Fleet.next_wake ~now:1000.0 ~read_timeout:600.0 ~steal_after:30.0 []);
+  (* one running head: wake exactly at its steal timer *)
+  cf "sleeps to the steal timer" 25.0
+    (Fleet.next_wake ~now:1000.0 ~read_timeout:600.0 ~steal_after:30.0 [ 995.0 ]);
+  (* steal timer already past: next event is the read deadline, not a
+     near-zero sleep clamped against the stale steal timer *)
+  cf "past steal timer falls through to the deadline" 10.0
+    (Fleet.next_wake ~now:1000.0 ~read_timeout:50.0 ~steal_after:30.0 [ 960.0 ]);
+  (* a nearer membership poll wins *)
+  cf "membership poll caps the sleep" 0.5
+    (Fleet.next_wake ~now:1000.0 ~read_timeout:600.0 ~steal_after:30.0 ~poll_at:1000.5
+       [ 995.0 ]);
+  (* everything due: short wake so the caller handles it, never 0 *)
+  cb "due events wake shortly but not busily" true
+    (let t =
+       Fleet.next_wake ~now:2000.0 ~read_timeout:600.0 ~steal_after:30.0 ~poll_at:1999.0
+         [ 100.0 ]
+     in
+     t > 0.0 && t <= 0.05);
+  (* clamped below 60 even for far-future deadlines *)
+  cf "clamped to 60s" 60.0
+    (Fleet.next_wake ~now:0.0 ~read_timeout:86400.0 ~steal_after:86400.0 [ 0.0 ])
 
 (* ---------------- hex-float transport ---------------- *)
 
@@ -107,7 +178,7 @@ let wait_sock path =
 
 let stop_daemon pid =
   (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
-  ignore (Unix.waitpid [] pid)
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
 let with_daemons specs f =
   let daemons = List.map (fun run -> let path = sock_path "d" in (path, fork_daemon (run path))) specs in
@@ -192,6 +263,55 @@ let test_store_daemon () =
       | Some (Json.Obj kvs) -> ci "persisted across restart" 2 (List.length kvs)
       | _ -> Alcotest.failf "no results in %S" body)
 
+let member_addrs path =
+  match Fleet.members (Fleet.Unix_sock path) with
+  | Ok ms -> List.map fst ms
+  | Error e -> Alcotest.failf "members: %s" e
+
+let test_store_membership () =
+  with_daemons
+    [ (fun path () -> Fleet.run_store ~listen:(Fleet.Unix_sock path) ()) ]
+  @@ function
+  | [ path ] ->
+      let register ?(ttl = "0x1p+3") addr =
+        rpc path ~meth:"POST" ~target:"/register"
+          ~body:(Printf.sprintf {|{"addr":%S,"ttl":%S}|} addr ttl)
+          ()
+      in
+      ci "empty table" 0 (List.length (member_addrs path));
+      let status, body = register "w1:9001" in
+      ci "register ok" 200 status;
+      cb "one member" true (Json.member "members" (json_of body) = Some (Json.Int 1));
+      let _, body = register "w2:9002" in
+      cb "two members" true (Json.member "members" (json_of body) = Some (Json.Int 2));
+      (* re-registering is the heartbeat: still two *)
+      let _, body = register "w1:9001" in
+      cb "heartbeat does not duplicate" true
+        (Json.member "members" (json_of body) = Some (Json.Int 2));
+      Alcotest.(check (list string)) "members listed sorted" [ "w1:9001"; "w2:9002" ]
+        (member_addrs path);
+      (* explicit deregistration removes immediately *)
+      let status, body =
+        rpc path ~meth:"POST" ~target:"/deregister" ~body:{|{"addr":"w1:9001"}|} ()
+      in
+      ci "deregister ok" 200 status;
+      cb "deregister reports removal" true
+        (Json.member "removed" (json_of body) = Some (Json.Bool true));
+      Alcotest.(check (list string)) "w1 gone" [ "w2:9002" ] (member_addrs path);
+      (* a missed heartbeat ages the worker out after its TTL *)
+      let status, _ = register ~ttl:"0x1.999999999999ap-3" "w3:9003" (* 0.2s *) in
+      ci "short-ttl register ok" 200 status;
+      cb "w3 visible before its TTL" true (List.mem "w3:9003" (member_addrs path));
+      ignore (Unix.select [] [] [] 0.35);
+      cb "w3 aged out" false (List.mem "w3:9003" (member_addrs path));
+      cb "w2's longer TTL survives" true (List.mem "w2:9002" (member_addrs path));
+      (* garbage registrations are rejected, not stored *)
+      ci "missing addr rejected" 400
+        (fst (rpc path ~meth:"POST" ~target:"/register" ~body:{|{"ttl":"0x1p+0"}|} ()));
+      ci "absurd ttl rejected" 400
+        (fst (register ~ttl:"0x1p+30" "w4:9004"))
+  | _ -> assert false
+
 (* ---------------- measurement through the fleet ---------------- *)
 
 let small_scale jobs = { Scale.tiny with Scale.workload_scale = 0.05; jobs }
@@ -206,7 +326,8 @@ let check_counters what (a : Measure.t) (b : Measure.t) =
   ci (what ^ ": compiles") a.Measure.compiles b.Measure.compiles;
   ci (what ^ ": binary hits") a.Measure.binary_hits b.Measure.binary_hits
 
-let run_through addrs =
+let run_through ?(options = { Fleet.default_options with Fleet.chunk = 3 })
+    ?(before_fleet = fun () -> ()) addrs =
   let w = Emc_workloads.Registry.find "mcf" in
   let variant = Emc_workloads.Workload.Train in
   let points = design_points 7 in
@@ -216,12 +337,12 @@ let run_through addrs =
   let y_local = Measure.cycles_coded_many m_local w ~variant points in
   let e_local = Measure.respond_coded_many ~response:Measure.Energy m_local w ~variant points in
   let m_fleet = Measure.create (small_scale 1) in
-  Fleet.attach
-    ~options:{ Fleet.default_options with Fleet.chunk = 3 }
-    m_fleet
+  Fleet.attach ~options m_fleet
     (List.map
-       (fun a -> match Fleet.parse_addr a with Ok a -> a | Error e -> failwith e)
+       (fun a ->
+         match Fleet.parse_source a with Ok s -> s | Error e -> failwith e)
        addrs);
+  before_fleet ();
   let y_fleet = Measure.cycles_coded_many m_fleet w ~variant points in
   let e_fleet = Measure.respond_coded_many ~response:Measure.Energy m_fleet w ~variant points in
   Alcotest.(check (array (float 0.0))) "cycles bit-identical to jobs=1" y_local y_fleet;
@@ -229,6 +350,34 @@ let run_through addrs =
   check_counters "fleet = local" m_local m_fleet
 
 let test_fleet_bit_identity () = with_worker (fun path -> run_through [ path ])
+
+let test_fleet_no_spurious_dispatches () =
+  (* a healthy run dispatches each chunk exactly once: no retries, no
+     steals, no extra dispatches from a coordinator waking early. 8 points
+     at chunk 3 over two batches (cycles then energy; energy is all result
+     hits so it dispatches nothing) = 3 chunks. *)
+  with_worker (fun path ->
+      let d0 = counter "fleet.dispatched" in
+      let r0 = counter "fleet.retried" in
+      let s0 = counter "fleet.steals" in
+      run_through [ path ];
+      ci "each chunk dispatched exactly once" (d0 + 3) (counter "fleet.dispatched");
+      ci "nothing retried" r0 (counter "fleet.retried");
+      ci "nothing stolen" s0 (counter "fleet.steals"))
+
+let test_fleet_pipelined_depth () =
+  (* depth 3 on a single worker: chunk 2 over 8 points = 4 chunks, so the
+     pipeline genuinely queues, and results must stay bit-identical *)
+  with_worker (fun path ->
+      run_through
+        ~options:{ Fleet.default_options with Fleet.chunk = 2; Fleet.depth = 3 }
+        [ path ])
+
+let test_fleet_pipelined_two_workers () =
+  with_daemons
+    [ (fun path () -> Fleet.run_worker ~listen:(Fleet.Unix_sock path) ());
+      (fun path () -> Fleet.run_worker ~listen:(Fleet.Unix_sock path) ()) ]
+    (run_through ~options:{ Fleet.default_options with Fleet.chunk = 1; Fleet.depth = 4 })
 
 let test_fleet_two_workers () =
   with_daemons
@@ -276,7 +425,9 @@ let test_fleet_retries_dropped_connection () =
 
 let test_all_workers_dead () =
   let m = Measure.create (small_scale 1) in
-  Fleet.attach m [ Fleet.Unix_sock (sock_path "dead1"); Fleet.Unix_sock (sock_path "dead2") ];
+  Fleet.attach m
+    [ Fleet.Worker (Fleet.Unix_sock (sock_path "dead1"));
+      Fleet.Worker (Fleet.Unix_sock (sock_path "dead2")) ];
   let w = Emc_workloads.Registry.find "mcf" in
   match Measure.cycles_coded_many m w ~variant:Emc_workloads.Workload.Train (design_points 3) with
   | _ -> Alcotest.fail "expected Fleet_error"
@@ -307,12 +458,12 @@ let test_worker_feeds_store () =
   let y1 = ref [||] in
   with_worker ~store (fun path ->
       let m = Measure.create (small_scale 1) in
-      Fleet.attach m [ Option.get (Result.to_option (Fleet.parse_addr path)) ];
+      Fleet.attach m [ Fleet.Worker (Option.get (Result.to_option (Fleet.parse_addr path))) ];
       y1 := Measure.cycles_coded_many m w ~variant points);
   cb "store persisted results" true (Sys.file_exists store_file);
   with_worker ~store (fun path ->
       let m = Measure.create (small_scale 1) in
-      Fleet.attach m [ Option.get (Result.to_option (Fleet.parse_addr path)) ];
+      Fleet.attach m [ Fleet.Worker (Option.get (Result.to_option (Fleet.parse_addr path))) ];
       let y2 = Measure.cycles_coded_many m w ~variant points in
       Alcotest.(check (array (float 0.0))) "store-served run bit-identical" !y1 y2;
       (* the fresh worker's own /metrics must report zero simulator runs *)
@@ -324,6 +475,149 @@ let test_worker_feeds_store () =
       in
       cb "fresh worker simulated nothing" true (has "emc_measure_simulations 0");
       cb "store hits recorded" true (has "emc_fleet_store_hits 12"))
+
+(* ---------------- elastic membership ---------------- *)
+
+let kill_daemon pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let rm_f p = if Sys.file_exists p then Sys.remove p
+
+let elastic_options =
+  { Fleet.default_options with Fleet.chunk = 2; Fleet.poll_interval = 0.1 }
+
+let test_elastic_join_mid_run () =
+  let store_path = sock_path "estore" in
+  let store_pid =
+    fork_daemon (fun () -> Fleet.run_store ~listen:(Fleet.Unix_sock store_path) ())
+  in
+  let worker_sock = sock_path "ejoin" in
+  let worker_pid = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter stop_daemon !worker_pid;
+      stop_daemon store_pid;
+      List.iter rm_f [ worker_sock; worker_sock ^ ".pid" ])
+  @@ fun () ->
+  wait_sock store_path;
+  let joined0 = counter "fleet.workers_joined" in
+  let dispatched0 = counter "fleet.dispatched" in
+  (* the worker comes up only after the coordinator is already waiting on
+     an empty membership table: it must be discovered by a poll mid-run
+     and handed the pending chunks *)
+  let spawn_worker_later () =
+    worker_pid :=
+      Some
+        (fork_daemon (fun () ->
+             ignore (Unix.select [] [] [] 0.3);
+             Fleet.run_worker
+               ~store:(Fleet.Unix_sock store_path)
+               ~register:(Fleet.Unix_sock store_path)
+               ~heartbeat:0.2 ~listen:(Fleet.Unix_sock worker_sock) ()))
+  in
+  run_through ~options:elastic_options ~before_fleet:spawn_worker_later [ "@" ^ store_path ];
+  cb "the worker joined via membership" true (counter "fleet.workers_joined" > joined0);
+  cb "the joined worker received chunks" true (counter "fleet.dispatched" > dispatched0);
+  (* the store now holds every result: a second campaign through the same
+     elastic fleet pre-filters everything and dispatches nothing *)
+  let prefilled0 = counter "fleet.store_prefilled" in
+  let dispatched1 = counter "fleet.dispatched" in
+  run_through ~options:elastic_options [ "@" ^ store_path ];
+  ci "all unique points served by the pre-filter" (prefilled0 + 7)
+    (counter "fleet.store_prefilled");
+  ci "nothing dispatched on the warm campaign" dispatched1 (counter "fleet.dispatched")
+
+let test_elastic_drain_mid_run () =
+  let store_path = sock_path "dstore" in
+  let store_pid =
+    fork_daemon (fun () -> Fleet.run_store ~listen:(Fleet.Unix_sock store_path) ())
+  in
+  let w1 = sock_path "edrain1" and w2 = sock_path "edrain2" in
+  let worker sock =
+    fork_daemon (fun () ->
+        Fleet.run_worker ~register:(Fleet.Unix_sock store_path) ~heartbeat:0.1
+          ~listen:(Fleet.Unix_sock sock) ())
+  in
+  let p1 = worker w1 in
+  let p2 = worker w2 in
+  Fun.protect
+    ~finally:(fun () ->
+      stop_daemon p1;
+      stop_daemon p2;
+      stop_daemon store_pid;
+      List.iter rm_f [ w1; w1 ^ ".pid"; w2; w2 ^ ".pid" ])
+  @@ fun () ->
+  wait_sock store_path;
+  wait_sock w1;
+  wait_sock w2;
+  (* SIGTERM = drain: a forked orchestrator signals w1 shortly after the
+     batch starts; it finishes in-flight work, deregisters and exits,
+     and every chunk still completes — zero lost work, bytes identical *)
+  let drainer = ref None in
+  let drain_w1_later () =
+    drainer :=
+      Some
+        (match Unix.fork () with
+        | 0 ->
+            ignore (Unix.select [] [] [] 0.1);
+            (try Unix.kill p1 Sys.sigterm with Unix.Unix_error _ -> ());
+            Unix._exit 0
+        | pid -> pid)
+  in
+  run_through
+    ~options:{ elastic_options with Fleet.chunk = 1 }
+    ~before_fleet:drain_w1_later [ "@" ^ store_path ];
+  Option.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) !drainer;
+  (* once drained, w1 is out of the members table; w2 is still there *)
+  stop_daemon p1;
+  let ms = member_addrs store_path in
+  cb "drained worker deregistered" false (List.mem w1 ms);
+  cb "surviving worker still registered" true (List.mem w2 ms)
+
+let test_registered_worker_death () =
+  let store_path = sock_path "kstore" in
+  let store_pid =
+    fork_daemon (fun () -> Fleet.run_store ~listen:(Fleet.Unix_sock store_path) ())
+  in
+  Fun.protect ~finally:(fun () -> stop_daemon store_pid)
+  @@ fun () ->
+  wait_sock store_path;
+  (* a registration whose worker is already dead (long TTL, nobody
+     listening): the coordinator must discover it, fail it at connect,
+     and retry its chunks on the live worker — bit-identically *)
+  let ghost = sock_path "ghost" in
+  ci "ghost registered" 200
+    (fst
+       (rpc store_path ~meth:"POST" ~target:"/register"
+          ~body:(Printf.sprintf {|{"addr":%S,"ttl":"0x1p+6"}|} ghost)
+          ()));
+  let live = sock_path "klive" in
+  let p =
+    fork_daemon (fun () ->
+        Fleet.run_worker ~register:(Fleet.Unix_sock store_path) ~heartbeat:0.1
+          ~listen:(Fleet.Unix_sock live) ())
+  in
+  Fun.protect ~finally:(fun () -> kill_daemon p; List.iter rm_f [ live; live ^ ".pid" ])
+  @@ fun () ->
+  wait_sock live;
+  let failures0 = counter "fleet.worker_failures" in
+  let retried0 = counter "fleet.retried" in
+  run_through ~options:elastic_options [ "@" ^ store_path ];
+  cb "dead registered worker failed" true (counter "fleet.worker_failures" > failures0);
+  cb "its chunks were retried" true (counter "fleet.retried" > retried0);
+  (* SIGKILL the live worker: no deregistration runs, but its heartbeater
+     child notices the orphaning and exits, so the registration ages out
+     of /members within a TTL instead of living forever *)
+  Unix.kill p Sys.sigkill;
+  (try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ());
+  cb "killed worker still listed within its TTL" true
+    (List.mem live (member_addrs store_path));
+  ignore (Unix.select [] [] [] 0.8);
+  cb "SIGKILLed worker aged out of membership" false
+    (List.mem live (member_addrs store_path));
+  cb "age-out is heartbeat-driven: the long-TTL ghost remains" true
+    (List.mem ghost (member_addrs store_path))
 
 (* ---------------- run journals ---------------- *)
 
@@ -459,11 +753,21 @@ let test_connect_refused_is_typed () =
 let suite =
   [
     ("parse_addr forms", `Quick, test_parse_addr);
+    ("parse_source @ prefix", `Quick, test_parse_sources);
     ("parse_fleet errors", `Quick, test_parse_fleet_errors);
+    ("chunk_plan covers degenerate shapes", `Quick, test_chunk_plan);
+    ("next_wake sleeps to the nearest event", `Quick, test_next_wake);
     ("hex floats survive the wire", `Quick, test_hex_float_roundtrip);
     ("store daemon: put/lookup/get/persist", `Quick, test_store_daemon);
+    ("store membership: register/heartbeat/expire", `Quick, test_store_membership);
     ("one worker bit-identical to jobs=1", `Slow, test_fleet_bit_identity);
     ("two workers bit-identical to jobs=1", `Slow, test_fleet_two_workers);
+    ("healthy run: no spurious dispatches", `Slow, test_fleet_no_spurious_dispatches);
+    ("pipelined depth 3 bit-identical", `Slow, test_fleet_pipelined_depth);
+    ("pipelined depth 4, two workers", `Slow, test_fleet_pipelined_two_workers);
+    ("elastic: worker joins mid-run", `Slow, test_elastic_join_mid_run);
+    ("elastic: drain mid-run loses nothing", `Slow, test_elastic_drain_mid_run);
+    ("elastic: dead worker retried, SIGKILL ages out", `Slow, test_registered_worker_death);
     ("dead worker: chunk retried elsewhere", `Slow, test_fleet_retries_dead_worker);
     ("dropped connection: chunk retried", `Slow, test_fleet_retries_dropped_connection);
     ("all workers dead raises Fleet_error", `Quick, test_all_workers_dead);

@@ -589,6 +589,95 @@ let test_access_log () =
       cb "paths recorded" true
         (field (List.nth records 1) "path" = Json.Str "/rank"))
 
+(* ---------------- Http reader regressions ---------------- *)
+
+(* Two complete requests in one write. The reader slurps past the first
+   body; the surplus is the second request and must come back through
+   [carry] — the pre-carry client silently discarded it, deadlocking any
+   pipelined connection. *)
+let test_http_pipelined_carry () =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ client; server ])
+    (fun () ->
+      let req i body =
+        Printf.sprintf "POST /m%d HTTP/1.1\r\nContent-Length: %d\r\n\r\n%s" i
+          (String.length body) body
+      in
+      let bytes = req 1 "alpha" ^ req 2 "beta-longer" in
+      ignore (Unix.write_substring client bytes 0 (String.length bytes));
+      Unix.shutdown client Unix.SHUTDOWN_SEND;
+      let carry = ref "" in
+      (match Http.read_request ~timeout:2.0 ~carry server with
+      | Ok r ->
+          Alcotest.(check string) "first path" "/m1" r.Http.path;
+          Alcotest.(check string) "first body" "alpha" r.Http.body
+      | Error e -> Alcotest.failf "first request: %s" (Http.error_to_string e));
+      match Http.read_request ~timeout:2.0 ~carry server with
+      | Ok r ->
+          Alcotest.(check string) "second path survives the first body's read-ahead"
+            "/m2" r.Http.path;
+          Alcotest.(check string) "second body" "beta-longer" r.Http.body
+      | Error e -> Alcotest.failf "second request: %s" (Http.error_to_string e))
+
+(* A peer dribbling one byte per interval. Each byte lands well inside any
+   per-read socket timeout, so only an absolute deadline can stop this —
+   the pre-fix client sat through the whole dribble (and a malicious peer
+   could stretch it forever). *)
+let test_http_dribble_timeout () =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      let payload = "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n" in
+      (try
+         String.iter
+           (fun c ->
+             ignore (Unix.select [] [] [] 0.15);
+             ignore (Unix.write_substring server (String.make 1 c) 0 1))
+           payload
+       with Unix.Unix_error _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close server;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          try Unix.close client with Unix.Unix_error _ -> ())
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let r = Http.read_response ~timeout:0.5 client in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          cb "dribbled response times out" true (r = Error Http.Timeout);
+          cb "the deadline bounds the whole response, not each read" true (elapsed < 2.0))
+
+(* A peer that never writes, while an interval timer delivers SIGALRM
+   every 50 ms. The pre-fix client restarted its full timeout window on
+   every EINTR, so under a signal-heavy process (child reaping, profiling
+   timers) the timeout never fired at all. *)
+let test_http_eintr_budget () =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let old_handler = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.05; it_value = 0.05 });
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_interval = 0.0; it_value = 0.0 });
+      Sys.set_signal Sys.sigalrm old_handler;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ client; server ])
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = Http.read_response ~timeout:0.4 client in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      cb "silent peer times out despite constant signals" true (r = Error Http.Timeout);
+      cb "EINTR re-waits with the remaining budget, not the full window" true
+        (elapsed < 2.0))
+
 let suite =
   [
     Alcotest.test_case "routing and structured errors (in-process)" `Quick
@@ -608,4 +697,10 @@ let suite =
     Alcotest.test_case "/metrics sums exactly across workers" `Quick
       test_multiworker_metrics_sum;
     Alcotest.test_case "access log: one JSONL record per request" `Quick test_access_log;
+    Alcotest.test_case "http: pipelined requests survive body read-ahead" `Quick
+      test_http_pipelined_carry;
+    Alcotest.test_case "http: read deadline bounds a dribbling peer" `Quick
+      test_http_dribble_timeout;
+    Alcotest.test_case "http: EINTR does not restart the timeout" `Quick
+      test_http_eintr_budget;
   ]
