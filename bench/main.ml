@@ -206,6 +206,52 @@ let bechamel_suite ?filter ?json_path (ctx : Experiments.ctx) =
                         (Emc_doe.Doe.random_point rng Params.space_compiler)
                         march_coded))
               done) );
+      (* the multiplexed daemon's hot path, split into its two halves:
+         incremental request parsing and allocation-lean predict+render *)
+      ( "serve/http-parse-request",
+        fun () ->
+          let body =
+            Emc_obs.Json.to_string
+              (Emc_obs.Json.Obj
+                 [ ("point",
+                    Emc_obs.Json.List
+                      (List.init Params.n_all (fun i ->
+                           Emc_obs.Json.Float (Float.of_int (i mod 5) /. 5.0)))) ])
+          in
+          let text =
+            Printf.sprintf
+              "POST /predict HTTP/1.1\r\nHost: bench\r\nContent-Type: application/json\r\n\
+               Content-Length: %d\r\n\r\n%s"
+              (String.length body) body
+          in
+          Staged.stage (fun () ->
+              for _ = 1 to 100 do
+                match Emc_serve.Http.parse_request text with
+                | Emc_serve.Http.Parsed _ -> ()
+                | _ -> failwith "bench request did not parse"
+              done) );
+      ( "serve/predict-render",
+        fun () ->
+          let art = Lazy.force art in
+          let hot = Emc_serve.Serve.make_hot art in
+          let body =
+            Emc_obs.Json.to_string
+              (Emc_obs.Json.Obj
+                 [ ("point",
+                    Emc_obs.Json.List
+                      (List.init Params.n_all (fun i ->
+                           Emc_obs.Json.Float (Float.of_int (i mod 5) /. 5.0)))) ])
+          in
+          let req =
+            { Emc_serve.Http.meth = "POST"; path = "/predict"; query = []; headers = [];
+              body }
+          in
+          Staged.stage (fun () ->
+              for _ = 1 to 100 do
+                match Emc_serve.Serve.handle_into hot req with
+                | 200, _ -> ()
+                | s, _ -> failwith (Printf.sprintf "bench predict returned %d" s)
+              done) );
       (* ranking-model fit over the training design *)
       ( "regress/rank-fit",
         fun () ->

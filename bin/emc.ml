@@ -469,8 +469,10 @@ let serve_cmd =
   let workers_arg =
     Arg.(value & opt int 1
          & info [ "workers" ] ~docv:"N"
-             ~doc:"Pre-forked accept workers. /metrics aggregates across all of them: \
-                   counters sum exactly and latency histograms merge bucket-wise.")
+             ~doc:"Pre-forked scheduler workers sharing the listening socket; each one \
+                   multiplexes up to --max-conns keep-alive connections. /metrics \
+                   aggregates across all of them: counters sum exactly and latency \
+                   histograms merge bucket-wise.")
   in
   let max_body_arg =
     Arg.(value & opt int (1024 * 1024)
@@ -478,7 +480,21 @@ let serve_cmd =
   in
   let timeout_arg =
     Arg.(value & opt float 10.0
-         & info [ "read-timeout" ] ~docv:"SECONDS" ~doc:"Per-read socket timeout.")
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Whole-request read deadline (a dribbling request earns a 408) and \
+                   response-drain deadline (a stalled reader is cut off).")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Close a keep-alive connection with no request in flight after $(docv) \
+                   seconds of silence.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 512
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Concurrent connections per worker (select() bounds this to roughly \
+                   1000 per process).")
   in
   let access_log_arg =
     Arg.(value & opt (some string) None
@@ -486,7 +502,7 @@ let serve_cmd =
              ~doc:"Append one JSONL record per request (id, status, sizes, per-phase \
                    timings). Defaults to EMC_ACCESS_LOG.")
   in
-  let run mfile port socket workers max_body read_timeout access_log =
+  let run mfile port socket workers max_body read_timeout idle_timeout max_conns access_log =
     let a = load_artifact mfile in
     let listen =
       match (port, socket) with
@@ -498,14 +514,16 @@ let serve_cmd =
     let access_log =
       match access_log with Some f -> Some f | None -> Sys.getenv_opt "EMC_ACCESS_LOG"
     in
-    Emc_serve.Serve.run { listen; workers; max_body; read_timeout; access_log } a
+    Emc_serve.Serve.run
+      { listen; workers; max_body; read_timeout; idle_timeout; max_conns; access_log }
+      a
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a saved model over HTTP: /predict, /rank, /search, /pareto, /healthz, \
              /metrics.")
     Term.(const run $ model_file_arg $ port_arg $ socket_arg $ workers_arg $ max_body_arg
-          $ timeout_arg $ access_log_arg)
+          $ timeout_arg $ idle_timeout_arg $ max_conns_arg $ access_log_arg)
 
 (* ---------------- loadgen ---------------- *)
 
@@ -531,10 +549,12 @@ let loadgen_cmd =
                    stalled server is charged its queueing delay. Without --rps the run is \
                    closed-loop: every connection issues requests back-to-back.")
   in
-  let concurrency_arg =
+  let connections_arg =
     Arg.(value & opt int 4
-         & info [ "c"; "concurrency" ] ~docv:"N"
-             ~doc:"Forked generator processes, one keep-alive connection each.")
+         & info [ "c"; "connections"; "concurrency" ] ~docv:"N"
+             ~doc:"Concurrent keep-alive connections (one forked generator each) — a \
+                   client-side knob, independent of the daemon's --workers count: the \
+                   multiplexed daemon serves many connections per worker.")
   in
   let duration_arg =
     Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Seconds of load.")
@@ -542,8 +562,16 @@ let loadgen_cmd =
   let mix_arg =
     Arg.(value & opt (some string) None
          & info [ "mix" ] ~docv:"SPEC"
-             ~doc:"Weighted endpoint mix, e.g. predict=8,predict_batch=1,healthz=1 \
-                   (endpoints: predict, predict_batch, rank, healthz).")
+             ~doc:"Weighted endpoint mix, e.g. predict=8,predict_batch=1,think=2 \
+                   (endpoints: predict, predict_batch, rank, healthz, think). A think \
+                   draw sends nothing and holds the connection open for --think seconds \
+                   — a slow-client shape the daemon must not let pin a worker.")
+  in
+  let think_arg =
+    Arg.(value & opt float 0.2
+         & info [ "think" ] ~docv:"SECONDS"
+             ~doc:"Think time for the mix's think draws: the connection stays open, \
+                   silent, for $(docv) seconds.")
   in
   let batch_arg =
     Arg.(value & opt int 16
@@ -579,7 +607,7 @@ let loadgen_cmd =
                | None -> die "bad mix weight %S in %S" w part))
   in
   let ms v = Printf.sprintf "%.3f ms" (v *. 1000.0) in
-  let run host port socket rps concurrency duration seed mix batch timeout slos json_out =
+  let run host port socket rps concurrency duration seed mix batch timeout think slos json_out =
     let target =
       match (port, socket) with
       | Some p, None -> Lg.Tcp (host, p)
@@ -594,7 +622,10 @@ let loadgen_cmd =
         (fun s -> match Lg.parse_slo s with Ok x -> x | Error e -> die "%s" e)
         slos
     in
-    let opts = { (Lg.default_opts target) with mode; concurrency; duration; seed; mix; batch; timeout } in
+    let opts =
+      { (Lg.default_opts target) with
+        mode; concurrency; duration; seed; mix; batch; timeout; think }
+    in
     match Lg.run opts with
     | Error e -> die "loadgen: %s" e
     | Ok r ->
@@ -647,9 +678,9 @@ let loadgen_cmd =
     (Cmd.info "loadgen"
        ~doc:"Drive a serving daemon with open- or closed-loop load and check SLOs \
              (exit 4 on violation).")
-    Term.(const run $ host_arg $ port_arg $ socket_arg $ rps_arg $ concurrency_arg
-          $ duration_arg $ seed_arg $ mix_arg $ batch_arg $ lg_timeout_arg $ slo_arg
-          $ json_arg)
+    Term.(const run $ host_arg $ port_arg $ socket_arg $ rps_arg $ connections_arg
+          $ duration_arg $ seed_arg $ mix_arg $ batch_arg $ lg_timeout_arg $ think_arg
+          $ slo_arg $ json_arg)
 
 (* ---------------- search ---------------- *)
 

@@ -21,6 +21,7 @@ type opts = {
   mix : (string * int) list;
   batch : int;
   timeout : float;
+  think : float;
 }
 
 let default_mix = [ ("predict", 8); ("predict_batch", 1); ("healthz", 1) ]
@@ -33,9 +34,10 @@ let default_opts target =
     seed = 42;
     mix = default_mix;
     batch = 16;
-    timeout = 5.0 }
+    timeout = 5.0;
+    think = 0.2 }
 
-let known_endpoints = [ "predict"; "predict_batch"; "rank"; "healthz" ]
+let known_endpoints = [ "predict"; "predict_batch"; "rank"; "healthz"; "think" ]
 
 let validate_mix mix =
   if mix = [] then Error "empty endpoint mix"
@@ -256,8 +258,24 @@ let worker_loop opts dims idx =
                 `Fail))
   in
   let seq = ref 0 in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. opts.duration in
+  (* A "think" draw holds the keep-alive connection open without sending
+     anything — the slow-client shape that used to pin a whole worker. In
+     closed loop the child sleeps [think] (clipped to the deadline); in
+     open loop the draw just consumes the arrival. *)
+  let do_think () =
+    ignore (get_conn ());
+    match opts.mode with
+    | Open_loop _ -> ()
+    | Closed_loop ->
+        let dt = Float.min opts.think (deadline -. Unix.gettimeofday ()) in
+        if dt > 0.0 then Unix.sleepf dt
+  in
   let do_request t0 =
     let ep = pick_endpoint () in
+    if ep = "think" then do_think ()
+    else begin
     let id = Printf.sprintf "lg%d-%d" idx !seq in
     incr seq;
     let text = build_request ~rng ~dims ~batch:opts.batch ~id ep in
@@ -276,9 +294,8 @@ let worker_loop opts dims idx =
          else if resp.Http.status >= 500 then Metrics.incr m_5xx
          else if resp.Http.status >= 400 then Metrics.incr m_4xx);
         if Http.response_header resp "x-request-id" <> Some id then Metrics.incr m_mismatch
+    end
   in
-  let start = Unix.gettimeofday () in
-  let deadline = start +. opts.duration in
   (match opts.mode with
   | Closed_loop ->
       let rec loop () =
@@ -411,8 +428,9 @@ let report_of ~mode ~concurrency ~wall snapshot =
 let percentile r q = Option.bind r.r_latency (fun h -> Metrics.hsnap_percentile h q)
 
 let run opts =
-  if opts.concurrency < 1 then Error "concurrency must be >= 1"
+  if opts.concurrency < 1 then Error "connections must be >= 1"
   else if opts.duration <= 0.0 then Error "duration must be positive"
+  else if opts.think <= 0.0 then Error "think time must be positive"
   else if (match opts.mode with Open_loop r -> r <= 0.0 | Closed_loop -> false) then
     Error "target rps must be positive"
   else

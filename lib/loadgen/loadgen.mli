@@ -1,8 +1,10 @@
 (** [emc loadgen] — a load-generating SLO harness for the serving daemon.
 
     The driver forks [concurrency] child generators (the [lib/par] fork
-    pattern), each owning one keep-alive connection to the target. Two
-    pacing modes:
+    pattern), each owning one keep-alive connection to the target — so
+    [--connections] is a client-side knob, decoupled from the daemon's
+    [--workers] count (the multiplexed daemon serves many connections
+    per worker). Two pacing modes:
 
     - {b Open loop} ([--rps R]): each child schedules arrivals by a
       seeded exponential process at [R / concurrency] requests/second
@@ -40,9 +42,17 @@ type opts = {
   seed : int;  (** pacing + payload determinism *)
   mix : (string * int) list;
       (** weighted endpoint mix; names: [predict], [predict_batch],
-          [rank], [healthz]. Weights are relative integers. *)
+          [rank], [healthz], [think]. Weights are relative integers. A
+          [think] draw sends nothing: in closed loop the child sleeps
+          [think] seconds while {e holding its keep-alive connection
+          open} (the slow-client shape that pinned the old
+          one-connection-per-worker daemon); in open loop the draw
+          consumes the arrival without a request. *)
   batch : int;  (** points per [predict_batch] request *)
   timeout : float;  (** per-response receive timeout, seconds *)
+  think : float;
+      (** seconds a closed-loop child holds its connection open on a
+          [think] draw (> 0) *)
 }
 
 val default_mix : (string * int) list
@@ -50,7 +60,7 @@ val default_mix : (string * int) list
 
 val default_opts : target -> opts
 (** Closed loop, 4 children, 10 s, seed 42, {!default_mix}, batch 16,
-    5 s timeout. *)
+    5 s timeout, 0.2 s think time. *)
 
 type report = {
   r_mode : mode;

@@ -74,6 +74,19 @@ val eval : t -> float array -> float
     model the repr was extracted from. The point's arity must match the
     repr (callers validate against the artifact's parameter schema). *)
 
+val expand_into : interactions:bool -> float array -> float array -> unit
+(** [expand] into a caller-owned array of at least
+    [n_features ~interactions (Array.length x)] cells — the serving hot
+    path's allocation-free variant. *)
+
+val compile : t -> float array -> float
+(** [compile r] hoists the representation dispatch and the feature
+    scratch out of the per-point call: [compile r x = eval r x] bit for
+    bit, with no per-call allocation for [Linear]/[Rank]. The compiled
+    closure reuses internal scratch, so it must not be shared between
+    concurrent evaluators — compile one per worker. Points must have the
+    fitted arity (validated upstream by the artifact schema). *)
+
 (** {2 JSON round-trip} *)
 
 val to_json : t -> Emc_obs.Json.t

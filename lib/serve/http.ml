@@ -183,6 +183,70 @@ let parse_headers header_lines =
         | None -> None)
     header_lines
 
+(* Request-line + headers parsing shared by the blocking reader and the
+   incremental parser: [head] is everything before the \r\n\r\n
+   terminator. Yields the declared body length so the caller can frame
+   the body however it reads (blocking read or buffered slice). *)
+let request_of_head head =
+  match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
+  | [] -> Error (Bad "empty request")
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; target; version ] when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
+          let headers = parse_headers header_lines in
+          let path, query =
+            match String.index_opt target '?' with
+            | Some i ->
+                ( url_decode (String.sub target 0 i),
+                  parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
+            | None -> (url_decode target, [])
+          in
+          if List.mem_assoc "transfer-encoding" headers then
+            Error (Bad "chunked transfer encoding is not supported")
+          else
+            match List.assoc_opt "content-length" headers with
+            | None -> Ok (String.uppercase_ascii meth, path, query, headers, 0)
+            | Some v -> (
+                match int_of_string_opt (trim v) with
+                | Some n when n >= 0 -> Ok (String.uppercase_ascii meth, path, query, headers, n)
+                | _ -> Error (Bad ("malformed content-length: " ^ v))))
+      | _ -> Error (Bad "malformed request line"))
+
+(* The incremental half: parse one request from an in-memory byte
+   accumulation without touching any descriptor. The multiplexed server
+   loop appends whatever the socket had and retries; [Incomplete] means
+   "wait for more bytes", the two terminal cases consume the connection. *)
+
+type parse =
+  | Parsed of request * int
+  | Incomplete
+  | Invalid of error
+
+let find_head_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 3 >= n then None
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let parse_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) s =
+  match find_head_end s with
+  | None -> if String.length s > max_header then Invalid (Too_large "headers") else Incomplete
+  | Some i -> (
+      if i > max_header then Invalid (Too_large "headers")
+      else
+        match request_of_head (String.sub s 0 i) with
+        | Error e -> Invalid e
+        | Ok (meth, path, query, headers, len) ->
+            if len > max_body then Invalid (Too_large "body")
+            else
+              let body_start = i + 4 in
+              if String.length s - body_start >= len then
+                Parsed ({ meth; path; query; headers; body = String.sub s body_start len }, body_start + len)
+              else Incomplete)
+
 (* [carry] is the per-connection pipelining buffer: bytes read past the
    end of the previous message seed this one, and this one's surplus is
    put back. Without it a second in-flight request's first bytes are
@@ -202,40 +266,14 @@ let read_request ?(max_header = 16 * 1024) ?(max_body = 1024 * 1024) ?timeout ?c
   match read_head ?deadline ~already:(take_carry carry) ~max_header fd with
   | Error e -> Error e
   | Ok (head, rest) -> (
-      match String.split_on_char '\n' head |> List.map (fun l -> trim l) with
-      | [] -> Error (Bad "empty request")
-      | request_line :: header_lines -> (
-          match String.split_on_char ' ' request_line with
-          | [ meth; target; version ]
-            when version = "HTTP/1.1" || version = "HTTP/1.0" -> (
-              let headers = parse_headers header_lines in
-              let path, query =
-                match String.index_opt target '?' with
-                | Some i ->
-                    ( url_decode (String.sub target 0 i),
-                      parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
-                | None -> (url_decode target, [])
-              in
-              if List.mem_assoc "transfer-encoding" headers then
-                Error (Bad "chunked transfer encoding is not supported")
-              else
-                let len =
-                  match List.assoc_opt "content-length" headers with
-                  | None -> Ok 0
-                  | Some v -> (
-                      match int_of_string_opt (trim v) with
-                      | Some n when n >= 0 -> Ok n
-                      | _ -> Error (Bad ("malformed content-length: " ^ v)))
-                in
-                match len with
-                | Error e -> Error e
-                | Ok len -> (
-                    match read_body ?deadline ~max_body fd ~already:rest len with
-                    | Error e -> Error e
-                    | Ok (body, surplus) ->
-                        put_carry carry surplus;
-                        Ok { meth = String.uppercase_ascii meth; path; query; headers; body }))
-          | _ -> Error (Bad "malformed request line")))
+      match request_of_head head with
+      | Error e -> Error e
+      | Ok (meth, path, query, headers, len) -> (
+          match read_body ?deadline ~max_body fd ~already:rest len with
+          | Error e -> Error e
+          | Ok (body, surplus) ->
+              put_carry carry surplus;
+              Ok { meth; path; query; headers; body }))
 
 (* The client half: read one response (for [emc loadgen] and tests). *)
 
@@ -361,15 +399,38 @@ let write_request fd ~meth ~path ?(headers = []) ?(body = "") () =
       Error (Refused "peer reset the connection during the request write")
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> Error Timeout
 
+(* The one response-head formatter: the blocking [respond] below and the
+   multiplexed server loop both render through it, so responses are
+   byte-identical whichever path wrote them. *)
+let response_head_into b ~status ~content_type ~body_length ~keep_alive headers =
+  (match status with
+  | 200 -> Buffer.add_string b "HTTP/1.1 200 OK\r\n"
+  | s ->
+      Buffer.add_string b "HTTP/1.1 ";
+      Buffer.add_string b (string_of_int s);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (status_text s);
+      Buffer.add_string b "\r\n");
+  Buffer.add_string b "Content-Type: ";
+  Buffer.add_string b content_type;
+  Buffer.add_string b "\r\nContent-Length: ";
+  Buffer.add_string b (string_of_int body_length);
+  Buffer.add_string b "\r\n";
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b k;
+      Buffer.add_string b ": ";
+      Buffer.add_string b v;
+      Buffer.add_string b "\r\n")
+    headers;
+  Buffer.add_string b
+    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
+  Buffer.add_string b "\r\n"
+
 let respond fd ~status ?(content_type = "application/json") ?(keep_alive = true)
     ?(headers = []) body =
   let b = Buffer.create (String.length body + 128) in
-  Buffer.add_string b (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
-  Buffer.add_string b ("Content-Type: " ^ content_type ^ "\r\n");
-  Buffer.add_string b (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
-  List.iter (fun (k, v) -> Buffer.add_string b (k ^ ": " ^ v ^ "\r\n")) headers;
-  Buffer.add_string b
-    (if keep_alive then "Connection: keep-alive\r\n" else "Connection: close\r\n");
-  Buffer.add_string b "\r\n";
+  response_head_into b ~status ~content_type ~body_length:(String.length body) ~keep_alive
+    headers;
   Buffer.add_string b body;
   write_all fd (Buffer.contents b)

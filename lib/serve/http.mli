@@ -54,6 +54,22 @@ val read_request :
     holding a non-empty carry must not wait for socket readability —
     the next message may already be fully buffered. *)
 
+type parse =
+  | Parsed of request * int
+      (** one complete request plus the number of bytes it consumed; the
+          remainder of the input is the start of the next pipelined message *)
+  | Incomplete  (** syntactically fine so far — wait for more bytes *)
+  | Invalid of error  (** terminal: respond with the mapped status and close *)
+
+val parse_request : ?max_header:int -> ?max_body:int -> string -> parse
+(** The incremental half of {!read_request}: parse one request from an
+    in-memory accumulation of connection bytes without touching a
+    descriptor. The multiplexed server loop appends each non-blocking
+    read's bytes and re-parses; limits and error mapping match
+    {!read_request} (16 KiB heads, 1 MiB bodies by default, declared
+    [Content-Length] over the cap is [Too_large "body"] before any body
+    byte arrives). *)
+
 type response = {
   status : int;
   resp_headers : (string * string) list;  (** keys lowercased *)
@@ -113,5 +129,18 @@ val respond :
     extra response headers (e.g. [X-Request-Id]). [content_type]
     defaults to ["application/json"]. Raises [Unix.Unix_error] on a dead
     peer (callers catch EPIPE/ECONNRESET). *)
+
+val response_head_into :
+  Buffer.t ->
+  status:int ->
+  content_type:string ->
+  body_length:int ->
+  keep_alive:bool ->
+  (string * string) list ->
+  unit
+(** Render the status line, framing headers, extras and the blank line
+    into [b] — the body (exactly [body_length] bytes) follows. {!respond}
+    and the multiplexed server loop share this formatter, so their
+    response bytes are identical by construction. *)
 
 val status_text : int -> string

@@ -12,6 +12,8 @@ type opts = {
   workers : int;
   max_body : int;
   read_timeout : float;
+  idle_timeout : float;
+  max_conns : int;
   access_log : string option;
 }
 
@@ -21,6 +23,8 @@ let default_opts listen =
     workers = 1;
     max_body = 1024 * 1024;
     read_timeout = 10.0;
+    idle_timeout = 30.0;
+    max_conns = 512;
     access_log = Sys.getenv_opt "EMC_ACCESS_LOG";
   }
 
@@ -48,7 +52,22 @@ let latency_hist path = Metrics.histogram ("serve.latency_seconds." ^ path)
 let metrics_dir : string option ref = ref None
 let snapshot_file : string option ref = ref None
 
+let publish_dirty = ref false
+let publish_last = ref neg_infinity
+
+(* Serializing and renaming the snapshot file on every response is pure
+   overhead on the hot path, so publishes are debounced: a response
+   marks the registry dirty and a publish happens at most once per
+   [publish_interval]; the worker's scheduler loop flushes a dirty
+   registry once the interval has passed (its select timeout is capped
+   at 1 s, so staleness is bounded even on an idle worker). Scrapes are
+   still exact for the answering worker — [aggregated_snapshot]
+   publishes its live registry unconditionally. *)
+let publish_interval = 0.25
+
 let publish_snapshot () =
+  publish_dirty := false;
+  publish_last := Unix.gettimeofday ();
   match !snapshot_file with
   | None -> ()
   | Some path -> (
@@ -61,6 +80,14 @@ let publish_snapshot () =
         Sys.rename tmp path
       with Sys_error msg ->
         Emc_obs.Log.warn ~src:"serve" "cannot publish metrics snapshot: %s" msg)
+
+let publish_soon () =
+  publish_dirty := true;
+  if Unix.gettimeofday () -. !publish_last >= publish_interval then publish_snapshot ()
+
+let publish_if_due () =
+  if !publish_dirty && Unix.gettimeofday () -. !publish_last >= publish_interval then
+    publish_snapshot ()
 
 let read_snapshot_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -460,6 +487,194 @@ let handle_request art (req : Http.request) =
   end;
   resp
 
+(* ---------------- the allocation-lean /predict hot path ----------------
+
+   [handle_predict] above is the reference implementation: every request
+   re-closes over the representation, builds a list of freshly-allocated
+   point arrays and renders the response through a full [Json.t] tree.
+   The daemon's per-worker [hot] context hoists all of that out of the
+   request: the evaluator is compiled once ([Repr.compile] — dispatch and
+   feature-expansion scratch resolved at worker start), points parse into
+   a reused float arena, and the response renders into a reused
+   [Buffer.t] through the same [Json] float writer, so the bytes are
+   identical to the reference path (a unit test byte-compares the two
+   over singles, batches, raw space and every error shape). *)
+
+type hot = {
+  h_art : Artifact.t;
+  h_dims : int;
+  h_predict : float array -> float;
+  h_point : float array;  (* reused right-arity point *)
+  mutable h_arena : float array;  (* parsed points, flattened *)
+  mutable h_lens : int array;  (* per-point arity in the arena *)
+  h_body : Buffer.t;  (* response body of the last handle *)
+}
+
+let make_hot art =
+  let dims = Artifact.dims art in
+  {
+    h_art = art;
+    h_dims = dims;
+    h_predict = Emc_regress.Repr.compile art.Artifact.repr;
+    h_point = Array.make (max 1 dims) 0.0;
+    h_arena = Array.make (max 256 dims) 0.0;
+    h_lens = Array.make 64 0;
+    h_body = Buffer.create 4096;
+  }
+
+let hot_body hot = hot.h_body
+
+let ensure_arena hot n =
+  if Array.length hot.h_arena < n then begin
+    let bigger = Array.make (max n (2 * Array.length hot.h_arena)) 0.0 in
+    Array.blit hot.h_arena 0 bigger 0 (Array.length hot.h_arena);
+    hot.h_arena <- bigger
+  end
+
+let ensure_lens hot n =
+  if Array.length hot.h_lens < n then begin
+    let bigger = Array.make (max n (2 * Array.length hot.h_lens)) 0 in
+    Array.blit hot.h_lens 0 bigger 0 (Array.length hot.h_lens);
+    hot.h_lens <- bigger
+  end
+
+(* Parse one JSON point into the arena at [off]; same element order and
+   error strings as [point_of_json]. Returns the next free offset. *)
+let parse_point_into hot ~off j =
+  match j with
+  | Json.List vs ->
+      let rec go off = function
+        | [] -> Ok off
+        | v :: rest -> (
+            match as_float v with
+            | Ok f ->
+                ensure_arena hot (off + 1);
+                hot.h_arena.(off) <- f;
+                go (off + 1) rest
+            | Error e -> Error e)
+      in
+      go off vs
+  | _ -> Error "each point must be a list of numbers"
+
+(* A right-arity point reuses [h_point]; a wrong-arity one gets a fresh
+   slice so the schema validators report the true length (cold path). *)
+let arena_point hot ~off ~len =
+  if len = hot.h_dims then begin
+    Array.blit hot.h_arena off hot.h_point 0 len;
+    hot.h_point
+  end
+  else Array.sub hot.h_arena off len
+
+let predict_into hot (req : Http.request) =
+  let ( let* ) r k = match r with Ok v -> k v | Error e -> Error e in
+  let result =
+    let* j = parse_json_body req in
+    let* space =
+      match Json.member "space" j with
+      | None | Some (Json.Str "coded") -> Ok `Coded
+      | Some (Json.Str "raw") -> Ok `Raw
+      | Some (Json.Str s) ->
+          Error (400, "bad_request", Printf.sprintf "unknown space %S (want \"coded\" or \"raw\")" s)
+      | Some _ -> Error (400, "bad_request", "\"space\" must be a string")
+    in
+    let* n_points, single =
+      match (Json.member "point" j, Json.member "points" j) with
+      | Some p, None -> (
+          match parse_point_into hot ~off:0 p with
+          | Ok stop ->
+              ensure_lens hot 1;
+              hot.h_lens.(0) <- stop;
+              Ok (1, true)
+          | Error e -> Error (400, "bad_request", e))
+      | None, Some (Json.List ps) ->
+          if List.length ps > max_batch then
+            Error
+              (413, "too_many_points",
+               Printf.sprintf "batch of %d points exceeds the %d cap" (List.length ps) max_batch)
+          else
+            let rec go i off = function
+              | [] -> Ok (i, false)
+              | p :: rest -> (
+                  match parse_point_into hot ~off p with
+                  | Ok stop ->
+                      ensure_lens hot (i + 1);
+                      hot.h_lens.(i) <- stop - off;
+                      go (i + 1) stop rest
+                  | Error e -> Error (400, "bad_request", e))
+            in
+            go 0 0 ps
+      | None, Some _ -> Error (400, "bad_request", "\"points\" must be a list of points")
+      | None, None -> Error (400, "bad_request", "body must carry \"point\" or \"points\"")
+      | Some _, Some _ -> Error (400, "bad_request", "give either \"point\" or \"points\", not both")
+    in
+    Buffer.clear hot.h_body;
+    Buffer.add_string hot.h_body (if single then "{\"prediction\":" else "{\"predictions\":[");
+    let off = ref 0 in
+    let rec go i =
+      if i >= n_points then Ok ()
+      else begin
+        let len = hot.h_lens.(i) in
+        let x = arena_point hot ~off:!off ~len in
+        off := !off + len;
+        let r =
+          match space with
+          | `Coded -> (
+              match Artifact.validate_point hot.h_art x with Ok () -> Ok x | Error e -> Error e)
+          | `Raw -> Artifact.code_raw hot.h_art x
+        in
+        match r with
+        | Error e -> Error (400, "bad_point", e)
+        | Ok cx ->
+            if i > 0 then Buffer.add_char hot.h_body ',';
+            Json.to_buffer hot.h_body (Json.Float (hot.h_predict cx));
+            go (i + 1)
+      end
+    in
+    let* () = go 0 in
+    Buffer.add_string hot.h_body (if single then "}\n" else "]}\n");
+    Ok ()
+  in
+  match result with
+  | Ok () -> (200, "application/json")
+  | Error (st, code, msg) ->
+      let _, content_type, body = error_body st code msg in
+      Buffer.clear hot.h_body;
+      Buffer.add_string hot.h_body body;
+      (st, content_type)
+
+(* Like [dispatch]/[handle_request] but rendering into the hot context's
+   body buffer: /predict takes the allocation-lean path, everything else
+   goes through the reference handlers and is copied in. *)
+let dispatch_into hot (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/predict" -> predict_into hot req
+  | _ ->
+      let status, content_type, body = dispatch hot.h_art req in
+      Buffer.clear hot.h_body;
+      Buffer.add_string hot.h_body body;
+      (status, content_type)
+
+let handle_into hot (req : Http.request) =
+  let endpoint = if List.mem req.Http.path endpoints then req.Http.path else "other" in
+  Metrics.incr m_requests;
+  Metrics.incr (endpoint_counter endpoint);
+  let t0 = Unix.gettimeofday () in
+  let ((status, _) as resp) =
+    try dispatch_into hot req
+    with e ->
+      Emc_obs.Log.warn ~src:"serve" "request handler raised: %s" (Printexc.to_string e);
+      let st, content_type, body = error_body 500 "internal" "internal error; see server log" in
+      Buffer.clear hot.h_body;
+      Buffer.add_string hot.h_body body;
+      (st, content_type)
+  in
+  Metrics.observe (latency_hist endpoint) (Unix.gettimeofday () -. t0);
+  if status >= 400 then begin
+    Metrics.incr m_errors;
+    Metrics.incr (status_counter status)
+  end;
+  resp
+
 (* ---------------- connection + worker loop ---------------- *)
 
 let stop = ref false
@@ -469,76 +684,205 @@ let count_error status =
   Metrics.incr m_errors;
   Metrics.incr (status_counter status)
 
-(* Per-request driver: parse / handle / write as separately timed phases
-   (spanned when EMC_TRACE is on, logged per request in the access log),
-   with the worker's snapshot republished between handle and write so a
-   client holding a response can trust any subsequent /metrics scrape. *)
-let serve_one art opts fd =
-  let now = Unix.gettimeofday in
-  let t0 = now () in
-  let parsed =
-    Trace.with_span ~cat:"serve" "parse" (fun () ->
-        Http.read_request ~max_body:opts.max_body fd)
-  in
-  let t_parsed = now () in
-  let parse_s = t_parsed -. t0 in
-  let protocol_error status code msg =
-    count_error status;
-    let id = gen_request_id () in
-    let body =
-      Json.to_string
-        (Json.Obj [ ("error", Json.Obj [ ("code", Json.Str code); ("message", Json.Str msg) ]) ])
-    in
-    publish_snapshot ();
-    let t_write = now () in
-    Http.respond fd ~status ~keep_alive:false ~headers:[ ("X-Request-Id", id) ] body;
-    log_access ~id ~meth:"-" ~path:"-" ~status ~bytes_in:0 ~bytes_out:(String.length body)
-      ~parse_s ~handle_s:0.0 ~write_s:(now () -. t_write);
-    `Close
-  in
-  match parsed with
-  | Error Http.Closed -> `Close
-  | Error Http.Timeout -> protocol_error 408 "timeout" "request read timed out"
-  | Error (Http.Too_large what) ->
-      protocol_error 413 "too_large" (what ^ " exceed the configured limit")
-  | Error (Http.Bad msg) -> protocol_error 400 "bad_request" msg
-  (* client-side-only error; read_request never produces it *)
-  | Error (Http.Refused msg) -> protocol_error 400 "bad_request" msg
-  | Ok req ->
-      let id = request_id req in
-      let status, content_type, body =
-        Trace.with_span ~cat:"serve" "handle"
-          ~args:(fun () ->
-            [ ("id", Json.Str id); ("method", Json.Str req.Http.meth);
-              ("path", Json.Str req.Http.path) ])
-          (fun () -> handle_request art req)
-      in
-      let t_handled = now () in
-      publish_snapshot ();
-      let keep_alive =
-        (not !stop)
-        && (match Http.header req "connection" with
-           | Some c -> String.lowercase_ascii c <> "close"
-           | None -> true)
-      in
-      let t_write = now () in
-      Trace.with_span ~cat:"serve" "write" (fun () ->
-          Http.respond fd ~status ~content_type ~keep_alive
-            ~headers:[ ("X-Request-Id", id) ]
-            body);
-      log_access ~id ~meth:req.Http.meth ~path:req.Http.path ~status
-        ~bytes_in:(String.length req.Http.body) ~bytes_out:(String.length body) ~parse_s
-        ~handle_s:(t_handled -. t_parsed) ~write_s:(now () -. t_write);
-      if keep_alive then `Keep_alive else `Close
+(* The event-driven connection scheduler. Each pre-forked worker owns a
+   select()-driven set of per-connection state machines over the shared
+   non-blocking listening socket:
 
-let handle_conn art opts fd =
-  Metrics.incr m_connections;
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO opts.read_timeout;
-  let rec loop () = match serve_one art opts fd with `Keep_alive -> loop () | `Close -> () in
-  (try loop ()
-   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-     ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+     accept -> read (accumulate + incremental parse) -> handle
+            -> write (non-blocking flush) -> keep-alive | close
+
+   A connection is either reading (its input buffer holds at most a
+   partial request) or writing (one rendered response is flushing; input
+   bytes buffer in the kernel — natural per-connection back-pressure, so
+   a pipelining client can't make the worker buffer unbounded output).
+   Deadlines are absolute and phase-derived: a partial request must
+   complete within [read_timeout] of its first byte (a dribbling writer
+   earns a 408), a response must drain within [read_timeout] (a stalled
+   reader is cut off), and a silent idle connection is closed after
+   [idle_timeout]. The access-log line and the metrics-snapshot publish
+   for a response run only after its last byte reaches the kernel —
+   queued as [post_write] when the flush goes partial — so neither ever
+   sits between another connection's events. *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_inb : Buffer.t;  (* unconsumed request bytes *)
+  mutable c_out : string;  (* rendered response being flushed *)
+  mutable c_out_off : int;
+  mutable c_writing : bool;
+  mutable c_req_t0 : float;  (* arrival of the current request's first byte *)
+  mutable c_idle_since : float;
+  mutable c_write_deadline : float;
+  mutable c_close_after : bool;
+  mutable c_eof : bool;  (* peer half-closed its write side *)
+  mutable c_post_write : (unit -> unit) option;
+  mutable c_closed : bool;
+}
+
+type wstate = {
+  w_opts : opts;
+  w_hot : hot;
+  w_chunk : Bytes.t;  (* reused read buffer *)
+  w_outbuf : Buffer.t;  (* reused response render buffer *)
+  mutable w_conns : conn list;
+}
+
+let conn_deadline st c =
+  if c.c_writing then c.c_write_deadline
+  else if Buffer.length c.c_inb > 0 then c.c_req_t0 +. st.w_opts.read_timeout
+  else c.c_idle_since +. st.w_opts.idle_timeout
+
+let close_conn st c =
+  if not c.c_closed then begin
+    c.c_closed <- true;
+    c.c_post_write <- None;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    st.w_conns <- List.filter (fun o -> o != c) st.w_conns
+  end
+
+(* Render head + the body currently in [h_body] into the conn's output
+   string and start flushing. The first flush attempt happens inline: on
+   an unloaded connection the whole response reaches the kernel here and
+   [post_write] runs at once. *)
+let rec enqueue_response st c ~status ~content_type ~keep_alive ~id =
+  Buffer.clear st.w_outbuf;
+  Http.response_head_into st.w_outbuf ~status ~content_type
+    ~body_length:(Buffer.length st.w_hot.h_body) ~keep_alive
+    [ ("X-Request-Id", id) ];
+  Buffer.add_buffer st.w_outbuf st.w_hot.h_body;
+  c.c_out <- Buffer.contents st.w_outbuf;
+  c.c_out_off <- 0;
+  c.c_writing <- true;
+  if not keep_alive then c.c_close_after <- true;
+  c.c_write_deadline <- Unix.gettimeofday () +. st.w_opts.read_timeout;
+  try_flush st c
+
+and try_flush st c =
+  if c.c_writing && not c.c_closed then begin
+    let len = String.length c.c_out - c.c_out_off in
+    match Unix.write_substring c.c_fd c.c_out c.c_out_off len with
+    | n ->
+        c.c_out_off <- c.c_out_off + n;
+        if c.c_out_off >= String.length c.c_out then begin
+          (* response delivered to the kernel: now (and only now) publish
+             the snapshot and write the access-log line, then either close
+             or return to reading — a pipelined next request may already
+             be buffered, so re-parse immediately *)
+          (match c.c_post_write with
+          | Some f ->
+              c.c_post_write <- None;
+              f ()
+          | None -> ());
+          c.c_out <- "";
+          c.c_out_off <- 0;
+          c.c_writing <- false;
+          if c.c_close_after || (c.c_eof && Buffer.length c.c_inb = 0) then close_conn st c
+          else begin
+            c.c_idle_since <- Unix.gettimeofday ();
+            if Buffer.length c.c_inb > 0 then begin
+              c.c_req_t0 <- c.c_idle_since;
+              process_input st c
+            end
+          end
+        end
+        else try_flush st c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        () (* kernel buffer full: select on writability, deadline armed *)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> try_flush st c
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        (* response undeliverable: drop its post_write (the old blocking
+           path also skipped logging when the peer vanished mid-write) *)
+        close_conn st c
+  end
+
+and protocol_error st c status code msg =
+  count_error status;
+  let id = gen_request_id () in
+  let parse_s = Unix.gettimeofday () -. c.c_req_t0 in
+  let _, content_type, body = error_body status code msg in
+  c.c_close_after <- true;
+  Buffer.clear c.c_inb;
+  c.c_post_write <-
+    Some
+      (fun () ->
+        publish_soon ();
+        log_access ~id ~meth:"-" ~path:"-" ~status ~bytes_in:0 ~bytes_out:(String.length body)
+          ~parse_s ~handle_s:0.0 ~write_s:0.0);
+  Buffer.clear st.w_hot.h_body;
+  Buffer.add_string st.w_hot.h_body body;
+  enqueue_response st c ~status ~content_type ~keep_alive:false ~id
+
+and handle_one st c (req : Http.request) =
+  let t_parsed = Unix.gettimeofday () in
+  let id = request_id req in
+  let status, content_type =
+    Trace.with_span ~cat:"serve" "handle"
+      ~args:(fun () ->
+        [ ("id", Json.Str id); ("method", Json.Str req.Http.meth);
+          ("path", Json.Str req.Http.path) ])
+      (fun () -> handle_into st.w_hot req)
+  in
+  let t_handled = Unix.gettimeofday () in
+  let keep_alive =
+    (not !stop)
+    && (match Http.header req "connection" with
+       | Some c -> String.lowercase_ascii c <> "close"
+       | None -> true)
+  in
+  let meth = req.Http.meth and path = req.Http.path in
+  let bytes_in = String.length req.Http.body in
+  let bytes_out = Buffer.length st.w_hot.h_body in
+  let parse_s = t_parsed -. c.c_req_t0 and handle_s = t_handled -. t_parsed in
+  c.c_post_write <-
+    Some
+      (fun () ->
+        publish_soon ();
+        log_access ~id ~meth ~path ~status ~bytes_in ~bytes_out ~parse_s ~handle_s
+          ~write_s:(Unix.gettimeofday () -. t_handled));
+  (* the body is already rendered in h_body by handle_into *)
+  enqueue_response st c ~status ~content_type ~keep_alive ~id
+
+and process_input st c =
+  if (not c.c_writing) && not c.c_closed then begin
+    let s = Buffer.contents c.c_inb in
+    if s <> "" then
+      match Http.parse_request ~max_body:st.w_opts.max_body s with
+      | Http.Incomplete ->
+          if c.c_eof then protocol_error st c 400 "bad_request" "truncated request"
+      | Http.Invalid (Http.Too_large what) ->
+          protocol_error st c 413 "too_large" (what ^ " exceed the configured limit")
+      | Http.Invalid (Http.Bad msg) -> protocol_error st c 400 "bad_request" msg
+      | Http.Invalid (Http.Timeout | Http.Closed | Http.Refused _) ->
+          (* parse_request never produces these *)
+          close_conn st c
+      | Http.Parsed (req, consumed) ->
+          let rest = String.sub s consumed (String.length s - consumed) in
+          Buffer.clear c.c_inb;
+          Buffer.add_string c.c_inb rest;
+          handle_one st c req
+  end
+
+let on_readable st c =
+  match Unix.read c.c_fd st.w_chunk 0 (Bytes.length st.w_chunk) with
+  | 0 ->
+      c.c_eof <- true;
+      if c.c_writing then () (* finish the flush; closed at drain *)
+      else if Buffer.length c.c_inb = 0 then close_conn st c
+      else process_input st c (* Incomplete + eof -> 400 truncated *)
+  | n ->
+      if (not c.c_writing) && Buffer.length c.c_inb = 0 then c.c_req_t0 <- Unix.gettimeofday ();
+      Buffer.add_subbytes c.c_inb st.w_chunk 0 n;
+      if not c.c_writing then process_input st c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> close_conn st c
+
+(* Deadline expiry, by phase: a stalled reader mid-flush is cut off, a
+   dribbling request earns a 408 (matching the blocking daemon), a
+   silent idle connection closes without a response. *)
+let expire_conn st c =
+  if c.c_writing then close_conn st c
+  else if Buffer.length c.c_inb > 0 then protocol_error st c 408 "timeout" "request read timed out"
+  else close_conn st c
 
 let worker art opts lsock =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -561,14 +905,99 @@ let worker art opts lsock =
       publish_snapshot () (* visible to scrapes before the first request *)
   | None -> ());
   (match opts.access_log with Some path -> open_access_log path | None -> ());
-  while not !stop do
-    match Unix.accept lsock with
-    | fd, _ -> handle_conn art opts fd
+  Unix.set_nonblock lsock;
+  let st =
+    {
+      w_opts = opts;
+      w_hot = make_hot art;
+      w_chunk = Bytes.create (16 * 1024);
+      w_outbuf = Buffer.create 8192;
+      w_conns = [];
+    }
+  in
+  (* Non-blocking accept burst: drain the shared listening socket until
+     EAGAIN (a sibling worker won the race — fair enough at this scale)
+     or this worker is at its connection cap. *)
+  let accept_burst () =
+    let rec go () =
+      if List.length st.w_conns < opts.max_conns then
+        match Unix.accept lsock with
+        | fd, _ ->
+            Unix.set_nonblock fd;
+            Metrics.incr m_connections;
+            let now = Unix.gettimeofday () in
+            st.w_conns <-
+              {
+                c_fd = fd;
+                c_inb = Buffer.create 1024;
+                c_out = "";
+                c_out_off = 0;
+                c_writing = false;
+                c_req_t0 = now;
+                c_idle_since = now;
+                c_write_deadline = now;
+                c_close_after = false;
+                c_eof = false;
+                c_post_write = None;
+                c_closed = false;
+              }
+              :: st.w_conns;
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> go ()
+    in
+    go ()
+  in
+  (* On SIGTERM/SIGINT: stop accepting, let in-flight responses drain
+     (bounded), then flush the final snapshot and leave. *)
+  let drain_deadline = ref None in
+  let running () =
+    if not !stop then true
+    else begin
+      (match !drain_deadline with
+      | None -> drain_deadline := Some (Unix.gettimeofday () +. Float.min 5.0 opts.read_timeout)
+      | Some _ -> ());
+      List.exists (fun c -> c.c_writing) st.w_conns
+      && Unix.gettimeofday () < Option.get !drain_deadline
+    end
+  in
+  while running () do
+    publish_if_due ();
+    let now = Unix.gettimeofday () in
+    List.iter (fun c -> if (not c.c_closed) && now >= conn_deadline st c then expire_conn st c)
+      st.w_conns;
+    let accepting = (not !stop) && List.length st.w_conns < opts.max_conns in
+    let rset =
+      List.fold_left
+        (fun acc c -> if c.c_writing || c.c_eof then acc else c.c_fd :: acc)
+        (if accepting then [ lsock ] else [])
+        st.w_conns
+    in
+    let wset = List.filter_map (fun c -> if c.c_writing then Some c.c_fd else None) st.w_conns in
+    let timeout =
+      let d = List.fold_left (fun acc c -> Float.min acc (conn_deadline st c)) infinity st.w_conns in
+      let t = if d = infinity then 1.0 else Float.max 0.0 (Float.min 1.0 (d -. now)) in
+      (* a pending debounced publish bounds the sleep so the flush lands
+         within [publish_interval] even on an otherwise idle worker *)
+      if !publish_dirty then
+        Float.max 0.0 (Float.min t (!publish_last +. publish_interval -. now))
+      else t
+    in
+    match Unix.select rset wset [] timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | r, w, _ ->
+        if List.memq lsock r then accept_burst ();
+        let find fd = List.find_opt (fun c -> c.c_fd = fd && not c.c_closed) st.w_conns in
+        List.iter
+          (fun fd ->
+            if fd <> lsock then
+              match find fd with Some c -> on_readable st c | None -> ())
+          r;
+        List.iter
+          (fun fd -> match find fd with Some c when c.c_writing -> try_flush st c | _ -> ())
+          w
   done;
-  (* graceful drain: in-flight work is done (handle_conn returned); flush
-     the final snapshot, the access log and the trace, then leave without
-     running the parent's at_exit handlers, as lib/par workers do *)
+  List.iter (fun c -> close_conn st c) st.w_conns;
   publish_snapshot ();
   close_access_log ();
   Trace.flush ();

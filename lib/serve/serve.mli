@@ -27,10 +27,15 @@
     - [GET /healthz] — liveness plus artifact identity.
     - [GET /metrics] — Prometheus text exposition aggregated across
       {e all} pre-forked workers: each worker publishes an atomic
-      registry-snapshot file after every request (before the response is
-      written), and the scrape merges them — counters sum exactly and
-      latency histograms merge bucket-wise into real cumulative
-      [le=]-bucket Prometheus histograms, whichever worker answers.
+      registry-snapshot file at startup and after responses complete,
+      and the scrape merges them — counters sum exactly and latency
+      histograms merge bucket-wise into real cumulative [le=]-bucket
+      Prometheus histograms, whichever worker answers. (Publishes
+      happen {e after} the response write completes and are debounced
+      to at most one per 250 ms per worker, so a scrape may trail
+      another worker's very latest responses by up to the debounce
+      interval; the answering worker's own numbers are always exact,
+      and everything converges within the interval.)
 
     Observability: every request carries an id (the client's
     [X-Request-Id] when it sends a sane one, generated otherwise) that is
@@ -42,27 +47,47 @@
 
     Errors are structured JSON ([{"error": {"code", "message"}}]) with
     correct status codes (400/404/405/408/413/415/500); no exception
-    escapes to a client. The daemon pre-forks [workers] accept processes
-    (the [lib/par] fork pattern), enforces request-size and read-timeout
-    limits, and shuts down gracefully on SIGINT/SIGTERM: in-flight
-    requests drain, each worker flushes its final metrics snapshot and
+    escapes to a client.
+
+    Concurrency: the daemon pre-forks [workers] processes (the [lib/par]
+    fork pattern) sharing one non-blocking listening socket; {e each}
+    worker runs a select()-driven scheduler over up to [max_conns]
+    keep-alive connections, so N workers serve hundreds of concurrent
+    connections and a slow or idle client can never pin a worker the way
+    the old one-connection-per-worker loop could. Per-connection
+    deadlines are absolute: a request must complete within
+    [read_timeout] of its first byte (dribblers get a 408), a response
+    must drain within [read_timeout] (stalled readers are cut off), and
+    a connection with no bytes outstanding closes silently after
+    [idle_timeout]. Pipelined requests on one connection are answered
+    strictly in order, and at most one response per connection is
+    buffered (kernel-level back-pressure bounds memory). Shutdown on
+    SIGINT/SIGTERM is graceful: accepting stops, in-flight responses
+    drain (bounded), each worker flushes its final metrics snapshot and
     the access log, workers exit, the Unix socket is unlinked. *)
 
 type listen = Port of int | Unix_socket of string
 
 type opts = {
   listen : listen;
-  workers : int;  (** pre-forked accept workers (>= 1) *)
+  workers : int;  (** pre-forked scheduler workers (>= 1) *)
   max_body : int;  (** request body cap in bytes *)
-  read_timeout : float;  (** per-read socket timeout, seconds *)
+  read_timeout : float;
+      (** whole-request read deadline and response-drain deadline, seconds *)
+  idle_timeout : float;
+      (** close a keep-alive connection with no request in flight after
+          this many seconds of silence *)
+  max_conns : int;
+      (** per-worker concurrent-connection cap (select() bounds this to
+          roughly 1000 per process) *)
   access_log : string option;
       (** JSONL access-log path (append); every worker writes to it,
           one whole line per request *)
 }
 
 val default_opts : listen -> opts
-(** 1 worker, 1 MiB body cap, 10 s read timeout, access log from
-    [EMC_ACCESS_LOG] when set. *)
+(** 1 worker, 1 MiB body cap, 10 s read timeout, 30 s idle timeout, 512
+    connections per worker, access log from [EMC_ACCESS_LOG] when set. *)
 
 val prometheus : unit -> string
 (** This process's registry rendered as Prometheus text exposition. *)
@@ -72,8 +97,27 @@ val prometheus_of_snapshot : Emc_obs.Metrics.snapshot -> string
     merging every worker's published snapshot. *)
 
 val handle_request : Emc_core.Artifact.t -> Http.request -> int * string * string
-(** [(status, content_type, body)] for one request — exposed for tests;
-    {!run} drives it from the accept loop. *)
+(** [(status, content_type, body)] for one request — the reference
+    (allocating) path, exposed for tests; the daemon serves through
+    {!handle_into}, whose bytes must match this one exactly. *)
+
+type hot
+(** Per-worker serving context for the allocation-lean /predict hot
+    path: the artifact's evaluator compiled once ({!Emc_regress.Repr.compile}),
+    the schema dims resolved once, a reused point arena and a reused
+    response-body buffer. Not shareable between concurrent evaluators. *)
+
+val make_hot : Emc_core.Artifact.t -> hot
+
+val handle_into : hot -> Http.request -> int * string
+(** [(status, content_type)] for one request, the response body rendered
+    into {!hot_body} (valid until the next call). Byte-identical to
+    {!handle_request} on every endpoint and error shape — /predict and
+    /predict_batch take the allocation-lean path, everything else goes
+    through the reference handlers. *)
+
+val hot_body : hot -> Buffer.t
+(** The response body rendered by the last {!handle_into}. *)
 
 val run : opts -> Emc_core.Artifact.t -> unit
 (** Bind, serve until SIGINT/SIGTERM, clean up. Blocks. *)

@@ -32,7 +32,9 @@ let test_opts_validation () =
   cb "zero weight rejected" true
     (Result.is_error (Lg.run { base with Lg.mix = [ ("predict", 0) ] }));
   cb "non-positive rps rejected" true
-    (Result.is_error (Lg.run { base with Lg.mode = Lg.Open_loop 0.0 }))
+    (Result.is_error (Lg.run { base with Lg.mode = Lg.Open_loop 0.0 }));
+  cb "non-positive think time rejected" true
+    (Result.is_error (Lg.run { base with Lg.think = 0.0 }))
 
 let run_against_server ~mode ~concurrency ~duration =
   (* the default test-server body cap (4 KiB) is below a predict_batch
@@ -124,6 +126,34 @@ let test_open_loop_pacing () =
   cb "open mode in json" true (Json.member "mode" j = Some (Json.Str "open"));
   cb "target_rps in json" true (Json.member "target_rps" j = Some (Json.Float 80.0))
 
+let test_think_mix_holds_connections () =
+  (* a mix with think draws: the connections out-number the workers and
+     sit silent holding their sockets between requests — the multiplexed
+     daemon must keep serving all of them with zero errors (the old
+     one-connection-per-worker loop starved everyone behind a thinker) *)
+  Test_serve.with_server ~workers:1 (fun (_, path) ->
+      let opts =
+        { (Lg.default_opts (Lg.Unix_sock path)) with
+          Lg.concurrency = 4; duration = 1.0; seed = 11; think = 0.05;
+          mix = [ ("predict", 4); ("healthz", 2); ("think", 3) ] }
+      in
+      match Lg.run opts with
+      | Error e -> Alcotest.failf "loadgen failed: %s" e
+      | Ok r ->
+          cb "sent some traffic" true (r.Lg.r_sent > 0);
+          ci "every request answered" r.Lg.r_sent r.Lg.r_responses;
+          ci "no errors" 0 (Lg.errors_total r);
+          ci "no id mismatches" 0 r.Lg.r_id_mismatches;
+          cb "think draws stay out of the latency histogram" true
+            (match r.Lg.r_latency with
+            | Some h -> (
+                match Metrics.hsnap_stats h with
+                | Some s -> s.Metrics.count = r.Lg.r_responses
+                | None -> r.Lg.r_responses = 0)
+            | None -> r.Lg.r_responses = 0);
+          cb "no think endpoint histogram" true
+            (not (List.mem_assoc "think" r.Lg.r_by_endpoint)))
+
 let suite =
   [
     Alcotest.test_case "slo parsing" `Quick test_slo_parsing;
@@ -131,4 +161,6 @@ let suite =
     Alcotest.test_case "closed-loop report math against a live daemon" `Quick
       test_closed_loop_report_math;
     Alcotest.test_case "open-loop pacing hits the target rate" `Quick test_open_loop_pacing;
+    Alcotest.test_case "think mix holds connections open without errors" `Quick
+      test_think_mix_holds_connections;
   ]

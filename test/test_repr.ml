@@ -107,6 +107,39 @@ let test_eval_matches_predict_exactly () =
         (Int64.bits_of_float (Repr.eval repr x)))
     (probes 4)
 
+(* The serving hot path's compiled evaluator (hoisted dispatch, reused
+   feature scratch) must agree with [eval] on every output bit, for
+   every family, including under scratch reuse across calls and under
+   the Modeling clamp. *)
+let test_compile_matches_eval_exactly () =
+  let d = sample (rng0 ()) 3 80 f3 in
+  let reprs =
+    [ ("linear", Option.get (Linear.fit ~interactions:false d).Model.repr);
+      ("linear+interactions", Option.get (Linear.fit ~interactions:true d).Model.repr);
+      ("rank", Option.get (Rank.fit ~rng:(rng0 ()) d).Model.repr);
+      ("mars", Option.get (Mars.fit (sample (rng0 ()) 3 120 f3)).Model.repr);
+      ("rbf", Option.get (Rbf.fit ~size_grid:[ 6 ] d).Model.repr) ]
+    @ List.map
+        (fun t ->
+          ("clamped " ^ Modeling.technique_name t,
+           Option.get (Modeling.fit t d).Model.repr))
+        Modeling.all_techniques
+  in
+  List.iter
+    (fun (what, repr) ->
+      let f = Repr.compile repr in
+      (* two passes over the probes: the second exercises scratch reuse *)
+      for pass = 1 to 2 do
+        Array.iteri
+          (fun i x ->
+            Alcotest.(check int64)
+              (Printf.sprintf "%s: compile = eval at probe %d pass %d" what i pass)
+              (Int64.bits_of_float (Repr.eval repr x))
+              (Int64.bits_of_float (f x)))
+          (probes 3)
+      done)
+    reprs
+
 (* ---------------- artifacts ---------------- *)
 
 let tmpfile () = Filename.temp_file "emc_artifact" ".json"
@@ -276,6 +309,8 @@ let suite =
     Alcotest.test_case "rbf round-trips bit-for-bit (all kernels)" `Quick test_rbf_roundtrip;
     Alcotest.test_case "clamped models round-trip bit-for-bit" `Quick test_clamped_roundtrip;
     Alcotest.test_case "predict is Repr.eval" `Quick test_eval_matches_predict_exactly;
+    Alcotest.test_case "compile equals eval bit-for-bit" `Quick
+      test_compile_matches_eval_exactly;
     Alcotest.test_case "artifact save/load is bit-exact" `Quick test_artifact_save_load_bits;
     Alcotest.test_case "artifact extra responses round-trip" `Quick
       test_artifact_extra_responses;

@@ -109,7 +109,8 @@ let sock_path () =
   Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "emc_serve_%d_%d.sock" (Unix.getpid ()) (Random.int 100000))
 
-let start_server ?(workers = 1) ?(max_body = 4096) ?(read_timeout = 2.0) ?access_log () =
+let start_server ?(workers = 1) ?(max_body = 4096) ?(read_timeout = 2.0) ?(idle_timeout = 5.0)
+    ?(max_conns = 64) ?access_log () =
   let art = Lazy.force artifact in
   let path = sock_path () in
   match Unix.fork () with
@@ -117,7 +118,8 @@ let start_server ?(workers = 1) ?(max_body = 4096) ?(read_timeout = 2.0) ?access
       (* the daemon process: Serve.run returns after a signal *)
       (try
          Serve.run
-           { Serve.listen = Serve.Unix_socket path; workers; max_body; read_timeout; access_log }
+           { Serve.listen = Serve.Unix_socket path; workers; max_body; read_timeout;
+             idle_timeout; max_conns; access_log }
            art
        with _ -> Unix._exit 1);
       Unix._exit 0
@@ -143,8 +145,10 @@ let stop_server (pid, path) =
   let _, status = Unix.waitpid [] pid in
   (status, Sys.file_exists path)
 
-let with_server ?workers ?max_body ?read_timeout ?access_log f =
-  let ((pid, _) as srv) = start_server ?workers ?max_body ?read_timeout ?access_log () in
+let with_server ?workers ?max_body ?read_timeout ?idle_timeout ?max_conns ?access_log f =
+  let ((pid, _) as srv) =
+    start_server ?workers ?max_body ?read_timeout ?idle_timeout ?max_conns ?access_log ()
+  in
   Fun.protect
     ~finally:(fun () ->
       if
@@ -498,11 +502,12 @@ let test_request_ids () =
 
 (* ---------------- cross-worker /metrics aggregation ---------------- *)
 
-(* Three workers, three concurrent keep-alive connections (each pinned to
-   its own worker), k requests apiece; a scrape through any one
-   connection must report the exact sum: every worker publishes its
-   snapshot before writing a response, so a request whose response we
-   hold is visible to every later scrape. *)
+(* Three workers, three concurrent keep-alive connections, k requests
+   apiece; a scrape must report the exact sum. Workers publish their
+   snapshot right {e after} a response's last byte reaches the kernel,
+   so a scrape racing another worker's final publish can trail it by
+   microseconds — the test retries the scrape briefly until the sums
+   converge, then asserts exactness. *)
 let test_multiworker_metrics_sum () =
   with_server ~workers:3 (fun (_, path) ->
       let conns = List.init 3 (fun _ -> connect path) in
@@ -517,30 +522,46 @@ let test_multiworker_metrics_sum () =
             ci "healthz ok" 200 (keepalive_request fd "/healthz").Http.status
           done)
         conns;
-      let scrape = keepalive_request (List.nth conns 1) "/metrics" in
-      ci "metrics ok" 200 scrape.Http.status;
-      let value_of name =
-        let prefix = name ^ " " in
-        let line =
-          List.find_opt
-            (fun l -> String.length l > String.length prefix
-                      && String.sub l 0 (String.length prefix) = prefix)
-            (String.split_on_char '\n' scrape.Http.resp_body)
+      let scrape_values () =
+        let scrape = keepalive_request (List.nth conns 1) "/metrics" in
+        ci "metrics ok" 200 scrape.Http.status;
+        let value_of name =
+          let prefix = name ^ " " in
+          let line =
+            List.find_opt
+              (fun l -> String.length l > String.length prefix
+                        && String.sub l 0 (String.length prefix) = prefix)
+              (String.split_on_char '\n' scrape.Http.resp_body)
+          in
+          match line with
+          | Some l ->
+              int_of_string
+                (String.sub l (String.length prefix) (String.length l - String.length prefix))
+          | None -> Alcotest.failf "no %s in scrape" name
         in
-        match line with
-        | Some l ->
-            int_of_string
-              (String.sub l (String.length prefix) (String.length l - String.length prefix))
-        | None -> Alcotest.failf "no %s in scrape" name
+        ( value_of "emc_serve_requests",
+          value_of "emc_serve_requests__healthz",
+          value_of "emc_serve_latency_seconds__healthz_count",
+          value_of "emc_serve_latency_seconds__healthz_bucket{le=\"+Inf\"}" )
       in
-      (* 3k healthz + the scrape itself, across all three workers *)
-      ci "requests counter is the exact sum" ((3 * k) + 1) (value_of "emc_serve_requests");
-      ci "healthz counter is the exact sum" (3 * k) (value_of "emc_serve_requests__healthz");
+      (* scrape [attempt] is itself request 3k + attempt on its worker,
+         and the answering worker publishes its live registry, so the
+         scrape always counts itself *)
+      let rec converge attempt =
+        let ((requests, healthz, hist, inf) as got) = scrape_values () in
+        let expected = ((3 * k) + attempt, 3 * k, 3 * k, 3 * k) in
+        if got = expected || attempt >= 40 then (attempt, requests, healthz, hist, inf)
+        else begin
+          ignore (Unix.select [] [] [] 0.05);
+          converge (attempt + 1)
+        end
+      in
+      let attempt, requests, healthz, hist, inf = converge 1 in
+      ci "requests counter is the exact sum" ((3 * k) + attempt) requests;
+      ci "healthz counter is the exact sum" (3 * k) healthz;
       (* the merged latency histogram saw every healthz request *)
-      ci "histogram count equals requests" (3 * k)
-        (value_of "emc_serve_latency_seconds__healthz_count");
-      ci "le=+Inf bucket equals count" (3 * k)
-        (value_of "emc_serve_latency_seconds__healthz_bucket{le=\"+Inf\"}"))
+      ci "histogram count equals requests" (3 * k) hist;
+      ci "le=+Inf bucket equals count" (3 * k) inf)
 
 (* ---------------- access log ---------------- *)
 
@@ -678,6 +699,204 @@ let test_http_eintr_budget () =
       cb "EINTR re-waits with the remaining budget, not the full window" true
         (elapsed < 2.0))
 
+(* ---------------- multiplexed scheduler ---------------- *)
+
+(* Two connections to ONE worker, each pipelining several id-tagged
+   requests in a single write. The scheduler must answer each
+   connection's requests strictly in order, ids matched, with no
+   cross-connection interleaving — the old one-connection-per-worker
+   loop would have parked connection B until A closed. *)
+let test_multiplexed_pipelining () =
+  with_server ~workers:1 (fun (_, path) ->
+      let ids tag = List.init 3 (fun i -> Printf.sprintf "%s-%d" tag i) in
+      let mk id =
+        Printf.sprintf "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: %s\r\n\r\n" id
+      in
+      let a = connect path and b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+      @@ fun () ->
+      let send fd tag =
+        let text = String.concat "" (List.map mk (ids tag)) in
+        write_all fd text 0 (String.length text)
+      in
+      send a "conn-a";
+      send b "conn-b";
+      let read_ids fd =
+        let carry = ref "" in
+        List.init 3 (fun _ ->
+            match Http.read_response ~timeout:5.0 ~carry fd with
+            | Ok r ->
+                ci "pipelined healthz ok" 200 r.Http.status;
+                (match Http.response_header r "x-request-id" with
+                | Some id -> id
+                | None -> Alcotest.fail "pipelined response carries no X-Request-Id")
+            | Error e -> Alcotest.failf "pipelined read: %s" (Http.error_to_string e))
+      in
+      Alcotest.(check (list string)) "conn A: responses in request order, ids matched"
+        (ids "conn-a") (read_ids a);
+      Alcotest.(check (list string)) "conn B: responses in request order, ids matched"
+        (ids "conn-b") (read_ids b))
+
+(* A connection that never sends a byte is closed silently (clean EOF,
+   no 408 body) once the idle deadline passes. *)
+let test_idle_deadline_closes () =
+  with_server ~idle_timeout:0.4 (fun (_, path) ->
+      let fd = connect path in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let t0 = Unix.gettimeofday () in
+      let buf = Bytes.create 64 in
+      match Unix.read fd buf 0 64 with
+      | 0 -> cb "silent close near the idle deadline" true (Unix.gettimeofday () -. t0 < 3.0)
+      | n ->
+          Alcotest.failf "idle connection got %d unexpected bytes: %S" n
+            (Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Alcotest.fail "idle connection was not closed within 5 s")
+
+(* A stalled reader: connection A pipelines far more responses than the
+   socket buffer holds and reads none of them, so the worker's write to
+   A blocks mid-stream (one buffered response, kernel back-pressure).
+   The same worker must still answer connection B immediately — and A's
+   access-log/metrics publish (deferred to after the write) must not
+   block B either. Then A drains and every response arrives in order. *)
+let test_stalled_reader_fairness () =
+  let n = 3000 in
+  with_server ~workers:1 ~read_timeout:5.0 (fun (_, path) ->
+      let a = connect path and b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+      @@ fun () ->
+      let reqs = Buffer.create (n * 64) in
+      for i = 1 to n do
+        Buffer.add_string reqs
+          (Printf.sprintf "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: st-%d\r\n\r\n" i)
+      done;
+      let text = Buffer.contents reqs in
+      write_all a text 0 (String.length text);
+      (* give the worker a moment to wedge against A's full socket buffer *)
+      ignore (Unix.select [] [] [] 0.2);
+      let t0 = Unix.gettimeofday () in
+      ci "fast connection answered while A is stalled" 200
+        (keepalive_request b "/healthz").Http.status;
+      cb "stalled reader does not delay the fast connection" true
+        (Unix.gettimeofday () -. t0 < 1.0);
+      (* now drain A: all n responses, in order *)
+      let carry = ref "" in
+      for i = 1 to n do
+        match Http.read_response ~timeout:5.0 ~carry a with
+        | Ok r ->
+            if r.Http.status <> 200 then Alcotest.failf "stalled conn response %d: %d" i r.Http.status;
+            if Http.response_header r "x-request-id" <> Some (Printf.sprintf "st-%d" i) then
+              Alcotest.failf "stalled conn response %d out of order" i
+        | Error e -> Alcotest.failf "stalled conn response %d: %s" i (Http.error_to_string e)
+      done)
+
+(* A dribbling writer: connection A delivers its request one byte at a
+   time. While it dribbles, the same worker keeps answering connection B
+   at full speed, and A's request is served normally once its last byte
+   lands (it stays inside the read deadline). *)
+let test_dribbling_writer_fairness () =
+  with_server ~workers:1 ~read_timeout:5.0 (fun (_, path) ->
+      let a = connect path and b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) [ a; b ])
+      @@ fun () ->
+      let text = "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Request-Id: dribble\r\n\r\n" in
+      match Unix.fork () with
+      | 0 ->
+          (try Unix.close b with Unix.Unix_error _ -> ());
+          (try
+             String.iter
+               (fun ch ->
+                 ignore (Unix.select [] [] [] 0.04);
+                 ignore (Unix.write_substring a (String.make 1 ch) 0 1))
+               text
+           with Unix.Unix_error _ -> ());
+          Unix._exit 0
+      | pid ->
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          @@ fun () ->
+          (* ~2.5 s of dribble; keep hammering B meanwhile *)
+          let worst = ref 0.0 in
+          let t_end = Unix.gettimeofday () +. 1.5 in
+          while Unix.gettimeofday () < t_end do
+            let t0 = Unix.gettimeofday () in
+            ci "fast connection during dribble" 200 (keepalive_request b "/healthz").Http.status;
+            worst := Float.max !worst (Unix.gettimeofday () -. t0);
+            ignore (Unix.select [] [] [] 0.02)
+          done;
+          cb "dribbler does not raise the fast connection's latency" true (!worst < 0.5);
+          (* the dribbled request completes once its bytes are all in *)
+          match Http.read_response ~timeout:10.0 a with
+          | Ok r ->
+              ci "dribbled request served" 200 r.Http.status;
+              cb "dribbled request id echoed" true
+                (Http.response_header r "x-request-id" = Some "dribble")
+          | Error e -> Alcotest.failf "dribbled request: %s" (Http.error_to_string e))
+
+(* The allocation-lean hot path must be byte-identical to the reference
+   handler on every endpoint and error shape — run each request through
+   [handle_into] twice so scratch reuse across calls is covered too. *)
+let test_hot_path_byte_identity () =
+  let art = Lazy.force artifact in
+  let hot = Serve.make_hot art in
+  let dims = Params.n_all in
+  let rng = Emc_util.Rng.create 11 in
+  let point () =
+    Json.List (List.init dims (fun _ -> Json.Float (Emc_util.Rng.float rng 2.0 -. 1.0)))
+  in
+  let post body = { Http.meth = "POST"; path = "/predict"; query = []; headers = []; body } in
+  let requests =
+    [ post (Json.to_string (Json.Obj [ ("point", point ()) ]));
+      post (Json.to_string (Json.Obj [ ("points", Json.List [ point (); point (); point () ]) ]));
+      post (Json.to_string (Json.Obj [ ("points", Json.List [ point () ]) ]));
+      post
+        (Json.to_string
+           (Json.Obj [ ("point", point ()); ("space", Json.Str "raw") ]));
+      post
+        (Json.to_string
+           (Json.Obj [ ("points", Json.List [ point (); point () ]); ("space", Json.Str "raw") ]));
+      (* error shapes *)
+      post "";
+      post "{not json";
+      post (Json.to_string (Json.Obj [ ("nope", Json.Int 1) ]));
+      post (Json.to_string (Json.Obj [ ("point", Json.List [ Json.Float 0.5 ]) ]));
+      post (Json.to_string (Json.Obj [ ("point", Json.Str "banana") ]));
+      post (Json.to_string (Json.Obj [ ("points", Json.List []) ]));
+      post
+        (Json.to_string
+           (Json.Obj
+              [ ("points",
+                 Json.List [ Json.List (List.init dims (fun _ -> Json.Str "x")) ]) ]));
+      post (Json.to_string (Json.Obj [ ("point", point ()); ("space", Json.Str "warped") ]));
+      { Http.meth = "GET"; path = "/predict"; query = []; headers = []; body = "" };
+      { Http.meth = "GET"; path = "/nope"; query = []; headers = []; body = "" };
+      { Http.meth = "GET"; path = "/rank"; query = [ ("top", "2") ]; headers = []; body = "" };
+      { Http.meth = "GET"; path = "/healthz"; query = []; headers = []; body = "" };
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      let status_ref, ctype_ref, body_ref = Serve.handle_request art req in
+      for pass = 1 to 2 do
+        let status, ctype = Serve.handle_into hot req in
+        let tag = Printf.sprintf "request %d pass %d" i pass in
+        ci (tag ^ ": status") status_ref status;
+        Alcotest.(check string) (tag ^ ": content type") ctype_ref ctype;
+        Alcotest.(check string) (tag ^ ": body bytes") body_ref
+          (Buffer.contents (Serve.hot_body hot))
+      done)
+    requests
+
 let suite =
   [
     Alcotest.test_case "routing and structured errors (in-process)" `Quick
@@ -703,4 +922,14 @@ let suite =
       test_http_dribble_timeout;
     Alcotest.test_case "http: EINTR does not restart the timeout" `Quick
       test_http_eintr_budget;
+    Alcotest.test_case "mux: two connections pipeline through one worker" `Quick
+      test_multiplexed_pipelining;
+    Alcotest.test_case "mux: idle deadline closes a silent connection" `Quick
+      test_idle_deadline_closes;
+    Alcotest.test_case "mux: stalled reader cannot pin the worker" `Quick
+      test_stalled_reader_fairness;
+    Alcotest.test_case "mux: dribbling writer cannot pin the worker" `Quick
+      test_dribbling_writer_fairness;
+    Alcotest.test_case "hot path bytes equal the reference handler" `Quick
+      test_hot_path_byte_identity;
   ]
